@@ -1,0 +1,133 @@
+package condisc
+
+// This file maps every table and figure of the paper (and each
+// theorem-level experiment indexed in DESIGN.md) to a benchmark target.
+// `go test -bench=BenchmarkTable1` regenerates Table 1; the other targets
+// follow the E-numbering of DESIGN.md. Each benchmark runs the shared
+// experiment driver (internal/experiments) at a reduced scale so a full
+// `go test -bench=.` completes in minutes; cmd/condisc-bench runs the same
+// drivers at paper scale and prints the tables.
+
+import (
+	"testing"
+
+	"condisc/internal/experiments"
+)
+
+// benchCfg trades problem size for bench-loop friendliness.
+var benchCfg = experiments.Config{Seed: 42, Scale: 4}
+
+func run(b *testing.B, f func(experiments.Config) experiments.Result) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := f(benchCfg)
+		if r.Table == nil {
+			b.Fatal("experiment produced no table")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (E1): path length, congestion and
+// linkage for Chord, Tapestry-style, CAN, small worlds, butterfly and
+// Distance Halving.
+func BenchmarkTable1(b *testing.B) { run(b, experiments.Table1) }
+
+// BenchmarkFig1ContinuousMaps regenerates Figure 1 (E2).
+func BenchmarkFig1ContinuousMaps(b *testing.B) { run(b, experiments.Fig1ContinuousMaps) }
+
+// BenchmarkFig2PathTree regenerates Figure 2 (E3).
+func BenchmarkFig2PathTree(b *testing.B) { run(b, experiments.Fig2PathTree) }
+
+// BenchmarkFig3ActiveTreeMapping regenerates Figure 3 (E4).
+func BenchmarkFig3ActiveTreeMapping(b *testing.B) { run(b, experiments.Fig3ActiveTreeMapping) }
+
+// BenchmarkFig4FMRLookup regenerates Figure 4 (E5).
+func BenchmarkFig4FMRLookup(b *testing.B) { run(b, experiments.Fig4FMRLookup) }
+
+// BenchmarkThm21EdgeCount regenerates E6.
+func BenchmarkThm21EdgeCount(b *testing.B) { run(b, experiments.Thm21EdgeCount) }
+
+// BenchmarkThm22Degrees regenerates E7.
+func BenchmarkThm22Degrees(b *testing.B) { run(b, experiments.Thm22Degrees) }
+
+// BenchmarkCor25FastLookupPath regenerates E8.
+func BenchmarkCor25FastLookupPath(b *testing.B) { run(b, experiments.Cor25FastLookupPath) }
+
+// BenchmarkThm27Congestion regenerates E9.
+func BenchmarkThm27Congestion(b *testing.B) { run(b, experiments.Thm27Congestion) }
+
+// BenchmarkThm28DHLookupPath regenerates E10.
+func BenchmarkThm28DHLookupPath(b *testing.B) { run(b, experiments.Thm28DHLookupPath) }
+
+// BenchmarkThm210Permutation regenerates E11.
+func BenchmarkThm210Permutation(b *testing.B) { run(b, experiments.Thm210Permutation) }
+
+// BenchmarkThm213DegreeSweep regenerates E12 (Table 1's ∆ row family).
+func BenchmarkThm213DegreeSweep(b *testing.B) { run(b, experiments.Thm213DegreeSweep) }
+
+// BenchmarkLemma33ActiveTree regenerates E13.
+func BenchmarkLemma33ActiveTree(b *testing.B) { run(b, experiments.Lemma33ActiveTree) }
+
+// BenchmarkThm36SingleHotspot regenerates E14 (with the caching-off
+// ablation).
+func BenchmarkThm36SingleHotspot(b *testing.B) { run(b, experiments.Thm36SingleHotspot) }
+
+// BenchmarkThm38MultiHotspot regenerates E15.
+func BenchmarkThm38MultiHotspot(b *testing.B) { run(b, experiments.Thm38MultiHotspot) }
+
+// BenchmarkContentUpdate regenerates E16.
+func BenchmarkContentUpdate(b *testing.B) { run(b, experiments.ContentUpdate) }
+
+// BenchmarkLemma41SingleChoice regenerates E17.
+func BenchmarkLemma41SingleChoice(b *testing.B) { run(b, experiments.Lemma41SingleChoice) }
+
+// BenchmarkLemma42ImprovedChoice regenerates E18.
+func BenchmarkLemma42ImprovedChoice(b *testing.B) { run(b, experiments.Lemma42ImprovedChoice) }
+
+// BenchmarkLemma43MultipleChoice regenerates E19.
+func BenchmarkLemma43MultipleChoice(b *testing.B) { run(b, experiments.Lemma43MultipleChoice) }
+
+// BenchmarkThm44SelfCorrection regenerates E20a.
+func BenchmarkThm44SelfCorrection(b *testing.B) { run(b, experiments.Thm44SelfCorrection) }
+
+// BenchmarkBucketChurn regenerates E20.
+func BenchmarkBucketChurn(b *testing.B) { run(b, experiments.BucketChurn) }
+
+// BenchmarkLemma53Smoothness2D regenerates E21.
+func BenchmarkLemma53Smoothness2D(b *testing.B) { run(b, experiments.Lemma53Smoothness2D) }
+
+// BenchmarkCor52Expander regenerates E22.
+func BenchmarkCor52Expander(b *testing.B) { run(b, experiments.Cor52Expander) }
+
+// BenchmarkThm63SimpleLookup regenerates E23.
+func BenchmarkThm63SimpleLookup(b *testing.B) { run(b, experiments.Thm63SimpleLookup) }
+
+// BenchmarkThm64FailStop regenerates E24.
+func BenchmarkThm64FailStop(b *testing.B) { run(b, experiments.Thm64FailStop) }
+
+// BenchmarkThm66FMR regenerates E25.
+func BenchmarkThm66FMR(b *testing.B) { run(b, experiments.Thm66FMR) }
+
+// BenchmarkThm71Emulation regenerates E26.
+func BenchmarkThm71Emulation(b *testing.B) { run(b, experiments.Thm71Emulation) }
+
+// BenchmarkJoinLeaveCost regenerates E27.
+func BenchmarkJoinLeaveCost(b *testing.B) { run(b, experiments.JoinLeaveCost) }
+
+// BenchmarkErasureVsReplication regenerates E29 (the §6.2 storage
+// extension: erasure coding across an item's covers vs replication).
+func BenchmarkErasureVsReplication(b *testing.B) { run(b, experiments.ErasureVsReplication) }
+
+// BenchmarkDHTGet measures the end-to-end cost of a cached Get on the
+// public facade (not a paper item; a library-level micro-benchmark).
+func BenchmarkDHTGet(b *testing.B) {
+	d := New(1024, Options{Seed: 99})
+	d.Put(0, "bench", []byte("value"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := d.Get(i%d.N(), "bench"); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

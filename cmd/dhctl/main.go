@@ -1,0 +1,65 @@
+// Command dhctl is the client for dhnode networks.
+//
+// Usage:
+//
+//	dhctl -node 127.0.0.1:7001 -seed 42 put KEY VALUE
+//	dhctl -node 127.0.0.1:7001 -seed 42 get KEY
+//	dhctl -node 127.0.0.1:7001 -seed 42 lookup KEY
+//
+// -seed must match the network's seed (it derives the item-hash function).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"condisc/internal/hashing"
+	"condisc/internal/p2p"
+)
+
+func main() {
+	node := flag.String("node", "127.0.0.1:7001", "any node of the network")
+	seed := flag.Uint64("seed", 42, "cluster seed")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		usage()
+	}
+	h := hashing.NewKWise(8, rand.New(rand.NewPCG(*seed, *seed^0x9e3779b97f4a7c15)))
+	client := &p2p.Client{Bootstrap: *node}
+
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			usage()
+		}
+		hops, err := client.Put(args[1], []byte(args[2]), h.Point)
+		exitOn(err)
+		fmt.Printf("ok (%d hops)\n", hops)
+	case "get":
+		val, hops, err := client.Get(args[1], h.Point)
+		exitOn(err)
+		fmt.Printf("%s (%d hops)\n", val, hops)
+	case "lookup":
+		owner, hops, err := client.Lookup(h.Point(args[1]))
+		exitOn(err)
+		fmt.Printf("key %q -> point %v -> owner %s (%d hops)\n",
+			args[1], h.Point(args[1]), owner, hops)
+	default:
+		usage()
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dhctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dhctl -node ADDR -seed N {put KEY VALUE | get KEY | lookup KEY}")
+	os.Exit(2)
+}

@@ -1,0 +1,73 @@
+// Command dhnode runs one Distance Halving DHT server over TCP.
+//
+// Start the first node of a network:
+//
+//	dhnode -listen 127.0.0.1:7001 -seed 42
+//
+// Join additional nodes through any existing one:
+//
+//	dhnode -listen 127.0.0.1:7002 -join 127.0.0.1:7001 -seed 42
+//
+// All nodes of a network must share -seed (it derives the item-hash
+// function). The node stabilizes its de Bruijn neighbour tables every
+// -stabilize interval; the ring pointers are maintained synchronously and
+// lookups fall back to ring hops while tables converge.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"condisc/internal/interval"
+	"condisc/internal/p2p"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	join := flag.String("join", "", "bootstrap address of an existing node (empty = start a new network)")
+	seed := flag.Uint64("seed", 42, "cluster seed (must match across all nodes)")
+	stabilize := flag.Duration("stabilize", 2*time.Second, "stabilization interval")
+	flag.Parse()
+
+	node, err := p2p.NewNode(*listen, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dhnode:", err)
+		os.Exit(1)
+	}
+	rng := rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), *seed))
+	if *join == "" {
+		node.StartFirst(interval.Point(rng.Uint64()))
+		fmt.Printf("dhnode: started new network at %s (point %v)\n", node.Addr(), node.Point())
+	} else {
+		if err := node.StartJoin(*join, rng); err != nil {
+			fmt.Fprintln(os.Stderr, "dhnode: join:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dhnode: joined via %s at %s (point %v)\n", *join, node.Addr(), node.Point())
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*stabilize)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := node.Stabilize(); err != nil {
+				fmt.Fprintln(os.Stderr, "dhnode: stabilize:", err)
+			}
+		case <-stop:
+			fmt.Println("dhnode: leaving gracefully")
+			if err := node.Leave(); err != nil {
+				fmt.Fprintln(os.Stderr, "dhnode: leave:", err)
+				node.Close()
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package condisc is a Go implementation of the continuous-discrete
+// approach to peer-to-peer networks (Naor & Wieder, "Novel Architectures
+// for P2P Applications: the Continuous-Discrete Approach", SPAA 2003).
+//
+// The package root offers a high-level simulated Distance Halving DHT —
+// join/leave, logarithmic lookups, and the paper's hot-spot caching
+// protocol — while the full machinery lives in the internal packages:
+//
+//	internal/interval    exact fixed-point arithmetic on [0,1)
+//	internal/continuous  the continuous DH graph and its path trees
+//	internal/partition   dynamic decompositions + §4 ID selection
+//	internal/dhgraph     the discrete DH graph (Theorems 2.1, 2.2)
+//	internal/route       Fast and Distance Halving lookups (§2.2)
+//	internal/cache       the §3 dynamic caching protocol
+//	internal/overlap     the §6 fault-tolerant overlapping DHT
+//	internal/expander    the §5 Gabber–Galil dynamic expander
+//	internal/emulate     the §7 general graph emulation
+//	internal/baselines   Chord, Tapestry-style, CAN, small worlds, butterfly
+//	internal/p2p         a real TCP implementation of the DH node
+//	internal/experiments drivers reproducing every table/figure/theorem
+//
+// A real-network node is available under cmd/dhnode with the client
+// cmd/dhctl, and cmd/condisc-bench regenerates every paper experiment.
+package condisc
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"condisc/internal/cache"
+	"condisc/internal/dhgraph"
+	"condisc/internal/hashing"
+	"condisc/internal/interval"
+	"condisc/internal/partition"
+	"condisc/internal/route"
+)
+
+// Point is a point of the unit interval I = [0,1) in 64-bit fixed point.
+type Point = interval.Point
+
+// Options configures a simulated DHT.
+type Options struct {
+	// Delta is the alphabet size ∆ of the underlying De Bruijn-style graph
+	// (degree/path tradeoff of §2.3). Default 2.
+	Delta uint64
+	// Seed makes the instance deterministic. Default 1.
+	Seed uint64
+	// CacheThreshold is the hot-spot protocol's threshold c; 0 selects
+	// Θ(log n) at construction. Negative disables caching.
+	CacheThreshold int
+}
+
+// DHT is a simulated Distance Halving network: n servers holding segments
+// of I, routing lookups over the discrete DH graph, storing items at the
+// server covering their hash point.
+type DHT struct {
+	opts   Options
+	rng    *rand.Rand
+	ring   *partition.Ring
+	net    *route.Network
+	hash   *hashing.Func
+	cache  *cache.System
+	stores []map[string][]byte
+}
+
+// New builds a DHT of n servers (n >= 2) with Multiple Choice IDs.
+func New(n int, opts Options) *DHT {
+	if n < 2 {
+		panic("condisc: need at least 2 servers")
+	}
+	if opts.Delta == 0 {
+		opts.Delta = 2
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	d := &DHT{
+		opts: opts,
+		rng:  rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x632be59bd9b4e019)),
+	}
+	d.hash = hashing.NewKWise(16, d.rng)
+	d.ring = partition.Grow(partition.New(), n, partition.MultipleChooser(2), d.rng)
+	d.rebuild()
+	return d
+}
+
+// rebuild refreshes the discrete graph and reassigns stored items after a
+// membership change.
+func (d *DHT) rebuild() {
+	old := d.stores
+	d.net = route.NewNetwork(dhgraph.Build(d.ring, d.opts.Delta))
+	if d.opts.Delta == 2 && d.opts.CacheThreshold >= 0 {
+		c := d.opts.CacheThreshold
+		if c == 0 {
+			c = int(math.Log2(float64(d.ring.N()))) + 1
+		}
+		d.cache = cache.NewSystem(d.net, d.hash, c)
+	} else {
+		d.cache = nil
+	}
+	d.stores = make([]map[string][]byte, d.ring.N())
+	for i := range d.stores {
+		d.stores[i] = map[string][]byte{}
+	}
+	for _, m := range old {
+		for k, v := range m {
+			d.stores[d.ring.Cover(d.hash.Point(k))][k] = v
+		}
+	}
+}
+
+// N returns the number of servers.
+func (d *DHT) N() int { return d.ring.N() }
+
+// Smoothness returns ρ of the current decomposition (Definition 1).
+func (d *DHT) Smoothness() float64 { return d.ring.Smoothness() }
+
+// MaxDegree returns the maximum routing-table size.
+func (d *DHT) MaxDegree() int { return d.net.G.MaxDegree() }
+
+// KeyPoint returns the hash point of a key.
+func (d *DHT) KeyPoint(key string) Point { return d.hash.Point(key) }
+
+// Owner returns the server index responsible for a key.
+func (d *DHT) Owner(key string) int { return d.ring.Cover(d.hash.Point(key)) }
+
+// Lookup routes from server src to the owner of key using the randomized
+// Distance Halving Lookup and returns the path of servers visited.
+func (d *DHT) Lookup(src int, key string) []int {
+	return d.net.DHLookup(src, d.hash.Point(key), d.rng)
+}
+
+// Put stores a value from server src, returning the routing path length.
+func (d *DHT) Put(src int, key string, value []byte) int {
+	path := d.Lookup(src, key)
+	owner := path[len(path)-1]
+	d.stores[owner][key] = append([]byte(nil), value...)
+	return len(path) - 1
+}
+
+// Get retrieves a value from server src. With caching enabled, hot items
+// are served by cache-tree copies without reaching the owner (§3).
+func (d *DHT) Get(src int, key string) (value []byte, hops int, ok bool) {
+	owner := d.Owner(key)
+	v, ok := d.stores[owner][key]
+	if !ok {
+		return nil, 0, false
+	}
+	if d.cache != nil {
+		path, _ := d.cache.Request(src, key, d.rng)
+		return v, len(path) - 1, true
+	}
+	path := d.Lookup(src, key)
+	return v, len(path) - 1, true
+}
+
+// EndEpoch advances the caching protocol's epoch (step 2–3 of §3.1).
+func (d *DHT) EndEpoch() {
+	if d.cache != nil {
+		d.cache.EndEpoch()
+	}
+}
+
+// Join adds a server with a Multiple Choice ID (§4) and migrates the
+// affected items, returning the new server's index.
+func (d *DHT) Join() int {
+	p := partition.MultipleChoice(d.ring, d.rng, 2)
+	idx, ok := d.ring.Insert(p)
+	for !ok {
+		p = partition.SingleChoice(d.rng)
+		idx, ok = d.ring.Insert(p)
+	}
+	d.rebuild()
+	return idx
+}
+
+// Leave removes server i; its segment and items are absorbed by the ring
+// predecessor (§2.1).
+func (d *DHT) Leave(i int) error {
+	if d.ring.N() <= 2 {
+		return fmt.Errorf("condisc: cannot shrink below 2 servers")
+	}
+	if i < 0 || i >= d.ring.N() {
+		return fmt.Errorf("condisc: no server %d", i)
+	}
+	d.ring.RemoveAt(i)
+	d.rebuild()
+	return nil
+}
+
+// MaxLoad returns the highest per-server message count since the last
+// ResetLoad — the congestion the §2.2 theorems bound.
+func (d *DHT) MaxLoad() int64 { return d.net.MaxLoad() }
+
+// ResetLoad zeroes the congestion counters.
+func (d *DHT) ResetLoad() { d.net.ResetLoad() }
+
+// Items returns how many items server i currently stores.
+func (d *DHT) Items(i int) int { return len(d.stores[i]) }

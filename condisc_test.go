@@ -1,0 +1,123 @@
+package condisc
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	d := New(256, Options{Seed: 1})
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		d.Put(i%d.N(), key, []byte{byte(i)})
+	}
+	for i := 0; i < 100; i++ {
+		v, hops, ok := d.Get((i+7)%d.N(), fmt.Sprintf("k%d", i))
+		if !ok || !bytes.Equal(v, []byte{byte(i)}) {
+			t.Fatalf("get k%d = %v ok=%v", i, v, ok)
+		}
+		bound := 2*math.Log2(float64(d.N())) + 2*math.Log2(d.Smoothness()) + 3
+		if float64(hops) > bound {
+			t.Fatalf("get k%d took %d hops > %v", i, hops, bound)
+		}
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	d := New(64, Options{Seed: 2})
+	if _, _, ok := d.Get(0, "missing"); ok {
+		t.Fatal("expected miss")
+	}
+}
+
+func TestJoinLeaveMigratesItems(t *testing.T) {
+	d := New(32, Options{Seed: 3})
+	for i := 0; i < 200; i++ {
+		d.Put(0, fmt.Sprintf("key%d", i), []byte("v"))
+	}
+	for j := 0; j < 10; j++ {
+		d.Join()
+	}
+	for j := 0; j < 10; j++ {
+		if err := d.Leave(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.N() != 32 {
+		t.Fatalf("N = %d", d.N())
+	}
+	for i := 0; i < 200; i++ {
+		if _, _, ok := d.Get(1, fmt.Sprintf("key%d", i)); !ok {
+			t.Fatalf("key%d lost after churn", i)
+		}
+	}
+}
+
+func TestLeaveErrors(t *testing.T) {
+	d := New(2, Options{Seed: 4})
+	if err := d.Leave(0); err == nil {
+		t.Error("expected error shrinking below 2")
+	}
+	d2 := New(4, Options{Seed: 5})
+	if err := d2.Leave(99); err == nil {
+		t.Error("expected error for bad index")
+	}
+}
+
+func TestConstantDegree(t *testing.T) {
+	d := New(2048, Options{Seed: 6})
+	if deg := d.MaxDegree(); deg > 24 {
+		t.Errorf("max degree %d not constant-like (ρ=%.1f)", deg, d.Smoothness())
+	}
+	if rho := d.Smoothness(); rho > 16 {
+		t.Errorf("smoothness %v too large", rho)
+	}
+}
+
+// TestHotKeyCaching: repeated gets of one key are spread by the caching
+// protocol — the owner's supply count stays sublinear.
+func TestHotKeyCaching(t *testing.T) {
+	d := New(1024, Options{Seed: 7})
+	d.Put(0, "hot", []byte("x"))
+	d.ResetLoad()
+	for i := 0; i < 2048; i++ {
+		if _, _, ok := d.Get(i%d.N(), "hot"); !ok {
+			t.Fatal("hot key lost")
+		}
+	}
+	logN := math.Log2(float64(d.N()))
+	if max := d.MaxLoad(); float64(max) > 8*logN*logN {
+		t.Errorf("hot-key max load %d > O(log² n)", max)
+	}
+}
+
+func TestDeltaOption(t *testing.T) {
+	d := New(1024, Options{Seed: 8, Delta: 16, CacheThreshold: -1})
+	d.Put(0, "a", []byte("b"))
+	_, hops, ok := d.Get(5, "a")
+	if !ok {
+		t.Fatal("miss")
+	}
+	// log_16(1024) = 2.5; generous slack for smoothness.
+	if hops > 12 {
+		t.Errorf("∆=16 get took %d hops", hops)
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	a, b := New(64, Options{Seed: 9}), New(64, Options{Seed: 9})
+	if a.Owner("x") != b.Owner("x") || a.Smoothness() != b.Smoothness() {
+		t.Error("same seed must give identical networks")
+	}
+}
+
+func TestPanicsOnTinyN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(1, Options{})
+}

@@ -1,0 +1,39 @@
+// Expander: build the §5 dynamic expander — 2D Multiple Choice IDs, a
+// Voronoi tessellation of the unit torus, and the discretized
+// Gabber–Galil graph — then verify its expansion spectrally and grow it.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"condisc/internal/expander"
+	"condisc/internal/geom2d"
+	"condisc/internal/spectral"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(5, 50))
+
+	fmt.Println("building a verified dynamic expander (Gabber–Galil over Voronoi cells)")
+	for _, n := range []int{64, 128, 256} {
+		sites := expander.Grow2D(n, 3, rng)
+		rho := expander.Smoothness(sites)
+		net := expander.BuildNetwork(sites)
+		gap := spectral.SpectralGap(net.Graph, 600, rng)
+		vexp := spectral.VertexExpansion(net.Graph, 150, rng)
+		fmt.Printf("  n=%4d  ρ=%.2f  max degree=%2d  avg degree=%.1f  spectral gap=%.3f  vertex expansion≥ seen %.2f\n",
+			n, rho, net.Graph.MaxDegree(), net.Graph.AvgDegree(), gap, vexp)
+	}
+
+	fmt.Println("\nthe certificate: smooth IDs (Definition 7) imply expansion Ω((2-√3)/ρ)")
+	fmt.Println("— checkable locally, unlike randomized expander constructions (§5.2).")
+
+	// Contrast: uniform random IDs (no multiple choice) are far less smooth.
+	random := make([]geom2d.Vec, 256)
+	for i := range random {
+		random[i] = geom2d.Vec{X: rng.Float64(), Y: rng.Float64()}
+	}
+	fmt.Printf("\nuniform random IDs: ρ=%.1f — the certificate degrades without ID balancing\n",
+		expander.Smoothness(random))
+}

@@ -1,0 +1,49 @@
+// Hotspot: a flash crowd hammers one key. With the §3 caching protocol the
+// item's home server stays calm; without it, it is swamped — the paper's
+// headline dynamic-caching result, on a file-sharing-style workload.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"condisc"
+)
+
+func main() {
+	const n = 2048
+	const requests = 4 * n
+
+	fmt.Printf("flash crowd: %d requests for one key on a %d-server DHT\n\n", requests, n)
+
+	for _, caching := range []bool{false, true} {
+		opts := condisc.Options{Seed: 11}
+		if !caching {
+			opts.CacheThreshold = -1
+		}
+		dht := condisc.New(n, opts)
+		dht.Put(0, "viral-video.mp4", []byte("...bytes..."))
+		dht.ResetLoad()
+
+		maxHops, sumHops := 0, 0
+		for i := 0; i < requests; i++ {
+			_, hops, ok := dht.Get(i%n, "viral-video.mp4")
+			if !ok {
+				panic("lost the hot key")
+			}
+			sumHops += hops
+			if hops > maxHops {
+				maxHops = hops
+			}
+		}
+		mode := "caching OFF"
+		if caching {
+			mode = "caching ON "
+		}
+		fmt.Printf("%s: busiest server handled %6d messages; avg %0.1f hops, max %d hops\n",
+			mode, dht.MaxLoad(), float64(sumHops)/requests, maxHops)
+	}
+	logN := math.Log2(n)
+	fmt.Printf("\npaper claim (Thm 3.6/3.8): with caching, per-server load is O(log² n) ≈ %.0f,\n", logN*logN)
+	fmt.Println("with zero added latency — the cache tree rides the lookup paths themselves.")
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a simulated Distance Halving DHT, store and retrieve
+// values, and watch the logarithmic routing and churn behaviour.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"condisc"
+)
+
+func main() {
+	const n = 1024
+	dht := condisc.New(n, condisc.Options{Seed: 7})
+	fmt.Printf("built a Distance Halving DHT: n=%d, smoothness ρ=%.2f, max degree %d\n",
+		dht.N(), dht.Smoothness(), dht.MaxDegree())
+	fmt.Printf("theory: lookups should take ≤ 2·log2(n)+2·log2(ρ) ≈ %.0f hops\n\n",
+		2*math.Log2(n)+2*math.Log2(dht.Smoothness()))
+
+	// Store a few values from arbitrary servers.
+	for i, kv := range [][2]string{
+		{"alpha", "the first"},
+		{"beta", "the second"},
+		{"gamma", "the third"},
+	} {
+		hops := dht.Put(i*17%n, kv[0], []byte(kv[1]))
+		fmt.Printf("put %-6q -> owner %4d (point %v), %d hops\n",
+			kv[0], dht.Owner(kv[0]), dht.KeyPoint(kv[0]), hops)
+	}
+	fmt.Println()
+
+	// Retrieve them from other servers.
+	total := 0
+	for i, key := range []string{"alpha", "beta", "gamma"} {
+		val, hops, ok := dht.Get((i+500)%n, key)
+		if !ok {
+			panic("lost a key")
+		}
+		total += hops
+		fmt.Printf("get %-6q = %-12q in %d hops\n", key, val, hops)
+	}
+	fmt.Printf("average %.1f hops (log2 n = %.0f)\n\n", float64(total)/3, math.Log2(n))
+
+	// Churn: servers join and leave; data survives.
+	for i := 0; i < 32; i++ {
+		dht.Join()
+	}
+	for i := 0; i < 32; i++ {
+		if err := dht.Leave(i * 3 % dht.N()); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("after 32 joins + 32 leaves: n=%d, ρ=%.2f\n", dht.N(), dht.Smoothness())
+	for _, key := range []string{"alpha", "beta", "gamma"} {
+		if _, _, ok := dht.Get(0, key); !ok {
+			panic("key lost during churn: " + key)
+		}
+	}
+	fmt.Println("all keys survived the churn ✓")
+}

@@ -1,0 +1,261 @@
+package baselines
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"condisc/internal/interval"
+)
+
+// deliveryCheck runs random lookups and asserts every path ends at Owner.
+func deliveryCheck(t *testing.T, s Scheme, trials int, rng *rand.Rand) {
+	t.Helper()
+	for i := 0; i < trials; i++ {
+		src := rng.IntN(s.N())
+		key := interval.Point(rng.Uint64())
+		path := s.Lookup(src, key, rng)
+		if len(path) == 0 || path[0] != src {
+			t.Fatalf("%s: path must start at src", s.Name())
+		}
+		if got, want := path[len(path)-1], s.Owner(key); got != want {
+			t.Fatalf("%s: lookup for %v ended at %d, owner is %d", s.Name(), key, got, want)
+		}
+	}
+}
+
+func TestChordDelivery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	deliveryCheck(t, NewChord(512, rng), 2000, rng)
+}
+
+func TestChordPathAndLinkage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	const n = 2048
+	c := NewChord(n, rng)
+	st := Measure(c, 4000, rng)
+	logN := math.Log2(n)
+	if st.AvgPath > logN || st.AvgPath < logN/4 {
+		t.Errorf("Chord avg path %.2f, want ~(1/2)log n = %.1f", st.AvgPath, logN/2)
+	}
+	if float64(st.Linkage) > 2.5*logN || float64(st.Linkage) < logN/2 {
+		t.Errorf("Chord linkage %d, want ~log n = %.0f", st.Linkage, logN)
+	}
+}
+
+func TestPrefixDelivery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	deliveryCheck(t, NewPrefix(512, rng), 2000, rng)
+}
+
+func TestPrefixPathLength(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	const n = 4096
+	p := NewPrefix(n, rng)
+	st := Measure(p, 4000, rng)
+	log16 := math.Log2(n) / 4
+	if st.AvgPath > 2*log16+2 {
+		t.Errorf("prefix avg path %.2f, want ~log16 n = %.1f", st.AvgPath, log16)
+	}
+	if st.MaxPath > 17 {
+		t.Errorf("prefix max path %d > 16 digits + surrogate", st.MaxPath)
+	}
+}
+
+func TestCANDelivery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	deliveryCheck(t, NewCAN(512, 2, rng), 2000, rng)
+	deliveryCheck(t, NewCAN(512, 3, rng), 2000, rng)
+}
+
+func TestCANPathScalesAsRoot(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	const n = 4096
+	c2 := NewCAN(n, 2, rng)
+	st := Measure(c2, 4000, rng)
+	// Expected path for d=2: 2 · (k/4) = k/2 = 32 for k=64.
+	k := math.Sqrt(float64(c2.N()))
+	if st.AvgPath < k/4 || st.AvgPath > k {
+		t.Errorf("CAN d=2 avg path %.1f, want ~k/2 = %.1f", st.AvgPath, k/2)
+	}
+	if c2.MaxLinkage() != 4 {
+		t.Errorf("CAN d=2 linkage %d, want 4", c2.MaxLinkage())
+	}
+}
+
+func TestSmallWorldDelivery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	deliveryCheck(t, NewSmallWorld(512, rng), 2000, rng)
+}
+
+func TestSmallWorldPolylogPath(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	const n = 4096
+	s := NewSmallWorld(n, rng)
+	st := Measure(s, 3000, rng)
+	log2N := math.Log2(n) * math.Log2(n)
+	if st.AvgPath > log2N {
+		t.Errorf("small world avg path %.1f > log² n = %.0f", st.AvgPath, log2N)
+	}
+	// And it must be far below the Θ(n) ring walk.
+	if st.AvgPath > float64(n)/8 {
+		t.Errorf("small world path %.1f looks linear", st.AvgPath)
+	}
+	if s.MaxLinkage() != 3 {
+		t.Errorf("small world linkage %d, want 3", s.MaxLinkage())
+	}
+}
+
+func TestButterflyDelivery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	deliveryCheck(t, NewButterfly(512, rng), 2000, rng)
+}
+
+func TestButterflyLogPathConstantDegree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 10))
+	const n = 4096
+	b := NewButterfly(n, rng)
+	st := Measure(b, 3000, rng)
+	logN := math.Log2(n)
+	if st.AvgPath > 6*logN {
+		t.Errorf("butterfly avg path %.1f > O(log n) = %.0f", st.AvgPath, logN)
+	}
+	if b.MaxLinkage() > 8 {
+		t.Errorf("butterfly linkage %d should be constant", b.MaxLinkage())
+	}
+}
+
+func TestDistanceHalvingDelivery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	deliveryCheck(t, NewDistanceHalving(512, 2, true, rng), 1000, rng)
+	deliveryCheck(t, NewDistanceHalving(512, 2, false, rng), 1000, rng)
+	deliveryCheck(t, NewDistanceHalving(512, 8, true, rng), 1000, rng)
+}
+
+// TestTableOneShape is the headline comparison: with matching n, the
+// schemes' measured path lengths and linkages reproduce Table 1's ordering.
+func TestTableOneShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 12))
+	const n = 2048
+	const lookups = 3000
+	chord := Measure(NewChord(n, rng), lookups, rng)
+	can := Measure(NewCAN(n, 2, rng), lookups, rng)
+	sw := Measure(NewSmallWorld(n, rng), lookups, rng)
+	bf := Measure(NewButterfly(n, rng), lookups, rng)
+	dh2 := Measure(NewDistanceHalving(n, 2, true, rng), lookups, rng)
+	dh16 := Measure(NewDistanceHalving(n, 16, true, rng), lookups, rng)
+
+	// CAN's n^(1/2) path dwarfs the log-with-small-constant schemes.
+	for _, log := range []Stats{chord, dh2, dh16} {
+		if can.AvgPath < 2*log.AvgPath {
+			t.Errorf("CAN path %.1f should far exceed %s path %.1f",
+				can.AvgPath, log.Scheme, log.AvgPath)
+		}
+	}
+	// Small world pays log² n: noticeably above Chord.
+	if sw.AvgPath < chord.AvgPath {
+		t.Errorf("small world path %.1f should exceed Chord %.1f", sw.AvgPath, chord.AvgPath)
+	}
+	// DH with ∆=16 beats DH with ∆=2 on path length (Thm 2.13 tradeoff).
+	if dh16.AvgPath >= dh2.AvgPath {
+		t.Errorf("DH ∆=16 path %.1f should beat ∆=2 path %.1f", dh16.AvgPath, dh2.AvgPath)
+	}
+	// Constant-degree schemes: butterfly and DH(∆=2) linkage far below
+	// Chord's log n.
+	if bf.Linkage >= chord.Linkage || dh2.Linkage >= chord.Linkage {
+		t.Errorf("constant-degree schemes should have smaller linkage than Chord: bf=%d dh=%d chord=%d",
+			bf.Linkage, dh2.Linkage, chord.Linkage)
+	}
+}
+
+// TestMeasureCongestionNormalization: for Chord, congestion should be
+// within a small constant of (log n)/n, i.e. NormCong = O(1).
+// TestGrowthRates distinguishes the asymptotic families: quadrupling n
+// roughly doubles CAN's (d=2) path but increases logarithmic schemes'
+// paths only marginally — the crossover structure of Table 1.
+func TestGrowthRates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 21))
+	const small, big = 1024, 4096
+	const lookups = 2000
+	ratio := func(mk func(n int) Scheme) float64 {
+		a := Measure(mk(small), lookups, rng)
+		b := Measure(mk(big), lookups, rng)
+		return b.AvgPath / a.AvgPath
+	}
+	if r := ratio(func(n int) Scheme { return NewCAN(n, 2, rng) }); r < 1.6 {
+		t.Errorf("CAN growth ratio %.2f, want ~2 (path ~ sqrt n)", r)
+	}
+	for _, mk := range []struct {
+		name string
+		f    func(n int) Scheme
+	}{
+		{"chord", func(n int) Scheme { return NewChord(n, rng) }},
+		{"butterfly", func(n int) Scheme { return NewButterfly(n, rng) }},
+		{"dh", func(n int) Scheme { return NewDistanceHalving(n, 2, true, rng) }},
+	} {
+		if r := ratio(mk.f); r > 1.45 {
+			t.Errorf("%s growth ratio %.2f, want ~log(4n)/log(n) ≈ 1.2", mk.name, r)
+		}
+	}
+}
+
+func TestMeasureCongestionNormalization(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 13))
+	const n = 1024
+	st := Measure(NewChord(n, rng), 8*n, rng)
+	if st.NormCong > 16 {
+		t.Errorf("Chord normalized congestion %.1f, want O(1)", st.NormCong)
+	}
+	if st.NormCong < 0.1 {
+		t.Errorf("normalized congestion %.2f implausibly low", st.NormCong)
+	}
+}
+
+func TestCANPanicsOnBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCAN(100, 0, rand.New(rand.NewPCG(14, 14)))
+}
+
+func TestKademliaDelivery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 15))
+	deliveryCheck(t, NewKademlia(512, rng), 2000, rng)
+}
+
+func TestKademliaLogPathAndLinkage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(16, 16))
+	const n = 4096
+	k := NewKademlia(n, rng)
+	st := Measure(k, 3000, rng)
+	logN := math.Log2(n)
+	if st.AvgPath > logN {
+		t.Errorf("Kademlia avg path %.2f, want ~(1/2)log n = %.1f", st.AvgPath, logN/2)
+	}
+	if st.AvgPath < 2 {
+		t.Errorf("Kademlia avg path %.2f implausibly short", st.AvgPath)
+	}
+	if float64(st.Linkage) > 2.5*logN || float64(st.Linkage) < logN/2 {
+		t.Errorf("Kademlia linkage %d, want ~log n = %.0f", st.Linkage, logN)
+	}
+}
+
+// TestKademliaXORMonotone: every hop strictly decreases XOR distance to
+// the key (until the final owner hop) — the defining Kademlia invariant.
+func TestKademliaXORMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 17))
+	k := NewKademlia(1024, rng)
+	for trial := 0; trial < 500; trial++ {
+		key := interval.Point(rng.Uint64())
+		path := k.Lookup(rng.IntN(1024), key, rng)
+		for j := 1; j < len(path)-1; j++ {
+			dPrev := uint64(k.ids[path[j-1]]) ^ uint64(key)
+			dCur := uint64(k.ids[path[j]]) ^ uint64(key)
+			if dCur >= dPrev {
+				t.Fatalf("XOR distance did not decrease at hop %d", j)
+			}
+		}
+	}
+}

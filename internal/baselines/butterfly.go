@@ -1,0 +1,164 @@
+package baselines
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"condisc/internal/interval"
+)
+
+// Butterfly implements a Viceroy-style constant-degree butterfly overlay
+// (Malkhi, Naor & Ratajczak; Table 1 row 5): every node draws a random
+// point on the ring and a random level in [1, log n]; the overlay wires
+// approximate butterfly down-edges (to points x and x + 2^-ℓ on the next
+// level), an up-edge, and global ring edges. Routing proceeds in three
+// phases — up to level 1, butterfly descent, ring walk — giving O(log n)
+// expected path with O(1) linkage.
+//
+// Simplification: Viceroy's distributed level-selection and repair
+// machinery is replaced by the idealized random level assignment it
+// emulates; Table 1 compares routing shape, which this preserves.
+type Butterfly struct {
+	n      int
+	levels int
+	pos    []interval.Point // node ring positions
+	lvl    []int            // node levels, 1-based
+	// byLevel[l] lists node indices of level l sorted by position.
+	byLevel [][]int
+	sorted  []int // all nodes sorted by position (global ring)
+	rank    []int // rank[i] = position of node i in sorted
+}
+
+// NewButterfly builds the overlay with n nodes.
+func NewButterfly(n int, rng *rand.Rand) *Butterfly {
+	levels := int(math.Max(1, math.Round(math.Log2(float64(n)))))
+	b := &Butterfly{
+		n:       n,
+		levels:  levels,
+		pos:     randomDistinctPoints(n, rng),
+		lvl:     make([]int, n),
+		byLevel: make([][]int, levels+1),
+		rank:    make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		b.lvl[i] = 1 + rng.IntN(levels)
+		b.byLevel[b.lvl[i]] = append(b.byLevel[b.lvl[i]], i)
+	}
+	// Positions are already sorted (randomDistinctPoints sorts), so the
+	// global ring is the index order and per-level lists are sorted too.
+	b.sorted = make([]int, n)
+	for i := range b.sorted {
+		b.sorted[i] = i
+		b.rank[i] = i
+	}
+	// Guard: if any level ended up empty (tiny n), reassign round-robin.
+	for l := 1; l <= levels; l++ {
+		if len(b.byLevel[l]) == 0 {
+			for i := 0; i < n; i++ {
+				b.byLevel[b.lvl[i]] = nil
+			}
+			for i := 0; i < n; i++ {
+				b.lvl[i] = 1 + i%levels
+				b.byLevel[b.lvl[i]] = append(b.byLevel[b.lvl[i]], i)
+			}
+			break
+		}
+	}
+	return b
+}
+
+// Name implements Scheme.
+func (b *Butterfly) Name() string { return "Viceroy(butterfly)" }
+
+// N implements Scheme.
+func (b *Butterfly) N() int { return b.n }
+
+// MaxLinkage implements Scheme: up, down-left, down-right, ring succ/pred,
+// level ring — constant.
+func (b *Butterfly) MaxLinkage() int { return 6 }
+
+// Owner implements Scheme: the node whose position is the clockwise
+// predecessor of the key (cover convention, as in the DH construction).
+func (b *Butterfly) Owner(key interval.Point) int {
+	i := sort.Search(b.n, func(k int) bool { return b.pos[k] > key })
+	if i == 0 {
+		return b.n - 1
+	}
+	return i - 1
+}
+
+// nearestAtLevel returns the level-l node nearest to p (ring distance).
+func (b *Butterfly) nearestAtLevel(l int, p interval.Point) int {
+	lst := b.byLevel[l]
+	i := sort.Search(len(lst), func(k int) bool { return b.pos[lst[k]] >= p })
+	best, bestD := -1, uint64(0)
+	for _, c := range []int{(i - 1 + len(lst)) % len(lst), i % len(lst)} {
+		d := interval.RingDist(b.pos[lst[c]], p)
+		if best == -1 || d < bestD {
+			best, bestD = lst[c], d
+		}
+	}
+	return best
+}
+
+// Lookup implements Scheme with the three-phase Viceroy routing.
+func (b *Butterfly) Lookup(src int, key interval.Point, _ *rand.Rand) []int {
+	tgt := b.Owner(key)
+	path := []int{src}
+	cur := src
+	hop := func(next int) {
+		if next != cur {
+			path = append(path, next)
+			cur = next
+		}
+	}
+	// Phase 1: climb to level 1 via up-edges (nearest node one level up).
+	for b.lvl[cur] > 1 {
+		hop(b.nearestAtLevel(b.lvl[cur]-1, b.pos[cur]))
+	}
+	// Phase 2: butterfly descent. At level ℓ the two down-edges lead to the
+	// level-(ℓ+1) nodes near pos and near pos + 2^-ℓ. Descent must stay
+	// clockwise-BEHIND the key (it can only ever move forward), so the
+	// rule compares clockwise gaps: prefer the candidate with the smaller
+	// CW distance to the key among those still behind it; a candidate that
+	// overshot (CW gap wrapped, > half circle) is chosen only if both
+	// overshot, and then the least-ahead one. Descent runs to the bottom:
+	// down-left makes progress in scale even without reducing distance.
+	for b.lvl[cur] < b.levels {
+		l := b.lvl[cur]
+		stride := interval.Point(uint64(1) << (64 - uint(l)))
+		left := b.nearestAtLevel(l+1, b.pos[cur])
+		right := b.nearestAtLevel(l+1, b.pos[cur]+stride)
+		cwL := interval.CWDist(b.pos[left], key)
+		cwR := interval.CWDist(b.pos[right], key)
+		next := left
+		switch {
+		case cwL < 1<<63 && cwR < 1<<63: // both behind: shrink the gap
+			if cwR < cwL {
+				next = right
+			}
+		case cwL >= 1<<63 && cwR >= 1<<63: // both ahead: least overshoot
+			if cwR > cwL {
+				next = right
+			}
+		case cwR < 1<<63: // only right is behind
+			next = right
+		}
+		hop(next)
+	}
+	// Phase 3: greedy ring walk to the owner.
+	for cur != tgt {
+		var next int
+		if interval.CWDist(b.pos[cur], key) <= interval.CWDist(key, b.pos[cur]) {
+			next = (cur + 1) % b.n
+		} else {
+			next = (cur - 1 + b.n) % b.n
+		}
+		hop(next)
+		if len(path) > 4*b.n {
+			break // safety net; cannot trigger on a consistent ring
+		}
+	}
+	return path
+}

@@ -1,0 +1,102 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"condisc/internal/interval"
+)
+
+// CAN implements the Content Addressable Network (Ratnasamy et al., Table 1
+// row 3): a d-dimensional torus of zones with greedy coordinate-wise
+// routing. Path length Θ(d·n^(1/d)), linkage 2d, congestion
+// Θ(d·n^(1/d-1)).
+//
+// Simplification: the torus is a perfect k^d grid (k = ⌊n^(1/d)⌋), the
+// steady state CAN converges to under uniform splits; the node count is
+// therefore k^d rather than exactly n.
+type CAN struct {
+	d, k int
+}
+
+// NewCAN builds a d-dimensional CAN whose grid side is ⌊n^(1/d)⌋.
+func NewCAN(n, d int, _ *rand.Rand) *CAN {
+	if d < 1 {
+		panic("can: dimension must be >= 1")
+	}
+	k := int(math.Floor(math.Pow(float64(n), 1/float64(d))))
+	if k < 2 {
+		k = 2
+	}
+	return &CAN{d: d, k: k}
+}
+
+// Name implements Scheme.
+func (c *CAN) Name() string { return fmt.Sprintf("CAN(d=%d)", c.d) }
+
+// N implements Scheme.
+func (c *CAN) N() int {
+	n := 1
+	for i := 0; i < c.d; i++ {
+		n *= c.k
+	}
+	return n
+}
+
+// MaxLinkage implements Scheme: 2 neighbours per dimension.
+func (c *CAN) MaxLinkage() int { return 2 * c.d }
+
+// coords converts a node index to grid coordinates.
+func (c *CAN) coords(idx int) []int {
+	out := make([]int, c.d)
+	for i := 0; i < c.d; i++ {
+		out[i] = idx % c.k
+		idx /= c.k
+	}
+	return out
+}
+
+// index converts grid coordinates to a node index.
+func (c *CAN) index(coords []int) int {
+	idx := 0
+	for i := c.d - 1; i >= 0; i-- {
+		idx = idx*c.k + coords[i]
+	}
+	return idx
+}
+
+// keyCoords hashes a key point to grid coordinates by splitting its bits
+// into d chunks.
+func (c *CAN) keyCoords(key interval.Point) []int {
+	out := make([]int, c.d)
+	bitsPer := 64 / c.d
+	v := uint64(key)
+	for i := 0; i < c.d; i++ {
+		chunk := v >> (uint(i) * uint(bitsPer)) & (1<<uint(bitsPer) - 1)
+		out[i] = int(chunk % uint64(c.k))
+	}
+	return out
+}
+
+// Owner implements Scheme.
+func (c *CAN) Owner(key interval.Point) int { return c.index(c.keyCoords(key)) }
+
+// Lookup implements Scheme: greedy per-dimension torus walk.
+func (c *CAN) Lookup(src int, key interval.Point, _ *rand.Rand) []int {
+	cur := c.coords(src)
+	tgt := c.keyCoords(key)
+	path := []int{src}
+	for dim := 0; dim < c.d; dim++ {
+		for cur[dim] != tgt[dim] {
+			fwd := (tgt[dim] - cur[dim] + c.k) % c.k
+			if fwd <= c.k-fwd {
+				cur[dim] = (cur[dim] + 1) % c.k
+			} else {
+				cur[dim] = (cur[dim] - 1 + c.k) % c.k
+			}
+			path = append(path, c.index(cur))
+		}
+	}
+	return path
+}

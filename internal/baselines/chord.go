@@ -1,0 +1,123 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"condisc/internal/interval"
+)
+
+// Chord implements the Chord DHT (Stoica et al., Table 1 row 1): n nodes on
+// the identifier ring with O(log n) fingers each; greedy clockwise routing
+// via the closest preceding finger. Expected path (1/2)·log n, linkage
+// log n, congestion (log n)/n.
+//
+// Simplification: the network is built at full stabilization (perfect
+// finger tables); join/leave churn is exercised on our own construction,
+// not on the baselines.
+type Chord struct {
+	ids     []interval.Point // sorted node identifiers
+	fingers [][]int          // per node: distinct finger node indices (ascending power)
+}
+
+// NewChord builds a stabilized Chord ring of n nodes with random IDs.
+func NewChord(n int, rng *rand.Rand) *Chord {
+	ids := randomDistinctPoints(n, rng)
+	c := &Chord{ids: ids, fingers: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		var fs []int
+		prev := -1
+		for k := 0; k < 64; k++ {
+			target := ids[i] + interval.Point(uint64(1)<<k)
+			s := c.successorOf(target)
+			if s != prev && s != i {
+				fs = append(fs, s)
+				prev = s
+			}
+		}
+		c.fingers[i] = fs
+	}
+	return c
+}
+
+// successorOf returns the index of the first node clockwise at or after p
+// (Chord's ownership convention).
+func (c *Chord) successorOf(p interval.Point) int {
+	i := sort.Search(len(c.ids), func(k int) bool { return c.ids[k] >= p })
+	if i == len(c.ids) {
+		return 0
+	}
+	return i
+}
+
+// Name implements Scheme.
+func (c *Chord) Name() string { return "Chord" }
+
+// N implements Scheme.
+func (c *Chord) N() int { return len(c.ids) }
+
+// Owner implements Scheme: the successor of the key.
+func (c *Chord) Owner(key interval.Point) int { return c.successorOf(key) }
+
+// MaxLinkage implements Scheme: fingers plus the implicit successor link.
+func (c *Chord) MaxLinkage() int {
+	max := 0
+	for _, f := range c.fingers {
+		if len(f) > max {
+			max = len(f)
+		}
+	}
+	return max + 1
+}
+
+// Lookup implements Scheme with the standard greedy finger routing.
+func (c *Chord) Lookup(src int, key interval.Point, _ *rand.Rand) []int {
+	owner := c.successorOf(key)
+	path := []int{src}
+	cur := src
+	for cur != owner {
+		// If the owner is our direct successor region, hop straight to it:
+		// key ∈ (cur, owner].
+		next := c.closestPreceding(cur, key)
+		if next == cur {
+			next = c.successorOf(c.ids[cur] + 1) // successor link
+		}
+		path = append(path, next)
+		cur = next
+		if len(path) > len(c.ids) {
+			panic(fmt.Sprintf("chord: routing loop looking for %v", key))
+		}
+	}
+	return path
+}
+
+// closestPreceding returns the finger of cur that most closely precedes
+// key clockwise (and strictly advances from cur), or cur if none.
+func (c *Chord) closestPreceding(cur int, key interval.Point) int {
+	curToKey := interval.CWDist(c.ids[cur], key)
+	best, bestDist := cur, uint64(0)
+	for _, f := range c.fingers[cur] {
+		d := interval.CWDist(c.ids[cur], c.ids[f])
+		// Finger must lie strictly inside (cur, key).
+		if d > 0 && d < curToKey && d > bestDist {
+			best, bestDist = f, d
+		}
+	}
+	return best
+}
+
+// randomDistinctPoints draws n distinct sorted points.
+func randomDistinctPoints(n int, rng *rand.Rand) []interval.Point {
+	seen := make(map[interval.Point]bool, n)
+	ids := make([]interval.Point, 0, n)
+	for len(ids) < n {
+		p := interval.Point(rng.Uint64())
+		if !seen[p] {
+			seen[p] = true
+			ids = append(ids, p)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,51 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"condisc/internal/dhgraph"
+	"condisc/internal/interval"
+	"condisc/internal/partition"
+	"condisc/internal/route"
+)
+
+// DistanceHalving adapts this repository's own construction (§2) to the
+// Scheme interface so Table 1 can measure it alongside the baselines.
+type DistanceHalving struct {
+	net  *route.Network
+	fast bool
+}
+
+// NewDistanceHalving builds a DH network of n servers with Multiple Choice
+// IDs and alphabet size delta. fast selects Fast Lookup (§2.2.1) instead of
+// the randomized Distance Halving Lookup (§2.2.2).
+func NewDistanceHalving(n int, delta uint64, fast bool, rng *rand.Rand) *DistanceHalving {
+	ring := partition.Grow(partition.New(), n, partition.MultipleChooser(2), rng)
+	return &DistanceHalving{net: route.NewNetwork(dhgraph.Build(ring, delta)), fast: fast}
+}
+
+// Name implements Scheme.
+func (d *DistanceHalving) Name() string {
+	return fmt.Sprintf("DistanceHalving(∆=%d)", d.net.G.Delta)
+}
+
+// N implements Scheme.
+func (d *DistanceHalving) N() int { return d.net.G.N() }
+
+// MaxLinkage implements Scheme.
+func (d *DistanceHalving) MaxLinkage() int { return d.net.G.MaxDegree() }
+
+// Owner implements Scheme.
+func (d *DistanceHalving) Owner(key interval.Point) int { return d.net.G.CoverOf(key) }
+
+// Lookup implements Scheme.
+func (d *DistanceHalving) Lookup(src int, key interval.Point, rng *rand.Rand) []int {
+	if d.fast {
+		return d.net.FastLookup(src, key)
+	}
+	return d.net.DHLookup(src, key, rng)
+}
+
+// Network exposes the underlying metered network.
+func (d *DistanceHalving) Network() *route.Network { return d.net }

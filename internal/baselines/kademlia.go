@@ -1,0 +1,150 @@
+package baselines
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+
+	"condisc/internal/interval"
+)
+
+// Kademlia implements the XOR-metric DHT of Maymounkov & Mazières (cited
+// in the paper's introduction among previous DHT designs): nodes hold one
+// bucket per XOR-distance scale (here the single best contact per bucket,
+// the k=1 skeleton that determines hop counts), and lookups greedily halve
+// the XOR distance, giving log n hops with log n linkage.
+//
+// Simplification: buckets hold one contact and lookups are fully greedy —
+// the α-parallelism and k-redundancy of production Kademlia affect
+// robustness, not the hop-count shape Table 1-style comparisons measure.
+type Kademlia struct {
+	ids []interval.Point // sorted (for owner queries)
+	// contact[i][b] = index of a node at XOR distance ~2^(63-b) from i,
+	// or -1 when the bucket is empty.
+	contact [][]int
+}
+
+// NewKademlia builds the overlay with n random node IDs.
+func NewKademlia(n int, rng *rand.Rand) *Kademlia {
+	k := &Kademlia{ids: randomDistinctPoints(n, rng), contact: make([][]int, n)}
+	// For each node and each bucket (prefix length b), pick the XOR-closest
+	// node among those whose ID differs from ours first at bit b. The
+	// bucket ranges are contiguous in sorted order, so binary search finds
+	// them.
+	for i := 0; i < n; i++ {
+		k.contact[i] = make([]int, 64)
+		for b := 0; b < 64; b++ {
+			k.contact[i][b] = k.bestInBucket(i, b)
+		}
+	}
+	return k
+}
+
+// bestInBucket returns the node minimizing XOR distance to ids[i] among
+// nodes sharing exactly b leading bits with it, or -1.
+func (k *Kademlia) bestInBucket(i, b int) int {
+	id := uint64(k.ids[i])
+	// The bucket is the set of ids with prefix = id's first b bits and bit
+	// b flipped.
+	prefix := id>>(63-b) ^ 1 // first b bits + flipped bit b
+	lo := prefix << (63 - b)
+	var hi uint64
+	if b == 63 {
+		hi = lo + 1
+	} else {
+		hi = lo + 1<<(63-b)
+	}
+	l := sort.Search(len(k.ids), func(j int) bool { return uint64(k.ids[j]) >= lo })
+	h := sort.Search(len(k.ids), func(j int) bool { return uint64(k.ids[j]) >= hi })
+	if l == h {
+		return -1
+	}
+	best, bestD := -1, ^uint64(0)
+	// XOR-closest within the bucket: check the two neighbours of the
+	// target position (XOR order within a fixed prefix equals numeric
+	// order around the target).
+	pos := sort.Search(len(k.ids), func(j int) bool { return uint64(k.ids[j]) >= id })
+	for _, c := range []int{pos - 1, pos, l, h - 1} {
+		if c < l || c >= h {
+			continue
+		}
+		if d := uint64(k.ids[c]) ^ id; d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Name implements Scheme.
+func (k *Kademlia) Name() string { return "Kademlia" }
+
+// N implements Scheme.
+func (k *Kademlia) N() int { return len(k.ids) }
+
+// MaxLinkage implements Scheme: filled buckets.
+func (k *Kademlia) MaxLinkage() int {
+	max := 0
+	for _, cs := range k.contact {
+		n := 0
+		for _, c := range cs {
+			if c >= 0 {
+				n++
+			}
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Owner implements Scheme: the node XOR-closest to the key.
+func (k *Kademlia) Owner(key interval.Point) int {
+	return k.xorClosest(uint64(key))
+}
+
+// xorClosest scans the two numeric neighbours of key for every prefix
+// bucket; with a sorted array the global XOR-closest node is found by
+// checking numeric neighbours of the key at each bit boundary. A simple
+// linear scan is exact and fast enough for experiment sizes.
+func (k *Kademlia) xorClosest(key uint64) int {
+	best, bestD := 0, uint64(k.ids[0])^key
+	for i := 1; i < len(k.ids); i++ {
+		if d := uint64(k.ids[i]) ^ key; d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Lookup implements Scheme: greedy XOR-halving via the bucket contacts.
+func (k *Kademlia) Lookup(src int, key interval.Point, _ *rand.Rand) []int {
+	target := uint64(key)
+	owner := k.xorClosest(target)
+	path := []int{src}
+	cur := src
+	for cur != owner {
+		d := uint64(k.ids[cur]) ^ target
+		b := bits.LeadingZeros64(d) // first differing bit scale
+		next := -1
+		// Walk buckets from the most significant differing bit down until a
+		// contact strictly improves the XOR distance.
+		for bb := b; bb < 64 && next == -1; bb++ {
+			c := k.contact[cur][bb]
+			if c >= 0 && uint64(k.ids[c])^target < d {
+				next = c
+			}
+		}
+		if next == -1 {
+			// No contact improves (cur is a local optimum among its
+			// contacts): the owner is XOR-adjacent; final hop.
+			next = owner
+		}
+		path = append(path, next)
+		cur = next
+		if len(path) > len(k.ids) {
+			break
+		}
+	}
+	return path
+}

@@ -1,0 +1,80 @@
+// Package baselines implements the lookup schemes the paper compares
+// against in Table 1 — Chord, Tapestry-style prefix routing, CAN, Kleinberg
+// small worlds, and a Viceroy-style butterfly — behind a single Scheme
+// interface, so the Table 1 experiment can measure path length, congestion
+// and linkage uniformly across all of them (plus our Distance Halving).
+//
+// Each implementation is a faithful *routing-shape* comparator: it
+// reproduces the asymptotics Table 1 cites (who wins, by what factor), not
+// every maintenance detail of the original system. Deliberate
+// simplifications are documented on each type.
+package baselines
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"condisc/internal/interval"
+)
+
+// Scheme is a static overlay of n nodes supporting key lookups.
+type Scheme interface {
+	// Name identifies the scheme in tables.
+	Name() string
+	// N returns the number of nodes.
+	N() int
+	// MaxLinkage returns the maximum routing-table size (out-links) over
+	// nodes — Table 1's "linkage" column.
+	MaxLinkage() int
+	// Lookup routes from node src to the node responsible for key,
+	// returning the path of node indices (src first, owner last).
+	Lookup(src int, key interval.Point, rng *rand.Rand) []int
+	// Owner returns the node responsible for key (for delivery checks).
+	Owner(key interval.Point) int
+}
+
+// Stats aggregates measurements over a batch of random lookups.
+type Stats struct {
+	Scheme     string
+	N          int
+	Lookups    int
+	AvgPath    float64
+	MaxPath    int
+	MaxLoad    int64
+	Linkage    int
+	Congestion float64 // MaxLoad / Lookups: Pr[a fixed busiest server is active]
+	// NormCong is congestion normalized by log2(n)/n — 1.0 means exactly
+	// the (log n)/n congestion Table 1 lists for Chord et al.
+	NormCong float64
+}
+
+// Measure runs the given number of random lookups (uniform sources, uniform
+// keys) against the scheme and aggregates statistics.
+func Measure(s Scheme, lookups int, rng *rand.Rand) Stats {
+	n := s.N()
+	load := make([]int64, n)
+	st := Stats{Scheme: s.Name(), N: n, Lookups: lookups, Linkage: s.MaxLinkage()}
+	sum := 0
+	for i := 0; i < lookups; i++ {
+		src := rng.IntN(n)
+		key := interval.Point(rng.Uint64())
+		path := s.Lookup(src, key, rng)
+		for _, v := range path {
+			load[v]++
+		}
+		l := len(path) - 1
+		sum += l
+		if l > st.MaxPath {
+			st.MaxPath = l
+		}
+	}
+	st.AvgPath = float64(sum) / float64(lookups)
+	for _, l := range load {
+		if l > st.MaxLoad {
+			st.MaxLoad = l
+		}
+	}
+	st.Congestion = float64(st.MaxLoad) / float64(lookups)
+	st.NormCong = st.Congestion / (math.Log2(float64(n)) / float64(n))
+	return st
+}

@@ -1,0 +1,100 @@
+package baselines
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+
+	"condisc/internal/interval"
+)
+
+// SmallWorld implements Kleinberg's small-world network (Table 1 row 4): a
+// ring with local ±1 edges plus one long-range contact per node drawn from
+// the harmonic (1/d) distribution, routed greedily. O(1) linkage and
+// Θ(log² n) expected path length.
+type SmallWorld struct {
+	n    int
+	long []int // one long-range contact per node
+}
+
+// NewSmallWorld builds the network on n ring positions.
+func NewSmallWorld(n int, rng *rand.Rand) *SmallWorld {
+	s := &SmallWorld{n: n, long: make([]int, n)}
+	// Harmonic sampling: Pr[contact at ring distance d] ∝ 1/d. Use inverse
+	// CDF: with H = Σ 1/d ≈ ln(n/2), draw u and find d ≈ exp(u·H).
+	for i := 0; i < n; i++ {
+		d := s.sampleHarmonic(rng)
+		if rng.IntN(2) == 0 {
+			s.long[i] = (i + d) % n
+		} else {
+			s.long[i] = (i - d + n) % n
+		}
+	}
+	return s
+}
+
+// sampleHarmonic draws a ring distance in [1, n/2] with Pr ∝ 1/d.
+func (s *SmallWorld) sampleHarmonic(rng *rand.Rand) int {
+	max := s.n / 2
+	if max < 1 {
+		max = 1
+	}
+	// Inverse-transform on the continuous approximation: d = max^u.
+	u := rng.Float64()
+	d := int(math.Pow(float64(max), u))
+	if d < 1 {
+		d = 1
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// Name implements Scheme.
+func (s *SmallWorld) Name() string { return "SmallWorld" }
+
+// N implements Scheme.
+func (s *SmallWorld) N() int { return s.n }
+
+// MaxLinkage implements Scheme: two ring edges plus one long link.
+func (s *SmallWorld) MaxLinkage() int { return 3 }
+
+// Owner implements Scheme: keys map to ring positions, floor(key·n).
+func (s *SmallWorld) Owner(key interval.Point) int {
+	hi, _ := bits.Mul64(uint64(key), uint64(s.n))
+	return int(hi)
+}
+
+// ringDist returns the circular distance between positions a and b.
+func (s *SmallWorld) ringDist(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if s.n-d < d {
+		d = s.n - d
+	}
+	return d
+}
+
+// Lookup implements Scheme: greedy routing — each hop moves to the
+// neighbour (ring or long) closest to the target.
+func (s *SmallWorld) Lookup(src int, key interval.Point, _ *rand.Rand) []int {
+	tgt := s.Owner(key)
+	path := []int{src}
+	cur := src
+	for cur != tgt {
+		best, bestD := cur, s.ringDist(cur, tgt)
+		for _, nb := range []int{(cur + 1) % s.n, (cur - 1 + s.n) % s.n, s.long[cur]} {
+			if d := s.ringDist(nb, tgt); d < bestD {
+				best, bestD = nb, d
+			}
+		}
+		// Greedy routing on this topology always makes progress via the
+		// ring edges, so best != cur.
+		path = append(path, best)
+		cur = best
+	}
+	return path
+}

@@ -1,0 +1,300 @@
+// Package cache implements the dynamic caching protocol of §3 — the
+// paper's mechanism for relieving hot spots.
+//
+// For each data item i with h(i) = y, the path tree rooted at y
+// (Definition 5) is the infinite binary subtree of the continuous graph in
+// which node z has children ℓ(z) and r(z). Because the Distance Halving
+// lookup's phase II ascends the path tree along a uniformly random branch
+// (§3.1, "every request for i reaches y via a random path in the path
+// tree"), replicating the item down the tree spreads requests evenly: a
+// request is served by the deepest *active* (item-holding) node on its
+// branch.
+//
+// The Continuous Hot Spots Protocol implemented here:
+//
+//  1. Each leaf of the active tree counts the requests it served this
+//     epoch; once the count exceeds the threshold c, the leaf replicates
+//     the item into both children, blocking itself from further hits.
+//  2. At the end of an epoch, a parent of two active leaves that together
+//     supplied the item fewer than c times each deletes both children.
+//  3. Step 2 repeats recursively, collapsing the tree when demand fades.
+//
+// The guarantees reproduced by the experiments (Theorems 3.6 and 3.8): each
+// server supplies O(log² n) requests whp under ANY batch of n requests,
+// caches hold O(log n) items whp, and the protocol adds no latency.
+package cache
+
+import (
+	"math/rand/v2"
+
+	"condisc/internal/continuous"
+	"condisc/internal/hashing"
+	"condisc/internal/interval"
+	"condisc/internal/route"
+)
+
+// nodeState is the per-active-node bookkeeping.
+type nodeState struct {
+	hits int // requests served by this node during the current epoch
+}
+
+// activeTree is the set of active (item-holding) path-tree nodes for one
+// item. The root is always active: it is the item's home server copy.
+type activeTree struct {
+	root   interval.Point
+	active map[continuous.TreeNode]*nodeState
+}
+
+func newActiveTree(root interval.Point) *activeTree {
+	return &activeTree{
+		root:   root,
+		active: map[continuous.TreeNode]*nodeState{continuous.Root: {}},
+	}
+}
+
+// isLeaf reports whether z is an active node with no active children.
+func (t *activeTree) isLeaf(z continuous.TreeNode) bool {
+	if _, ok := t.active[z]; !ok {
+		return false
+	}
+	_, l := t.active[z.Child(0)]
+	_, r := t.active[z.Child(1)]
+	return !l && !r
+}
+
+// System couples a Distance Halving network with per-item active trees.
+type System struct {
+	Net *route.Network
+	H   *hashing.Func
+	// C is the replication threshold c of protocol step 1 (typically
+	// Θ(log n), §3.1). C <= 0 disables caching entirely (the ablation
+	// baseline): every request routes to the item's home server.
+	C int
+	// CollapseC is the deletion threshold of protocol step 2. The paper
+	// remarks that "it may be beneficial to set a different threshold in
+	// Step (1) and Step (2); this adds stability to the active tree when
+	// the rate of requests is close to the threshold". Zero means C (the
+	// single-threshold protocol as stated).
+	CollapseC int
+
+	trees map[string]*activeTree
+	// Supplied[i] counts requests served by server i's cache (root copies
+	// included) — the "number of times V supplies a data item" of Thm 3.8.
+	Supplied []int64
+}
+
+// NewSystem creates a caching system over the network with threshold c.
+func NewSystem(net *route.Network, h *hashing.Func, c int) *System {
+	if net.G.Delta != 2 {
+		panic("cache: the hot-spot protocol requires the binary DH graph (∆=2)")
+	}
+	return &System{
+		Net:      net,
+		H:        h,
+		C:        c,
+		trees:    make(map[string]*activeTree),
+		Supplied: make([]int64, net.G.N()),
+	}
+}
+
+// tree returns (creating on demand) the active tree for an item.
+func (s *System) tree(item string) *activeTree {
+	t, ok := s.trees[item]
+	if !ok {
+		t = newActiveTree(s.H.Point(item))
+		s.trees[item] = t
+	}
+	return t
+}
+
+// Request routes one request for item from server src. The request follows
+// a Distance Halving lookup toward h(item) but is served by the first
+// active tree node its phase II encounters. It returns the routing path
+// (for latency verification: never longer than the plain lookup) and the
+// depth of the serving node.
+func (s *System) Request(src int, item string, rng *rand.Rand) ([]int, int) {
+	t := s.tree(item)
+	y := t.root
+
+	if s.C <= 0 {
+		// Baseline: no caching; full route to the home server.
+		path := s.Net.DHLookup(src, y, rng)
+		s.Supplied[path[len(path)-1]]++
+		return path, 0
+	}
+
+	var served continuous.TreeNode
+	found := false
+	path, depth := s.Net.DHLookupStoppable(src, y, rng,
+		func(digits []uint64, j int, q interval.Point) bool {
+			node := nodeAt(digits, j)
+			if _, ok := t.active[node]; ok {
+				served, found = node, true
+				return true
+			}
+			return false
+		})
+	if !found {
+		// The walk was never intercepted; the root (depth 0) serves. This
+		// happens only when phase I ended adjacent to the target already.
+		served = continuous.Root
+	}
+
+	st := t.active[served]
+	st.hits++
+	server := s.Net.G.Ring.Cover(served.PointUnder(y))
+	s.Supplied[server]++
+
+	// Step 1: a leaf hit more than c times replicates into its children.
+	if st.hits > s.C && t.isLeaf(served) {
+		t.active[served.Child(0)] = &nodeState{}
+		t.active[served.Child(1)] = &nodeState{}
+	}
+	return path, depth
+}
+
+// nodeAt converts a phase-I digit string prefix of length j into the
+// path-tree node the lookup's phase II occupies at depth j.
+func nodeAt(digits []uint64, j int) continuous.TreeNode {
+	var tau uint64
+	for i := 0; i < j && i < 64; i++ {
+		tau |= (digits[i] & 1) << i
+	}
+	return continuous.EntryNode(tau, uint8(j))
+}
+
+// EndEpoch performs steps 2–3 of the protocol for every tree: recursively
+// collapse sibling leaves that each supplied fewer than c requests, then
+// reset the epoch counters.
+func (s *System) EndEpoch() {
+	for _, t := range s.trees {
+		s.collapse(t)
+		for _, st := range t.active {
+			st.hits = 0
+		}
+	}
+}
+
+// collapse repeatedly removes cold sibling leaf pairs.
+func (s *System) collapse(t *activeTree) {
+	threshold := s.CollapseC
+	if threshold <= 0 {
+		threshold = s.C
+	}
+	for {
+		var victims []continuous.TreeNode
+		for z := range t.active {
+			if z.Depth == 0 {
+				continue
+			}
+			parent := z.Parent()
+			bit := byte(z.Path >> (z.Depth - 1) & 1)
+			sib := parent.Child(1 - bit)
+			if !t.isLeaf(z) {
+				continue
+			}
+			sst, ok := t.active[sib]
+			if !ok || !t.isLeaf(sib) {
+				continue
+			}
+			if t.active[z].hits < threshold && sst.hits < threshold {
+				victims = append(victims, z, sib)
+			}
+		}
+		if len(victims) == 0 {
+			return
+		}
+		for _, v := range victims {
+			delete(t.active, v)
+		}
+	}
+}
+
+// ActiveNodes returns the number of active nodes (cached copies, root
+// included) for an item, or 0 if the item is unknown.
+func (s *System) ActiveNodes(item string) int {
+	if t, ok := s.trees[item]; ok {
+		return len(t.active)
+	}
+	return 0
+}
+
+// MaxDepth returns the depth of the deepest active node for an item.
+func (s *System) MaxDepth(item string) int {
+	t, ok := s.trees[item]
+	if !ok {
+		return 0
+	}
+	max := 0
+	for z := range t.active {
+		if int(z.Depth) > max {
+			max = int(z.Depth)
+		}
+	}
+	return max
+}
+
+// ServerCacheSizes returns, per server, the number of distinct cached
+// copies it stores across all items (excluding depth-0 roots, which are the
+// original copies) — Theorem 3.8(i)'s quantity.
+func (s *System) ServerCacheSizes() []int {
+	sizes := make([]int, s.Net.G.N())
+	for _, t := range s.trees {
+		for z := range t.active {
+			if z.Depth == 0 {
+				continue
+			}
+			sizes[s.Net.G.Ring.Cover(z.PointUnder(t.root))]++
+		}
+	}
+	return sizes
+}
+
+// TotalCopies returns the total number of non-root cached copies across
+// the network (Observation 3.1 bounds it by 4q/c per item).
+func (s *System) TotalCopies() int {
+	total := 0
+	for _, t := range s.trees {
+		total += len(t.active) - 1
+	}
+	return total
+}
+
+// UpdateItem propagates a content update from the item's root along the
+// active tree (§3.4, "Content Update"). It returns the number of update
+// messages (one per non-root active node) and the parallel time (the tree
+// depth), which the paper bounds by O(log(q/c)) <= O(log n).
+func (s *System) UpdateItem(item string) (messages, parallelTime int) {
+	t, ok := s.trees[item]
+	if !ok {
+		return 0, 0
+	}
+	// BFS from the root through active children.
+	frontier := []continuous.TreeNode{continuous.Root}
+	for len(frontier) > 0 {
+		var next []continuous.TreeNode
+		for _, z := range frontier {
+			for b := byte(0); b < 2; b++ {
+				c := z.Child(b)
+				if _, ok := t.active[c]; ok {
+					messages++
+					next = append(next, c)
+				}
+			}
+		}
+		if len(next) > 0 {
+			parallelTime++
+		}
+		frontier = next
+	}
+	return messages, parallelTime
+}
+
+// ResetLoadStats zeroes the network load and supply counters (e.g. between
+// epochs of an experiment).
+func (s *System) ResetLoadStats() {
+	s.Net.ResetLoad()
+	for i := range s.Supplied {
+		s.Supplied[i] = 0
+	}
+}

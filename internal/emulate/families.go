@@ -1,0 +1,155 @@
+// Package emulate implements §7: dynamically emulating any family of
+// bounded-degree graphs over a smooth decomposition of [0,1).
+//
+// Given a family {G_1, G_2, ...} where G_k has N_k vertices, the mapping
+// Φ_k(u_j) = V_i iff j/N_k ∈ s(x_i) spreads the nodes of G_k evenly over
+// the servers; the emulated overlay G⃗x opens an edge (V_i, V_j) for every
+// G_k edge whose endpoints map to V_i and V_j. For a ρ-smooth
+// decomposition with N_k ≥ n, every server simulates at most ρ·N_k/n + 1
+// nodes, every overlay edge carries at most (ρ·N_k/n+1)·d G_k-edges, and
+// the overlay degree is at most (ρ·N_k/n+1)·d (the three properties listed
+// in §7) — so G⃗x emulates G_k in real time with constant slowdown.
+package emulate
+
+// Family is an infinite family of fixed-degree graphs, G_k having Nodes(k)
+// vertices labelled 0..Nodes(k)-1.
+type Family interface {
+	// Name identifies the family.
+	Name() string
+	// Nodes returns |V(G_k)|; it must be non-decreasing in k.
+	Nodes(k int) int
+	// Degree returns the maximum degree of G_k.
+	Degree(k int) int
+	// Neighbors returns the (undirected) neighbour list of node u in G_k.
+	Neighbors(k, u int) []int
+}
+
+// Hypercube is the k-dimensional hypercube: 2^k nodes of degree k. (Not
+// constant degree — included because the paper's methodology covers it and
+// it exercises the degree-dependent bounds.)
+type Hypercube struct{}
+
+func (Hypercube) Name() string     { return "hypercube" }
+func (Hypercube) Nodes(k int) int  { return 1 << k }
+func (Hypercube) Degree(k int) int { return k }
+func (Hypercube) Neighbors(k, u int) []int {
+	out := make([]int, k)
+	for b := 0; b < k; b++ {
+		out[b] = u ^ 1<<b
+	}
+	return out
+}
+
+// DeBruijn is the binary de Bruijn graph: 2^k nodes, undirected degree <= 4
+// (Definition 2).
+type DeBruijn struct{}
+
+func (DeBruijn) Name() string     { return "debruijn" }
+func (DeBruijn) Nodes(k int) int  { return 1 << k }
+func (DeBruijn) Degree(k int) int { return 4 }
+func (DeBruijn) Neighbors(k, u int) []int {
+	n := 1 << k
+	set := map[int]bool{}
+	set[(2*u)%n] = true
+	set[(2*u+1)%n] = true
+	set[u>>1] = true
+	set[u>>1|n>>1] = true
+	delete(set, u)
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Torus2D is the 2^⌈k/2⌉ × 2^⌊k/2⌋ wrap-around grid: 2^k nodes of degree 4
+// (the topology CAN approximates).
+type Torus2D struct{}
+
+func (Torus2D) Name() string     { return "torus2d" }
+func (Torus2D) Nodes(k int) int  { return 1 << k }
+func (Torus2D) Degree(k int) int { return 4 }
+func (Torus2D) Neighbors(k, u int) []int {
+	w := 1 << ((k + 1) / 2) // width
+	h := 1 << (k / 2)       // height
+	x, y := u%w, u/w
+	set := map[int]bool{
+		(x+1)%w + y*w:   true,
+		(x-1+w)%w + y*w: true,
+		x + (y+1)%h*w:   true,
+		x + (y-1+h)%h*w: true,
+	}
+	delete(set, u)
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	return out
+}
+
+// CCC is the cube-connected-cycles network: k·2^k nodes of degree 3 — the
+// classic constant-degree stand-in for the hypercube.
+type CCC struct{}
+
+func (CCC) Name() string { return "ccc" }
+func (CCC) Nodes(k int) int {
+	if k < 1 {
+		return 1
+	}
+	return k << k
+}
+func (CCC) Degree(k int) int { return 3 }
+func (CCC) Neighbors(k, u int) []int {
+	if k < 2 {
+		return nil
+	}
+	w, pos := u/k, u%k
+	set := map[int]bool{
+		w*k + (pos+1)%k:      true,
+		w*k + (pos-1+k)%k:    true,
+		(w^(1<<pos))*k + pos: true,
+	}
+	delete(set, u)
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Butterfly is the wrapped butterfly: k·2^k nodes of degree 4 (the
+// topology Viceroy approximates, §1).
+type Butterfly struct{}
+
+func (Butterfly) Name() string { return "butterfly" }
+func (Butterfly) Nodes(k int) int {
+	if k < 1 {
+		return 1
+	}
+	return k << k
+}
+func (Butterfly) Degree(k int) int { return 4 }
+func (Butterfly) Neighbors(k, u int) []int {
+	if k < 2 {
+		return nil
+	}
+	w, l := u/k, u%k
+	next, prev := (l+1)%k, (l-1+k)%k
+	set := map[int]bool{
+		w*k + next:             true,
+		(w^(1<<l))*k + next:    true,
+		w*k + prev:             true,
+		(w^(1<<prev))*k + prev: true,
+	}
+	delete(set, u)
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	return out
+}
+
+// AllFamilies lists the built-in families.
+func AllFamilies() []Family {
+	return []Family{Hypercube{}, DeBruijn{}, Torus2D{}, CCC{}, Butterfly{}}
+}

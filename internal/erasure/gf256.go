@@ -1,0 +1,58 @@
+// Package erasure implements the storage extension §6.2 of the paper calls
+// for: "storing the data using an erasure correcting code ... and thus
+// avoid the need for replication", citing digital fountains (Byers et al.)
+// and the replication-vs-coding comparison of Weatherspoon & Kubiatowicz.
+//
+// The code is a classical systematic Reed–Solomon over GF(2⁸) in the
+// evaluation view: the k data shards are the values of a degree-(k-1)
+// polynomial at points 0..k-1 and the parity shards its values at points
+// k..m-1; any k of the m shards reconstruct the data by Lagrange
+// interpolation. In the overlapping DHT every data item is covered by
+// Θ(log n) servers that form a clique (§6.2), so fragments can be spread
+// across the covers and "the data stored by any small subset of the
+// servers suffices to reconstruct the data item".
+package erasure
+
+// GF(2^8) arithmetic with the AES/QR-code polynomial x^8+x^4+x^3+x^2+1
+// (0x11d), via log/exp tables built at init.
+var (
+	gfExp [512]byte
+	gfLog [256]int
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies in GF(2^8).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+// gfDiv divides in GF(2^8); b must be nonzero.
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	if b == 0 {
+		panic("erasure: division by zero in GF(256)")
+	}
+	return gfExp[gfLog[a]+255-gfLog[b]]
+}
+
+// gfInv inverts a nonzero element.
+func gfInv(a byte) byte { return gfDiv(1, a) }

@@ -1,0 +1,155 @@
+package erasure
+
+import "fmt"
+
+// Code is a systematic Reed–Solomon erasure code: K data shards, M total
+// shards (M-K parity), any K of which reconstruct the data. Requires
+// 1 <= K <= M <= 256.
+type Code struct {
+	K, M int
+}
+
+// NewCode validates the parameters.
+func NewCode(k, m int) (*Code, error) {
+	if k < 1 || m < k || m > 256 {
+		return nil, fmt.Errorf("erasure: invalid code (k=%d, m=%d); need 1 <= k <= m <= 256", k, m)
+	}
+	return &Code{K: k, M: m}, nil
+}
+
+// Overhead returns the storage blow-up factor M/K.
+func (c *Code) Overhead() float64 { return float64(c.M) / float64(c.K) }
+
+// lagrangeCoeffs returns the coefficients l_i such that a polynomial of
+// degree < len(xs) with values vals[i] at points xs[i] evaluates at point
+// target as Σ l_i · vals[i].
+func lagrangeCoeffs(xs []byte, target byte) []byte {
+	out := make([]byte, len(xs))
+	for i, xi := range xs {
+		num, den := byte(1), byte(1)
+		for j, xj := range xs {
+			if i == j {
+				continue
+			}
+			num = gfMul(num, target^xj) // (target - xj); subtraction is XOR
+			den = gfMul(den, xi^xj)
+		}
+		out[i] = gfDiv(num, den)
+	}
+	return out
+}
+
+// EncodeShards splits data into K data shards (padded) and appends M-K
+// parity shards; every shard has equal length and carries no framing —
+// use Encode/Decode for length-framed payloads.
+func (c *Code) EncodeShards(data []byte) [][]byte {
+	shardLen := (len(data) + c.K - 1) / c.K
+	if shardLen == 0 {
+		shardLen = 1
+	}
+	shards := make([][]byte, c.M)
+	for i := 0; i < c.K; i++ {
+		shards[i] = make([]byte, shardLen)
+		start := i * shardLen
+		if start < len(data) {
+			copy(shards[i], data[start:])
+		}
+	}
+	// Parity shard at evaluation point p (k..m-1): per byte position,
+	// Lagrange-extrapolate from the data points 0..k-1.
+	xs := make([]byte, c.K)
+	for i := range xs {
+		xs[i] = byte(i)
+	}
+	for p := c.K; p < c.M; p++ {
+		coeff := lagrangeCoeffs(xs, byte(p))
+		shard := make([]byte, shardLen)
+		for pos := 0; pos < shardLen; pos++ {
+			var acc byte
+			for i := 0; i < c.K; i++ {
+				acc ^= gfMul(coeff[i], shards[i][pos])
+			}
+			shard[pos] = acc
+		}
+		shards[p] = shard
+	}
+	return shards
+}
+
+// ReconstructShards rebuilds the K data shards from any K present shards
+// (nil entries mark erasures). The input slice must have length M.
+func (c *Code) ReconstructShards(shards [][]byte) ([][]byte, error) {
+	if len(shards) != c.M {
+		return nil, fmt.Errorf("erasure: got %d shards, want %d", len(shards), c.M)
+	}
+	var xs []byte
+	var present [][]byte
+	shardLen := 0
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if shardLen == 0 {
+			shardLen = len(s)
+		} else if len(s) != shardLen {
+			return nil, fmt.Errorf("erasure: shard %d has length %d, want %d", i, len(s), shardLen)
+		}
+		if len(xs) < c.K {
+			xs = append(xs, byte(i))
+			present = append(present, s)
+		}
+	}
+	if len(xs) < c.K {
+		return nil, fmt.Errorf("erasure: only %d of %d required shards present", len(xs), c.K)
+	}
+	data := make([][]byte, c.K)
+	for i := 0; i < c.K; i++ {
+		if shards[i] != nil {
+			data[i] = shards[i]
+			continue
+		}
+		coeff := lagrangeCoeffs(xs, byte(i))
+		shard := make([]byte, shardLen)
+		for pos := 0; pos < shardLen; pos++ {
+			var acc byte
+			for j := range present {
+				acc ^= gfMul(coeff[j], present[j][pos])
+			}
+			shard[pos] = acc
+		}
+		data[i] = shard
+	}
+	return data, nil
+}
+
+// Encode produces the M shards of a length-framed payload (the original
+// length is prepended so Decode can strip the padding).
+func (c *Code) Encode(data []byte) [][]byte {
+	framed := make([]byte, 4+len(data))
+	framed[0] = byte(len(data) >> 24)
+	framed[1] = byte(len(data) >> 16)
+	framed[2] = byte(len(data) >> 8)
+	framed[3] = byte(len(data))
+	copy(framed[4:], data)
+	return c.EncodeShards(framed)
+}
+
+// Decode reconstructs the original payload from any K of the M shards.
+func (c *Code) Decode(shards [][]byte) ([]byte, error) {
+	dataShards, err := c.ReconstructShards(shards)
+	if err != nil {
+		return nil, err
+	}
+	var framed []byte
+	for _, s := range dataShards {
+		framed = append(framed, s...)
+	}
+	if len(framed) < 4 {
+		return nil, fmt.Errorf("erasure: reconstructed payload too short")
+	}
+	n := int(framed[0])<<24 | int(framed[1])<<16 | int(framed[2])<<8 | int(framed[3])
+	if n < 0 || n > len(framed)-4 {
+		return nil, fmt.Errorf("erasure: corrupt length frame (%d of %d)", n, len(framed)-4)
+	}
+	return framed[4 : 4+n], nil
+}

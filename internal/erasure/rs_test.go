@@ -1,0 +1,165 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 5000; trial++ {
+		a := byte(rng.IntN(256))
+		b := byte(rng.IntN(256))
+		c := byte(rng.IntN(256))
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatal("multiplication not commutative")
+		}
+		if gfMul(a, gfMul(b, c)) != gfMul(gfMul(a, b), c) {
+			t.Fatal("multiplication not associative")
+		}
+		// Distributivity over XOR (the field addition).
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatal("not distributive")
+		}
+		if a != 0 && gfMul(a, gfInv(a)) != 1 {
+			t.Fatalf("inverse broken for %d", a)
+		}
+		if gfMul(a, 1) != a || gfMul(a, 0) != 0 {
+			t.Fatal("identity/zero broken")
+		}
+	}
+}
+
+func TestGFDivPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	gfDiv(3, 0)
+}
+
+func TestRoundTripNoErasures(t *testing.T) {
+	c, err := NewCode(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the continuous-discrete approach")
+	shards := c.Encode(data)
+	if len(shards) != 7 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	got, err := c.Decode(shards)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("decode: %v %q", err, got)
+	}
+}
+
+// TestAnyKShardsSuffice: every K-subset of shards reconstructs — the
+// defining MDS property.
+func TestAnyKShardsSuffice(t *testing.T) {
+	c, _ := NewCode(3, 6)
+	data := []byte("fragmented across the covers of the segment")
+	full := c.Encode(data)
+	// Enumerate all 3-subsets of 6 shards.
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			for d := b + 1; d < 6; d++ {
+				shards := make([][]byte, 6)
+				shards[a], shards[b], shards[d] = full[a], full[b], full[d]
+				got, err := c.Decode(shards)
+				if err != nil || !bytes.Equal(got, data) {
+					t.Fatalf("subset {%d,%d,%d}: %v", a, b, d, err)
+				}
+			}
+		}
+	}
+}
+
+func TestTooFewShardsFails(t *testing.T) {
+	c, _ := NewCode(4, 8)
+	full := c.Encode([]byte("data"))
+	shards := make([][]byte, 8)
+	shards[0], shards[1], shards[2] = full[0], full[1], full[2]
+	if _, err := c.Decode(shards); err == nil {
+		t.Fatal("expected failure with k-1 shards")
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	for _, km := range [][2]int{{0, 4}, {5, 4}, {4, 300}} {
+		if _, err := NewCode(km[0], km[1]); err == nil {
+			t.Errorf("NewCode(%d,%d) should fail", km[0], km[1])
+		}
+	}
+}
+
+// TestRoundTripProperty: random payloads and random erasure patterns that
+// leave >= K shards always reconstruct exactly.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	f := func(raw []byte, seed uint64) bool {
+		k := 2 + int(seed%6)               // 2..7
+		m := k + 1 + int(seed%9%uint64(8)) // k+1..k+8
+		c, err := NewCode(k, m)
+		if err != nil {
+			return false
+		}
+		shards := c.Encode(raw)
+		// Erase m-k random shards.
+		perm := rng.Perm(m)
+		for _, i := range perm[:m-k] {
+			shards[i] = nil
+		}
+		got, err := c.Decode(shards)
+		return err == nil && bytes.Equal(got, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	c, _ := NewCode(2, 4)
+	shards := c.Encode(nil)
+	got, err := c.Decode(shards)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty payload: %v %v", err, got)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	c, _ := NewCode(4, 12)
+	if c.Overhead() != 3 {
+		t.Errorf("overhead = %v", c.Overhead())
+	}
+}
+
+// TestShardMutationDetected is a negative control: erasure codes recover
+// erasures, not corruption — a silently corrupted shard yields wrong data
+// (callers must authenticate shards; the §6.3 FMR machinery is the paper's
+// answer to byzantine corruption).
+func TestShardMutationChangesOutput(t *testing.T) {
+	c, _ := NewCode(3, 5)
+	data := []byte("integrity is a separate concern")
+	full := c.Encode(data)
+	full[4][0] ^= 0xff
+	shards := make([][]byte, 5)
+	shards[2], shards[3], shards[4] = full[2], full[3], full[4]
+	got, err := c.Decode(shards)
+	if err == nil && bytes.Equal(got, data) {
+		t.Fatal("corruption went unnoticed AND produced correct data — impossible")
+	}
+}
+
+func BenchmarkEncode4of8_4KiB(b *testing.B) {
+	c, _ := NewCode(4, 8)
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(data)
+	}
+}

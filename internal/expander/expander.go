@@ -1,0 +1,259 @@
+// Package expander implements §5: a P2P network that is guaranteed to be a
+// constant-degree expander, built by discretizing the Margulis/Gabber–Galil
+// continuous graph over a Voronoi tessellation of the unit torus.
+//
+// The continuous graph Gc over I = [0,1)² connects each point (x,y) to
+// f(x,y) = (x+y, y) mod 1, g(x,y) = (x, x+y) mod 1 and their inverses.
+// Theorem 5.1 (Gabber–Galil): every set A with µ(A) <= 1/2 satisfies
+// µ(δ(A)) >= ((2-√3)/2)·µ(A). Corollary 5.2: if the generator set is
+// ρ-smooth, the discretized graph has degree Θ(ρ) and expansion
+// Ω((2-√3)/ρ) — and, unlike random constructions, the expansion can be
+// *verified* by checking the smoothness of the IDs.
+//
+// Note on Definition 7: the paper's printed definition transposes the two
+// grid sizes (as printed, condition (1) would demand ρn non-empty cells
+// with only n points). We implement the evidently intended reading, which
+// also matches the 2D Multiple Choice algorithm of §5.3: (1) the n/ρ
+// coarse grid cells each contain at least one point, (2) the ρn fine grid
+// cells each contain at most one point.
+package expander
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"condisc/internal/geom2d"
+	"condisc/internal/graph"
+	"condisc/internal/voronoi"
+)
+
+// ggMaps are the four edge maps of the continuous graph: linear parts of
+// f, g, f⁻¹, g⁻¹ (all shears, determinant ±1).
+var ggMaps = [4][4]float64{
+	{1, 1, 0, 1},  // f(x,y) = (x+y, y)
+	{1, 0, 1, 1},  // g(x,y) = (x, x+y)
+	{1, -1, 0, 1}, // f⁻¹(x,y) = (x-y, y)
+	{1, 0, -1, 1}, // g⁻¹(x,y) = (x, y-x)
+}
+
+// ApplyMap applies GG map m (0..3) to a torus point.
+func ApplyMap(m int, v geom2d.Vec) geom2d.Vec {
+	c := ggMaps[m]
+	return geom2d.WrapVec(geom2d.Vec{
+		X: c[0]*v.X + c[1]*v.Y,
+		Y: c[2]*v.X + c[3]*v.Y,
+	})
+}
+
+// BuildGG discretizes the Gabber–Galil continuous graph over the Voronoi
+// diagram: cells i and j are connected iff some continuous edge has one
+// endpoint in cell i and the other in cell j, computed exactly by
+// intersecting the (wrapped) shear images of cell i with cell j.
+func BuildGG(d *voronoi.Diagram) *graph.Undirected {
+	n := d.N()
+	// Wrapped pieces of every cell, indexed by a uniform grid over their
+	// bounding boxes for candidate lookup.
+	type piece struct {
+		cell int
+		poly geom2d.Polygon
+		min  geom2d.Vec
+		max  geom2d.Vec
+	}
+	var pieces []piece
+	for i := 0; i < n; i++ {
+		for _, p := range d.WrappedPieces(i) {
+			min, max := p.BBox()
+			pieces = append(pieces, piece{i, p, min, max})
+		}
+	}
+	gsize := int(math.Max(1, math.Floor(math.Sqrt(float64(n)))))
+	grid := make([][]int, gsize*gsize)
+	bucketRange := func(min, max geom2d.Vec) (x0, x1, y0, y1 int) {
+		clamp := func(v int) int {
+			if v < 0 {
+				return 0
+			}
+			if v >= gsize {
+				return gsize - 1
+			}
+			return v
+		}
+		return clamp(int(min.X * float64(gsize))), clamp(int(max.X * float64(gsize))),
+			clamp(int(min.Y * float64(gsize))), clamp(int(max.Y * float64(gsize)))
+	}
+	for pi, p := range pieces {
+		x0, x1, y0, y1 := bucketRange(p.min, p.max)
+		for x := x0; x <= x1; x++ {
+			for y := y0; y <= y1; y++ {
+				grid[x*gsize+y] = append(grid[x*gsize+y], pi)
+			}
+		}
+	}
+
+	const eps = 1e-12
+	b := graph.NewBuilder(n)
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		for _, src := range d.WrappedPieces(i) {
+			for m := 0; m < 4; m++ {
+				c := ggMaps[m]
+				img := src.Linear(c[0], c[1], c[2], c[3])
+				for _, part := range geom2d.SplitWrap(img, eps) {
+					min, max := part.BBox()
+					x0, x1, y0, y1 := bucketRange(min, max)
+					clear(seen)
+					for x := x0; x <= x1; x++ {
+						for y := y0; y <= y1; y++ {
+							for _, pi := range grid[x*gsize+y] {
+								if seen[pi] {
+									continue
+								}
+								seen[pi] = true
+								p := pieces[pi]
+								if p.cell == i {
+									continue
+								}
+								if !geom2d.BBoxOverlap(min, max, p.min, p.max) {
+									continue
+								}
+								if geom2d.ConvexIntersect(part, p.poly).Area() > eps {
+									b.AddEdge(i, p.cell)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CheckSmooth verifies Definition 7 (corrected reading, see package doc)
+// for smoothness parameter rho: every coarse cell (⌊√(n/ρ)⌋² grid) holds
+// at least one site and every fine cell (⌈√(ρn)⌉² grid) at most one.
+func CheckSmooth(sites []geom2d.Vec, rho float64) bool {
+	n := len(sites)
+	coarse := int(math.Floor(math.Sqrt(float64(n) / rho)))
+	fine := int(math.Ceil(math.Sqrt(rho * float64(n))))
+	if coarse >= 1 {
+		counts := gridCounts(sites, coarse)
+		for _, c := range counts {
+			if c == 0 {
+				return false
+			}
+		}
+	}
+	if fine >= 1 {
+		counts := gridCounts(sites, fine)
+		for _, c := range counts {
+			if c > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Smoothness returns the smallest power-of-√2 rho satisfying CheckSmooth
+// (a convenient monotone search; exact minimal ρ is not needed anywhere).
+func Smoothness(sites []geom2d.Vec) float64 {
+	rho := 1.0
+	for rho <= float64(len(sites)) {
+		if CheckSmooth(sites, rho) {
+			return rho
+		}
+		rho *= math.Sqrt2
+	}
+	return math.Inf(1)
+}
+
+func gridCounts(sites []geom2d.Vec, m int) []int {
+	counts := make([]int, m*m)
+	for _, s := range sites {
+		x := int(s.X * float64(m))
+		y := int(s.Y * float64(m))
+		if x >= m {
+			x = m - 1
+		}
+		if y >= m {
+			y = m - 1
+		}
+		counts[x*m+y]++
+	}
+	return counts
+}
+
+// Grow2D runs the 2D Multiple Choice algorithm of §5.3 to insert target
+// sites: each joiner samples t·log n candidate points, preferring one whose
+// fine cell AND coarse cell are both empty, falling back to an empty fine
+// cell. Lemma 5.3: after n insertions the smoothness is at most 2 whp.
+//
+// The grids use the target n ("we assume for convenience that the
+// estimation of n is accurate").
+func Grow2D(target, t int, rng *rand.Rand) []geom2d.Vec {
+	if target < 2 {
+		panic("expander: need target >= 2")
+	}
+	fine := int(math.Ceil(math.Sqrt(2 * float64(target))))    // 2n cells
+	coarse := int(math.Floor(math.Sqrt(float64(target) / 2))) // n/2 cells
+	if coarse < 1 {
+		coarse = 1
+	}
+	fineCount := make([]int, fine*fine)
+	coarseCount := make([]int, coarse*coarse)
+	cellOf := func(v geom2d.Vec, m int) int {
+		x := int(v.X * float64(m))
+		y := int(v.Y * float64(m))
+		if x >= m {
+			x = m - 1
+		}
+		if y >= m {
+			y = m - 1
+		}
+		return x*m + y
+	}
+	probes := t * int(math.Ceil(math.Log2(float64(target))))
+	if probes < 1 {
+		probes = 1
+	}
+	sites := make([]geom2d.Vec, 0, target)
+	for len(sites) < target {
+		cands := make([]geom2d.Vec, probes)
+		for i := range cands {
+			cands[i] = geom2d.Vec{X: rng.Float64(), Y: rng.Float64()}
+		}
+		chosen := cands[0]
+		found := false
+		for _, z := range cands { // both grids empty
+			if fineCount[cellOf(z, fine)] == 0 && coarseCount[cellOf(z, coarse)] == 0 {
+				chosen, found = z, true
+				break
+			}
+		}
+		if !found {
+			for _, z := range cands { // fine grid empty
+				if fineCount[cellOf(z, fine)] == 0 {
+					chosen, found = z, true
+					break
+				}
+			}
+		}
+		sites = append(sites, chosen)
+		fineCount[cellOf(chosen, fine)]++
+		coarseCount[cellOf(chosen, coarse)]++
+	}
+	return sites
+}
+
+// Network couples the Voronoi partition with its GG expander graph.
+type Network struct {
+	Diagram *voronoi.Diagram
+	Graph   *graph.Undirected
+}
+
+// BuildNetwork creates the full §5 construction from a site set.
+func BuildNetwork(sites []geom2d.Vec) *Network {
+	d := voronoi.Compute(sites)
+	return &Network{Diagram: d, Graph: BuildGG(d)}
+}

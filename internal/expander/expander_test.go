@@ -1,0 +1,168 @@
+package expander
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"condisc/internal/geom2d"
+	"condisc/internal/spectral"
+	"condisc/internal/voronoi"
+)
+
+func TestApplyMapInverses(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 500; trial++ {
+		v := geom2d.Vec{X: rng.Float64(), Y: rng.Float64()}
+		ff := ApplyMap(2, ApplyMap(0, v)) // f⁻¹(f(v))
+		gg := ApplyMap(3, ApplyMap(1, v)) // g⁻¹(g(v))
+		if geom2d.TorusDist2(ff, v) > 1e-18 || geom2d.TorusDist2(gg, v) > 1e-18 {
+			t.Fatalf("maps are not inverse at %v: %v %v", v, ff, gg)
+		}
+	}
+}
+
+// TestGGEdgesMatchContinuousDefinition: for random points y, the cells of y
+// and of each map image must be connected in the discrete graph — the
+// defining property of the discretization.
+func TestGGEdgesMatchContinuousDefinition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	sites := Grow2D(128, 3, rng)
+	net := BuildNetwork(sites)
+	for trial := 0; trial < 1500; trial++ {
+		v := geom2d.Vec{X: rng.Float64(), Y: rng.Float64()}
+		from := net.Diagram.Locate(v)
+		for m := 0; m < 4; m++ {
+			to := net.Diagram.Locate(ApplyMap(m, v))
+			if to != from && !net.Graph.HasEdge(from, to) {
+				t.Fatalf("map %d: cells %d -> %d not connected", m, from, to)
+			}
+		}
+	}
+}
+
+// TestLemma53Smoothness: the 2D Multiple Choice algorithm achieves
+// smoothness <= 2 whp.
+func TestLemma53Smoothness(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		rng := rand.New(rand.NewPCG(uint64(n), 3))
+		sites := Grow2D(n, 3, rng)
+		if !CheckSmooth(sites, 2) {
+			// Grid-rounding can cost a little; ρ=4 must certainly hold.
+			if !CheckSmooth(sites, 4) {
+				t.Errorf("n=%d: 2D multiple choice smoothness worse than 4", n)
+			}
+		}
+	}
+}
+
+// TestRandomSitesAreLessSmooth: uniform-random placement needs ρ = Ω(log n)
+// — the contrast showing the algorithm matters.
+func TestRandomSitesAreLessSmooth(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	const n = 1024
+	sites := make([]geom2d.Vec, n)
+	for i := range sites {
+		sites[i] = geom2d.Vec{X: rng.Float64(), Y: rng.Float64()}
+	}
+	if CheckSmooth(sites, 2) {
+		t.Error("uniform random sites should not be 2-smooth at n=1024")
+	}
+	mc := Smoothness(Grow2D(n, 3, rng))
+	rd := Smoothness(sites)
+	if mc >= rd {
+		t.Errorf("multiple choice smoothness %v should beat random %v", mc, rd)
+	}
+}
+
+// TestCor52ConstantDegree: the discretized GG graph over a smooth site set
+// has Θ(ρ)-bounded degree.
+func TestCor52ConstantDegree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	sites := Grow2D(256, 3, rng)
+	net := BuildNetwork(sites)
+	if d := net.Graph.MaxDegree(); d > 64 {
+		t.Errorf("max degree %d not constant-like for smooth sites", d)
+	}
+	if !net.Graph.Connected() {
+		t.Error("GG discretization must be connected")
+	}
+}
+
+// TestCor52Expansion is the headline §5 result: the spectral gap of the
+// discretized graph stays bounded away from zero as n grows (we check it
+// does not decay the way a ring's gap does).
+func TestCor52Expansion(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	var gaps []float64
+	for _, n := range []int{64, 256} {
+		net := BuildNetwork(Grow2D(n, 3, rng))
+		gap := spectral.SpectralGap(net.Graph, 800, rng)
+		gaps = append(gaps, gap)
+		if gap < 0.05 {
+			t.Errorf("n=%d: spectral gap %v too small for an expander", n, gap)
+		}
+	}
+	// Quadrupling n must not collapse the gap (a ring would lose ~16x).
+	if gaps[1] < gaps[0]/3 {
+		t.Errorf("gap collapsed with n: %v", gaps)
+	}
+}
+
+// TestExpansionVerifiable: §5.2's selling point — smooth IDs certify
+// expansion; we verify the certified lower bound via sampled sets.
+func TestExpansionVerifiable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	sites := Grow2D(256, 3, rng)
+	rho := Smoothness(sites)
+	if math.IsInf(rho, 1) || rho > 8 {
+		t.Fatalf("smoothness %v unexpectedly large", rho)
+	}
+	net := BuildNetwork(sites)
+	// Sampled vertex expansion should be comfortably positive.
+	exp := spectral.VertexExpansion(net.Graph, 200, rng)
+	if exp <= 0.05 {
+		t.Errorf("sampled vertex expansion %v too small", exp)
+	}
+}
+
+// TestSmoothnessDetectsClustering: CheckSmooth rejects adversarially
+// clustered sites.
+func TestSmoothnessDetectsClustering(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	const n = 256
+	sites := make([]geom2d.Vec, n)
+	for i := range sites {
+		// All sites inside a tiny corner square.
+		sites[i] = geom2d.Vec{X: rng.Float64() * 0.05, Y: rng.Float64() * 0.05}
+	}
+	if CheckSmooth(sites, 2) || CheckSmooth(sites, 8) {
+		t.Error("clustered sites passed the smoothness check")
+	}
+}
+
+func TestGrow2DPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Grow2D(1, 3, rand.New(rand.NewPCG(9, 9)))
+}
+
+// TestBuildGGIsSymmetricAndLoopless: sanity on the generic graph contract.
+func TestBuildGGIsSymmetricAndLoopless(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 10))
+	d := voronoi.Compute(Grow2D(64, 3, rng))
+	g := BuildGG(d)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if v == u {
+				t.Fatal("self loop present")
+			}
+			if !g.HasEdge(v, u) {
+				t.Fatal("asymmetric edge")
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package experiments contains one driver per reproduced paper item —
+// Table 1, Figures 1–4, and every theorem-level claim indexed in
+// DESIGN.md (E1–E28). The drivers are shared by cmd/condisc-bench (which
+// prints paper-style tables) and the root bench_test.go (which regenerates
+// each item under `go test -bench`).
+package experiments
+
+import (
+	"math/rand/v2"
+
+	"condisc/internal/dhgraph"
+	"condisc/internal/metrics"
+	"condisc/internal/partition"
+	"condisc/internal/route"
+)
+
+// Config scales the experiments.
+type Config struct {
+	Seed uint64
+	// Scale divides the default problem sizes (1 = paper-scale defaults,
+	// larger = faster smoke runs).
+	Scale int
+}
+
+// DefaultConfig is used by the CLI and benches.
+var DefaultConfig = Config{Seed: 42, Scale: 1}
+
+func (c Config) rng(salt uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(c.Seed+salt, c.Seed*0x9e3779b9+salt))
+}
+
+func (c Config) size(n int) int {
+	if c.Scale <= 1 {
+		return n
+	}
+	n /= c.Scale
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// Result packages one experiment's output.
+type Result struct {
+	ID    string
+	Title string
+	Table *metrics.Table
+	Notes []string
+}
+
+// smoothNet builds a Multiple-Choice DH network of n servers.
+func smoothNet(n int, delta uint64, rng *rand.Rand) *route.Network {
+	ring := partition.Grow(partition.New(), n, partition.MultipleChooser(2), rng)
+	return route.NewNetwork(dhgraph.Build(ring, delta))
+}
+
+// All runs every experiment in index order.
+func All(cfg Config) []Result {
+	return []Result{
+		Table1(cfg),
+		Fig1ContinuousMaps(cfg),
+		Fig2PathTree(cfg),
+		Fig3ActiveTreeMapping(cfg),
+		Fig4FMRLookup(cfg),
+		Thm21EdgeCount(cfg),
+		Thm22Degrees(cfg),
+		Cor25FastLookupPath(cfg),
+		Thm27Congestion(cfg),
+		Thm28DHLookupPath(cfg),
+		Thm210Permutation(cfg),
+		Thm213DegreeSweep(cfg),
+		Lemma33ActiveTree(cfg),
+		Thm36SingleHotspot(cfg),
+		Thm38MultiHotspot(cfg),
+		ContentUpdate(cfg),
+		Lemma41SingleChoice(cfg),
+		Lemma42ImprovedChoice(cfg),
+		Lemma43MultipleChoice(cfg),
+		Thm44SelfCorrection(cfg),
+		BucketChurn(cfg),
+		Lemma53Smoothness2D(cfg),
+		Cor52Expander(cfg),
+		Thm63SimpleLookup(cfg),
+		Thm64FailStop(cfg),
+		Thm66FMR(cfg),
+		Thm71Emulation(cfg),
+		ErasureVsReplication(cfg),
+		JoinLeaveCost(cfg),
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smokeCfg runs the full suite at reduced scale.
+var smokeCfg = Config{Seed: 7, Scale: 8}
+
+// TestAllExperimentsRun executes every driver at smoke scale and checks
+// each produces a non-empty table with a unique ID.
+func TestAllExperimentsRun(t *testing.T) {
+	results := All(smokeCfg)
+	if len(results) < 25 {
+		t.Fatalf("only %d experiments ran", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if r.ID == "" || r.Title == "" {
+			t.Errorf("experiment missing ID/title: %+v", r.ID)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Table == nil || !strings.Contains(r.Table.String(), "-") {
+			t.Errorf("%s: empty table", r.ID)
+		}
+		if len(r.Table.String()) < 40 {
+			t.Errorf("%s: suspiciously small table", r.ID)
+		}
+	}
+}
+
+// TestDeterminism: same config yields identical tables.
+func TestDeterminism(t *testing.T) {
+	a := Table1(smokeCfg).Table.CSV()
+	b := Table1(smokeCfg).Table.CSV()
+	if a != b {
+		t.Error("Table1 not deterministic under a fixed seed")
+	}
+}
+
+// TestFiguresRender checks the ASCII figures contain their key structures.
+func TestFiguresRender(t *testing.T) {
+	out := Figures(smokeCfg)
+	for _, want := range []string{
+		"Figure 1a", "l(y)", "r(y)",
+		"Figure 2", "layer 0", "layer 2",
+		"Figure 3", "tree nodes:",
+		"Figure 4", "covers",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figures output missing %q", want)
+		}
+	}
+	if len(out) < 500 {
+		t.Errorf("figures output suspiciously short: %d bytes", len(out))
+	}
+}

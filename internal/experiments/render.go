@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"condisc/internal/continuous"
+	"condisc/internal/interval"
+	"condisc/internal/overlap"
+	"condisc/internal/partition"
+)
+
+// This file renders ASCII versions of the paper's four figures, so
+// `condisc-bench -figures` reproduces them visually and not only as
+// measurements.
+
+// RenderFigure1 draws the edges of a point in the continuous graph and the
+// halving of an interval (the two diagrams of Figure 1).
+func RenderFigure1() string {
+	var b strings.Builder
+	y := interval.FromFloat(0.6)
+	line := renderAxis(map[string]interval.Point{
+		"y":    y,
+		"l(y)": y.Half(),
+		"r(y)": y.HalfPlus(),
+	})
+	b.WriteString("Figure 1a — edges of the point y = 0.6 in Gc: l(y)=y/2, r(y)=y/2+1/2\n")
+	b.WriteString(line)
+	seg := interval.Segment{Start: interval.FromFloat(0.3), Len: uint64(interval.FromFloat(0.4))}
+	b.WriteString("\nFigure 1b — the segment [0.3,0.7) maps to two half-length images:\n")
+	b.WriteString(renderSegments(map[string]interval.Segment{
+		"s":    seg,
+		"l(s)": seg.Half(),
+		"r(s)": seg.HalfPlus(),
+	}))
+	return b.String()
+}
+
+// RenderFigure2 draws the first layers of the path tree rooted at a point
+// (Figure 2): each node z is the parent of l(z) and r(z).
+func RenderFigure2(root interval.Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — path tree rooted at h(i) = %s (first 3 layers)\n", root)
+	for depth := uint8(0); depth <= 2; depth++ {
+		indent := strings.Repeat("    ", int(2-depth))
+		var cells []string
+		for path := uint64(0); path < 1<<depth; path++ {
+			node := continuous.TreeNode{Depth: depth, Path: path}
+			cells = append(cells, node.PointUnder(root).String())
+		}
+		fmt.Fprintf(&b, "layer %d: %s%s\n", depth, indent, strings.Join(cells, "   "))
+	}
+	b.WriteString("(each node z has children l(z), r(z); requests ascend along random branches)\n")
+	return b.String()
+}
+
+// RenderFigure3 draws an active tree mapped onto server segments
+// (Figure 3): the interval divided into segments, each annotated with the
+// active-tree points it covers.
+func RenderFigure3(ring *partition.Ring, root interval.Point, maxDepth uint8) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 — active tree (depth <= %d) rooted at %s mapped to %d servers\n",
+		maxDepth, root, ring.N())
+	// Collect active points per server for a full tree of the given depth.
+	perServer := map[int][]string{}
+	for depth := uint8(0); depth <= maxDepth; depth++ {
+		for path := uint64(0); path < 1<<depth; path++ {
+			node := continuous.TreeNode{Depth: depth, Path: path}
+			p := node.PointUnder(root)
+			s := ring.Cover(p)
+			perServer[s] = append(perServer[s], fmt.Sprintf("d%d@%s", depth, p))
+		}
+	}
+	for i := 0; i < ring.N(); i++ {
+		seg := ring.Segment(i)
+		nodes := "—"
+		if len(perServer[i]) > 0 {
+			nodes = strings.Join(perServer[i], " ")
+		}
+		fmt.Fprintf(&b, "  server %2d %-28s tree nodes: %s\n", i, seg.String(), nodes)
+	}
+	return b.String()
+}
+
+// RenderFigure4 draws the flooded FMR lookup (Figure 4): the covers of
+// each canonical-path point form layers; every layer forwards to all of
+// the next.
+func RenderFigure4(o *overlap.Overlay, src int, y interval.Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — FMR lookup from server %d to %s: all covers of each path point\n",
+		src, y)
+	pts := canonicalPathForRender(o, src, y)
+	for i, p := range pts {
+		covers := o.Covers(p)
+		fmt.Fprintf(&b, "  layer %2d at %s: %2d covers %v\n", i, p, len(covers), covers)
+		if i < len(pts)-1 {
+			fmt.Fprintf(&b, "      ||  (each server forwards to ALL covers of the next point)\n")
+		}
+	}
+	return b.String()
+}
+
+// canonicalPathForRender mirrors the overlay's canonical path computation
+// (kept here to avoid exporting internals solely for rendering).
+func canonicalPathForRender(o *overlap.Overlay, src int, y interval.Point) []interval.Point {
+	seg := o.Segment(src)
+	z := seg.Mid()
+	var t uint
+	for t = 0; t < 66; t++ {
+		if seg.Contains(interval.WalkPrefix(z, y, t)) {
+			break
+		}
+	}
+	pts := []interval.Point{interval.WalkPrefix(z, y, t)}
+	h := pts[0]
+	for step := t; step > 0; step-- {
+		h = h.Back()
+		pts = append(pts, h)
+	}
+	pts[len(pts)-1] = y
+	return pts
+}
+
+// renderAxis draws labelled points on a [0,1) ASCII axis.
+func renderAxis(points map[string]interval.Point) string {
+	const width = 64
+	row := []rune(strings.Repeat("-", width+1))
+	var labels []string
+	for name, p := range points {
+		pos := int(p.Float64() * width)
+		row[pos] = '+'
+		labels = append(labels, fmt.Sprintf("%s=%s", name, p))
+	}
+	return "0 " + string(row) + " 1\n  markers: " + strings.Join(labels, "  ") + "\n"
+}
+
+// renderSegments draws labelled arcs on stacked [0,1) ASCII axes.
+func renderSegments(segs map[string]interval.Segment) string {
+	const width = 64
+	var b strings.Builder
+	for name, s := range segs {
+		row := []rune(strings.Repeat(".", width+1))
+		start := int(s.Start.Float64() * width)
+		end := int(s.End().Float64() * width)
+		if end < start {
+			end += width
+		}
+		for i := start; i <= end && i-start <= width; i++ {
+			row[i%(width+1)] = '='
+		}
+		fmt.Fprintf(&b, "  %-5s 0 %s 1\n", name, string(row))
+	}
+	return b.String()
+}
+
+// Figures renders all four figures with a deterministic small network.
+func Figures(cfg Config) string {
+	rng := cfg.rng(90)
+	var b strings.Builder
+	b.WriteString(RenderFigure1())
+	b.WriteString("\n")
+	root := interval.FromFloat(0.2)
+	b.WriteString(RenderFigure2(root))
+	b.WriteString("\n")
+	ring := partition.Grow(partition.New(), 8, partition.MultipleChooser(2), rng)
+	b.WriteString(RenderFigure3(ring, root, 2))
+	b.WriteString("\n")
+	o := overlap.Build(64, 1, rand.New(rand.NewPCG(cfg.Seed, 91)))
+	b.WriteString(RenderFigure4(o, 3, interval.FromFloat(0.77)))
+	return b.String()
+}

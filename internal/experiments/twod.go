@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"math"
+
+	"condisc/internal/expander"
+	"condisc/internal/geom2d"
+	"condisc/internal/metrics"
+	"condisc/internal/spectral"
+)
+
+// Lemma53Smoothness2D reproduces Lemma 5.3: the 2D Multiple Choice
+// algorithm achieves smoothness ≤ 2 whp, versus uniform random placement.
+func Lemma53Smoothness2D(cfg Config) Result {
+	t := metrics.NewTable("n", "2D-MC smooth ≤2", "2D-MC ρ", "random ρ")
+	for _, n := range []int{cfg.size(256), cfg.size(1024), cfg.size(4096)} {
+		rng := cfg.rng(uint64(40 + n))
+		mc := expander.Grow2D(n, 3, rng)
+		rnd := make([]geom2d.Vec, n)
+		for i := range rnd {
+			rnd[i] = geom2d.Vec{X: rng.Float64(), Y: rng.Float64()}
+		}
+		t.AddRow(n, expander.CheckSmooth(mc, 2), expander.Smoothness(mc), expander.Smoothness(rnd))
+	}
+	return Result{ID: "E21", Title: "Lemma 5.3 — 2D Multiple Choice smoothness", Table: t}
+}
+
+// Cor52Expander reproduces Corollary 5.2: the Gabber–Galil discretization
+// over Voronoi cells of a smooth ID set is a constant-degree expander —
+// the spectral gap stays bounded as n grows, degrees stay Θ(ρ), and a
+// same-size ring (non-expander) collapses for contrast.
+func Cor52Expander(cfg Config) Result {
+	t := metrics.NewTable("n", "max degree", "avg degree", "spectral gap",
+		"Cheeger lower", "sampled vertex expansion", "ring gap (contrast)")
+	for _, n := range []int{cfg.size(128), cfg.size(256), cfg.size(512)} {
+		rng := cfg.rng(uint64(41 + n))
+		net := expander.BuildNetwork(expander.Grow2D(n, 3, rng))
+		lambda2 := spectral.SecondEigenvalue(net.Graph, 600, rng)
+		gap := 1 - lambda2
+		vexp := spectral.VertexExpansion(net.Graph, 200, rng)
+		ringGap := 1 - math.Cos(2*math.Pi/float64(n))
+		t.AddRow(n, net.Graph.MaxDegree(), net.Graph.AvgDegree(), gap,
+			spectral.CheegerLower(lambda2), vexp, ringGap)
+	}
+	return Result{ID: "E22", Title: "Corollary 5.2 — verified dynamic expander", Table: t,
+		Notes: []string{
+			"paper: expansion Ω((2-√3)/ρ) ≈ 0.134/ρ for ρ-smooth IDs;",
+			"the gap staying ~constant while the ring's gap vanishes is the expander signature.",
+		}}
+}

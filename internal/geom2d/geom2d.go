@@ -1,0 +1,207 @@
+// Package geom2d provides the planar geometry substrate for the
+// two-dimensional constructions of §5: vectors on the unit torus, convex
+// polygons, half-plane clipping, convex intersection, and the shear maps of
+// the Gabber–Galil continuous graph.
+package geom2d
+
+import "math"
+
+// Vec is a point or vector in the plane.
+type Vec struct{ X, Y float64 }
+
+// Add returns u + v.
+func (u Vec) Add(v Vec) Vec { return Vec{u.X + v.X, u.Y + v.Y} }
+
+// Sub returns u - v.
+func (u Vec) Sub(v Vec) Vec { return Vec{u.X - v.X, u.Y - v.Y} }
+
+// Dot returns the inner product.
+func (u Vec) Dot(v Vec) float64 { return u.X*v.X + u.Y*v.Y }
+
+// Scale returns s·u.
+func (u Vec) Scale(s float64) Vec { return Vec{s * u.X, s * u.Y} }
+
+// Norm2 returns |u|².
+func (u Vec) Norm2() float64 { return u.Dot(u) }
+
+// TorusDist2 returns the squared distance between u and v on the unit
+// torus (coordinates wrapped mod 1).
+func TorusDist2(u, v Vec) float64 {
+	dx := wrapDiff(u.X - v.X)
+	dy := wrapDiff(u.Y - v.Y)
+	return dx*dx + dy*dy
+}
+
+func wrapDiff(d float64) float64 {
+	d -= math.Round(d)
+	return d
+}
+
+// WrapVec reduces both coordinates into [0,1).
+func WrapVec(v Vec) Vec {
+	return Vec{v.X - math.Floor(v.X), v.Y - math.Floor(v.Y)}
+}
+
+// Polygon is a convex polygon with counter-clockwise vertices.
+type Polygon []Vec
+
+// Square returns the axis-aligned square [x0,x1]×[y0,y1].
+func Square(x0, y0, x1, y1 float64) Polygon {
+	return Polygon{{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}}
+}
+
+// Area returns the polygon area (shoelace; positive for CCW).
+func (p Polygon) Area() float64 {
+	if len(p) < 3 {
+		return 0
+	}
+	a := 0.0
+	for i := 0; i < len(p); i++ {
+		j := (i + 1) % len(p)
+		a += p[i].X*p[j].Y - p[j].X*p[i].Y
+	}
+	return a / 2
+}
+
+// Centroid returns the polygon centroid (valid for non-degenerate convex
+// polygons).
+func (p Polygon) Centroid() Vec {
+	a := p.Area()
+	if a == 0 {
+		// Degenerate: average vertices.
+		var c Vec
+		for _, v := range p {
+			c = c.Add(v)
+		}
+		if len(p) > 0 {
+			c = c.Scale(1 / float64(len(p)))
+		}
+		return c
+	}
+	var cx, cy float64
+	for i := 0; i < len(p); i++ {
+		j := (i + 1) % len(p)
+		w := p[i].X*p[j].Y - p[j].X*p[i].Y
+		cx += (p[i].X + p[j].X) * w
+		cy += (p[i].Y + p[j].Y) * w
+	}
+	return Vec{cx / (6 * a), cy / (6 * a)}
+}
+
+// BBox returns the axis-aligned bounding box (min, max).
+func (p Polygon) BBox() (Vec, Vec) {
+	if len(p) == 0 {
+		return Vec{}, Vec{}
+	}
+	min, max := p[0], p[0]
+	for _, v := range p[1:] {
+		min.X = math.Min(min.X, v.X)
+		min.Y = math.Min(min.Y, v.Y)
+		max.X = math.Max(max.X, v.X)
+		max.Y = math.Max(max.Y, v.Y)
+	}
+	return min, max
+}
+
+// Translate returns the polygon shifted by d.
+func (p Polygon) Translate(d Vec) Polygon {
+	out := make(Polygon, len(p))
+	for i, v := range p {
+		out[i] = v.Add(d)
+	}
+	return out
+}
+
+// Linear applies the linear map with matrix rows (a b; c d) to every
+// vertex. Shears (determinant 1) preserve area and convexity.
+func (p Polygon) Linear(a, b, c, d float64) Polygon {
+	out := make(Polygon, len(p))
+	for i, v := range p {
+		out[i] = Vec{a*v.X + b*v.Y, c*v.X + d*v.Y}
+	}
+	// A negative determinant flips orientation; restore CCW.
+	if out.Area() < 0 {
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}
+
+// ClipHalfPlane returns the part of p with n·x <= c (Sutherland–Hodgman
+// single-plane clip). The result is convex (possibly empty).
+func ClipHalfPlane(p Polygon, n Vec, c float64) Polygon {
+	if len(p) == 0 {
+		return nil
+	}
+	var out Polygon
+	for i := 0; i < len(p); i++ {
+		cur, next := p[i], p[(i+1)%len(p)]
+		curIn := n.Dot(cur) <= c
+		nextIn := n.Dot(next) <= c
+		if curIn {
+			out = append(out, cur)
+		}
+		if curIn != nextIn {
+			// Edge crosses the boundary: add the intersection point.
+			t := (c - n.Dot(cur)) / n.Dot(next.Sub(cur))
+			out = append(out, cur.Add(next.Sub(cur).Scale(t)))
+		}
+	}
+	return out
+}
+
+// ConvexIntersect returns p ∩ q by clipping p against each edge of the
+// convex CCW polygon q.
+func ConvexIntersect(p, q Polygon) Polygon {
+	out := p
+	for i := 0; i < len(q) && len(out) > 0; i++ {
+		a, b := q[i], q[(i+1)%len(q)]
+		// Inside of a CCW edge (a,b) is the left side: normal pointing
+		// right of the edge, keep n·x <= n·a.
+		e := b.Sub(a)
+		n := Vec{e.Y, -e.X}
+		out = ClipHalfPlane(out, n, n.Dot(a))
+	}
+	return out
+}
+
+// SplitWrap cuts a polygon with coordinates in (-1, 2) into its unit-torus
+// pieces: each piece is the intersection with an integer-translate of the
+// unit square, translated back into [0,1)². Pieces below minArea are
+// dropped (numerical slivers).
+func SplitWrap(p Polygon, minArea float64) []Polygon {
+	var out []Polygon
+	min, max := p.BBox()
+	for kx := math.Floor(min.X); kx < max.X; kx++ {
+		for ky := math.Floor(min.Y); ky < max.Y; ky++ {
+			piece := ConvexIntersect(p, Square(kx, ky, kx+1, ky+1))
+			if piece.Area() > minArea {
+				out = append(out, piece.Translate(Vec{-kx, -ky}))
+			}
+		}
+	}
+	return out
+}
+
+// ContainsPoint reports whether the convex CCW polygon contains v (edges
+// inclusive within eps).
+func (p Polygon) ContainsPoint(v Vec, eps float64) bool {
+	if len(p) < 3 {
+		return false
+	}
+	for i := 0; i < len(p); i++ {
+		a, b := p[i], p[(i+1)%len(p)]
+		e := b.Sub(a)
+		cross := e.X*(v.Y-a.Y) - e.Y*(v.X-a.X)
+		if cross < -eps {
+			return false
+		}
+	}
+	return true
+}
+
+// BBoxOverlap reports whether two bounding boxes intersect.
+func BBoxOverlap(min1, max1, min2, max2 Vec) bool {
+	return min1.X <= max2.X && min2.X <= max1.X && min1.Y <= max2.Y && min2.Y <= max1.Y
+}

@@ -1,0 +1,136 @@
+package geom2d
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestAreaAndCentroid(t *testing.T) {
+	sq := Square(0, 0, 2, 2)
+	if !almostEq(sq.Area(), 4, 1e-12) {
+		t.Errorf("area = %v", sq.Area())
+	}
+	c := sq.Centroid()
+	if !almostEq(c.X, 1, 1e-12) || !almostEq(c.Y, 1, 1e-12) {
+		t.Errorf("centroid = %v", c)
+	}
+	tri := Polygon{{0, 0}, {1, 0}, {0, 1}}
+	if !almostEq(tri.Area(), 0.5, 1e-12) {
+		t.Errorf("triangle area = %v", tri.Area())
+	}
+}
+
+func TestClipHalfPlane(t *testing.T) {
+	sq := Square(0, 0, 1, 1)
+	// Keep x <= 0.5.
+	left := ClipHalfPlane(sq, Vec{1, 0}, 0.5)
+	if !almostEq(left.Area(), 0.5, 1e-12) {
+		t.Errorf("clipped area = %v", left.Area())
+	}
+	// Clip everything away.
+	none := ClipHalfPlane(sq, Vec{1, 0}, -1)
+	if none.Area() != 0 {
+		t.Errorf("full clip should be empty, area %v", none.Area())
+	}
+	// Clip nothing.
+	all := ClipHalfPlane(sq, Vec{1, 0}, 2)
+	if !almostEq(all.Area(), 1, 1e-12) {
+		t.Errorf("no-op clip area = %v", all.Area())
+	}
+}
+
+func TestConvexIntersect(t *testing.T) {
+	a := Square(0, 0, 1, 1)
+	b := Square(0.5, 0.5, 1.5, 1.5)
+	inter := ConvexIntersect(a, b)
+	if !almostEq(inter.Area(), 0.25, 1e-12) {
+		t.Errorf("intersection area = %v", inter.Area())
+	}
+	c := Square(2, 2, 3, 3)
+	if got := ConvexIntersect(a, c).Area(); got != 0 {
+		t.Errorf("disjoint intersection area = %v", got)
+	}
+}
+
+// TestShearPreservesArea: the Gabber–Galil maps are measure preserving —
+// the heart of Theorem 5.1's applicability.
+func TestShearPreservesArea(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 200; trial++ {
+		p := Square(rng.Float64(), rng.Float64(), 1+rng.Float64(), 1+rng.Float64())
+		f := p.Linear(1, 1, 0, 1)   // f(x,y) = (x+y, y)
+		g := p.Linear(1, 0, 1, 1)   // g(x,y) = (x, x+y)
+		fi := p.Linear(1, -1, 0, 1) // f⁻¹
+		for _, q := range []Polygon{f, g, fi} {
+			if !almostEq(q.Area(), p.Area(), 1e-9) {
+				t.Fatalf("shear changed area %v -> %v", p.Area(), q.Area())
+			}
+		}
+	}
+}
+
+// TestSplitWrapConservesArea: wrapping a sheared polygon back into the
+// torus conserves total area.
+func TestSplitWrapConservesArea(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for trial := 0; trial < 200; trial++ {
+		x0, y0 := rng.Float64(), rng.Float64()
+		p := Square(x0, y0, x0+0.3, y0+0.3).Linear(1, 1, 0, 1)
+		pieces := SplitWrap(p, 1e-15)
+		total := 0.0
+		for _, piece := range pieces {
+			total += piece.Area()
+			min, max := piece.BBox()
+			if min.X < -1e-9 || min.Y < -1e-9 || max.X > 1+1e-9 || max.Y > 1+1e-9 {
+				t.Fatalf("piece escapes the unit square: %v %v", min, max)
+			}
+		}
+		if !almostEq(total, p.Area(), 1e-9) {
+			t.Fatalf("split-wrap area %v != %v", total, p.Area())
+		}
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	tri := Polygon{{0, 0}, {1, 0}, {0, 1}}
+	if !tri.ContainsPoint(Vec{0.2, 0.2}, 1e-12) {
+		t.Error("interior point not contained")
+	}
+	if tri.ContainsPoint(Vec{0.8, 0.8}, 1e-12) {
+		t.Error("exterior point contained")
+	}
+	if !tri.ContainsPoint(Vec{0.5, 0.5}, 1e-9) {
+		t.Error("boundary point should be contained within eps")
+	}
+}
+
+func TestTorusDist(t *testing.T) {
+	a, b := Vec{0.05, 0.5}, Vec{0.95, 0.5}
+	if d := TorusDist2(a, b); !almostEq(d, 0.01, 1e-12) {
+		t.Errorf("torus dist² = %v, want 0.01", d)
+	}
+	if w := WrapVec(Vec{1.25, -0.25}); !almostEq(w.X, 0.25, 1e-12) || !almostEq(w.Y, 0.75, 1e-12) {
+		t.Errorf("WrapVec = %v", w)
+	}
+}
+
+func TestLinearRestoresOrientation(t *testing.T) {
+	p := Square(0, 0, 1, 1)
+	// Reflection (det = -1) must still return a CCW polygon.
+	r := p.Linear(-1, 0, 0, 1)
+	if r.Area() <= 0 {
+		t.Errorf("reflected polygon not CCW: area %v", r.Area())
+	}
+}
+
+func TestBBoxOverlap(t *testing.T) {
+	if !BBoxOverlap(Vec{0, 0}, Vec{1, 1}, Vec{0.5, 0.5}, Vec{2, 2}) {
+		t.Error("overlapping boxes reported disjoint")
+	}
+	if BBoxOverlap(Vec{0, 0}, Vec{1, 1}, Vec{1.5, 0}, Vec{2, 1}) {
+		t.Error("disjoint boxes reported overlapping")
+	}
+}

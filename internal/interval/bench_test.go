@@ -1,0 +1,33 @@
+package interval
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func BenchmarkWalkPrefix(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	y, z := Point(rng.Uint64()), Point(rng.Uint64())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = WalkPrefix(y, z, uint(i%64))
+	}
+}
+
+func BenchmarkDeltaWalkPrefixBase3(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	y, z := Point(rng.Uint64()), Point(rng.Uint64())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DeltaWalkPrefix(y, z, 3, uint(i%40))
+	}
+}
+
+func BenchmarkSegmentContains(b *testing.B) {
+	s := Segment{Start: FromFloat(0.9), Len: uint64(FromFloat(0.2))}
+	p := FromFloat(0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Contains(p)
+	}
+}

@@ -1,0 +1,81 @@
+package interval
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringFormats(t *testing.T) {
+	p := FromFloat(0.5)
+	if got := p.String(); got != "0.500000000" {
+		t.Errorf("Point.String = %q", got)
+	}
+	s := Segment{Start: FromFloat(0.25), Len: uint64(FromFloat(0.25))}
+	if got := s.String(); !strings.Contains(got, "0.25") || !strings.Contains(got, "0.50") {
+		t.Errorf("Segment.String = %q", got)
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(a, b uint64) bool {
+		p, q := Point(a), Point(b)
+		return p.Add(q).Sub(q) == p && p.Sub(q).Add(q) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentEnd(t *testing.T) {
+	s := Segment{Start: FromFloat(0.75), Len: uint64(FromFloat(0.5))}
+	if got := s.End(); got != FromFloat(0.25) {
+		t.Errorf("wrapping End = %v, want 0.25", got)
+	}
+}
+
+func TestFullCircleImages(t *testing.T) {
+	if FullCircle.Half() != (Segment{0, 1 << 63}) {
+		t.Errorf("ℓ(I) = %v", FullCircle.Half())
+	}
+	if FullCircle.HalfPlus() != (Segment{1 << 63, 1 << 63}) {
+		t.Errorf("r(I) = %v", FullCircle.HalfPlus())
+	}
+	if FullCircle.BackImage() != FullCircle {
+		t.Errorf("b(I) = %v", FullCircle.BackImage())
+	}
+	// A segment of half the circle or more has a full-circle back image.
+	big := Segment{0, 1 << 63}
+	if big.BackImage() != FullCircle {
+		t.Errorf("b(half circle) = %v", big.BackImage())
+	}
+}
+
+func TestRingDistAntipodal(t *testing.T) {
+	// Antipodal points: both directions give exactly half the circle.
+	a, b := Point(0), Point(1<<63)
+	if d := RingDist(a, b); d != 1<<63 {
+		t.Errorf("antipodal RingDist = %d", d)
+	}
+}
+
+// TestDeltaStepIsDeltaMap: DeltaStep is the documented alias of DeltaMap.
+func TestDeltaStepIsDeltaMap(t *testing.T) {
+	f := func(v uint64, d uint8) bool {
+		delta := uint64(2 + d%14)
+		digit := uint64(d) % delta
+		return DeltaStep(Point(v), delta, digit) == DeltaMap(Point(v), delta, digit)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaMapPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	DeltaMap(0, 0, 0)
+}

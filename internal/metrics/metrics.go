@@ -1,0 +1,173 @@
+// Package metrics provides the small statistics and table-formatting
+// helpers shared by the experiment harness: histograms with quantiles and
+// aligned text/CSV tables in the style of the paper's Table 1.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram accumulates float64 samples.
+type Histogram struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add appends a sample.
+func (h *Histogram) Add(v float64) {
+	h.vals = append(h.vals, v)
+	h.sorted = false
+}
+
+// AddInt appends an integer sample.
+func (h *Histogram) AddInt(v int) { h.Add(float64(v)) }
+
+// N returns the sample count.
+func (h *Histogram) N() int { return len(h.vals) }
+
+// Mean returns the sample mean (0 for empty histograms).
+func (h *Histogram) Mean() float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range h.vals {
+		s += v
+	}
+	return s / float64(len(h.vals))
+}
+
+// Max returns the maximum sample (0 for empty).
+func (h *Histogram) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range h.vals {
+		m = math.Max(m, v)
+	}
+	if len(h.vals) == 0 {
+		return 0
+	}
+	return m
+}
+
+// Min returns the minimum sample (0 for empty).
+func (h *Histogram) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range h.vals {
+		m = math.Min(m, v)
+	}
+	if len(h.vals) == 0 {
+		return 0
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.vals)
+		h.sorted = true
+	}
+	idx := int(q*float64(len(h.vals)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.vals) {
+		idx = len(h.vals) - 1
+	}
+	return h.vals[idx]
+}
+
+// Stddev returns the sample standard deviation.
+func (h *Histogram) Stddev() float64 {
+	n := len(h.vals)
+	if n < 2 {
+		return 0
+	}
+	mean := h.Mean()
+	s := 0.0
+	for _, v := range h.vals {
+		d := v - mean
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// Table is an aligned text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v (floats with %.3g).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, hd := range t.headers {
+		widths[i] = len(hd)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		h.Add(v)
+	}
+	if h.N() != 5 {
+		t.Errorf("N = %d", h.N())
+	}
+	if got := h.Mean(); math.Abs(got-2.8) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if h.Max() != 5 || h.Min() != 1 {
+		t.Errorf("Max/Min = %v/%v", h.Max(), h.Min())
+	}
+	if q := h.Quantile(0.5); q != 3 {
+		t.Errorf("median = %v, want 3", q)
+	}
+	if q := h.Quantile(1); q != 5 {
+		t.Errorf("q1 = %v, want 5", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("q0 = %v, want 1", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should return zeros")
+	}
+}
+
+func TestHistogramAddAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Add(2)
+	_ = h.Quantile(0.5)
+	h.Add(1)
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("histogram did not re-sort after Add: q0 = %v", q)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Add(v)
+	}
+	if got := h.Stddev(); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("Stddev = %v", got)
+	}
+	var single Histogram
+	single.Add(1)
+	if single.Stddev() != 0 {
+		t.Error("stddev of one sample should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("scheme", "path", "linkage")
+	tb.AddRow("Chord", 6.5, 12)
+	tb.AddRow("DH", 7.0, 5)
+	s := tb.String()
+	if !strings.Contains(s, "scheme") || !strings.Contains(s, "Chord") {
+		t.Errorf("table missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("expected 4 lines, got %d", len(lines))
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "scheme,path,linkage\n") {
+		t.Errorf("bad CSV header: %q", csv)
+	}
+	if !strings.Contains(csv, "Chord,6.5,12") {
+		t.Errorf("bad CSV row: %q", csv)
+	}
+}

@@ -1,0 +1,35 @@
+package overlap
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"condisc/internal/interval"
+)
+
+func BenchmarkSimpleLookup(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	o := Build(4096, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.SimpleLookup(rng.IntN(4096), interval.Point(rng.Uint64()), rng)
+	}
+}
+
+func BenchmarkFMRLookup(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	o := Build(4096, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.FMRLookup(rng.IntN(4096), interval.Point(rng.Uint64()))
+	}
+}
+
+func BenchmarkCovers(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	o := Build(4096, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Covers(interval.Point(rng.Uint64()))
+	}
+}

@@ -1,0 +1,388 @@
+// Package overlap implements the fault-tolerant Overlapping Distance
+// Halving DHT of §6: the same continuous graph as the plain DH DHT, but
+// discretized with overlapping segments so that every point of I — and
+// hence every data item — is covered by Θ(log n) servers.
+//
+// Construction (§6.2): server V_i picks x_i uniformly at random (fixed
+// while it lives) and sets y_i = x_i + q_i where q_i estimates log n / n.
+// The estimate needs no global knowledge: by Lemma 6.2, inverting the
+// distance to the ring predecessor gives α_i = Θ(log n), and q_i is chosen
+// so [x_i, x_i + q_i) contains exactly α_i other x-values.
+//
+// Two lookups are provided:
+//
+//   - Simple Lookup (Theorem 6.3): emulates the canonical continuous path,
+//     forwarding each hop to one random *alive* cover of the next point.
+//     O(log n) time and messages; under random fail-stop faults every
+//     surviving server can still locate every item (Theorem 6.4).
+//
+//   - False-Message-Resistant Lookup (Theorem 6.6): floods each hop to all
+//     Θ(log n) covers of the next point; each server forwards only the
+//     value received from a majority of the previous layer. O(log n)
+//     parallel time, O(log³ n) messages, correct data under random
+//     false-message injection.
+package overlap
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"condisc/internal/interval"
+	"condisc/internal/partition"
+)
+
+// Overlay is a static snapshot of the overlapping DHT with fault marks.
+type Overlay struct {
+	ring  *partition.Ring
+	q     []uint64 // arc length of each server's segment
+	alpha []int    // each server's local Θ(log n) estimate
+	maxQ  uint64
+
+	alive []bool
+	byz   []bool // byzantine in the false-message-injection model
+
+	// Load counts messages handled per server across lookups.
+	Load []int64
+}
+
+// Build creates an overlay of n servers with uniformly random x-values.
+// mult scales the replication arc: q_i spans mult·α_i successor points
+// (mult = 1 is the paper's construction; larger mult is the §6 knob "for an
+// arbitrary value of p it is possible to adjust the q values").
+func Build(n int, mult int, rng *rand.Rand) *Overlay {
+	if n < 8 {
+		panic("overlap: need at least 8 servers")
+	}
+	if mult < 1 {
+		mult = 1
+	}
+	ring := partition.Grow(partition.New(), n, partition.SingleChooser, rng)
+	o := &Overlay{
+		ring:  ring,
+		q:     make([]uint64, n),
+		alpha: make([]int, n),
+		alive: make([]bool, n),
+		byz:   make([]bool, n),
+		Load:  make([]int64, n),
+	}
+	for i := range o.alive {
+		o.alive[i] = true
+	}
+	for i := 0; i < n; i++ {
+		// Lemma 6.2: α_i = log2(1 / d(x_i, pred)) estimates log n within a
+		// multiplicative factor.
+		pred := ring.Predecessor(i)
+		d := interval.CWDist(ring.Point(pred), ring.Point(i))
+		a := int(math.Round(interval.Log2Inv(d)))
+		if a < 1 {
+			a = 1
+		}
+		if a > n-1 {
+			a = n - 1
+		}
+		o.alpha[i] = a
+		span := mult * a
+		if span > n-1 {
+			span = n - 1
+		}
+		// q_i = distance to the span-th successor.
+		j := i
+		for k := 0; k < span; k++ {
+			j = ring.Successor(j)
+		}
+		o.q[i] = interval.CWDist(ring.Point(i), ring.Point(j))
+		if o.q[i] > o.maxQ {
+			o.maxQ = o.q[i]
+		}
+	}
+	return o
+}
+
+// N returns the number of servers.
+func (o *Overlay) N() int { return o.ring.N() }
+
+// Segment returns server i's overlapping segment [x_i, x_i + q_i).
+func (o *Overlay) Segment(i int) interval.Segment {
+	return interval.Segment{Start: o.ring.Point(i), Len: o.q[i]}
+}
+
+// Alpha returns server i's local log n estimate.
+func (o *Overlay) Alpha(i int) int { return o.alpha[i] }
+
+// Covers returns all servers (alive or not) whose segment contains p, in
+// ring order ending at the cover closest below p.
+func (o *Overlay) Covers(p interval.Point) []int {
+	var out []int
+	start := o.ring.Cover(p)
+	i := start
+	for {
+		d := interval.CWDist(o.ring.Point(i), p)
+		if d > o.maxQ {
+			break
+		}
+		if d < o.q[i] || o.q[i] == 0 {
+			out = append(out, i)
+		}
+		i = o.ring.Predecessor(i)
+		if len(out) >= o.N() || i == start { // walked all the way around
+			break
+		}
+	}
+	return out
+}
+
+// AliveCovers returns the alive servers covering p.
+func (o *Overlay) AliveCovers(p interval.Point) []int {
+	var out []int
+	for _, i := range o.Covers(p) {
+		if o.alive[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FailRandom marks each server failed independently with probability p
+// (the random fail-stop model). Returns the number of failures.
+func (o *Overlay) FailRandom(p float64, rng *rand.Rand) int {
+	count := 0
+	for i := range o.alive {
+		if rng.Float64() < p {
+			o.alive[i] = false
+			count++
+		} else {
+			o.alive[i] = true
+		}
+	}
+	return count
+}
+
+// SetByzantine marks each server byzantine (false-message injection: it
+// forwards corrupted payloads but follows the routing protocol, §6's
+// model) independently with probability p.
+func (o *Overlay) SetByzantine(p float64, rng *rand.Rand) int {
+	count := 0
+	for i := range o.byz {
+		o.byz[i] = rng.Float64() < p
+		if o.byz[i] {
+			count++
+		}
+	}
+	return count
+}
+
+// Alive reports whether server i is alive.
+func (o *Overlay) Alive(i int) bool { return o.alive[i] }
+
+// IsByzantine reports whether server i injects false messages.
+func (o *Overlay) IsByzantine(i int) bool { return o.byz[i] }
+
+// canonicalPath returns the continuous positions of the canonical path
+// (Claim 2.4) from a point of s(src) to y: h = w(σ(z)_t, y) for the
+// minimal t with h ∈ s(src), followed by t backward steps; the final
+// position is replaced by the exact target y.
+func (o *Overlay) canonicalPath(src int, y interval.Point) []interval.Point {
+	seg := o.Segment(src)
+	z := seg.Mid()
+	var t uint
+	for t = 0; t < 66; t++ {
+		if seg.Contains(interval.WalkPrefix(z, y, t)) {
+			break
+		}
+	}
+	pts := make([]interval.Point, 0, t+1)
+	h := interval.WalkPrefix(z, y, t)
+	pts = append(pts, h)
+	for step := t; step > 0; step-- {
+		h = h.Back()
+		pts = append(pts, h)
+	}
+	pts[len(pts)-1] = y // replace the truncated endpoint with the target
+	return pts
+}
+
+// SimpleLookup routes from server src to some alive cover of y, forwarding
+// each hop to a uniformly random alive cover of the next canonical-path
+// point (Theorem 6.3). It returns the server path and whether the lookup
+// succeeded (it fails only if some path point has no alive cover).
+func (o *Overlay) SimpleLookup(src int, y interval.Point, rng *rand.Rand) ([]int, bool) {
+	if !o.alive[src] {
+		return nil, false
+	}
+	pts := o.canonicalPath(src, y)
+	path := []int{src}
+	o.Load[src]++
+	for _, p := range pts[1:] {
+		cur := path[len(path)-1]
+		if o.Segment(cur).Contains(p) {
+			continue // current server also covers the next point
+		}
+		covers := o.AliveCovers(p)
+		if len(covers) == 0 {
+			return path, false
+		}
+		next := covers[rng.IntN(len(covers))]
+		path = append(path, next)
+		o.Load[next]++
+	}
+	return path, true
+}
+
+// FMRResult reports the outcome of a false-message-resistant lookup.
+type FMRResult struct {
+	OK       bool // requester decoded the true payload
+	Messages int  // total messages exchanged
+	Hops     int  // parallel time (number of layers traversed)
+}
+
+// FMRLookup performs the false-message-resistant lookup of §6.3 for the
+// item at y, requested by server src. The item's true payload flows from
+// the alive covers of y back along the canonical path; at every layer each
+// alive server takes the majority of the values received from the full
+// previous layer, and byzantine servers corrupt what they forward. The
+// lookup succeeds if the (honest) requester's majority equals the true
+// payload.
+func (o *Overlay) FMRLookup(src int, y interval.Point) FMRResult {
+	if !o.alive[src] {
+		return FMRResult{}
+	}
+	pts := o.canonicalPath(src, y)
+	// Data flows y -> src: reverse the path.
+	rev := make([]interval.Point, len(pts))
+	for i, p := range pts {
+		rev[len(pts)-1-i] = p
+	}
+
+	// values[i] = payload currently held by server i (true/false);
+	// layer 0: covers of y hold the item.
+	prev := o.AliveCovers(y)
+	if len(prev) == 0 {
+		return FMRResult{}
+	}
+	val := make(map[int]bool, len(prev))
+	for _, i := range prev {
+		val[i] = !o.byz[i] // byzantine holders start corrupted
+		o.Load[i]++
+	}
+	res := FMRResult{Hops: len(rev) - 1}
+	srcDecoded, srcSeen := false, false
+	for li := 1; li < len(rev); li++ {
+		layer := o.AliveCovers(rev[li])
+		if len(layer) == 0 {
+			return FMRResult{Messages: res.Messages}
+		}
+		next := make(map[int]bool, len(layer))
+		for _, r := range layer {
+			trueVotes, falseVotes := 0, 0
+			for _, s := range prev {
+				res.Messages++
+				if val[s] {
+					trueVotes++
+				} else {
+					falseVotes++
+				}
+			}
+			decoded := trueVotes > falseVotes
+			if r == src && li == len(rev)-1 {
+				// The requester's own decode, for its own consumption, is
+				// the majority it received — even a byzantine server obtains
+				// the correct item; it only corrupts what it forwards.
+				srcDecoded, srcSeen = decoded, true
+			}
+			if o.byz[r] {
+				decoded = false // corrupts whatever it forwards
+			}
+			next[r] = decoded
+			o.Load[r]++
+		}
+		val = next
+		prev = layer
+	}
+	if srcSeen {
+		res.OK = srcDecoded
+		return res
+	}
+	// src did not appear in the final layer (e.g. the zero-hop case where
+	// the target is inside its own segment): it reads all covers directly.
+	trueVotes, falseVotes := 0, 0
+	for _, s := range prev {
+		res.Messages++
+		if val[s] {
+			trueVotes++
+		} else {
+			falseVotes++
+		}
+	}
+	res.OK = trueVotes > falseVotes
+	return res
+}
+
+// DegreeOf returns server i's degree in the overlapping discrete graph:
+// servers whose segment overlaps s(V_i), or is connected to it by a
+// continuous edge (Theorem 6.3's "degree Θ(log n)").
+func (o *Overlay) DegreeOf(i int) int {
+	s := o.Segment(i)
+	arcs := []interval.Segment{s, s.Half(), s.HalfPlus(), s.BackImage()}
+	seen := map[int]bool{}
+	for _, arc := range arcs {
+		for _, j := range o.coversOfArc(arc) {
+			if j != i {
+				seen[j] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// coversOfArc returns all servers whose segment overlaps the arc.
+func (o *Overlay) coversOfArc(arc interval.Segment) []int {
+	var out []int
+	n := o.N()
+	// Walk backward from the cover of arc.Start while within maxQ reach.
+	start := o.ring.Cover(arc.Start)
+	i := start
+	for steps := 0; steps < n; steps++ {
+		d := interval.CWDist(o.ring.Point(i), arc.Start)
+		if d > o.maxQ {
+			break
+		}
+		if o.Segment(i).Overlaps(arc) {
+			out = append(out, i)
+		}
+		i = o.ring.Predecessor(i)
+	}
+	// Walk forward while x_j lies inside the arc.
+	i = o.ring.Successor(start)
+	for steps := 0; steps < n; steps++ {
+		if interval.CWDist(arc.Start, o.ring.Point(i)) >= arc.Len && arc.Len != 0 {
+			break
+		}
+		out = append(out, i)
+		i = o.ring.Successor(i)
+	}
+	return out
+}
+
+// MaxMinCoverage returns the max and min number of servers covering the
+// points of a random sample — every point should be covered by Θ(log n)
+// servers.
+func (o *Overlay) MaxMinCoverage(samples int, rng *rand.Rand) (max, min int) {
+	min = o.N()
+	for k := 0; k < samples; k++ {
+		c := len(o.Covers(interval.Point(rng.Uint64())))
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	return max, min
+}
+
+// ResetLoad zeroes the per-server message counters.
+func (o *Overlay) ResetLoad() {
+	for i := range o.Load {
+		o.Load[i] = 0
+	}
+}

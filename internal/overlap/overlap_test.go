@@ -1,0 +1,275 @@
+package overlap
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"condisc/internal/interval"
+)
+
+func TestCoverageIsLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	const n = 2048
+	o := Build(n, 1, rng)
+	max, min := o.MaxMinCoverage(2000, rng)
+	logN := math.Log2(n)
+	if min < 1 {
+		t.Errorf("some point is uncovered (min coverage %d)", min)
+	}
+	if float64(max) > 24*logN {
+		t.Errorf("max coverage %d >> Θ(log n) = %.0f", max, logN)
+	}
+	if float64(min) < logN/8 {
+		t.Errorf("min coverage %d << Θ(log n) = %.0f", min, logN)
+	}
+}
+
+func TestCoversAreCorrect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	o := Build(256, 1, rng)
+	for trial := 0; trial < 500; trial++ {
+		p := interval.Point(rng.Uint64())
+		got := map[int]bool{}
+		for _, i := range o.Covers(p) {
+			got[i] = true
+		}
+		for i := 0; i < o.N(); i++ {
+			want := o.Segment(i).Contains(p)
+			if got[i] != want {
+				t.Fatalf("server %d: Covers=%v, Segment.Contains=%v", i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestAlphaEstimatesLogN(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	const n = 4096
+	o := Build(n, 1, rng)
+	logN := math.Log2(n)
+	// Lemma 6.2 via the bound of §6.2: log n − log log n − 1 <= α <= 3 log n.
+	for i := 0; i < n; i++ {
+		a := float64(o.Alpha(i))
+		if a < logN-math.Log2(logN)-2 || a > 3*logN+1 {
+			t.Fatalf("server %d: α=%v outside [log n − log log n − 1, 3 log n]", i, a)
+		}
+	}
+}
+
+// TestSimpleLookupNoFaults reproduces Theorem 6.3: path length
+// <= log n + O(1) and delivery to a cover of y.
+func TestSimpleLookupNoFaults(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	const n = 2048
+	o := Build(n, 1, rng)
+	bound := math.Log2(n) + 8
+	for trial := 0; trial < 1000; trial++ {
+		src := rng.IntN(n)
+		y := interval.Point(rng.Uint64())
+		path, ok := o.SimpleLookup(src, y, rng)
+		if !ok {
+			t.Fatalf("lookup failed with no faults")
+		}
+		if float64(len(path)-1) > bound {
+			t.Fatalf("path length %d > log n + O(1) = %.1f", len(path)-1, bound)
+		}
+		last := path[len(path)-1]
+		if !o.Segment(last).Contains(y) {
+			t.Fatalf("lookup for %v ended at non-cover %d", y, last)
+		}
+	}
+}
+
+// TestSimpleLookupUnderFailStop reproduces Theorem 6.4: with a small
+// constant failure probability, every surviving server finds every item.
+func TestSimpleLookupUnderFailStop(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	const n = 2048
+	o := Build(n, 1, rng)
+	o.FailRandom(0.1, rng)
+	fails := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		src := rng.IntN(n)
+		if !o.Alive(src) {
+			continue
+		}
+		_, ok := o.SimpleLookup(src, interval.Point(rng.Uint64()), rng)
+		if !ok {
+			fails++
+		}
+	}
+	if fails > 0 {
+		t.Errorf("%d/%d lookups failed under p=0.1 fail-stop", fails, trials)
+	}
+}
+
+// TestHigherFailureNeedsBiggerQ demonstrates the §6 adjustment knob: at a
+// large failure rate the base overlay may lose points entirely, but
+// doubling the replication arcs restores availability.
+func TestHigherFailureNeedsBiggerQ(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	const n = 1024
+	o := Build(n, 3, rng)
+	o.FailRandom(0.5, rng)
+	fails := 0
+	const trials = 500
+	for trial := 0; trial < trials; trial++ {
+		src := rng.IntN(n)
+		if !o.Alive(src) {
+			continue
+		}
+		if _, ok := o.SimpleLookup(src, interval.Point(rng.Uint64()), rng); !ok {
+			fails++
+		}
+	}
+	if fails > trials/100 {
+		t.Errorf("with mult=3, %d/%d lookups failed at p=0.5", fails, trials)
+	}
+}
+
+// TestFMRLookupCorrectness reproduces Theorem 6.6(1): under random
+// byzantine (false-injection) faults, requesters decode the true payload.
+func TestFMRLookupCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	const n = 2048
+	o := Build(n, 1, rng)
+	o.SetByzantine(0.1, rng)
+	bad := 0
+	const trials = 500
+	for trial := 0; trial < trials; trial++ {
+		src := rng.IntN(n)
+		res := o.FMRLookup(src, interval.Point(rng.Uint64()))
+		if !res.OK {
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Errorf("%d/%d FMR lookups decoded wrong data at p=0.1", bad, trials)
+	}
+}
+
+// TestFMRMessageComplexity reproduces Theorem 6.6(2,3): parallel time
+// O(log n), messages O(log³ n).
+func TestFMRMessageComplexity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	const n = 2048
+	o := Build(n, 1, rng)
+	logN := math.Log2(n)
+	for trial := 0; trial < 200; trial++ {
+		res := o.FMRLookup(rng.IntN(n), interval.Point(rng.Uint64()))
+		if !res.OK {
+			t.Fatal("fault-free FMR lookup failed")
+		}
+		if float64(res.Hops) > logN+8 {
+			t.Errorf("FMR hops %d > O(log n)", res.Hops)
+		}
+		if float64(res.Messages) > 40*logN*logN*logN {
+			t.Errorf("FMR messages %d > O(log³ n) = %.0f", res.Messages, 40*logN*logN*logN)
+		}
+	}
+}
+
+// TestFMRBeatsSimpleUnderByzantine: the ablation — a simple lookup trusts a
+// single path and gets corrupted with noticeable probability, FMR does not.
+func TestFMRBeatsSimpleUnderByzantine(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	const n = 1024
+	o := Build(n, 1, rng)
+	o.SetByzantine(0.15, rng)
+	const trials = 1000
+	corruptedSimple := 0
+	for trial := 0; trial < trials; trial++ {
+		src := rng.IntN(n)
+		path, ok := o.SimpleLookup(src, interval.Point(rng.Uint64()), rng)
+		if !ok {
+			continue
+		}
+		// A simple lookup is corrupted if any hop (excluding the honest
+		// requester) was byzantine.
+		for _, v := range path[1:] {
+			if o.byz[v] {
+				corruptedSimple++
+				break
+			}
+		}
+	}
+	if corruptedSimple < trials/10 {
+		t.Errorf("expected many corrupted simple lookups, got %d", corruptedSimple)
+	}
+	corruptedFMR := 0
+	for trial := 0; trial < trials; trial++ {
+		if res := o.FMRLookup(rng.IntN(n), interval.Point(rng.Uint64())); !res.OK {
+			corruptedFMR++
+		}
+	}
+	if corruptedFMR > trials/100 {
+		t.Errorf("FMR corrupted %d/%d times", corruptedFMR, trials)
+	}
+}
+
+// TestDegreeLogarithmic: Theorem 6.3 context — node degree is Θ(log n).
+func TestDegreeLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 10))
+	const n = 1024
+	o := Build(n, 1, rng)
+	logN := math.Log2(n)
+	maxDeg := 0
+	for i := 0; i < 100; i++ { // sample; DegreeOf is O(n) worst case
+		d := o.DegreeOf(rng.IntN(n))
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if float64(d) < logN/2 {
+			t.Fatalf("degree %d below Θ(log n)", d)
+		}
+	}
+	if float64(maxDeg) > 64*logN {
+		t.Errorf("max degree %d far above Θ(log n)", maxDeg)
+	}
+}
+
+// TestLoadBalancedUnderSimpleLookup: Theorem 6.3(2) — per-server lookup
+// participation stays Θ(log n / n) of the traffic.
+func TestLoadBalancedUnderSimpleLookup(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	const n = 1024
+	o := Build(n, 1, rng)
+	o.ResetLoad()
+	const lookups = 4 * n
+	for k := 0; k < lookups; k++ {
+		o.SimpleLookup(rng.IntN(n), interval.Point(rng.Uint64()), rng)
+	}
+	var max int64
+	for _, l := range o.Load {
+		if l > max {
+			max = l
+		}
+	}
+	// Expected load per server ~ lookups·log n / n = 4 log n; whp O(log n).
+	if float64(max) > 40*math.Log2(n) {
+		t.Errorf("max load %d exceeds O(log n) per server", max)
+	}
+}
+
+func TestDeadSourceFails(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 12))
+	o := Build(64, 1, rng)
+	o.alive[7] = false
+	if _, ok := o.SimpleLookup(7, interval.Point(rng.Uint64()), rng); ok {
+		t.Error("lookup from dead server should fail")
+	}
+	if res := o.FMRLookup(7, interval.Point(rng.Uint64())); res.OK {
+		t.Error("FMR lookup from dead server should fail")
+	}
+}
+
+func TestBuildPanicsOnTinyN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n < 8")
+		}
+	}()
+	Build(4, 1, rand.New(rand.NewPCG(13, 13)))
+}

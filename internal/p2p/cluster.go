@@ -1,0 +1,94 @@
+package p2p
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"condisc/internal/interval"
+)
+
+// Cluster spins up an in-process network of nodes on loopback TCP —
+// the harness examples and the E28 experiment use it to demonstrate the
+// same algorithms over real sockets.
+type Cluster struct {
+	Nodes []*Node
+	seed  uint64
+	rng   *rand.Rand
+}
+
+// StartCluster boots n nodes: the first owns the full circle and the rest
+// join sequentially through it, with a stabilization pass after each join.
+func StartCluster(n int, seed uint64) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("p2p: cluster needs n >= 1")
+	}
+	c := &Cluster{seed: seed, rng: rand.New(rand.NewPCG(seed, seed+1))}
+	first, err := NewNode("127.0.0.1:0", seed)
+	if err != nil {
+		return nil, err
+	}
+	first.StartFirst(interval.Point(c.rng.Uint64()))
+	c.Nodes = append(c.Nodes, first)
+	for i := 1; i < n; i++ {
+		node, err := NewNode("127.0.0.1:0", seed)
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		if err := node.StartJoin(first.Addr(), c.rng); err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("p2p: join %d: %w", i, err)
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c, c.StabilizeAll(2)
+}
+
+// StabilizeAll runs `rounds` stabilization passes over every node.
+func (c *Cluster) StabilizeAll(rounds int) error {
+	for r := 0; r < rounds; r++ {
+		for _, n := range c.Nodes {
+			if err := n.Stabilize(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Client returns a client bootstrapped at node idx.
+func (c *Cluster) Client(idx int) *Client {
+	return &Client{Bootstrap: c.Nodes[idx].Addr()}
+}
+
+// Hash returns the shared item-hash function.
+func (c *Cluster) Hash() func(string) interval.Point {
+	return c.Nodes[0].HashFunc()
+}
+
+// Stop closes every node.
+func (c *Cluster) Stop() {
+	for _, n := range c.Nodes {
+		n.Close()
+	}
+}
+
+// RingOrder returns the nodes' points in ring-successor order starting at
+// node 0, for verifying ring integrity.
+func (c *Cluster) RingOrder() ([]interval.Point, error) {
+	var out []interval.Point
+	start := c.Nodes[0].Addr()
+	addr := start
+	for i := 0; i <= len(c.Nodes); i++ {
+		st, err := call(addr, request{Op: opState})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, interval.Point(st.Point))
+		addr = st.SuccAddr
+		if addr == start {
+			return out, nil
+		}
+	}
+	return out, fmt.Errorf("p2p: ring does not close after %d hops", len(c.Nodes))
+}

@@ -1,0 +1,287 @@
+package p2p
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+
+	"condisc/internal/hashing"
+	"condisc/internal/interval"
+)
+
+// NodeInfo is a routing-table entry: a node's segment start and address.
+type NodeInfo struct {
+	Point uint64
+	Addr  string
+}
+
+// Node is one Distance Halving DHT server.
+type Node struct {
+	addr string
+	ln   net.Listener
+	hash *hashing.Func
+
+	mu   sync.Mutex
+	x    interval.Point // own segment start (fixed for the node's lifetime)
+	end  interval.Point // segment end = successor's point
+	pred NodeInfo
+	succ NodeInfo
+	// back lists covers of the backward image b(s) — the neighbours Fast
+	// Lookup hops through — sorted by Point. Refreshed by Stabilize.
+	back []NodeInfo
+	data map[string][]byte
+
+	closed  chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewNode creates a node listening on addr ("127.0.0.1:0" for an ephemeral
+// port). seed derives the shared item-hash function: all nodes of a cluster
+// must use the same seed.
+func NewNode(addr string, seed uint64) (*Node, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: listen: %w", err)
+	}
+	n := &Node{
+		addr:   ln.Addr().String(),
+		ln:     ln,
+		hash:   hashing.NewKWise(8, rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))),
+		data:   make(map[string][]byte),
+		closed: make(chan struct{}),
+	}
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.addr }
+
+// Point returns the node's segment start.
+func (n *Node) Point() interval.Point {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.x
+}
+
+// segment returns the node's current segment (callers hold mu).
+func (n *Node) segmentLocked() interval.Segment {
+	if n.x == n.end {
+		return interval.FullCircle
+	}
+	return interval.Segment{Start: n.x, Len: uint64(n.end - n.x)}
+}
+
+// StartFirst bootstraps a one-node network: the node owns the full circle.
+func (n *Node) StartFirst(x interval.Point) {
+	n.mu.Lock()
+	n.x = x
+	n.end = x
+	self := NodeInfo{Point: uint64(x), Addr: n.addr}
+	n.pred, n.succ = self, self
+	n.back = []NodeInfo{self}
+	n.mu.Unlock()
+	n.serve()
+}
+
+// StartJoin joins an existing network through the bootstrap address,
+// implementing Algorithm Join of §2.1 with the Improved Single Choice ID
+// rule of §4: sample a random z, look up its owner, and take the middle of
+// that owner's segment.
+func (n *Node) StartJoin(bootstrap string, rng *rand.Rand) error {
+	z := interval.Point(rng.Uint64())
+	owner, err := lookupVia(bootstrap, z)
+	if err != nil {
+		return err
+	}
+	mid := interval.Point(owner.Point) + interval.Point(uint64(owner.End-owner.Point)/2)
+	if uint64(mid) == owner.Point { // degenerate tiny segment; fall back
+		mid = interval.Point(rng.Uint64())
+		owner, err = lookupVia(bootstrap, mid)
+		if err != nil {
+			return err
+		}
+	}
+	// Ask the owner to split its segment at mid.
+	resp, err := call(owner.Addr, request{Op: opJoin, NewPoint: uint64(mid), NewAddr: n.addr})
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.x = mid
+	n.end = interval.Point(resp.End)
+	n.pred = NodeInfo{Point: resp.Point, Addr: resp.Addr}
+	n.succ = NodeInfo{Point: resp.End, Addr: resp.SuccAddr}
+	if resp.SuccAddr == "" { // two-node network: owner is also successor
+		n.succ = NodeInfo{Point: resp.Point, Addr: resp.Addr}
+	}
+	for k, v := range resp.Items {
+		n.data[k] = v
+	}
+	n.back = []NodeInfo{{Point: resp.Point, Addr: resp.Addr}}
+	n.mu.Unlock()
+	n.serve()
+	// Tell the successor its predecessor changed.
+	succ := n.succInfo()
+	if succ.Addr != n.addr {
+		if _, err := call(succ.Addr, request{Op: opSetPred, NewPoint: uint64(mid), NewAddr: n.addr}); err != nil {
+			return err
+		}
+	}
+	return n.Stabilize()
+}
+
+func (n *Node) succInfo() NodeInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.succ
+}
+
+// serve starts the accept loop.
+func (n *Node) serve() {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			conn, err := n.ln.Accept()
+			if err != nil {
+				select {
+				case <-n.closed:
+					return
+				default:
+					continue
+				}
+			}
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				defer conn.Close()
+				var req request
+				if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+					return
+				}
+				resp := n.handle(req)
+				_ = gob.NewEncoder(conn).Encode(resp)
+			}()
+		}
+	}()
+}
+
+// Close shuts the node down (without the graceful Leave handoff).
+func (n *Node) Close() {
+	select {
+	case <-n.closed:
+		return
+	default:
+	}
+	close(n.closed)
+	n.ln.Close()
+	n.wg.Wait()
+}
+
+// handle dispatches one request.
+func (n *Node) handle(req request) response {
+	switch req.Op {
+	case opState:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return response{OK: true, Point: uint64(n.x), End: uint64(n.end),
+			Addr: n.addr, SuccAddr: n.succ.Addr, PredAddr: n.pred.Addr}
+	case opSetPred:
+		n.mu.Lock()
+		n.pred = NodeInfo{Point: req.NewPoint, Addr: req.NewAddr}
+		n.mu.Unlock()
+		return response{OK: true}
+	case opJoin:
+		return n.handleJoin(req)
+	case opLeave:
+		return n.handleLeave(req)
+	case opLookup, opGet, opPut:
+		return n.route(req)
+	default:
+		return response{Err: "unknown op: " + req.Op}
+	}
+}
+
+// handleJoin splits this node's segment at req.NewPoint, transferring the
+// upper part (and its items) to the joiner — Algorithm Join step 3.
+func (n *Node) handleJoin(req request) response {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p := interval.Point(req.NewPoint)
+	if !n.segmentLocked().Contains(p) || p == n.x {
+		return response{Err: fmt.Sprintf("join point %v outside segment", p)}
+	}
+	items := make(map[string][]byte)
+	upper := interval.Segment{Start: p, Len: uint64(n.end - p)}
+	if n.x == n.end { // full circle: the joiner takes [p, x)
+		upper = interval.Segment{Start: p, Len: uint64(n.x - p)}
+	}
+	for k, v := range n.data {
+		if upper.Contains(n.hash.Point(k)) {
+			items[k] = v
+			delete(n.data, k)
+		}
+	}
+	resp := response{
+		OK:    true,
+		Point: uint64(n.x), Addr: n.addr,
+		End: uint64(n.end), SuccAddr: n.succ.Addr,
+		Items: items,
+	}
+	if n.x == n.end { // first split of a singleton network
+		resp.End = uint64(n.x)
+		resp.SuccAddr = n.addr
+	}
+	// The joiner becomes our successor.
+	n.end = p
+	n.succ = NodeInfo{Point: req.NewPoint, Addr: req.NewAddr}
+	return resp
+}
+
+// handleLeave absorbs the leaving successor's segment and items (§2.1:
+// "the predecessor on the ring enlarges its segment").
+func (n *Node) handleLeave(req request) response {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.end = interval.Point(req.Target)                      // leaver's end
+	n.succ = NodeInfo{Point: req.Target, Addr: req.NewAddr} // leaver's successor
+	for k, v := range req.Items {
+		n.data[k] = v
+	}
+	return response{OK: true, Addr: n.addr, Point: uint64(n.x)}
+}
+
+// Leave gracefully exits: hand segment and data to the predecessor and
+// repoint the successor.
+func (n *Node) Leave() error {
+	n.mu.Lock()
+	pred, succ := n.pred, n.succ
+	items := n.data
+	end := n.end
+	n.mu.Unlock()
+	if pred.Addr == n.addr {
+		n.Close()
+		return nil // last node
+	}
+	req := request{Op: opLeave, Target: uint64(end), NewAddr: succ.Addr, Items: items}
+	if _, err := call(pred.Addr, req); err != nil {
+		return err
+	}
+	if succ.Addr != n.addr {
+		if _, err := call(succ.Addr, request{Op: opSetPred, NewPoint: pred.Point, NewAddr: pred.Addr}); err != nil {
+			return err
+		}
+	}
+	n.Close()
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package p2p is a real-network implementation of the Distance Halving DHT
+// (§2) over TCP: nodes own segments of [0,1), route lookups along the
+// backward edges of the continuous graph (Fast Lookup, §2.2.1), and
+// maintain their neighbour tables with a Chord-style stabilization pass.
+//
+// Design notes:
+//
+//   - The ring pointers (pred/succ) are updated synchronously during Join
+//     and Leave, so they are always correct; the de Bruijn backward tables
+//     are refreshed by Stabilize and used opportunistically — when a table
+//     misses the next hop the node falls back to a ring hop, trading hops
+//     for progress (the standard correctness/efficiency split in DHTs).
+//   - Every RPC is one request/response over a fresh TCP connection,
+//     encoded with encoding/gob. Recursive routing: each hop dials the
+//     next node and relays the response back.
+//   - All nodes share the item-hash function, derived from a cluster seed.
+package p2p
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+)
+
+// op codes for the wire protocol.
+const (
+	opState   = "state"   // node status: point, end, ring pointers
+	opLookup  = "lookup"  // route to the owner of a point
+	opGet     = "get"     // route + read
+	opPut     = "put"     // route + write
+	opJoin    = "join"    // segment split at the owner
+	opLeave   = "leave"   // absorb a leaving successor's segment + data
+	opSetPred = "setpred" // update predecessor pointer
+)
+
+// request is the single wire request type.
+type request struct {
+	Op  string
+	Key string
+	Val []byte
+	// Target is the lookup target point (fixed-point uint64).
+	Target uint64
+	// Pos and StepsLeft carry Fast Lookup routing state; Started marks
+	// that the walk has been initialized by the first node on the path.
+	Pos       uint64
+	StepsLeft int
+	Started   bool
+	Hops      int
+	// NewAddr/NewPoint describe a joining or leaving node.
+	NewAddr  string
+	NewPoint uint64
+	// Items carries bulk data transfer on Leave.
+	Items map[string][]byte
+}
+
+// response is the single wire response type.
+type response struct {
+	OK   bool
+	Err  string
+	Val  []byte
+	Hops int
+	// Node status fields.
+	Point    uint64
+	End      uint64
+	Addr     string
+	SuccAddr string
+	PredAddr string
+	// Join/Leave payload: transferred items and seed neighbours.
+	Items map[string][]byte
+}
+
+const rpcTimeout = 5 * time.Second
+
+// call performs one RPC.
+func call(addr string, req request) (response, error) {
+	conn, err := net.DialTimeout("tcp", addr, rpcTimeout)
+	if err != nil {
+		return response{}, fmt.Errorf("p2p: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(rpcTimeout)); err != nil {
+		return response{}, err
+	}
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return response{}, fmt.Errorf("p2p: encode to %s: %w", addr, err)
+	}
+	var resp response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("p2p: decode from %s: %w", addr, err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("p2p: remote error from %s: %s", addr, resp.Err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,280 @@
+package p2p
+
+import (
+	"sort"
+
+	"condisc/internal/interval"
+)
+
+// This file implements Fast Lookup (§2.2.1) over the wire, plus the
+// stabilization pass that refreshes the backward-neighbour tables.
+
+// maxFastSteps caps the Fast Lookup walk (64 backward hops shrink any
+// distance below one fixed-point ulp).
+const maxFastSteps = 66
+
+// route handles lookup/get/put: if this node covers the target (or the
+// walk has finished), it serves locally; otherwise it advances the Fast
+// Lookup state one backward hop and forwards.
+func (n *Node) route(req request) response {
+	n.mu.Lock()
+	seg := n.segmentLocked()
+	target := interval.Point(req.Target)
+
+	if !req.Started {
+		// Fresh lookup entering at this node: compute the walk (the paper's
+		// step 1, with z the middle of our own segment).
+		z := seg.Mid()
+		t := 0
+		for ; t < maxFastSteps; t++ {
+			if seg.Contains(interval.WalkPrefix(z, target, uint(t))) {
+				break
+			}
+		}
+		req.Pos = uint64(interval.WalkPrefix(z, target, uint(t)))
+		req.StepsLeft = t
+		req.Started = true
+	}
+
+	if req.StepsLeft == 0 {
+		// Walk done: we should cover the target; otherwise ring-forward.
+		if seg.Contains(target) {
+			resp := n.serveLocal(req)
+			n.mu.Unlock()
+			return resp
+		}
+		next := n.ringStepLocked(target)
+		n.mu.Unlock()
+		return forward(next, req)
+	}
+
+	// Advance the backward walk: pos' = b(pos). If we also cover pos',
+	// loop locally without a network hop.
+	pos := interval.Point(req.Pos)
+	for req.StepsLeft > 0 {
+		pos = pos.Back()
+		req.StepsLeft--
+		req.Pos = uint64(pos)
+		if !seg.Contains(pos) {
+			next := n.nextHopLocked(pos)
+			ring := n.ringStepLocked(pos)
+			n.mu.Unlock()
+			resp, delivered := tryForward(next, req)
+			if !delivered && ring.Addr != next.Addr {
+				// Stale backward-table entry (e.g. a departed node): the
+				// ring pointers are maintained synchronously and always
+				// name a live node, so fall back to a ring hop.
+				resp, _ = tryForward(ring, req)
+			}
+			return resp
+		}
+	}
+	// Walk ended inside our own segment.
+	if seg.Contains(target) {
+		resp := n.serveLocal(req)
+		n.mu.Unlock()
+		return resp
+	}
+	next := n.ringStepLocked(target)
+	n.mu.Unlock()
+	return forward(next, req)
+}
+
+// serveLocal executes the data operation at the owner (mu held).
+func (n *Node) serveLocal(req request) response {
+	resp := response{OK: true, Hops: req.Hops,
+		Point: uint64(n.x), End: uint64(n.end), Addr: n.addr,
+		SuccAddr: n.succ.Addr, PredAddr: n.pred.Addr}
+	switch req.Op {
+	case opGet:
+		v, ok := n.data[req.Key]
+		if !ok {
+			return response{Err: "key not found: " + req.Key, Hops: req.Hops}
+		}
+		resp.Val = v
+	case opPut:
+		n.data[req.Key] = req.Val
+	}
+	return resp
+}
+
+// nextHopLocked picks the backward-table entry covering pos, falling back
+// to a ring step while tables are stale (mu held).
+func (n *Node) nextHopLocked(pos interval.Point) NodeInfo {
+	if len(n.back) > 0 {
+		i := sort.Search(len(n.back), func(k int) bool { return n.back[k].Point > uint64(pos) })
+		if i == 0 {
+			i = len(n.back)
+		}
+		cand := n.back[i-1]
+		if cand.Addr != n.addr {
+			return cand
+		}
+	}
+	return n.ringStepLocked(pos)
+}
+
+// ringStepLocked returns the ring neighbour in the direction of p.
+func (n *Node) ringStepLocked(p interval.Point) NodeInfo {
+	if interval.CWDist(n.x, p) <= 1<<63 {
+		return n.succ
+	}
+	return n.pred
+}
+
+// forward relays the request to the next node, incrementing the hop count.
+func forward(next NodeInfo, req request) response {
+	resp, _ := tryForward(next, req)
+	return resp
+}
+
+// tryForward relays the request; delivered is false when the next node was
+// unreachable (as opposed to a remote application error).
+func tryForward(next NodeInfo, req request) (response, bool) {
+	req.Hops++
+	if req.Hops > 4096 {
+		return response{Err: "hop limit exceeded"}, true
+	}
+	resp, err := call(next.Addr, req)
+	if err != nil && resp.Err == "" {
+		// Transport failure (dial/encode/decode), not a remote refusal.
+		return response{Err: err.Error(), Hops: req.Hops}, false
+	}
+	if err != nil {
+		return response{Err: resp.Err, Hops: req.Hops}, true
+	}
+	return resp, true
+}
+
+// Stabilize refreshes the node's view: re-reads the successor's state
+// (adopting a new successor if one joined in between) and re-enumerates
+// the covers of the backward image b(s) by walking the ring from the
+// owner of the arc start.
+func (n *Node) Stabilize() error {
+	n.mu.Lock()
+	succ := n.succ
+	n.mu.Unlock()
+
+	// Successor refresh: if succ's pred is between us and succ, adopt it.
+	// All RPCs happen without holding mu (a node may be stabilized against
+	// while stabilizing).
+	st, err := call(succ.Addr, request{Op: opState})
+	if err != nil {
+		return err
+	}
+	var candidate *response
+	if st.PredAddr != "" && st.PredAddr != n.addr {
+		if ps, err2 := call(st.PredAddr, request{Op: opState}); err2 == nil {
+			candidate = &ps
+		}
+	}
+	n.mu.Lock()
+	if candidate != nil {
+		if p := interval.Point(candidate.Point); n.segmentLocked().Contains(p) && p != n.x {
+			n.succ = NodeInfo{Point: candidate.Point, Addr: candidate.Addr}
+			n.end = p
+		}
+	} else if st.PredAddr == n.addr {
+		n.end = interval.Point(st.Point)
+	}
+	seg := n.segmentLocked()
+	n.mu.Unlock()
+
+	// Re-enumerate backward neighbours: covers of b(s).
+	arc := seg.BackImage()
+	covers, err := n.coversOfArc(arc)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.back = covers
+	n.mu.Unlock()
+	return nil
+}
+
+// coversOfArc finds all nodes whose segments intersect the arc, by looking
+// up the arc start's owner and walking successor pointers.
+func (n *Node) coversOfArc(arc interval.Segment) ([]NodeInfo, error) {
+	first, err := lookupVia(n.addr, arc.Start)
+	if err != nil {
+		return nil, err
+	}
+	covers := []NodeInfo{{Point: first.Point, Addr: first.Addr}}
+	cur := first
+	for i := 0; i < 4096; i++ {
+		if cur.SuccAddr == "" || cur.SuccAddr == first.Addr {
+			break
+		}
+		st, err := call(cur.SuccAddr, request{Op: opState})
+		if err != nil {
+			return nil, err
+		}
+		if !arc.Contains(interval.Point(st.Point)) || st.Addr == first.Addr {
+			break
+		}
+		covers = append(covers, NodeInfo{Point: st.Point, Addr: st.Addr})
+		cur = st
+	}
+	sort.Slice(covers, func(a, b int) bool { return covers[a].Point < covers[b].Point })
+	return covers, nil
+}
+
+// lookupVia resolves the owner of point p through any live node.
+func lookupVia(addr string, p interval.Point) (response, error) {
+	resp, err := call(addr, request{Op: opLookup, Target: uint64(p)})
+	if err != nil {
+		return response{}, err
+	}
+	return resp, nil
+}
+
+// --- client API ---
+
+// Client talks to a cluster through a bootstrap node.
+type Client struct {
+	Bootstrap string
+}
+
+// Lookup returns the owner of a key's hash point along with the hop count.
+func (c *Client) Lookup(p interval.Point) (owner string, hops int, err error) {
+	resp, err := lookupVia(c.Bootstrap, p)
+	if err != nil {
+		return "", 0, err
+	}
+	return resp.Addr, resp.Hops, nil
+}
+
+// Put stores a value under key.
+func (c *Client) Put(key string, val []byte, h func(string) interval.Point) (int, error) {
+	resp, err := call(c.Bootstrap, request{Op: opPut, Key: key, Val: val, Target: uint64(h(key))})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Hops, nil
+}
+
+// Get retrieves the value under key.
+func (c *Client) Get(key string, h func(string) interval.Point) ([]byte, int, error) {
+	resp, err := call(c.Bootstrap, request{Op: opGet, Key: key, Target: uint64(h(key))})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Val, resp.Hops, nil
+}
+
+// HashFunc returns the node's item-hash (shared across a cluster seed).
+func (n *Node) HashFunc() func(string) interval.Point { return n.hash.Point }
+
+// State returns a snapshot of the node's segment and ring pointers.
+func (n *Node) State() (x, end interval.Point, pred, succ NodeInfo) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.x, n.end, n.pred, n.succ
+}
+
+// NumItems returns how many items the node stores.
+func (n *Node) NumItems() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.data)
+}

@@ -1,0 +1,105 @@
+package p2p
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPutsAndGets hammers a cluster from many goroutines: the
+// node's mutex discipline must keep the stores consistent and the
+// request/response protocol must not interleave.
+func TestConcurrentPutsAndGets(t *testing.T) {
+	const n = 8
+	c, err := StartCluster(n, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	h := c.Hash()
+
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := c.Client(w % n)
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				val := []byte(fmt.Sprintf("w%d-v%d", w, i))
+				if _, err := cl.Put(key, val, h); err != nil {
+					errs <- fmt.Errorf("put %s: %w", key, err)
+					return
+				}
+				got, _, err := cl.Get(key, h)
+				if err != nil {
+					errs <- fmt.Errorf("get %s: %w", key, err)
+					return
+				}
+				if !bytes.Equal(got, val) {
+					errs <- fmt.Errorf("get %s = %q, want %q", key, got, val)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Cross-reads: every worker's keys visible from every node.
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i += 7 {
+			key := fmt.Sprintf("w%d-k%d", w, i)
+			if _, _, err := c.Client((w+3)%n).Get(key, h); err != nil {
+				t.Errorf("cross-read %s: %v", key, err)
+			}
+		}
+	}
+}
+
+// TestConcurrentStabilizeDuringTraffic runs stabilization passes while
+// lookups are in flight — the lock-discipline scenario that would deadlock
+// if a node held its mutex across RPCs.
+func TestConcurrentStabilizeDuringTraffic(t *testing.T) {
+	const n = 6
+	c, err := StartCluster(n, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	h := c.Hash()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, node := range c.Nodes {
+					_ = node.Stabilize()
+				}
+			}
+		}
+	}()
+	for i := 0; i < 60; i++ {
+		key := fmt.Sprintf("traffic-%d", i)
+		if _, err := c.Client(i%n).Put(key, []byte("x"), h); err != nil {
+			t.Fatalf("put during stabilize: %v", err)
+		}
+		if _, _, err := c.Client((i+1)%n).Get(key, h); err != nil {
+			t.Fatalf("get during stabilize: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,118 @@
+package partition
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"condisc/internal/interval"
+)
+
+// TestCoverMatchesBruteForce cross-checks the binary-search Cover against a
+// linear scan on random rings and queries.
+func TestCoverMatchesBruteForce(t *testing.T) {
+	f := func(raw []uint64, q uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pts := make([]interval.Point, len(raw))
+		for i, v := range raw {
+			pts[i] = interval.Point(v)
+		}
+		r := FromPoints(pts)
+		p := interval.Point(q)
+		got := r.Cover(p)
+		for i := 0; i < r.N(); i++ {
+			if r.Segment(i).Contains(p) {
+				return got == i
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInsertRemoveRoundTrip: inserting then removing a point restores the
+// exact ring.
+func TestInsertRemoveRoundTrip(t *testing.T) {
+	f := func(raw []uint64, extra uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pts := make([]interval.Point, len(raw))
+		for i, v := range raw {
+			pts[i] = interval.Point(v)
+		}
+		r := FromPoints(pts)
+		before := append([]interval.Point(nil), r.Points()...)
+		p := interval.Point(extra)
+		if _, ok := r.Insert(p); ok {
+			if !r.Remove(p) {
+				return false
+			}
+		}
+		after := r.Points()
+		if len(after) != len(before) {
+			return false
+		}
+		for i := range after {
+			if after[i] != before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSuccessorPredecessorInverse: succ(pred(i)) == i everywhere.
+func TestSuccessorPredecessorInverse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(50, 50))
+	r := Grow(New(), 200, SingleChooser, rng)
+	for i := 0; i < r.N(); i++ {
+		if r.Successor(r.Predecessor(i)) != i || r.Predecessor(r.Successor(i)) != i {
+			t.Fatalf("succ/pred not inverse at %d", i)
+		}
+	}
+}
+
+// TestSmoothnessScaleInvariance: smoothness only depends on length ratios,
+// so rotating every point by a constant leaves it unchanged.
+func TestSmoothnessRotationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 51))
+	pts := make([]interval.Point, 100)
+	for i := range pts {
+		pts[i] = interval.Point(rng.Uint64())
+	}
+	r1 := FromPoints(pts)
+	shift := interval.Point(rng.Uint64())
+	shifted := make([]interval.Point, len(pts))
+	for i, p := range pts {
+		shifted[i] = p + shift
+	}
+	r2 := FromPoints(shifted)
+	if r1.Smoothness() != r2.Smoothness() {
+		t.Errorf("smoothness changed under rotation: %v vs %v",
+			r1.Smoothness(), r2.Smoothness())
+	}
+}
+
+// TestGrowPreservesExistingPoints: Grow only adds.
+func TestGrowPreservesExistingPoints(t *testing.T) {
+	rng := rand.New(rand.NewPCG(52, 52))
+	r := FromPoints([]interval.Point{interval.FromFloat(0.25), interval.FromFloat(0.75)})
+	Grow(r, 20, MultipleChooser(2), rng)
+	found := 0
+	for i := 0; i < r.N(); i++ {
+		if r.Point(i) == interval.FromFloat(0.25) || r.Point(i) == interval.FromFloat(0.75) {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("original points lost: found %d of 2", found)
+	}
+}

@@ -1,0 +1,204 @@
+// Package partition maintains the dynamic decomposition of the unit
+// interval into cells (segments), one per server — the "act discretely"
+// half of the continuous-discrete approach (§1.2 of Naor & Wieder) — along
+// with the ID-selection (load balancing) algorithms of §4.
+//
+// The central object is the Ring: the sorted multiset-free set of server
+// points x_0 < x_1 < ... < x_{n-1} dividing I into n segments
+// s(x_i) = [x_i, x_{i+1}) with the last segment wrapping around. The
+// quality of the decomposition is its smoothness ρ = max|s_i| / min|s_j|
+// (Definition 1); every theorem in the paper is parameterized by ρ.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"condisc/internal/interval"
+)
+
+// Ring is a dynamic decomposition of I into segments. The zero value is an
+// empty ring ready for use.
+type Ring struct {
+	pts []interval.Point // sorted ascending, all distinct
+}
+
+// New returns an empty ring.
+func New() *Ring { return &Ring{} }
+
+// FromPoints builds a ring from the given points (duplicates are dropped).
+func FromPoints(pts []interval.Point) *Ring {
+	r := &Ring{pts: append([]interval.Point(nil), pts...)}
+	sort.Slice(r.pts, func(i, j int) bool { return r.pts[i] < r.pts[j] })
+	out := r.pts[:0]
+	var prev interval.Point
+	for i, p := range r.pts {
+		if i > 0 && p == prev {
+			continue
+		}
+		out = append(out, p)
+		prev = p
+	}
+	r.pts = out
+	return r
+}
+
+// N returns the number of servers (segments).
+func (r *Ring) N() int { return len(r.pts) }
+
+// Point returns the i-th server point in sorted order.
+func (r *Ring) Point(i int) interval.Point { return r.pts[i] }
+
+// Points returns the underlying sorted point slice (read-only view).
+func (r *Ring) Points() []interval.Point { return r.pts }
+
+// Clone returns a deep copy of the ring.
+func (r *Ring) Clone() *Ring {
+	return &Ring{pts: append([]interval.Point(nil), r.pts...)}
+}
+
+// search returns the index of the first point > p (possibly len(pts)).
+func (r *Ring) search(p interval.Point) int {
+	return sort.Search(len(r.pts), func(i int) bool { return r.pts[i] > p })
+}
+
+// Insert adds a new server point, implementing the segment split of
+// Algorithm Join step 3: the segment covering p is divided so that the new
+// server owns [p, oldEnd). It reports the new index and whether the point
+// was inserted (false if already present).
+func (r *Ring) Insert(p interval.Point) (int, bool) {
+	i := r.search(p)
+	if i > 0 && r.pts[i-1] == p {
+		return i - 1, false
+	}
+	r.pts = append(r.pts, 0)
+	copy(r.pts[i+1:], r.pts[i:])
+	r.pts[i] = p
+	return i, true
+}
+
+// RemoveAt deletes the i-th server; its segment is absorbed by the ring
+// predecessor (the simple Leave of §2.1).
+func (r *Ring) RemoveAt(i int) {
+	r.pts = append(r.pts[:i], r.pts[i+1:]...)
+}
+
+// Remove deletes the server with the given point, reporting whether it was
+// present.
+func (r *Ring) Remove(p interval.Point) bool {
+	i := r.search(p)
+	if i == 0 || r.pts[i-1] != p {
+		return false
+	}
+	r.RemoveAt(i - 1)
+	return true
+}
+
+// Cover returns the index i of the server covering p, i.e. p ∈ s(x_i).
+// The ring must be non-empty.
+func (r *Ring) Cover(p interval.Point) int {
+	i := r.search(p)
+	if i == 0 {
+		return len(r.pts) - 1 // p precedes all points: wrapping segment
+	}
+	return i - 1
+}
+
+// Successor returns the index after i on the ring.
+func (r *Ring) Successor(i int) int {
+	if i == len(r.pts)-1 {
+		return 0
+	}
+	return i + 1
+}
+
+// Predecessor returns the index before i on the ring.
+func (r *Ring) Predecessor(i int) int {
+	if i == 0 {
+		return len(r.pts) - 1
+	}
+	return i - 1
+}
+
+// Segment returns s(x_i) = [x_i, x_{i+1}).
+func (r *Ring) Segment(i int) interval.Segment {
+	if len(r.pts) == 1 {
+		return interval.FullCircle
+	}
+	next := r.pts[r.Successor(i)]
+	return interval.Segment{Start: r.pts[i], Len: uint64(next - r.pts[i])}
+}
+
+// Segments returns all segments in index order.
+func (r *Ring) Segments() []interval.Segment {
+	out := make([]interval.Segment, len(r.pts))
+	for i := range r.pts {
+		out[i] = r.Segment(i)
+	}
+	return out
+}
+
+// SegmentLens returns min and max segment lengths (fixed-point scale).
+func (r *Ring) SegmentLens() (min, max uint64) {
+	if len(r.pts) == 0 {
+		return 0, 0
+	}
+	if len(r.pts) == 1 {
+		return ^uint64(0), ^uint64(0)
+	}
+	min = ^uint64(0)
+	for i := range r.pts {
+		l := r.Segment(i).Len
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	return min, max
+}
+
+// Smoothness returns ρ(x⃗) = max_i |s(x_i)| / min_j |s(x_j)| (Definition 1).
+func (r *Ring) Smoothness() float64 {
+	min, max := r.SegmentLens()
+	if min == 0 {
+		return 0
+	}
+	return float64(max) / float64(min)
+}
+
+// CoversOfArc returns the indices of all servers whose segments intersect
+// the arc (in ring order starting at the server covering arc.Start). This
+// enumerates the discrete endpoints of a continuous edge image and is the
+// primitive behind edge derivation (§2.1: "two cells are connected if they
+// contain adjacent points in the continuous graph").
+func (r *Ring) CoversOfArc(arc interval.Segment) []int {
+	n := len(r.pts)
+	if n == 0 {
+		return nil
+	}
+	if arc.Len == 0 { // full circle
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := []int{r.Cover(arc.Start)}
+	i := r.Successor(out[0])
+	for len(out) < n {
+		// x_i is the start of the next segment; it intersects the arc iff it
+		// lies strictly inside [arc.Start, arc.End).
+		if uint64(r.pts[i]-arc.Start) >= arc.Len || r.pts[i] == arc.Start {
+			break
+		}
+		out = append(out, i)
+		i = r.Successor(i)
+	}
+	return out
+}
+
+func (r *Ring) String() string {
+	return fmt.Sprintf("Ring(n=%d, ρ=%.2f)", r.N(), r.Smoothness())
+}

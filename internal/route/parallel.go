@@ -1,0 +1,102 @@
+package route
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"condisc/internal/interval"
+)
+
+// BulkResult aggregates a parallel batch of lookups.
+type BulkResult struct {
+	Lookups int
+	SumLen  int
+	MaxLen  int
+	// Load is the merged per-server message count of the batch.
+	Load []int64
+}
+
+// MaxLoad returns the busiest server's load in the batch.
+func (r BulkResult) MaxLoad() int64 {
+	var m int64
+	for _, l := range r.Load {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// ParallelRandomLookups runs count lookups (uniform random sources and
+// targets) across GOMAXPROCS workers. Each worker keeps a private load
+// vector and a private PRNG stream (deterministic per seed), merged at the
+// end — the Network's own Load counters are not touched, so concurrent
+// batches never race. useFast selects Fast Lookup; otherwise the
+// randomized DH Lookup runs.
+//
+// This is the throughput entry point for load experiments at scale: the
+// lookups are independent, so the batch parallelizes embarrassingly.
+func (nw *Network) ParallelRandomLookups(count int, useFast bool, seed uint64) BulkResult {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > count {
+		workers = count
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n := nw.G.N()
+
+	type partial struct {
+		sum, max int
+		load     []int64
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		share := count / workers
+		if w < count%workers {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, uint64(w)+1))
+			local := shadowNetwork(nw)
+			for i := 0; i < share; i++ {
+				src := rng.IntN(n)
+				y := interval.Point(rng.Uint64())
+				var path []int
+				if useFast {
+					path = local.FastLookup(src, y)
+				} else {
+					path = local.DHLookup(src, y, rng)
+				}
+				l := len(path) - 1
+				parts[w].sum += l
+				if l > parts[w].max {
+					parts[w].max = l
+				}
+			}
+			parts[w].load = local.Load
+		}(w, share)
+	}
+	wg.Wait()
+
+	out := BulkResult{Lookups: count, Load: make([]int64, n)}
+	for _, p := range parts {
+		out.SumLen += p.sum
+		if p.max > out.MaxLen {
+			out.MaxLen = p.max
+		}
+		for i, l := range p.load {
+			out.Load[i] += l
+		}
+	}
+	return out
+}
+
+// shadowNetwork shares the immutable graph but owns private load counters.
+func shadowNetwork(nw *Network) *Network {
+	return &Network{G: nw.G, Load: make([]int64, nw.G.N())}
+}

@@ -1,0 +1,81 @@
+package route
+
+import (
+	"math"
+	"testing"
+
+	"condisc/internal/interval"
+)
+
+// TestParallelMatchesSequentialAccounting: the merged load equals the sum
+// of path elements, and stats match a sequential run of the same volume in
+// distribution (same bounds).
+func TestParallelBulkAccounting(t *testing.T) {
+	nw, _ := smoothNetwork(512, 2, 80)
+	const count = 4000
+	res := nw.ParallelRandomLookups(count, true, 99)
+	if res.Lookups != count {
+		t.Fatalf("lookups = %d", res.Lookups)
+	}
+	var sum int64
+	for _, l := range res.Load {
+		sum += l
+	}
+	// Every path element is counted once; paths have len = hops+1.
+	if sum != int64(res.SumLen+count) {
+		t.Fatalf("merged load %d != path elements %d", sum, res.SumLen+count)
+	}
+	bound := math.Log2(512) + math.Log2(nw.G.Ring.Smoothness()) + 2
+	if float64(res.MaxLen) > bound {
+		t.Fatalf("parallel max path %d > bound %.1f", res.MaxLen, bound)
+	}
+	// The Network's own counters must be untouched.
+	if nw.MaxLoad() != 0 {
+		t.Fatal("ParallelRandomLookups dirtied the shared Load counters")
+	}
+}
+
+// TestParallelDeterministicPerSeed: same seed, same merged statistics.
+func TestParallelDeterministicPerSeed(t *testing.T) {
+	nw, _ := smoothNetwork(256, 2, 81)
+	a := nw.ParallelRandomLookups(2000, false, 7)
+	b := nw.ParallelRandomLookups(2000, false, 7)
+	if a.SumLen != b.SumLen || a.MaxLen != b.MaxLen || a.MaxLoad() != b.MaxLoad() {
+		t.Errorf("parallel runs with equal seeds differ: %+v vs %+v",
+			a.SumLen, b.SumLen)
+	}
+}
+
+// TestParallelCongestionShape: the parallel batch reproduces the Theorem
+// 2.7 congestion shape (max load O(batch/n · log n)).
+func TestParallelCongestionShape(t *testing.T) {
+	const n = 1024
+	nw, _ := smoothNetwork(n, 2, 82)
+	res := nw.ParallelRandomLookups(4*n, true, 13)
+	logN := math.Log2(n)
+	if perServer := float64(res.MaxLoad()) / 4; perServer > 12*logN {
+		t.Errorf("parallel congestion %f > O(log n)", perServer)
+	}
+}
+
+func TestParallelSmallBatch(t *testing.T) {
+	nw, _ := smoothNetwork(64, 2, 83)
+	res := nw.ParallelRandomLookups(1, true, 1)
+	if res.Lookups != 1 || res.SumLen < 0 {
+		t.Fatalf("tiny batch broken: %+v", res)
+	}
+}
+
+func BenchmarkSequentialLookups(b *testing.B) {
+	nw, rng := smoothNetwork(4096, 2, 84)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.FastLookup(rng.IntN(4096), interval.Point(rng.Uint64()))
+	}
+}
+
+func BenchmarkParallelLookups(b *testing.B) {
+	nw, _ := smoothNetwork(4096, 2, 85)
+	b.ResetTimer()
+	nw.ParallelRandomLookups(b.N, true, 42)
+}

@@ -1,0 +1,264 @@
+// Package route implements the lookup algorithms of §2.2 over the discrete
+// Distance Halving graph, with per-server load metering for the congestion
+// and permutation-routing experiments (Theorems 2.7–2.11, 2.13).
+//
+// Two algorithms are provided, mirroring the paper:
+//
+//   - Fast Lookup (§2.2.1): the deterministic walk along the backward edges
+//     determined by the binary (or base-∆) representation of the source's
+//     segment midpoint. Path length <= log_∆ n + log_∆ ρ + 1 (Corollary
+//     2.5), congestion Θ(log n / n) for random lookups (Theorem 2.7).
+//
+//   - Distance Halving Lookup (§2.2.2): the two-phase randomized scheme à
+//     la Valiant: phase I walks source and target simultaneously along a
+//     random digit string until they collide; phase II retraces the target
+//     walk backwards. Path length <= 2 log n + 2 log ρ (Theorem 2.8),
+//     congestion Θ(log n / n) even for worst-case permutation routing
+//     (Theorems 2.9–2.11).
+package route
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"condisc/internal/dhgraph"
+	"condisc/internal/interval"
+)
+
+// Network wraps a discrete DH graph with message-load accounting.
+type Network struct {
+	G *dhgraph.Graph
+	// Load[i] counts the messages server i has handled (every appearance on
+	// a lookup path, origin included — Definition 3's notion of "active in a
+	// routing").
+	Load []int64
+}
+
+// NewNetwork creates a metered network over g.
+func NewNetwork(g *dhgraph.Graph) *Network {
+	return &Network{G: g, Load: make([]int64, g.N())}
+}
+
+// ResetLoad zeroes the congestion counters.
+func (nw *Network) ResetLoad() {
+	for i := range nw.Load {
+		nw.Load[i] = 0
+	}
+}
+
+// MaxLoad returns the maximum per-server load.
+func (nw *Network) MaxLoad() int64 {
+	var max int64
+	for _, l := range nw.Load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// visit appends server v to the path if it differs from the current last
+// element, and counts its load.
+func (nw *Network) visit(path []int, v int) []int {
+	if len(path) > 0 && path[len(path)-1] == v {
+		return path
+	}
+	nw.Load[v]++
+	return append(path, v)
+}
+
+// maxWalkSteps bounds walk lengths: enough steps for the walk distance to
+// shrink below any segment (∆^steps >= 2^64), with slack.
+func (nw *Network) maxWalkSteps() uint {
+	return uint(math.Ceil(64/math.Log2(float64(nw.G.Delta)))) + 2
+}
+
+// FastLookup routes a lookup from server src to the server covering y using
+// the Fast Lookup of §2.2.1 and returns the path of distinct servers
+// visited (src first). The walk target z is the midpoint of src's segment;
+// t is the minimal depth at which the walk w(σ(z)_t, y) enters src's
+// segment, chosen in advance as the paper requires.
+func (nw *Network) FastLookup(src int, y interval.Point) []int {
+	ring := nw.G.Ring
+	delta := nw.G.Delta
+	seg := ring.Segment(src)
+	z := seg.Mid()
+
+	var t uint
+	maxT := nw.maxWalkSteps()
+	for t = 0; t <= maxT; t++ {
+		if seg.Contains(interval.DeltaWalkPrefix(z, y, delta, t)) {
+			break
+		}
+	}
+
+	path := nw.visit(nil, src)
+	h := interval.DeltaWalkPrefix(z, y, delta, t)
+	for step := t; step > 0; step-- {
+		h = interval.DeltaBack(h, delta)
+		path = nw.visit(path, ring.Cover(h))
+	}
+	// The walk endpoint equals y truncated to its top bits; deliver to the
+	// exact cover of y (at most one extra ring hop, guarding the fixed-point
+	// truncation).
+	return nw.visit(path, ring.Cover(y))
+}
+
+// DHLookup routes a lookup from server src to the server covering y using
+// the two-phase Distance Halving Lookup of §2.2.2, consuming random digits
+// from rng. It returns the path of distinct servers visited.
+func (nw *Network) DHLookup(src int, y interval.Point, rng *rand.Rand) []int {
+	path, _ := nw.DHLookupTrace(src, y, rng)
+	return path
+}
+
+// Trace records the phase structure of a DH lookup, used by the caching
+// protocol (§3) which couples to the phase-II walk.
+type Trace struct {
+	// Digits holds the random digits τ_1, τ_2, ... consumed in phase I.
+	Digits []uint64
+	// PhaseIEnd is the index in the path where phase II begins.
+	PhaseIEnd int
+	// TargetWalk holds the phase-II positions q_T, ..., q_1, q_0 = y in the
+	// order they are visited when descending back to the target.
+	TargetWalk []interval.Point
+}
+
+// DHLookupTrace is DHLookup returning the full trace.
+func (nw *Network) DHLookupTrace(src int, y interval.Point, rng *rand.Rand) ([]int, Trace) {
+	ring := nw.G.Ring
+	delta := nw.G.Delta
+	var tr Trace
+
+	p := ring.Point(src) // the paper's header carries x_i
+	q := y
+	stack := []interval.Point{y} // q_0 .. q_t
+	cur := src
+	path := nw.visit(nil, src)
+
+	maxT := nw.maxWalkSteps()
+	for t := uint(0); ; t++ {
+		cq := ring.Cover(q)
+		if cq == cur || nw.G.IsNeighbor(cur, cq) {
+			// Phase I ends: move to the server covering w(τ_t, y).
+			path = nw.visit(path, cq)
+			cur = cq
+			break
+		}
+		if t >= maxT {
+			// Cannot happen on a well-formed ring; guard against spins.
+			break
+		}
+		d := rng.Uint64N(delta)
+		tr.Digits = append(tr.Digits, d)
+		p = interval.DeltaStep(p, delta, d)
+		q = interval.DeltaStep(q, delta, d)
+		stack = append(stack, q)
+		next := ring.Cover(p)
+		path = nw.visit(path, next)
+		cur = next
+	}
+	tr.PhaseIEnd = len(path)
+
+	// Phase II: retrace the target walk backwards, popping exact positions
+	// (each hop is a backward edge of the continuous graph).
+	for j := len(stack) - 1; j >= 0; j-- {
+		tr.TargetWalk = append(tr.TargetWalk, stack[j])
+		path = nw.visit(path, ring.Cover(stack[j]))
+	}
+	return path, tr
+}
+
+// DHLookupStoppable runs a Distance Halving lookup whose phase II can be
+// intercepted: after the message reaches the server covering the phase-II
+// position q_j (tree depth j), stop is consulted with the phase-I digit
+// string and j; returning true ends the lookup there. This is the hook the
+// dynamic caching protocol of §3 uses — a request for a hot item is served
+// by the deepest active cache-tree node on its (random) branch instead of
+// travelling all the way to the item's root.
+//
+// It returns the truncated path and the depth at which the lookup stopped
+// (0 when it reached the target, i.e. was never intercepted).
+func (nw *Network) DHLookupStoppable(src int, y interval.Point, rng *rand.Rand,
+	stop func(digits []uint64, depth int, q interval.Point) bool) ([]int, int) {
+
+	ring := nw.G.Ring
+	delta := nw.G.Delta
+
+	p := ring.Point(src)
+	q := y
+	stack := []interval.Point{y}
+	var digits []uint64
+	cur := src
+	path := nw.visit(nil, src)
+
+	maxT := nw.maxWalkSteps()
+	for t := uint(0); ; t++ {
+		cq := ring.Cover(q)
+		if cq == cur || nw.G.IsNeighbor(cur, cq) {
+			path = nw.visit(path, cq)
+			cur = cq
+			break
+		}
+		if t >= maxT {
+			break
+		}
+		d := rng.Uint64N(delta)
+		digits = append(digits, d)
+		p = interval.DeltaStep(p, delta, d)
+		q = interval.DeltaStep(q, delta, d)
+		stack = append(stack, q)
+		next := ring.Cover(p)
+		path = nw.visit(path, next)
+		cur = next
+	}
+
+	for j := len(stack) - 1; j >= 0; j-- {
+		path = nw.visit(path, ring.Cover(stack[j]))
+		if stop != nil && stop(digits, j, stack[j]) {
+			return path, j
+		}
+	}
+	return path, 0
+}
+
+// RandomLookups performs count lookups from uniform random sources to
+// uniform random target points, using fast (deterministic) or DH
+// (randomized) routing, and returns the paths' length statistics.
+func (nw *Network) RandomLookups(count int, useFast bool, rng *rand.Rand) (maxLen int, sumLen int) {
+	n := nw.G.N()
+	for i := 0; i < count; i++ {
+		src := rng.IntN(n)
+		y := interval.Point(rng.Uint64())
+		var path []int
+		if useFast {
+			path = nw.FastLookup(src, y)
+		} else {
+			path = nw.DHLookup(src, y, rng)
+		}
+		l := len(path) - 1
+		sumLen += l
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	return maxLen, sumLen
+}
+
+// PermutationRoute has every server i initiate one lookup for the midpoint
+// of s(η(i)) (Theorem 2.10's workload) and returns the maximum per-server
+// load. useFast selects Fast Lookup instead of DH Lookup (the ablation:
+// deterministic routing has no worst-case load guarantee).
+func (nw *Network) PermutationRoute(perm []int, useFast bool, rng *rand.Rand) int64 {
+	nw.ResetLoad()
+	ring := nw.G.Ring
+	for i, pi := range perm {
+		y := ring.Segment(pi).Mid()
+		if useFast {
+			nw.FastLookup(i, y)
+		} else {
+			nw.DHLookup(i, y, rng)
+		}
+	}
+	return nw.MaxLoad()
+}

@@ -1,0 +1,104 @@
+package route
+
+import (
+	"testing"
+
+	"condisc/internal/interval"
+)
+
+// TestStoppableUninterceptedMatchesDHLookup: with a nil stop callback the
+// stoppable variant behaves exactly like DHLookup (delivers to the cover
+// of y, stops at depth 0).
+func TestStoppableUninterceptedMatchesDHLookup(t *testing.T) {
+	nw, rng := smoothNetwork(256, 2, 71)
+	for i := 0; i < 1000; i++ {
+		src := rng.IntN(nw.G.N())
+		y := interval.Point(rng.Uint64())
+		path, depth := nw.DHLookupStoppable(src, y, rng, nil)
+		if depth != 0 {
+			t.Fatalf("nil stop ended at depth %d", depth)
+		}
+		last := path[len(path)-1]
+		if !nw.G.Ring.Segment(last).Contains(y) {
+			t.Fatalf("stoppable lookup misdelivered %v", y)
+		}
+	}
+}
+
+// TestStoppableInterceptsAtRequestedDepth: a stop that fires at a fixed
+// depth truncates the path there, and the reported position is on the walk
+// toward y.
+func TestStoppableInterceptsAtRequestedDepth(t *testing.T) {
+	nw, rng := smoothNetwork(512, 2, 72)
+	const wantDepth = 3
+	for i := 0; i < 500; i++ {
+		src := rng.IntN(nw.G.N())
+		y := interval.Point(rng.Uint64())
+		var seen []int
+		path, depth := nw.DHLookupStoppable(src, y, rng,
+			func(digits []uint64, j int, q interval.Point) bool {
+				seen = append(seen, j)
+				return j == wantDepth
+			})
+		if len(seen) == 0 {
+			t.Fatal("stop never consulted")
+		}
+		// Depths are consulted in descending order.
+		for k := 1; k < len(seen); k++ {
+			if seen[k] != seen[k-1]-1 {
+				t.Fatalf("depths not descending: %v", seen)
+			}
+		}
+		if seen[0] >= wantDepth && depth != wantDepth {
+			t.Fatalf("stopped at %d, want %d", depth, wantDepth)
+		}
+		// The truncated path still satisfies the full-lookup bound
+		// (interception only removes hops).
+		bound := 2*9.0 + 2*4 + 3 // 2 log n + 2 log ρ + slack at n=512
+		if float64(len(path)-1) > bound {
+			t.Fatalf("truncated path length %d exceeds lookup bound", len(path)-1)
+		}
+	}
+}
+
+// TestStoppableAlwaysStopsAtZero: the depth-0 position is y itself, so a
+// stop that accepts depth 0 serves at the owner.
+func TestStoppableAlwaysStopsAtZero(t *testing.T) {
+	nw, rng := smoothNetwork(128, 2, 73)
+	for i := 0; i < 300; i++ {
+		y := interval.Point(rng.Uint64())
+		path, depth := nw.DHLookupStoppable(rng.IntN(nw.G.N()), y, rng,
+			func(digits []uint64, j int, q interval.Point) bool {
+				if j == 0 && q != y {
+					t.Fatalf("depth-0 position %v != target %v", q, y)
+				}
+				return j == 0
+			})
+		if depth != 0 {
+			t.Fatalf("depth = %d", depth)
+		}
+		if !nw.G.Ring.Segment(path[len(path)-1]).Contains(y) {
+			t.Fatal("misdelivered")
+		}
+	}
+}
+
+// TestStoppableLoadAccounting: the truncated lookup's load equals its path
+// length (no phantom visits beyond the stop).
+func TestStoppableLoadAccounting(t *testing.T) {
+	nw, rng := smoothNetwork(128, 2, 74)
+	nw.ResetLoad()
+	total := 0
+	for i := 0; i < 200; i++ {
+		path, _ := nw.DHLookupStoppable(rng.IntN(nw.G.N()), interval.Point(rng.Uint64()), rng,
+			func(digits []uint64, j int, q interval.Point) bool { return j <= 2 })
+		total += len(path)
+	}
+	var sum int64
+	for _, l := range nw.Load {
+		sum += l
+	}
+	if sum != int64(total) {
+		t.Fatalf("load sum %d != path elements %d", sum, total)
+	}
+}

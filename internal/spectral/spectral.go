@@ -1,0 +1,313 @@
+// Package spectral verifies expansion properties of graphs: the second
+// eigenvalue of the normalized adjacency matrix via deflated power
+// iteration, the Cheeger conductance bounds it implies, sweep-cut upper
+// bounds, and exact brute-force conductance for tiny graphs (used to test
+// the estimators themselves).
+//
+// This is the measurement side of §5.2's claim ("the main advantage of our
+// approach is that the expansion of the network can be verified").
+package spectral
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"condisc/internal/graph"
+)
+
+// SecondEigenvalue estimates λ₂ of the normalized adjacency matrix
+// N = D^{-1/2} A D^{-1/2} by power iteration on (I+N)/2 with the top
+// eigenvector (√d, normalized) deflated. The spectral gap 1-λ₂ lower-bounds
+// expansion via Cheeger's inequality.
+func SecondEigenvalue(g *graph.Undirected, iters int, rng *rand.Rand) float64 {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		deg[i] = float64(g.Degree(i))
+		if deg[i] == 0 {
+			deg[i] = 1 // isolated vertex: harmless placeholder
+		}
+	}
+	sqrtd := make([]float64, n)
+	for i := range deg {
+		sqrtd[i] = math.Sqrt(deg[i])
+	}
+	v1 := normalize(append([]float64(nil), sqrtd...))
+
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	deflate(x, v1)
+	normalizeIn(x)
+
+	y := make([]float64, n)
+	mu := 0.0
+	for it := 0; it < iters; it++ {
+		// y = (x + N x)/2.
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for _, j := range g.Neighbors(i) {
+				s += x[j] / (sqrtd[i] * sqrtd[j])
+			}
+			y[i] = (x[i] + s) / 2
+		}
+		deflate(y, v1)
+		mu = norm(y) // Rayleigh quotient estimate for unit x
+		if mu == 0 {
+			return -1 // x collapsed: graph is essentially complete/disconnected oddity
+		}
+		for i := range y {
+			x[i] = y[i] / mu
+		}
+	}
+	return 2*mu - 1
+}
+
+// SpectralGap returns 1 - λ₂.
+func SpectralGap(g *graph.Undirected, iters int, rng *rand.Rand) float64 {
+	return 1 - SecondEigenvalue(g, iters, rng)
+}
+
+// CheegerLower returns the conductance lower bound (1-λ₂)/2.
+func CheegerLower(lambda2 float64) float64 { return (1 - lambda2) / 2 }
+
+// SweepConductance computes an upper bound on conductance by sweeping the
+// (approximate) second eigenvector: for every prefix of vertices sorted by
+// eigenvector value, it evaluates the cut conductance and returns the
+// minimum. By Cheeger, min conductance <= sqrt(2·(1-λ₂)).
+func SweepConductance(g *graph.Undirected, iters int, rng *rand.Rand) float64 {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	vec := secondVector(g, iters, rng)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vec[order[a]] < vec[order[b]] })
+
+	inS := make([]bool, n)
+	volS, cut := 0, 0
+	totalVol := 2 * g.M()
+	best := math.Inf(1)
+	for k := 0; k < n-1; k++ {
+		v := order[k]
+		inS[v] = true
+		volS += g.Degree(v)
+		for _, w := range g.Neighbors(v) {
+			if inS[w] {
+				cut-- // edge absorbed into S
+			} else {
+				cut++
+			}
+		}
+		minVol := volS
+		if totalVol-volS < minVol {
+			minVol = totalVol - volS
+		}
+		if minVol > 0 {
+			if c := float64(cut) / float64(minVol); c < best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// secondVector runs the deflated power iteration and returns the vector.
+func secondVector(g *graph.Undirected, iters int, rng *rand.Rand) []float64 {
+	n := g.N()
+	deg := make([]float64, n)
+	sqrtd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		deg[i] = math.Max(1, float64(g.Degree(i)))
+		sqrtd[i] = math.Sqrt(deg[i])
+	}
+	v1 := normalize(append([]float64(nil), sqrtd...))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	deflate(x, v1)
+	normalizeIn(x)
+	y := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for _, j := range g.Neighbors(i) {
+				s += x[j] / (sqrtd[i] * sqrtd[j])
+			}
+			y[i] = (x[i] + s) / 2
+		}
+		deflate(y, v1)
+		if norm(y) == 0 {
+			break
+		}
+		normalizeIn(y)
+		copy(x, y)
+	}
+	// Convert back to the embedding coordinates D^{-1/2} x.
+	for i := range x {
+		x[i] /= sqrtd[i]
+	}
+	return x
+}
+
+// BruteConductance computes the exact minimum conductance over all cuts of
+// a graph with at most 20 vertices (2^n enumeration) — ground truth for
+// testing the estimators.
+func BruteConductance(g *graph.Undirected) float64 {
+	n := g.N()
+	if n > 20 {
+		panic("spectral: brute force limited to n <= 20")
+	}
+	totalVol := 2 * g.M()
+	best := math.Inf(1)
+	for mask := 1; mask < 1<<n-1; mask++ {
+		volS, cut := 0, 0
+		for v := 0; v < n; v++ {
+			if mask>>v&1 == 0 {
+				continue
+			}
+			volS += g.Degree(v)
+			for _, w := range g.Neighbors(v) {
+				if mask>>w&1 == 0 {
+					cut++
+				}
+			}
+		}
+		minVol := volS
+		if totalVol-volS < minVol {
+			minVol = totalVol - volS
+		}
+		if minVol == 0 {
+			continue
+		}
+		if c := float64(cut) / float64(minVol); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// VertexExpansion estimates the vertex expansion min |δ(S)|/|S| over
+// random connected subsets S with |S| <= n/2, grown by randomized BFS.
+// It returns an upper bound (the smallest ratio found).
+func VertexExpansion(g *graph.Undirected, samples int, rng *rand.Rand) float64 {
+	n := g.N()
+	best := math.Inf(1)
+	for s := 0; s < samples; s++ {
+		size := 1 + rng.IntN(n/2)
+		inS := make(map[int]bool, size)
+		frontier := []int{rng.IntN(n)}
+		inS[frontier[0]] = true
+		for len(inS) < size && len(frontier) > 0 {
+			idx := rng.IntN(len(frontier))
+			v := frontier[idx]
+			frontier = append(frontier[:idx], frontier[idx+1:]...)
+			for _, w := range g.Neighbors(v) {
+				if !inS[w] {
+					inS[w] = true
+					frontier = append(frontier, w)
+					if len(inS) >= size {
+						break
+					}
+				}
+			}
+		}
+		boundary := map[int]bool{}
+		for v := range inS {
+			for _, w := range g.Neighbors(v) {
+				if !inS[w] {
+					boundary[w] = true
+				}
+			}
+		}
+		if r := float64(len(boundary)) / float64(len(inS)); r < best {
+			best = r
+		}
+	}
+	return best
+}
+
+// MixingTV runs a lazy random walk from the start vertex for the given
+// number of steps and returns the total-variation distance to the
+// stationary distribution π(v) = deg(v)/2m. Expanders (and the de Bruijn
+// graph, whose mixing time §2.1 of the paper cites as Θ(log n)) mix in
+// O(log n) steps; a ring needs Θ(n²).
+func MixingTV(g *graph.Undirected, start, steps int) float64 {
+	n := g.N()
+	dist := make([]float64, n)
+	next := make([]float64, n)
+	dist[start] = 1
+	for s := 0; s < steps; s++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			if dist[v] == 0 {
+				continue
+			}
+			next[v] += dist[v] / 2 // lazy self-loop
+			d := float64(g.Degree(v))
+			if d == 0 {
+				next[v] += dist[v] / 2
+				continue
+			}
+			share := dist[v] / 2 / d
+			for _, w := range g.Neighbors(v) {
+				next[w] += share
+			}
+		}
+		dist, next = next, dist
+	}
+	totalVol := float64(2 * g.M())
+	tv := 0.0
+	for v := 0; v < n; v++ {
+		pi := float64(g.Degree(v)) / totalVol
+		d := dist[v] - pi
+		if d > 0 {
+			tv += d
+		}
+	}
+	return tv
+}
+
+func deflate(x, v []float64) {
+	d := 0.0
+	for i := range x {
+		d += x[i] * v[i]
+	}
+	for i := range x {
+		x[i] -= d * v[i]
+	}
+}
+
+func norm(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(x []float64) []float64 {
+	normalizeIn(x)
+	return x
+}
+
+func normalizeIn(x []float64) {
+	n := norm(x)
+	if n == 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= n
+	}
+}

@@ -1,0 +1,179 @@
+package spectral
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"condisc/internal/graph"
+)
+
+func cycle(n int) *graph.Undirected {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+func complete(n int) *graph.Undirected {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+func randomRegular(n, d int, seed uint64) *graph.Undirected {
+	rng := rand.New(rand.NewPCG(seed, seed))
+	b := graph.NewBuilder(n)
+	// Union of d/2 random perfect matchings on even n (simple expander
+	// construction for testing).
+	for m := 0; m < d/2; m++ {
+		perm := rng.Perm(n)
+		for i := 0; i+1 < n; i += 2 {
+			b.AddEdge(perm[i], perm[i+1])
+		}
+	}
+	// plus a Hamilton cycle to guarantee connectivity
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(perm[i], perm[(i+1)%n])
+	}
+	return b.Build()
+}
+
+func TestLambda2Cycle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	const n = 64
+	got := SecondEigenvalue(cycle(n), 3000, rng)
+	want := math.Cos(2 * math.Pi / n)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("λ₂(C_%d) = %v, want %v", n, got, want)
+	}
+}
+
+func TestLambda2Complete(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	const n = 16
+	got := SecondEigenvalue(complete(n), 2000, rng)
+	want := -1.0 / (n - 1)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("λ₂(K_%d) = %v, want %v", n, got, want)
+	}
+}
+
+func TestExpanderHasLargeGap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	g := randomRegular(512, 6, 7)
+	gap := SpectralGap(g, 500, rng)
+	if gap < 0.15 {
+		t.Errorf("random regular graph gap %v, want > 0.15", gap)
+	}
+	// A cycle of the same size has a vanishing gap — the contrast matters.
+	cgap := SpectralGap(cycle(512), 500, rng)
+	if cgap > gap/4 {
+		t.Errorf("cycle gap %v should be far below expander gap %v", cgap, gap)
+	}
+}
+
+func TestSweepConductanceBrackets(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	// Two dense clusters joined by one edge: conductance is tiny and the
+	// sweep cut should find it.
+	b := graph.NewBuilder(20)
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(10+i, 10+j)
+		}
+	}
+	b.AddEdge(0, 10)
+	g := b.Build()
+	sweep := SweepConductance(g, 2000, rng)
+	brute := BruteConductance(g)
+	if sweep < brute-1e-9 {
+		t.Errorf("sweep %v below true minimum %v", sweep, brute)
+	}
+	if sweep > 10*brute {
+		t.Errorf("sweep %v far above true minimum %v", sweep, brute)
+	}
+	lambda2 := SecondEigenvalue(g, 2000, rng)
+	if low := CheegerLower(lambda2); brute < low-1e-6 {
+		t.Errorf("Cheeger lower bound %v exceeds true conductance %v", low, brute)
+	}
+}
+
+func TestBruteConductanceKnown(t *testing.T) {
+	// C_4: min conductance cut splits into two paths: cut=2, vol=4.
+	if got := BruteConductance(cycle(4)); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("conductance(C_4) = %v, want 0.5", got)
+	}
+	// K_4: any single vertex: cut=3, vol=3 -> 1.
+	if got := BruteConductance(complete(4)); math.Abs(got-2.0/3.0) > 1e-12 {
+		// best is the 2-2 cut: cut=4, vol=6 -> 2/3
+		t.Errorf("conductance(K_4) = %v, want 2/3", got)
+	}
+}
+
+func TestVertexExpansionContrast(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	exp := VertexExpansion(randomRegular(256, 6, 11), 300, rng)
+	cyc := VertexExpansion(cycle(256), 300, rng)
+	if exp < 4*cyc {
+		t.Errorf("expander vertex expansion %v should dwarf cycle's %v", exp, cyc)
+	}
+}
+
+func TestSmallGraphEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	if SecondEigenvalue(graph.NewBuilder(1).Build(), 10, rng) != 0 {
+		t.Error("single vertex should return 0")
+	}
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	l := SecondEigenvalue(b.Build(), 200, rng)
+	if math.Abs(l-(-1)) > 0.05 {
+		t.Errorf("λ₂(K_2) = %v, want -1", l)
+	}
+}
+
+func TestBruteForcePanicsOnLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BruteConductance(cycle(24))
+}
+
+// TestMixingTVExpanderVsCycle: a lazy walk on a 6-regular expander is
+// close to stationary after O(log n) steps while the cycle is nowhere
+// near.
+func TestMixingTVExpanderVsCycle(t *testing.T) {
+	const n = 512
+	steps := 4 * 9 // 4 log n
+	exp := MixingTV(randomRegular(n, 6, 31), 0, steps)
+	cyc := MixingTV(cycle(n), 0, steps)
+	if exp > 0.1 {
+		t.Errorf("expander TV after %d steps = %v, want < 0.1", steps, exp)
+	}
+	if cyc < 0.5 {
+		t.Errorf("cycle TV after %d steps = %v, should still be large", steps, cyc)
+	}
+}
+
+// TestMixingTVConvergesToZero: TV decreases with more steps and tends to 0.
+func TestMixingTVConvergesToZero(t *testing.T) {
+	g := randomRegular(128, 4, 33)
+	short := MixingTV(g, 5, 5)
+	long := MixingTV(g, 5, 100)
+	if long > short {
+		t.Errorf("TV increased with steps: %v -> %v", short, long)
+	}
+	if long > 0.01 {
+		t.Errorf("TV after 100 steps = %v, want ~0", long)
+	}
+}

@@ -1,0 +1,22 @@
+package voronoi
+
+import (
+	"testing"
+)
+
+func BenchmarkCompute256(b *testing.B) {
+	sites := randomSites(256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Compute(sites)
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	d := Compute(randomSites(512, 2))
+	pts := randomSites(1024, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Locate(pts[i%len(pts)])
+	}
+}

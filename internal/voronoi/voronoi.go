@@ -1,0 +1,175 @@
+// Package voronoi computes planar ordinary Voronoi diagrams on the unit
+// torus (Definition 6 of §5.1): each generator point is associated with the
+// cell of locations closer to it than to any other generator. The dual
+// adjacency (which cells share an edge) is the Delaunay triangulation.
+//
+// The construction is the distributed-friendly one the paper describes:
+// each cell is computed separately and locally by clipping half-planes of
+// the bisectors with nearby generators, nearest first, stopping once no
+// farther generator can cut the cell. Torus topology is handled by
+// considering the 3×3 replicas of every generator.
+package voronoi
+
+import (
+	"sort"
+
+	"condisc/internal/geom2d"
+)
+
+// Diagram is a Voronoi tessellation of the unit torus.
+type Diagram struct {
+	Sites []geom2d.Vec
+	// Cells[i] is site i's cell in site-centered coordinates (it may
+	// straddle the unit square; its area is exact and its shape convex).
+	Cells []geom2d.Polygon
+	// Adj[i] lists the sites whose cells share an edge with cell i
+	// (Delaunay neighbours), sorted.
+	Adj [][]int
+}
+
+// Compute builds the diagram for the given generator points (coordinates
+// wrapped into [0,1)). At least 2 sites are required.
+func Compute(sites []geom2d.Vec) *Diagram {
+	n := len(sites)
+	if n < 2 {
+		panic("voronoi: need at least 2 sites")
+	}
+	d := &Diagram{
+		Sites: make([]geom2d.Vec, n),
+		Cells: make([]geom2d.Polygon, n),
+		Adj:   make([][]int, n),
+	}
+	for i, s := range sites {
+		d.Sites[i] = geom2d.WrapVec(s)
+	}
+	type candidate struct {
+		site  int
+		pos   geom2d.Vec
+		dist2 float64
+	}
+	for i, p := range d.Sites {
+		// Candidate generators: all replicas of all other sites within the
+		// 3×3 neighbourhood, sorted by distance to p.
+		cands := make([]candidate, 0, 9*(n-1))
+		for j, q := range d.Sites {
+			if j == i {
+				continue
+			}
+			for dx := -1.0; dx <= 1; dx++ {
+				for dy := -1.0; dy <= 1; dy++ {
+					pos := geom2d.Vec{X: q.X + dx, Y: q.Y + dy}
+					cands = append(cands, candidate{j, pos, pos.Sub(p).Norm2()})
+				}
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].dist2 < cands[b].dist2 })
+
+		// Start with the box the cell is guaranteed to fit in: bisectors
+		// with p's own replicas bound it by ±1/2 in each coordinate.
+		cell := geom2d.Square(p.X-0.5, p.Y-0.5, p.X+0.5, p.Y+0.5)
+		cut := make([]candidate, 0, 16)
+		for _, c := range cands {
+			// Early exit: the bisector with c is at distance |c-p|/2 from p;
+			// if that exceeds the cell's current radius it cannot cut.
+			r2 := maxVertexDist2(cell, p)
+			if c.dist2 > 4*r2 {
+				break
+			}
+			// Keep the side closer to p: x·(q-p) <= (|q|²-|p|²)/2.
+			nrm := c.pos.Sub(p)
+			rhs := (c.pos.Norm2() - p.Norm2()) / 2
+			clipped := geom2d.ClipHalfPlane(cell, nrm, rhs)
+			if len(clipped) >= 3 {
+				cell = clipped
+				cut = append(cut, c)
+			}
+		}
+		d.Cells[i] = cell
+
+		// Adjacency: a cut candidate is a neighbour iff the final cell
+		// retains an edge on its bisector (two vertices within eps).
+		const eps = 1e-9
+		seen := map[int]bool{}
+		for _, c := range cut {
+			nrm := c.pos.Sub(p)
+			rhs := (c.pos.Norm2() - p.Norm2()) / 2
+			onLine := 0
+			for _, v := range cell {
+				if diff := nrm.Dot(v) - rhs; diff > -eps && diff < eps {
+					onLine++
+				}
+			}
+			if onLine >= 2 && !seen[c.site] {
+				seen[c.site] = true
+				d.Adj[i] = append(d.Adj[i], c.site)
+			}
+		}
+		sort.Ints(d.Adj[i])
+	}
+	return d
+}
+
+func maxVertexDist2(p geom2d.Polygon, c geom2d.Vec) float64 {
+	m := 0.0
+	for _, v := range p {
+		if d := v.Sub(c).Norm2(); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// N returns the number of sites.
+func (d *Diagram) N() int { return len(d.Sites) }
+
+// Locate returns the cell owning the point v: by the Voronoi property,
+// the nearest site under the torus metric.
+func (d *Diagram) Locate(v geom2d.Vec) int {
+	v = geom2d.WrapVec(v)
+	best, bestD := 0, geom2d.TorusDist2(v, d.Sites[0])
+	for i := 1; i < len(d.Sites); i++ {
+		if dd := geom2d.TorusDist2(v, d.Sites[i]); dd < bestD {
+			best, bestD = i, dd
+		}
+	}
+	return best
+}
+
+// CellArea returns the area of cell i.
+func (d *Diagram) CellArea(i int) float64 { return d.Cells[i].Area() }
+
+// TotalArea returns the sum of all cell areas (must be 1).
+func (d *Diagram) TotalArea() float64 {
+	t := 0.0
+	for i := range d.Cells {
+		t += d.CellArea(i)
+	}
+	return t
+}
+
+// MaxDegree returns the maximum Delaunay degree.
+func (d *Diagram) MaxDegree() int {
+	m := 0
+	for _, a := range d.Adj {
+		if len(a) > m {
+			m = len(a)
+		}
+	}
+	return m
+}
+
+// AvgDegree returns the average Delaunay degree (≈6 by Euler's formula,
+// as the paper notes in §5.1).
+func (d *Diagram) AvgDegree() float64 {
+	t := 0
+	for _, a := range d.Adj {
+		t += len(a)
+	}
+	return float64(t) / float64(len(d.Adj))
+}
+
+// WrappedPieces returns cell i cut into unit-square pieces (for rendering
+// and for intersection tests against other cells).
+func (d *Diagram) WrappedPieces(i int) []geom2d.Polygon {
+	return geom2d.SplitWrap(d.Cells[i], 1e-14)
+}

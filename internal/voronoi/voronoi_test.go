@@ -1,0 +1,171 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"condisc/internal/geom2d"
+)
+
+func randomSites(n int, seed uint64) []geom2d.Vec {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	out := make([]geom2d.Vec, n)
+	for i := range out {
+		out[i] = geom2d.Vec{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return out
+}
+
+// TestGridDiagram: a perfect k×k grid of sites yields square cells of area
+// 1/k², each with exactly 4 edge-sharing neighbours.
+func TestGridDiagram(t *testing.T) {
+	const k = 4
+	var sites []geom2d.Vec
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			sites = append(sites, geom2d.Vec{X: (float64(i) + 0.5) / k, Y: (float64(j) + 0.5) / k})
+		}
+	}
+	d := Compute(sites)
+	for i := range sites {
+		if a := d.CellArea(i); math.Abs(a-1.0/(k*k)) > 1e-9 {
+			t.Fatalf("cell %d area %v, want %v", i, a, 1.0/(k*k))
+		}
+		if len(d.Adj[i]) != 4 {
+			t.Fatalf("cell %d has %d neighbours, want 4", i, len(d.Adj[i]))
+		}
+	}
+}
+
+// TestAreasSumToOne: cells tile the torus.
+func TestAreasSumToOne(t *testing.T) {
+	for _, n := range []int{2, 3, 10, 100, 300} {
+		d := Compute(randomSites(n, uint64(n)))
+		if a := d.TotalArea(); math.Abs(a-1) > 1e-6 {
+			t.Errorf("n=%d: total area %v != 1", n, a)
+		}
+	}
+}
+
+// TestAdjacencySymmetric: i ∈ Adj[j] iff j ∈ Adj[i].
+func TestAdjacencySymmetric(t *testing.T) {
+	d := Compute(randomSites(200, 7))
+	for i, lst := range d.Adj {
+		for _, j := range lst {
+			found := false
+			for _, k := range d.Adj[j] {
+				if k == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency asymmetric: %d->%d", i, j)
+			}
+		}
+	}
+}
+
+// TestAverageDegreeNearSix: Euler's formula gives average Delaunay degree
+// approaching 6 (§5.1).
+func TestAverageDegreeNearSix(t *testing.T) {
+	d := Compute(randomSites(500, 11))
+	if avg := d.AvgDegree(); avg < 5.5 || avg > 6.5 {
+		t.Errorf("average degree %v, want ≈6", avg)
+	}
+}
+
+// TestLocateMatchesCells: the nearest-site rule and the polygon geometry
+// agree — random points fall inside the polygon of their Locate winner.
+func TestLocateMatchesCells(t *testing.T) {
+	d := Compute(randomSites(100, 13))
+	rng := rand.New(rand.NewPCG(17, 17))
+	for trial := 0; trial < 2000; trial++ {
+		v := geom2d.Vec{X: rng.Float64(), Y: rng.Float64()}
+		owner := d.Locate(v)
+		// The cell is in site-centered coordinates; shift v by integer
+		// offsets to test containment.
+		ok := false
+		for dx := -1.0; dx <= 1 && !ok; dx++ {
+			for dy := -1.0; dy <= 1 && !ok; dy++ {
+				if d.Cells[owner].ContainsPoint(v.Add(geom2d.Vec{X: dx, Y: dy}), 1e-9) {
+					ok = true
+				}
+			}
+		}
+		if !ok {
+			t.Fatalf("point %v not inside its Locate cell %d", v, owner)
+		}
+	}
+}
+
+// TestTwoSites: the minimal diagram splits the torus into two cells of
+// combined area 1.
+func TestTwoSites(t *testing.T) {
+	d := Compute([]geom2d.Vec{{X: 0.25, Y: 0.5}, {X: 0.75, Y: 0.5}})
+	if math.Abs(d.TotalArea()-1) > 1e-9 {
+		t.Errorf("two-site total area %v", d.TotalArea())
+	}
+	if len(d.Adj[0]) != 1 || d.Adj[0][0] != 1 {
+		t.Errorf("two sites must be adjacent: %v", d.Adj)
+	}
+}
+
+// TestNeighborCellsTouch: adjacent cells share boundary — verified by
+// wrapped-piece bounding boxes overlapping within tolerance.
+func TestNeighborCellsTouch(t *testing.T) {
+	d := Compute(randomSites(64, 19))
+	for i := 0; i < d.N(); i++ {
+		for _, j := range d.Adj[i] {
+			touch := false
+			for _, pi := range d.WrappedPieces(i) {
+				mini, maxi := pi.BBox()
+				for _, pj := range d.WrappedPieces(j) {
+					minj, maxj := pj.BBox()
+					grow := geom2d.Vec{X: 1e-7, Y: 1e-7}
+					if geom2d.BBoxOverlap(mini.Sub(grow), maxi.Add(grow), minj, maxj) {
+						touch = true
+					}
+				}
+			}
+			if !touch {
+				t.Fatalf("adjacent cells %d,%d do not touch", i, j)
+			}
+		}
+	}
+}
+
+func TestComputePanicsOnOneSite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Compute([]geom2d.Vec{{X: 0.5, Y: 0.5}})
+}
+
+// TestSmoothSitesGiveBalancedCells: when sites are spread evenly the cell
+// areas are Θ(1/n) — the §5.1 remark that smooth generators give cells of
+// area Θ(1/n).
+func TestSmoothSitesGiveBalancedCells(t *testing.T) {
+	const k = 8 // 64 sites, perturbed grid
+	rng := rand.New(rand.NewPCG(23, 23))
+	var sites []geom2d.Vec
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			sites = append(sites, geom2d.Vec{
+				X: (float64(i) + 0.5 + 0.3*(rng.Float64()-0.5)) / k,
+				Y: (float64(j) + 0.5 + 0.3*(rng.Float64()-0.5)) / k,
+			})
+		}
+	}
+	d := Compute(sites)
+	n := float64(len(sites))
+	for i := range sites {
+		a := d.CellArea(i) * n
+		if a < 0.3 || a > 3 {
+			t.Errorf("cell %d normalized area %v outside Θ(1)", i, a)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package workload generates the request patterns used by the experiments:
+// uniform and Zipf-skewed item demands (hot spots, §3), permutations
+// (worst-case routing, §2.2.3), and churn traces (§4).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Zipf samples item indices 0..k-1 with probability proportional to
+// 1/(i+1)^s — the classic model for hot-spot popularity.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf distribution over k items with exponent s > 0.
+func NewZipf(k int, s float64) *Zipf {
+	if k < 1 {
+		panic("workload: Zipf needs k >= 1")
+	}
+	cdf := make([]float64, k)
+	acc := 0.0
+	for i := 0; i < k; i++ {
+		acc += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = acc
+	}
+	for i := range cdf {
+		cdf[i] /= acc
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// Sample draws one item index.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Demands draws total samples and returns the per-item counts.
+func (z *Zipf) Demands(total int, rng *rand.Rand) []int {
+	counts := make([]int, len(z.cdf))
+	for i := 0; i < total; i++ {
+		counts[z.Sample(rng)]++
+	}
+	return counts
+}
+
+// Request is one lookup request: origin server and item key.
+type Request struct {
+	Src  int
+	Item string
+}
+
+// Batch generates a batch of total requests from uniform random origins
+// over n servers, with items drawn Zipf(k, s). Item keys are "item<i>".
+func Batch(n, total, k int, s float64, rng *rand.Rand) []Request {
+	z := NewZipf(k, s)
+	out := make([]Request, total)
+	for i := range out {
+		out[i] = Request{Src: rng.IntN(n), Item: fmt.Sprintf("item%d", z.Sample(rng))}
+	}
+	return out
+}
+
+// SingleHotBatch generates total requests for one item from random origins
+// — the single-hotspot workload of §3.3.
+func SingleHotBatch(n, total int, item string, rng *rand.Rand) []Request {
+	out := make([]Request, total)
+	for i := range out {
+		out[i] = Request{Src: rng.IntN(n), Item: item}
+	}
+	return out
+}
+
+// ChurnEvent is one membership change.
+type ChurnEvent struct {
+	Join bool
+}
+
+// ChurnTrace returns length events; each is a join with probability
+// joinBias (0.5 = stationary churn).
+func ChurnTrace(length int, joinBias float64, rng *rand.Rand) []ChurnEvent {
+	out := make([]ChurnEvent, length)
+	for i := range out {
+		out[i] = ChurnEvent{Join: rng.Float64() < joinBias}
+	}
+	return out
+}

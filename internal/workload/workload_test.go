@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	z := NewZipf(100, 1.2)
+	counts := z.Demands(20000, rng)
+	if counts[0] <= counts[10] || counts[10] <= counts[90] {
+		t.Errorf("Zipf counts not decreasing: c0=%d c10=%d c90=%d",
+			counts[0], counts[10], counts[90])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 20000 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestZipfUniformLimit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	z := NewZipf(10, 0.0001) // nearly uniform
+	counts := z.Demands(10000, rng)
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("near-uniform Zipf: item %d count %d", i, c)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k=0")
+		}
+	}()
+	NewZipf(0, 1)
+}
+
+func TestBatchShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	b := Batch(50, 1000, 20, 1.0, rng)
+	if len(b) != 1000 {
+		t.Fatalf("batch size %d", len(b))
+	}
+	items := map[string]bool{}
+	for _, r := range b {
+		if r.Src < 0 || r.Src >= 50 {
+			t.Fatalf("src out of range: %d", r.Src)
+		}
+		items[r.Item] = true
+	}
+	if len(items) < 5 {
+		t.Errorf("batch uses only %d distinct items", len(items))
+	}
+}
+
+func TestSingleHotBatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	b := SingleHotBatch(10, 100, "hot", rng)
+	for _, r := range b {
+		if r.Item != "hot" {
+			t.Fatal("single-hot batch must use one item")
+		}
+	}
+}
+
+func TestChurnTraceBias(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	tr := ChurnTrace(10000, 0.7, rng)
+	joins := 0
+	for _, e := range tr {
+		if e.Join {
+			joins++
+		}
+	}
+	if joins < 6700 || joins > 7300 {
+		t.Errorf("join fraction %d/10000, want ~7000", joins)
+	}
+}
