@@ -9,9 +9,15 @@ package condisc
 // drivers at paper scale and prints the tables.
 
 import (
+	"fmt"
+	"math"
+	"sync"
 	"testing"
 
+	"condisc/internal/cache"
+	"condisc/internal/dhgraph"
 	"condisc/internal/experiments"
+	"condisc/internal/route"
 )
 
 // benchCfg trades problem size for bench-loop friendliness.
@@ -117,6 +123,131 @@ func BenchmarkJoinLeaveCost(b *testing.B) { run(b, experiments.JoinLeaveCost) }
 // BenchmarkErasureVsReplication regenerates E29 (the §6.2 storage
 // extension: erasure coding across an item's covers vs replication).
 func BenchmarkErasureVsReplication(b *testing.B) { run(b, experiments.ErasureVsReplication) }
+
+// BenchmarkChurnLocality regenerates E28 (incremental churn vs rebuild).
+func BenchmarkChurnLocality(b *testing.B) { run(b, experiments.ChurnLocality) }
+
+// ---- churn benchmarks: incremental join/leave vs the full rebuild ----
+//
+// The incremental engine patches only the O(ρ·∆) servers around the changed
+// segment and migrates only the split segment's items; the baseline below
+// reproduces the seed's behaviour — rebuild the whole discrete graph, drop
+// all cache state, and rehash every stored item — for the same DHT.
+
+const (
+	churnN     = 10_000
+	churnItems = 100_000
+)
+
+var (
+	churnOnce sync.Once
+	churnDHT  *DHT
+)
+
+// benchChurnDHT builds (once) a 10k-server DHT holding 100k items, placing
+// the items directly at their owners to keep setup time out of the way.
+func benchChurnDHT(b *testing.B) *DHT {
+	churnOnce.Do(func() {
+		d := New(churnN, Options{Seed: 4242})
+		for i := 0; i < churnItems; i++ {
+			k := fmt.Sprintf("item-%d", i)
+			d.stores[d.Owner(k)][k] = []byte("v")
+		}
+		churnDHT = d
+	})
+	return churnDHT
+}
+
+// fullRebuild reproduces the seed's per-churn work: rebuild the discrete
+// graph and network from scratch, recreate the caching system (discarding
+// all §3 state), and rehash every stored item.
+func fullRebuild(d *DHT) {
+	old := d.stores
+	d.net = route.NewNetwork(dhgraph.Build(d.ring, d.opts.Delta))
+	if d.opts.Delta == 2 && d.opts.CacheThreshold >= 0 {
+		c := d.opts.CacheThreshold
+		if c == 0 {
+			c = int(math.Log2(float64(d.ring.N()))) + 1
+		}
+		d.cache = cache.NewSystem(d.net, d.hash, c)
+	} else {
+		d.cache = nil
+	}
+	d.stores = make([]map[string][]byte, d.ring.N())
+	for i := range d.stores {
+		d.stores[i] = map[string][]byte{}
+	}
+	for _, m := range old {
+		for k, v := range m {
+			d.stores[d.ring.Cover(d.hash.Point(k))][k] = v
+		}
+	}
+}
+
+// BenchmarkJoin measures one incremental Join at n=10,000 with 100k items
+// (the paired Leave is untimed, keeping the network size stable).
+func BenchmarkJoin(b *testing.B) {
+	d := benchChurnDHT(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := d.Join()
+		b.StopTimer()
+		if err := d.Leave(id); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkLeave measures one incremental Leave at n=10,000 with 100k items
+// (the paired Join is untimed).
+func BenchmarkLeave(b *testing.B) {
+	d := benchChurnDHT(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		id := d.Join()
+		b.StartTimer()
+		if err := d.Leave(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJoinFullRebuild is the seed's baseline: every churn event
+// rebuilds the graph and rehashes all items. Compare against BenchmarkJoin.
+func BenchmarkJoinFullRebuild(b *testing.B) {
+	d := benchChurnDHT(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := d.Join()
+		fullRebuild(d)
+		b.StopTimer()
+		if err := d.Leave(id); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkLeaveFullRebuild is the leave-side baseline.
+func BenchmarkLeaveFullRebuild(b *testing.B) {
+	d := benchChurnDHT(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		id := d.Join()
+		b.StartTimer()
+		if err := d.Leave(id); err != nil {
+			b.Fatal(err)
+		}
+		fullRebuild(d)
+	}
+}
 
 // BenchmarkDHTGet measures the end-to-end cost of a cached Get on the
 // public facade (not a paper item; a library-level micro-benchmark).

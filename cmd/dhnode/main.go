@@ -9,7 +9,11 @@
 //	dhnode -listen 127.0.0.1:7002 -join 127.0.0.1:7001 -seed 42
 //
 // All nodes of a network must share -seed (it derives the item-hash
-// function). The node stabilizes its de Bruijn neighbour tables every
+// function). The seed together with the listen address also determines the
+// node's point placement, so a cluster restarted with the same seeds and
+// addresses reproduces the same decomposition; pass -entropy to mix in
+// wall-clock randomness instead. The node stabilizes its de Bruijn
+// neighbour tables every
 // -stabilize interval; the ring pointers are maintained synchronously and
 // lookups fall back to ring hops while tables converge.
 package main
@@ -17,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math/rand/v2"
 	"os"
 	"os/signal"
@@ -32,6 +37,7 @@ func main() {
 	join := flag.String("join", "", "bootstrap address of an existing node (empty = start a new network)")
 	seed := flag.Uint64("seed", 42, "cluster seed (must match across all nodes)")
 	stabilize := flag.Duration("stabilize", 2*time.Second, "stabilization interval")
+	entropy := flag.Bool("entropy", false, "mix wall-clock entropy into ID selection (placement no longer reproducible from -seed)")
 	flag.Parse()
 
 	node, err := p2p.NewNode(*listen, *seed)
@@ -39,7 +45,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dhnode:", err)
 		os.Exit(1)
 	}
-	rng := rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), *seed))
+	// Derive the ID-selection RNG from the cluster seed and this node's
+	// bound address, so a cluster started with the same -seed and addresses
+	// reproduces the same point placement run after run. Distinct addresses
+	// keep nodes from colliding on the same point; -entropy opts back into
+	// wall-clock randomness.
+	salt := fnv.New64a()
+	salt.Write([]byte(node.Addr()))
+	streamSalt := salt.Sum64()
+	if *entropy {
+		streamSalt ^= uint64(time.Now().UnixNano())
+	}
+	rng := rand.New(rand.NewPCG(*seed, streamSalt))
 	if *join == "" {
 		node.StartFirst(interval.Point(rng.Uint64()))
 		fmt.Printf("dhnode: started new network at %s (point %v)\n", node.Addr(), node.Point())

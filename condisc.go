@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"slices"
 
 	"condisc/internal/cache"
 	"condisc/internal/dhgraph"
@@ -38,6 +39,13 @@ import (
 
 // Point is a point of the unit interval I = [0,1) in 64-bit fixed point.
 type Point = interval.Point
+
+// ServerID is a stable identifier for a server, assigned at join time and
+// never reused. Unlike a server's index (its position in the sorted
+// decomposition, which shifts whenever any other server joins or leaves),
+// a ServerID keeps naming the same server across arbitrary churn, so it is
+// the only safe way to remove a specific server.
+type ServerID = partition.Handle
 
 // Options configures a simulated DHT.
 type Options struct {
@@ -81,33 +89,23 @@ func New(n int, opts Options) *DHT {
 	}
 	d.hash = hashing.NewKWise(16, d.rng)
 	d.ring = partition.Grow(partition.New(), n, partition.MultipleChooser(2), d.rng)
-	d.rebuild()
-	return d
-}
-
-// rebuild refreshes the discrete graph and reassigns stored items after a
-// membership change.
-func (d *DHT) rebuild() {
-	old := d.stores
 	d.net = route.NewNetwork(dhgraph.Build(d.ring, d.opts.Delta))
 	if d.opts.Delta == 2 && d.opts.CacheThreshold >= 0 {
-		c := d.opts.CacheThreshold
-		if c == 0 {
-			c = int(math.Log2(float64(d.ring.N()))) + 1
-		}
-		d.cache = cache.NewSystem(d.net, d.hash, c)
-	} else {
-		d.cache = nil
+		d.cache = cache.NewSystem(d.net, d.hash, d.autoThreshold())
 	}
-	d.stores = make([]map[string][]byte, d.ring.N())
+	d.stores = make([]map[string][]byte, n)
 	for i := range d.stores {
 		d.stores[i] = map[string][]byte{}
 	}
-	for _, m := range old {
-		for k, v := range m {
-			d.stores[d.ring.Cover(d.hash.Point(k))][k] = v
-		}
+	return d
+}
+
+// autoThreshold resolves the caching threshold c for the current size.
+func (d *DHT) autoThreshold() int {
+	if c := d.opts.CacheThreshold; c != 0 {
+		return c
 	}
+	return int(math.Log2(float64(d.ring.N()))) + 1
 }
 
 // N returns the number of servers.
@@ -162,32 +160,83 @@ func (d *DHT) EndEpoch() {
 	}
 }
 
-// Join adds a server with a Multiple Choice ID (§4) and migrates the
-// affected items, returning the new server's index.
-func (d *DHT) Join() int {
+// Join adds a server with a Multiple Choice ID (§4), patching the routing
+// graph locally and migrating only the items of the split segment (§2.1
+// Join step 3). It returns the new server's stable identifier.
+func (d *DHT) Join() ServerID {
 	p := partition.MultipleChoice(d.ring, d.rng, 2)
-	idx, ok := d.ring.Insert(p)
+	idx, ok := d.net.G.Insert(p)
 	for !ok {
 		p = partition.SingleChoice(d.rng)
-		idx, ok = d.ring.Insert(p)
+		idx, ok = d.net.G.Insert(p)
 	}
-	d.rebuild()
-	return idx
+	d.net.ServerJoined(idx)
+
+	// Migrate the items the new server now covers: they all lived with the
+	// ring predecessor, whose segment was split — no other store changes.
+	d.stores = slices.Insert(d.stores, idx, map[string][]byte{})
+	seg := d.ring.Segment(idx)
+	pred := d.stores[d.ring.Predecessor(idx)]
+	for k, v := range pred {
+		if seg.Contains(d.hash.Point(k)) {
+			d.stores[idx][k] = v
+			delete(pred, k)
+		}
+	}
+
+	if d.cache != nil {
+		d.cache.ServerJoined(idx)
+		d.cache.InvalidateRegion(seg) // copies in seg were held by the predecessor
+		d.cache.C = d.autoThreshold()
+	}
+	return d.ring.HandleAt(idx)
 }
 
-// Leave removes server i; its segment and items are absorbed by the ring
-// predecessor (§2.1).
-func (d *DHT) Leave(i int) error {
+// Leave removes the server named by id; its segment, items and routing
+// edges are absorbed by the ring predecessor (§2.1), touching only that
+// neighbourhood. The id stays valid across unrelated churn, so the caller
+// can never remove the wrong server.
+func (d *DHT) Leave(id ServerID) error {
+	idx, ok := d.ring.IndexOfHandle(id)
+	if !ok {
+		return fmt.Errorf("condisc: no server with id %d", id)
+	}
 	if d.ring.N() <= 2 {
 		return fmt.Errorf("condisc: cannot shrink below 2 servers")
 	}
-	if i < 0 || i >= d.ring.N() {
-		return fmt.Errorf("condisc: no server %d", i)
+	seg := d.ring.Segment(idx)
+	pred := d.stores[d.ring.Predecessor(idx)] // same map before and after reindexing
+	d.net.G.Remove(idx)
+	d.net.ServerLeft(idx)
+
+	for k, v := range d.stores[idx] {
+		pred[k] = v
 	}
-	d.ring.RemoveAt(i)
-	d.rebuild()
+	d.stores = slices.Delete(d.stores, idx, idx+1)
+
+	if d.cache != nil {
+		d.cache.ServerLeft(idx)
+		d.cache.InvalidateRegion(seg) // the leaver's copies are gone
+		d.cache.C = d.autoThreshold()
+	}
 	return nil
 }
+
+// Servers returns the stable identifiers of all current servers in index
+// order.
+func (d *DHT) Servers() []ServerID {
+	out := make([]ServerID, d.ring.N())
+	for i := range out {
+		out[i] = d.ring.HandleAt(i)
+	}
+	return out
+}
+
+// IDAt returns the stable identifier of the server currently at index i.
+func (d *DHT) IDAt(i int) ServerID { return d.ring.HandleAt(i) }
+
+// IndexOf returns the current index of the server named by id.
+func (d *DHT) IndexOf(id ServerID) (int, bool) { return d.ring.IndexOfHandle(id) }
 
 // MaxLoad returns the highest per-server message count since the last
 // ResetLoad — the congestion the §2.2 theorems bound.

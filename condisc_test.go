@@ -37,11 +37,12 @@ func TestJoinLeaveMigratesItems(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		d.Put(0, fmt.Sprintf("key%d", i), []byte("v"))
 	}
+	ids := make([]ServerID, 0, 10)
 	for j := 0; j < 10; j++ {
-		d.Join()
+		ids = append(ids, d.Join())
 	}
-	for j := 0; j < 10; j++ {
-		if err := d.Leave(j); err != nil {
+	for _, id := range ids {
+		if err := d.Leave(id); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -57,12 +58,118 @@ func TestJoinLeaveMigratesItems(t *testing.T) {
 
 func TestLeaveErrors(t *testing.T) {
 	d := New(2, Options{Seed: 4})
-	if err := d.Leave(0); err == nil {
+	if err := d.Leave(d.IDAt(0)); err == nil {
 		t.Error("expected error shrinking below 2")
 	}
 	d2 := New(4, Options{Seed: 5})
-	if err := d2.Leave(99); err == nil {
-		t.Error("expected error for bad index")
+	if err := d2.Leave(ServerID(1 << 60)); err == nil {
+		t.Error("expected error for unknown server id")
+	}
+	id := d2.IDAt(1)
+	if err := d2.Leave(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Leave(id); err == nil {
+		t.Error("expected error leaving twice with the same id")
+	}
+}
+
+// TestStableServerIDs: a ServerID keeps naming the same server across
+// unrelated churn, unlike a positional index.
+func TestStableServerIDs(t *testing.T) {
+	d := New(16, Options{Seed: 11})
+	id := d.Join()
+	idx, ok := d.IndexOf(id)
+	if !ok {
+		t.Fatal("fresh id unknown")
+	}
+	pt := d.ring.Point(idx)
+	for i := 0; i < 25; i++ {
+		other := d.Join()
+		if i%2 == 0 {
+			if err := d.Leave(other); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	idx2, ok := d.IndexOf(id)
+	if !ok {
+		t.Fatal("id lost after unrelated churn")
+	}
+	if d.ring.Point(idx2) != pt {
+		t.Fatalf("id now names a different server point")
+	}
+	if err := d.Leave(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.IndexOf(id); ok {
+		t.Fatal("id survived its own leave")
+	}
+}
+
+// TestChurnItemConservation: across a long random churn trace every stored
+// item stays stored exactly once, at the server covering its hash point.
+func TestChurnItemConservation(t *testing.T) {
+	d := New(64, Options{Seed: 12})
+	const items = 500
+	for i := 0; i < items; i++ {
+		d.Put(i%d.N(), fmt.Sprintf("key%d", i), []byte{byte(i)})
+	}
+	check := func(op int) {
+		total := 0
+		for i := range d.stores {
+			total += len(d.stores[i])
+			for k := range d.stores[i] {
+				if own := d.Owner(k); own != i {
+					t.Fatalf("op %d: %q stored at %d, owned by %d", op, k, i, own)
+				}
+			}
+		}
+		if total != items {
+			t.Fatalf("op %d: %d items stored, want %d", op, total, items)
+		}
+	}
+	check(-1)
+	for op := 0; op < 300; op++ {
+		if d.N() <= 8 || (d.N() < 128 && op%2 == 0) {
+			d.Join()
+		} else {
+			victims := d.Servers()
+			if err := d.Leave(victims[op%len(victims)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check(op)
+	}
+	for i := 0; i < items; i++ {
+		v, _, ok := d.Get(i%d.N(), fmt.Sprintf("key%d", i))
+		if !ok || !bytes.Equal(v, []byte{byte(i)}) {
+			t.Fatalf("key%d lost or corrupted after churn", i)
+		}
+	}
+}
+
+// TestCacheSurvivesChurn: a hot item's cached copies outside the changed
+// region keep serving across a join — churn no longer wipes the §3 state.
+func TestCacheSurvivesChurn(t *testing.T) {
+	d := New(512, Options{Seed: 13})
+	d.Put(0, "hot", []byte("x"))
+	for i := 0; i < 4096; i++ {
+		if _, _, ok := d.Get(i%d.N(), "hot"); !ok {
+			t.Fatal("hot key lost")
+		}
+	}
+	before := d.cache.ActiveNodes("hot")
+	if before < 3 {
+		t.Fatalf("tree did not grow: %d nodes", before)
+	}
+	d.Join()
+	after := d.cache.ActiveNodes("hot")
+	if after < 2 {
+		t.Fatalf("join wiped the cache state: %d -> %d active nodes", before, after)
+	}
+	if _, _, ok := d.Get(3, "hot"); !ok {
+		t.Fatal("hot key unreachable after join")
 	}
 }
 

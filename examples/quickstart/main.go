@@ -41,12 +41,15 @@ func main() {
 	}
 	fmt.Printf("average %.1f hops (log2 n = %.0f)\n\n", float64(total)/3, math.Log2(n))
 
-	// Churn: servers join and leave; data survives.
+	// Churn: servers join and leave; data survives. Join returns a stable
+	// ServerID that keeps naming the same server no matter how many other
+	// servers come and go in between.
+	ids := make([]condisc.ServerID, 0, 32)
 	for i := 0; i < 32; i++ {
-		dht.Join()
+		ids = append(ids, dht.Join())
 	}
-	for i := 0; i < 32; i++ {
-		if err := dht.Leave(i * 3 % dht.N()); err != nil {
+	for _, id := range ids {
+		if err := dht.Leave(id); err != nil {
 			panic(err)
 		}
 	}

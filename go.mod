@@ -1,0 +1,3 @@
+module condisc
+
+go 1.24

@@ -26,6 +26,7 @@ package cache
 
 import (
 	"math/rand/v2"
+	"slices"
 
 	"condisc/internal/continuous"
 	"condisc/internal/hashing"
@@ -161,6 +162,54 @@ func nodeAt(digits []uint64, j int) continuous.TreeNode {
 		tau |= (digits[i] & 1) << i
 	}
 	return continuous.EntryNode(tau, uint8(j))
+}
+
+// ServerJoined makes room in the supply accounting for a server inserted
+// at index idx. The active trees are untouched: they are keyed by points of
+// I, not server indices, so every cached copy outside the changed region
+// keeps serving across the churn event.
+func (s *System) ServerJoined(idx int) {
+	s.Supplied = slices.Insert(s.Supplied, idx, 0)
+}
+
+// ServerLeft drops the departed server's supply counter.
+func (s *System) ServerLeft(idx int) {
+	s.Supplied = slices.Delete(s.Supplied, idx, idx+1)
+}
+
+// InvalidateRegion deletes the cached copies physically located in seg —
+// the active tree nodes whose points fall in the changed segment — together
+// with their active subtrees, so the active sets stay rooted subtrees of
+// the path tree. Roots (the items' home copies) are never deleted; they
+// migrate with the item store. Everything outside seg survives, which is
+// what makes churn local for the §3 protocol: a join or leave invalidates
+// only the copies a single server held, not every epoch's state.
+func (s *System) InvalidateRegion(seg interval.Segment) {
+	for _, t := range s.trees {
+		var doomed map[continuous.TreeNode]struct{}
+		for z := range t.active {
+			if z.Depth > 0 && seg.Contains(z.PointUnder(t.root)) {
+				if doomed == nil {
+					doomed = make(map[continuous.TreeNode]struct{})
+				}
+				doomed[z] = struct{}{}
+			}
+		}
+		if doomed == nil {
+			continue
+		}
+		for z := range t.active {
+			if z.Depth == 0 {
+				continue
+			}
+			for d := uint8(1); d <= z.Depth; d++ {
+				if _, gone := doomed[z.AncestorAt(d)]; gone {
+					delete(t.active, z)
+					break
+				}
+			}
+		}
+	}
 }
 
 // EndEpoch performs steps 2–3 of the protocol for every tree: recursively

@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"testing"
+
+	"condisc/internal/continuous"
+	"condisc/internal/interval"
+)
+
+// TestInvalidateRegionIsLocal: only the cached copies inside the changed
+// segment (plus their subtrees) are dropped; the rest of the active tree —
+// and other items' trees — survive the churn event.
+func TestInvalidateRegionIsLocal(t *testing.T) {
+	s, rng := newSystem(512, 4, 9)
+	n := s.Net.G.N()
+	for i := 0; i < 2*n; i++ {
+		s.Request(rng.IntN(n), "hot", rng)
+	}
+	for i := 0; i < 8; i++ {
+		s.Request(rng.IntN(n), "cold", rng)
+	}
+	before := s.ActiveNodes("hot")
+	coldBefore := s.ActiveNodes("cold")
+	if before < 5 {
+		t.Fatalf("active tree too small to test: %d", before)
+	}
+
+	// Invalidate the region around one specific depth>=1 copy.
+	tr := s.trees["hot"]
+	var victim continuous.TreeNode
+	for z := range tr.active {
+		if z.Depth >= 1 && tr.isLeaf(z) {
+			victim = z
+			break
+		}
+	}
+	vp := victim.PointUnder(tr.root)
+	seg := interval.Segment{Start: vp - 1, Len: 3}
+	s.InvalidateRegion(seg)
+
+	if _, ok := tr.active[victim]; ok {
+		t.Error("copy inside the invalidated region survived")
+	}
+	after := s.ActiveNodes("hot")
+	if after >= before {
+		t.Errorf("nothing invalidated: %d -> %d", before, after)
+	}
+	// Locality: a tiny segment kills at most the victim's subtree, not the
+	// whole tree.
+	if after < before/2 {
+		t.Errorf("invalidation not local: %d -> %d nodes", before, after)
+	}
+	if s.ActiveNodes("cold") != coldBefore {
+		t.Error("unrelated item's tree damaged")
+	}
+	// The active sets must remain rooted subtrees (parents of active nodes
+	// active), or collapse bookkeeping breaks later.
+	for z := range tr.active {
+		if z.Depth == 0 {
+			continue
+		}
+		if _, ok := tr.active[z.Parent()]; !ok {
+			t.Fatalf("orphaned active node %v after invalidation", z)
+		}
+	}
+	// Requests keep working after invalidation.
+	for i := 0; i < 64; i++ {
+		if path, _ := s.Request(rng.IntN(n), "hot", rng); len(path) == 0 {
+			t.Fatal("request failed after invalidation")
+		}
+	}
+}
+
+// TestServerJoinedLeftPreservesCounters: churn keeps untouched servers'
+// supply counters, and the slice tracks the network size.
+func TestServerJoinedLeftPreservesCounters(t *testing.T) {
+	s, rng := newSystem(64, 4, 10)
+	n := s.Net.G.N()
+	for i := 0; i < 4*n; i++ {
+		s.Request(rng.IntN(n), "item", rng)
+	}
+	sum := func() (tot int64) {
+		for _, v := range s.Supplied {
+			tot += v
+		}
+		return
+	}
+	before := sum()
+	want := append([]int64(nil), s.Supplied...)
+	s.ServerJoined(10)
+	if len(s.Supplied) != n+1 || s.Supplied[10] != 0 || sum() != before {
+		t.Fatalf("ServerJoined corrupted counters (sum %d -> %d)", before, sum())
+	}
+	for i, v := range want {
+		j := i
+		if i >= 10 {
+			j = i + 1
+		}
+		if s.Supplied[j] != v {
+			t.Fatalf("counter %d moved wrongly: %d != %d", i, s.Supplied[j], v)
+		}
+	}
+	s.ServerLeft(10)
+	if len(s.Supplied) != n || sum() != before {
+		t.Fatalf("ServerLeft corrupted counters")
+	}
+}

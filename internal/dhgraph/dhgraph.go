@@ -8,9 +8,19 @@
 // 3n-1 continuous-derived edges for ∆ = 2) and Theorem 2.2 (out-degree at
 // most ρ+4, in-degree at most ⌈2ρ⌉+1, again for ∆ = 2; Theorem 2.13 gives
 // the Θ(∆) analogue).
+//
+// Beyond the frozen Build, the graph supports *incremental* churn: Insert
+// and Remove patch the adjacency structure locally, touching only the
+// servers whose forward images or preimages intersect the changed segment.
+// By Theorem 2.2 that neighbourhood has O(ρ·∆) servers, so a join or leave
+// costs O(ρ·∆·log n) plus an O(n) index renumbering pass — against the
+// O(n·ρ·∆ + n log n) of a from-scratch Build. The §2.1 locality claim
+// ("an update of the data structures of a constant number of servers")
+// thereby holds for the maintained graph, not just the abstract one.
 package dhgraph
 
 import (
+	"slices"
 	"sort"
 
 	"condisc/internal/continuous"
@@ -19,17 +29,22 @@ import (
 	"condisc/internal/partition"
 )
 
-// Graph is a frozen discrete Distance Halving graph over a ring of
-// segments.
+// Graph is a discrete Distance Halving graph over a ring of segments. It is
+// either frozen (built once with Build) or incrementally maintained through
+// Insert/Remove, which mutate the underlying Ring and patch the graph.
 type Graph struct {
 	Ring  *partition.Ring
 	Delta uint64
 
+	out [][]int // sorted forward-image targets per server (may include self)
+	in  [][]int // sorted forward-image sources per server (may include self)
 	adj [][]int // undirected neighbour lists incl. ring edges, sorted, no self
 
 	contEdges int // continuous-derived undirected edges excl. ring, incl. self-loops (Thm 2.1)
 	maxOut    int // max # distinct targets of one server's forward images (Thm 2.2)
 	maxIn     int // max # distinct sources with a forward image into one server
+
+	lastTouched int // servers whose lists were recomputed by the last Insert/Remove
 }
 
 // Build derives the discrete graph from the current decomposition. delta is
@@ -39,68 +54,319 @@ func Build(ring *partition.Ring, delta uint64) *Graph {
 	if delta < 2 {
 		panic("dhgraph: delta must be >= 2")
 	}
-	n := ring.N()
 	g := &Graph{Ring: ring, Delta: delta}
-	outSets := make([][]int, n)
-	inCount := make([]int, n)
-	seenPairs := make(map[[2]int]struct{})
-
-	for i := 0; i < n; i++ {
-		seg := ring.Segment(i)
-		var targets []int
-		for _, img := range continuous.DeltaImages(seg, delta) {
-			targets = append(targets, ring.CoversOfArc(img)...)
-		}
-		sort.Ints(targets)
-		targets = dedupSorted(targets)
-		outSets[i] = targets
-		if len(targets) > g.maxOut {
-			g.maxOut = len(targets)
-		}
-		for _, t := range targets {
-			inCount[t]++
-			a, b := i, t
-			if a > b {
-				a, b = b, a
-			}
-			seenPairs[[2]int{a, b}] = struct{}{}
-		}
-	}
-	g.contEdges = len(seenPairs)
-	for _, c := range inCount {
-		if c > g.maxIn {
-			g.maxIn = c
-		}
-	}
-
-	// Undirected adjacency: forward targets, their reverses, and the ring.
-	b := graph.NewBuilder(n)
-	for i, targets := range outSets {
-		for _, t := range targets {
-			b.AddEdge(i, t)
-		}
-	}
-	if n > 1 {
-		for i := 0; i < n; i++ {
-			b.AddEdge(i, ring.Successor(i))
-		}
-	}
-	g.adj = make([][]int, n)
-	u := b.Build()
-	for i := 0; i < n; i++ {
-		g.adj[i] = u.Neighbors(i)
-	}
+	g.rebuild()
 	return g
 }
 
-func dedupSorted(xs []int) []int {
-	out := xs[:0]
-	for i, x := range xs {
-		if i == 0 || x != xs[i-1] {
-			out = append(out, x)
+// rebuild recomputes every list from the ring (the non-incremental path,
+// used at construction and as the fallback for very small rings).
+func (g *Graph) rebuild() {
+	n := g.Ring.N()
+	g.out = make([][]int, n)
+	g.in = make([][]int, n)
+	g.adj = make([][]int, n)
+	for i := 0; i < n; i++ {
+		targets := g.computeOut(i)
+		g.out[i] = targets
+		for _, t := range targets {
+			g.in[t] = append(g.in[t], i) // i ascending: stays sorted
 		}
 	}
+	g.contEdges = 0
+	for i := 0; i < n; i++ {
+		for _, t := range g.out[i] {
+			// Count each unordered pair {i,t} once: always when t >= i, and
+			// for t < i only if the pair was not already seen as t -> i.
+			if t >= i || !memSorted(g.out[t], i) {
+				g.contEdges++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		g.adj[i] = g.mergeAdj(i)
+	}
+	g.refreshMaxes()
+	g.lastTouched = n
+}
+
+// computeOut returns the sorted, deduplicated forward-image targets of
+// server i under the current ring.
+func (g *Graph) computeOut(i int) []int {
+	var targets []int
+	for _, img := range continuous.DeltaImages(g.Ring.Segment(i), g.Delta) {
+		targets = append(targets, g.Ring.CoversOfArc(img)...)
+	}
+	sort.Ints(targets)
+	return dedupSorted(targets)
+}
+
+// mergeAdj recomputes the undirected neighbour list of i from the forward,
+// backward and ring edges.
+func (g *Graph) mergeAdj(i int) []int {
+	n := g.Ring.N()
+	lst := make([]int, 0, len(g.out[i])+len(g.in[i])+2)
+	lst = append(lst, g.out[i]...)
+	lst = append(lst, g.in[i]...)
+	if n > 1 {
+		lst = append(lst, g.Ring.Successor(i), g.Ring.Predecessor(i))
+	}
+	sort.Ints(lst)
+	out := lst[:0]
+	prev := -1
+	for _, v := range lst {
+		if v == i || v == prev {
+			continue
+		}
+		out = append(out, v)
+		prev = v
+	}
 	return out
+}
+
+// setOut replaces server k's forward-target list, patching the reverse
+// lists and the Theorem 2.1 edge count, and marking every server whose
+// lists changed in dirty.
+func (g *Graph) setOut(k int, newT []int, dirty map[int]struct{}) {
+	old := g.out[k]
+	g.out[k] = newT
+	i, j := 0, 0
+	for i < len(old) || j < len(newT) {
+		switch {
+		case j >= len(newT) || (i < len(old) && old[i] < newT[j]):
+			t := old[i] // removed forward edge k -> t
+			i++
+			g.in[t] = delSorted(g.in[t], k)
+			if !memSorted(g.out[t], k) { // pair {k,t} gone (covers t == k)
+				g.contEdges--
+			}
+			dirty[t] = struct{}{}
+		case i >= len(old) || newT[j] < old[i]:
+			t := newT[j] // added forward edge k -> t
+			j++
+			g.in[t] = insSorted(g.in[t], k)
+			if t == k || !memSorted(g.out[t], k) { // pair {k,t} is new
+				g.contEdges++
+			}
+			dirty[t] = struct{}{}
+		default:
+			i++
+			j++
+		}
+	}
+	dirty[k] = struct{}{}
+}
+
+// affectedSources returns every server whose forward image can intersect
+// the changed segment: the covers of the preimage arc (the ∆ forward maps
+// share one contiguous preimage, continuous.DeltaBackImage). The segment is
+// padded by a few ulps first because for non-power-of-two ∆ the computed
+// image arcs (interval.DeltaMap) are only accurate to one ulp, so an image
+// can leak into the changed region that the exact preimage just misses.
+func (g *Graph) affectedSources(seg interval.Segment) []int {
+	const pad = 64
+	padded := interval.Segment{Start: seg.Start - pad, Len: seg.Len + 2*pad}
+	if seg.Len == 0 || padded.Len < seg.Len { // full circle or overflow
+		padded = interval.FullCircle
+	}
+	return g.Ring.CoversOfArc(continuous.DeltaBackImage(padded, g.Delta))
+}
+
+// Insert splits the segment covering p by adding a new server there
+// (Algorithm Join step 3) and patches the graph locally: only servers whose
+// forward images or preimages intersect the split segment — O(ρ·∆) of them
+// by Theorem 2.2 — have their edge lists recomputed. It reports the new
+// server's index and whether the point was inserted (false if present).
+func (g *Graph) Insert(p interval.Point) (int, bool) {
+	idx, ok := g.Ring.Insert(p)
+	if !ok {
+		return idx, false
+	}
+	n := g.Ring.N()
+	if n <= 3 {
+		g.rebuild()
+		return idx, true
+	}
+	pred := (idx - 1 + n) % n
+	succ := (idx + 1) % n
+	// The segment that was split: pred's pre-insert segment [x_pred, x_succ).
+	oldSeg := interval.Segment{
+		Start: g.Ring.Point(pred),
+		Len:   interval.CWDist(g.Ring.Point(pred), g.Ring.Point(succ)),
+	}
+
+	// Renumber: indices >= idx shifted up by one; open an empty slot at idx.
+	renumber(g.out, idx, +1)
+	renumber(g.in, idx, +1)
+	renumber(g.adj, idx, +1)
+	g.out = insertSlot(g.out, idx)
+	g.in = insertSlot(g.in, idx)
+	g.adj = insertSlot(g.adj, idx)
+
+	// Affected sources: the two servers whose segments changed shape, plus
+	// every server with a forward image into the split segment.
+	affected := map[int]struct{}{pred: {}, idx: {}}
+	for _, k := range g.affectedSources(oldSeg) {
+		affected[k] = struct{}{}
+	}
+	dirty := map[int]struct{}{pred: {}, idx: {}, succ: {}} // ring edges changed here
+	for k := range affected {
+		g.setOut(k, g.computeOut(k), dirty)
+	}
+	for v := range dirty {
+		g.adj[v] = g.mergeAdj(v)
+	}
+	g.refreshMaxes()
+	g.lastTouched = len(dirty)
+	return idx, true
+}
+
+// Remove deletes the server at index idx; its segment is absorbed by the
+// ring predecessor (§2.1 Leave). As with Insert, only the servers whose
+// forward images or preimages intersect the absorbed segment are patched.
+func (g *Graph) Remove(idx int) {
+	n := g.Ring.N()
+	if n <= 3 {
+		g.Ring.RemoveAt(idx)
+		g.rebuild()
+		return
+	}
+	absorbed := g.Ring.Segment(idx)
+	pred := (idx - 1 + n) % n
+
+	// Affected sources, in pre-removal indexing: the absorbing predecessor
+	// plus every server with a forward image into the absorbed segment.
+	affected := map[int]struct{}{pred: {}}
+	for _, k := range g.affectedSources(absorbed) {
+		if k != idx {
+			affected[k] = struct{}{}
+		}
+	}
+
+	// Drop every edge incident to idx while the old indexing is valid, so
+	// no list retains a reference to the vanishing index.
+	dirty := map[int]struct{}{}
+	g.setOut(idx, nil, dirty)
+	for _, s := range append([]int(nil), g.in[idx]...) {
+		g.out[s] = delSorted(g.out[s], idx)
+		g.contEdges-- // out[idx] is empty, so the pair {s, idx} is gone
+		dirty[s] = struct{}{}
+	}
+	g.in[idx] = nil
+
+	g.Ring.RemoveAt(idx)
+
+	// Renumber: indices > idx shift down by one; close idx's slot.
+	g.out = removeSlot(g.out, idx)
+	g.in = removeSlot(g.in, idx)
+	g.adj = removeSlot(g.adj, idx)
+	renumber(g.out, idx, -1)
+	renumber(g.in, idx, -1)
+	renumber(g.adj, idx, -1)
+
+	nn := n - 1
+	remap := func(v int) int {
+		if v > idx {
+			return v - 1
+		}
+		return v
+	}
+	newDirty := map[int]struct{}{remap(pred): {}, idx % nn: {}} // new ring edge pred—succ
+	for v := range dirty {
+		if v != idx {
+			newDirty[remap(v)] = struct{}{}
+		}
+	}
+	for k := range affected {
+		g.setOut(remap(k), g.computeOut(remap(k)), newDirty)
+	}
+	for v := range newDirty {
+		g.adj[v] = g.mergeAdj(v)
+	}
+	g.refreshMaxes()
+	g.lastTouched = len(newDirty)
+}
+
+// RemoveHandle is Remove addressed by the ring's stable handle, reporting
+// the index the server occupied (false if the handle is unknown).
+func (g *Graph) RemoveHandle(h partition.Handle) (int, bool) {
+	idx, ok := g.Ring.IndexOfHandle(h)
+	if !ok {
+		return 0, false
+	}
+	g.Remove(idx)
+	return idx, true
+}
+
+// LastTouched returns how many servers had their edge lists recomputed by
+// the most recent Insert or Remove — the churn blast radius the §2.1
+// locality claim bounds by O(ρ·∆).
+func (g *Graph) LastTouched() int { return g.lastTouched }
+
+// renumber adds d to every stored index >= bound (for d = +1, making room
+// at bound) or > bound (for d = -1, after bound was vacated). Shifting by a
+// constant preserves sortedness.
+func renumber(lists [][]int, bound int, d int) {
+	lo := bound
+	if d < 0 {
+		lo = bound + 1
+	}
+	for _, lst := range lists {
+		for i, v := range lst {
+			if v >= lo {
+				lst[i] = v + d
+			}
+		}
+	}
+}
+
+func insertSlot(lists [][]int, idx int) [][]int {
+	return slices.Insert(lists, idx, nil)
+}
+
+func removeSlot(lists [][]int, idx int) [][]int {
+	return slices.Delete(lists, idx, idx+1)
+}
+
+func dedupSorted(xs []int) []int {
+	return slices.Compact(xs)
+}
+
+func memSorted(lst []int, v int) bool {
+	_, ok := slices.BinarySearch(lst, v)
+	return ok
+}
+
+func insSorted(lst []int, v int) []int {
+	i, ok := slices.BinarySearch(lst, v)
+	if ok {
+		return lst
+	}
+	return slices.Insert(lst, i, v)
+}
+
+func delSorted(lst []int, v int) []int {
+	i, ok := slices.BinarySearch(lst, v)
+	if !ok {
+		return lst
+	}
+	return slices.Delete(lst, i, i+1)
+}
+
+// refreshMaxes rescans the degree maxima. It runs eagerly at the end of
+// rebuild/Insert/Remove — its O(n) scan is dwarfed by the renumber pass —
+// so the accessors stay pure reads and the graph can keep being shared by
+// concurrent readers (route.ParallelRandomLookups relies on that).
+func (g *Graph) refreshMaxes() {
+	g.maxOut, g.maxIn = 0, 0
+	for i := range g.out {
+		if len(g.out[i]) > g.maxOut {
+			g.maxOut = len(g.out[i])
+		}
+		if len(g.in[i]) > g.maxIn {
+			g.maxIn = len(g.in[i])
+		}
+	}
 }
 
 // N returns the number of servers.
@@ -110,14 +376,19 @@ func (g *Graph) N() int { return g.Ring.N() }
 // included, self excluded).
 func (g *Graph) Adj(i int) []int { return g.adj[i] }
 
+// Out returns the sorted forward-image target list of server i (the
+// directed edges Theorem 2.2 bounds; may include i itself).
+func (g *Graph) Out(i int) []int { return g.out[i] }
+
+// In returns the sorted list of servers with a forward image into i.
+func (g *Graph) In(i int) []int { return g.in[i] }
+
 // IsNeighbor reports whether j is a neighbour of i (or j == i).
 func (g *Graph) IsNeighbor(i, j int) bool {
 	if i == j {
 		return true
 	}
-	lst := g.adj[i]
-	k := sort.SearchInts(lst, j)
-	return k < len(lst) && lst[k] == j
+	return memSorted(g.adj[i], j)
 }
 
 // EdgeCountNoRing returns the number of continuous-derived undirected edges

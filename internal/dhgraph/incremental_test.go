@@ -1,0 +1,194 @@
+package dhgraph
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"condisc/internal/interval"
+	"condisc/internal/partition"
+)
+
+// equalGraphs reports whether the incrementally maintained graph is
+// identical — adjacency lists, forward/backward lists, and every Theorem
+// 2.1/2.2 counter — to a graph freshly built from the same ring.
+func equalGraphs(t *testing.T, inc, fresh *Graph) {
+	t.Helper()
+	if inc.N() != fresh.N() {
+		t.Fatalf("n: inc %d != fresh %d", inc.N(), fresh.N())
+	}
+	for i := 0; i < inc.N(); i++ {
+		if !equalInts(inc.Adj(i), fresh.Adj(i)) {
+			t.Fatalf("adj[%d]: inc %v != fresh %v", i, inc.Adj(i), fresh.Adj(i))
+		}
+		if !equalInts(inc.Out(i), fresh.Out(i)) {
+			t.Fatalf("out[%d]: inc %v != fresh %v", i, inc.Out(i), fresh.Out(i))
+		}
+		if !equalInts(inc.In(i), fresh.In(i)) {
+			t.Fatalf("in[%d]: inc %v != fresh %v", i, inc.In(i), fresh.In(i))
+		}
+	}
+	if inc.EdgeCountNoRing() != fresh.EdgeCountNoRing() {
+		t.Fatalf("contEdges: inc %d != fresh %d", inc.EdgeCountNoRing(), fresh.EdgeCountNoRing())
+	}
+	if inc.MaxOutNoRing() != fresh.MaxOutNoRing() {
+		t.Fatalf("maxOut: inc %d != fresh %d", inc.MaxOutNoRing(), fresh.MaxOutNoRing())
+	}
+	if inc.MaxInNoRing() != fresh.MaxInNoRing() {
+		t.Fatalf("maxIn: inc %d != fresh %d", inc.MaxInNoRing(), fresh.MaxInNoRing())
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIncrementalMatchesBuild is the differential churn test: after every
+// operation of a random 10k-op join/leave trace, the incrementally patched
+// graph must be identical to a from-scratch Build over the same ring.
+func TestIncrementalMatchesBuild(t *testing.T) {
+	traces := []struct {
+		delta uint64
+		ops   int
+		seed  uint64
+	}{
+		{2, 8000, 1},
+		{3, 1000, 2},
+		{4, 1000, 3},
+	}
+	total := 0
+	for _, tc := range traces {
+		rng := rand.New(rand.NewPCG(tc.seed, tc.seed*977))
+		ring := partition.Grow(partition.New(), 64, partition.MultipleChooser(2), rng)
+		g := Build(ring, tc.delta)
+		for op := 0; op < tc.ops; op++ {
+			n := ring.N()
+			join := rng.IntN(2) == 0
+			if n <= 8 {
+				join = true
+			} else if n >= 128 {
+				join = false
+			}
+			if join {
+				var p interval.Point
+				if rng.IntN(4) == 0 {
+					p = partition.SingleChoice(rng) // adversarially unsmooth
+				} else {
+					p = partition.MultipleChoice(ring, rng, 2)
+				}
+				if _, ok := g.Insert(p); !ok {
+					continue
+				}
+			} else {
+				g.Remove(rng.IntN(n))
+			}
+			equalGraphs(t, g, Build(ring, tc.delta))
+			total++
+		}
+	}
+	if total < 9000 {
+		t.Fatalf("trace too short: %d effective ops", total)
+	}
+}
+
+// TestIncrementalTheoremBounds re-asserts the Theorem 2.1/2.2 bounds on a
+// graph that was grown and shrunk purely through incremental updates.
+func TestIncrementalTheoremBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	ring := partition.Grow(partition.New(), 8, partition.MultipleChooser(2), rng)
+	g := Build(ring, 2)
+	for ring.N() < 1024 {
+		g.Insert(partition.MultipleChoice(ring, rng, 2))
+	}
+	check := func() {
+		n, rho := ring.N(), ring.Smoothness()
+		if e := g.EdgeCountNoRing(); e > 3*n-1 {
+			t.Fatalf("n=%d: %d edges > 3n-1", n, e)
+		}
+		if out := g.MaxOutNoRing(); float64(out) > rho+4 {
+			t.Fatalf("n=%d: maxOut %d > ρ+4 = %.1f", n, out, rho+4)
+		}
+		if in := g.MaxInNoRing(); float64(in) > math.Ceil(2*rho)+1 {
+			t.Fatalf("n=%d: maxIn %d > ⌈2ρ⌉+1 = %.1f", n, in, math.Ceil(2*rho)+1)
+		}
+	}
+	check()
+	for ring.N() > 256 {
+		g.Remove(rng.IntN(ring.N()))
+		check()
+	}
+	equalGraphs(t, g, Build(ring, 2))
+}
+
+// TestIncrementalLocality: the blast radius of one churn event on a smooth
+// ring stays bounded by the O(ρ·∆) neighbourhood of Theorem 2.2, far below
+// n — the §2.1 locality claim on the maintained structure.
+func TestIncrementalLocality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 17))
+	ring := partition.Grow(partition.New(), 2048, partition.MultipleChooser(2), rng)
+	g := Build(ring, 2)
+	maxTouched := 0
+	for i := 0; i < 200; i++ {
+		if _, ok := g.Insert(partition.MultipleChoice(ring, rng, 2)); !ok {
+			continue
+		}
+		if g.LastTouched() > maxTouched {
+			maxTouched = g.LastTouched()
+		}
+		g.Remove(rng.IntN(ring.N()))
+		if g.LastTouched() > maxTouched {
+			maxTouched = g.LastTouched()
+		}
+	}
+	rho := ring.Smoothness()
+	bound := int(8*(rho+4)) + 8 // generous constant over the ρ+4 / ⌈2ρ⌉+1 degrees
+	if maxTouched > bound {
+		t.Fatalf("churn touched %d servers, want <= %d (ρ=%.1f, n=%d)",
+			maxTouched, bound, rho, ring.N())
+	}
+	if maxTouched >= ring.N()/4 {
+		t.Fatalf("churn touched %d of %d servers: not local", maxTouched, ring.N())
+	}
+}
+
+// TestRemoveHandle: handle-addressed removal survives index shifts from
+// unrelated churn.
+func TestRemoveHandle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 23))
+	ring := partition.Grow(partition.New(), 64, partition.MultipleChooser(2), rng)
+	g := Build(ring, 2)
+	idx, _ := g.Insert(partition.MultipleChoice(ring, rng, 2))
+	h := ring.HandleAt(idx)
+	p, _ := ring.PointOfHandle(h)
+	// Shift indices around with unrelated churn.
+	for i := 0; i < 20; i++ {
+		g.Insert(partition.SingleChoice(rng))
+		j := rng.IntN(ring.N())
+		if ring.HandleAt(j) != h {
+			g.Remove(j)
+		}
+	}
+	if _, ok := ring.PointOfHandle(h); !ok {
+		t.Fatal("handle lost without RemoveHandle")
+	}
+	if _, ok := g.RemoveHandle(h); !ok {
+		t.Fatal("RemoveHandle failed")
+	}
+	if ring.Cover(p) >= 0 { // point must now belong to someone else's segment
+		if pp, ok := ring.PointOfHandle(h); ok {
+			t.Fatalf("handle still present at %v", pp)
+		}
+	}
+	if _, ok := g.RemoveHandle(h); ok {
+		t.Fatal("double RemoveHandle succeeded")
+	}
+	equalGraphs(t, g, Build(ring, 2))
+}

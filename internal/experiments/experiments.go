@@ -86,5 +86,6 @@ func All(cfg Config) []Result {
 		Thm71Emulation(cfg),
 		ErasureVsReplication(cfg),
 		JoinLeaveCost(cfg),
+		ChurnLocality(cfg),
 	}
 }

@@ -1,0 +1,90 @@
+package partition
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"condisc/internal/interval"
+)
+
+// TestHandlesStableAcrossChurn: a handle keeps naming the same point while
+// indices shift under arbitrary insertions and removals.
+func TestHandlesStableAcrossChurn(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 37))
+	r := Grow(New(), 64, MultipleChooser(2), rng)
+	if !r.checkHandles() {
+		t.Fatal("handle invariant broken after Grow")
+	}
+	i, _ := r.Insert(interval.Point(1 << 40))
+	h := r.HandleAt(i)
+	for op := 0; op < 500; op++ {
+		if rng.IntN(2) == 0 || r.N() < 8 {
+			r.Insert(SingleChoice(rng))
+		} else {
+			j := rng.IntN(r.N())
+			if r.HandleAt(j) == h {
+				continue
+			}
+			r.RemoveAt(j)
+		}
+		if !r.checkHandles() {
+			t.Fatalf("handle invariant broken at op %d", op)
+		}
+		idx, ok := r.IndexOfHandle(h)
+		if !ok || r.Point(idx) != interval.Point(1<<40) {
+			t.Fatalf("op %d: handle no longer names its point (ok=%v)", op, ok)
+		}
+		if p, ok := r.PointOfHandle(h); !ok || p != interval.Point(1<<40) {
+			t.Fatalf("op %d: PointOfHandle wrong", op)
+		}
+	}
+	if idx, ok := r.RemoveHandle(h); !ok || idx < 0 {
+		t.Fatal("RemoveHandle failed")
+	}
+	if _, ok := r.IndexOfHandle(h); ok {
+		t.Fatal("handle survived removal")
+	}
+	if _, ok := r.RemoveHandle(h); ok {
+		t.Fatal("double removal succeeded")
+	}
+	if !r.checkHandles() {
+		t.Fatal("handle invariant broken after RemoveHandle")
+	}
+}
+
+// TestCloneCopiesHandles: clones share no handle state with the original.
+func TestCloneCopiesHandles(t *testing.T) {
+	r := FromPoints([]interval.Point{100, 200, 300})
+	c := r.Clone()
+	h := r.HandleAt(1)
+	if ch := c.HandleAt(1); ch != h {
+		t.Fatalf("clone handle %d != original %d", ch, h)
+	}
+	c.RemoveHandle(h)
+	if _, ok := r.IndexOfHandle(h); !ok {
+		t.Fatal("removing from clone affected the original")
+	}
+	if _, ok := c.IndexOfHandle(h); ok {
+		t.Fatal("clone removal did not stick")
+	}
+	if i, ok := c.Insert(interval.Point(200)); !ok || !c.checkHandles() || c.Point(i) != 200 {
+		t.Fatal("clone insert after removal broken")
+	}
+}
+
+// TestInsertDuplicateKeepsHandle: re-inserting an existing point does not
+// mint a new handle.
+func TestInsertDuplicateKeepsHandle(t *testing.T) {
+	r := New()
+	i, ok := r.Insert(500)
+	if !ok {
+		t.Fatal("first insert failed")
+	}
+	h := r.HandleAt(i)
+	if _, ok := r.Insert(500); ok {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if r.HandleAt(i) != h || !r.checkHandles() {
+		t.Fatal("duplicate insert disturbed handles")
+	}
+}

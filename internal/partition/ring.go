@@ -12,34 +12,39 @@ package partition
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"condisc/internal/interval"
 )
 
+// Handle is a stable server identifier, assigned at insertion and never
+// reused. Unlike the sorted index of a server (which shifts whenever any
+// other server joins or leaves), a Handle keeps naming the same server
+// across arbitrary churn, so callers can hold on to it between operations.
+type Handle uint64
+
 // Ring is a dynamic decomposition of I into segments. The zero value is an
 // empty ring ready for use.
 type Ring struct {
-	pts []interval.Point // sorted ascending, all distinct
+	pts   []interval.Point // sorted ascending, all distinct
+	hs    []Handle         // hs[i] is the stable handle of pts[i]
+	byH   map[Handle]interval.Point
+	nextH Handle
 }
 
 // New returns an empty ring.
 func New() *Ring { return &Ring{} }
 
 // FromPoints builds a ring from the given points (duplicates are dropped).
+// Handles are assigned in sorted point order.
 func FromPoints(pts []interval.Point) *Ring {
-	r := &Ring{pts: append([]interval.Point(nil), pts...)}
-	sort.Slice(r.pts, func(i, j int) bool { return r.pts[i] < r.pts[j] })
-	out := r.pts[:0]
-	var prev interval.Point
-	for i, p := range r.pts {
-		if i > 0 && p == prev {
-			continue
-		}
-		out = append(out, p)
-		prev = p
+	sorted := append([]interval.Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	r := New()
+	for _, p := range sorted {
+		r.Insert(p)
 	}
-	r.pts = out
 	return r
 }
 
@@ -52,9 +57,20 @@ func (r *Ring) Point(i int) interval.Point { return r.pts[i] }
 // Points returns the underlying sorted point slice (read-only view).
 func (r *Ring) Points() []interval.Point { return r.pts }
 
-// Clone returns a deep copy of the ring.
+// Clone returns a deep copy of the ring, handles included.
 func (r *Ring) Clone() *Ring {
-	return &Ring{pts: append([]interval.Point(nil), r.pts...)}
+	c := &Ring{
+		pts:   append([]interval.Point(nil), r.pts...),
+		hs:    append([]Handle(nil), r.hs...),
+		nextH: r.nextH,
+	}
+	if r.byH != nil {
+		c.byH = make(map[Handle]interval.Point, len(r.byH))
+		for h, p := range r.byH {
+			c.byH[h] = p
+		}
+	}
+	return c
 }
 
 // search returns the index of the first point > p (possibly len(pts)).
@@ -65,22 +81,64 @@ func (r *Ring) search(p interval.Point) int {
 // Insert adds a new server point, implementing the segment split of
 // Algorithm Join step 3: the segment covering p is divided so that the new
 // server owns [p, oldEnd). It reports the new index and whether the point
-// was inserted (false if already present).
+// was inserted (false if already present). The affected index range is
+// local: only the predecessor's segment changed shape, and only indices
+// >= the returned one shifted up by one.
 func (r *Ring) Insert(p interval.Point) (int, bool) {
 	i := r.search(p)
 	if i > 0 && r.pts[i-1] == p {
 		return i - 1, false
 	}
-	r.pts = append(r.pts, 0)
-	copy(r.pts[i+1:], r.pts[i:])
-	r.pts[i] = p
+	r.nextH++
+	h := r.nextH
+	if r.byH == nil {
+		r.byH = make(map[Handle]interval.Point)
+	}
+	r.byH[h] = p
+	r.pts = slices.Insert(r.pts, i, p)
+	r.hs = slices.Insert(r.hs, i, h)
 	return i, true
 }
 
 // RemoveAt deletes the i-th server; its segment is absorbed by the ring
-// predecessor (the simple Leave of §2.1).
+// predecessor (the simple Leave of §2.1). Only indices > i shift (down by
+// one); the predecessor is the only server whose segment changed shape.
 func (r *Ring) RemoveAt(i int) {
-	r.pts = append(r.pts[:i], r.pts[i+1:]...)
+	delete(r.byH, r.hs[i])
+	r.pts = slices.Delete(r.pts, i, i+1)
+	r.hs = slices.Delete(r.hs, i, i+1)
+}
+
+// HandleAt returns the stable handle of the server currently at index i.
+func (r *Ring) HandleAt(i int) Handle { return r.hs[i] }
+
+// IndexOfHandle returns the current sorted index of the server named by h,
+// or false if no such server exists (never joined, or already left).
+func (r *Ring) IndexOfHandle(h Handle) (int, bool) {
+	p, ok := r.byH[h]
+	if !ok {
+		return 0, false
+	}
+	i := r.search(p)
+	return i - 1, true // p is present, so pts[i-1] == p
+}
+
+// PointOfHandle returns the point of the server named by h.
+func (r *Ring) PointOfHandle(h Handle) (interval.Point, bool) {
+	p, ok := r.byH[h]
+	return p, ok
+}
+
+// RemoveHandle deletes the server named by h, reporting the index it
+// occupied. It is the churn-safe form of RemoveAt: the handle cannot be
+// invalidated by unrelated joins or leaves.
+func (r *Ring) RemoveHandle(h Handle) (int, bool) {
+	i, ok := r.IndexOfHandle(h)
+	if !ok {
+		return 0, false
+	}
+	r.RemoveAt(i)
+	return i, true
 }
 
 // Remove deletes the server with the given point, reporting whether it was
@@ -91,6 +149,19 @@ func (r *Ring) Remove(p interval.Point) bool {
 		return false
 	}
 	r.RemoveAt(i - 1)
+	return true
+}
+
+// Version-free sanity check used by tests: handles and points agree.
+func (r *Ring) checkHandles() bool {
+	if len(r.hs) != len(r.pts) || len(r.byH) != len(r.pts) {
+		return false
+	}
+	for i, h := range r.hs {
+		if r.byH[h] != r.pts[i] {
+			return false
+		}
+	}
 	return true
 }
 

@@ -1,0 +1,56 @@
+package route
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"condisc/internal/dhgraph"
+	"condisc/internal/interval"
+	"condisc/internal/partition"
+)
+
+// TestChurnPreservesLoadAndRouting: joins and leaves applied through the
+// incremental graph keep the untouched servers' congestion counters and
+// leave the network immediately routable.
+func TestChurnPreservesLoadAndRouting(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 78))
+	ring := partition.Grow(partition.New(), 256, partition.MultipleChooser(2), rng)
+	nw := NewNetwork(dhgraph.Build(ring, 2))
+	nw.RandomLookups(512, false, rng)
+	sum := func() (tot int64) {
+		for _, l := range nw.Load {
+			tot += l
+		}
+		return
+	}
+	before := sum()
+	if before == 0 {
+		t.Fatal("no load recorded")
+	}
+
+	idx, ok := nw.G.Insert(partition.MultipleChoice(ring, rng, 2))
+	if !ok {
+		t.Fatal("insert failed")
+	}
+	nw.ServerJoined(idx)
+	if len(nw.Load) != ring.N() || nw.Load[idx] != 0 || sum() != before {
+		t.Fatalf("join corrupted load accounting (sum %d -> %d)", before, sum())
+	}
+
+	victim := rng.IntN(ring.N())
+	dropped := nw.Load[victim]
+	nw.G.Remove(victim)
+	nw.ServerLeft(victim)
+	if len(nw.Load) != ring.N() || sum() != before-dropped {
+		t.Fatalf("leave corrupted load accounting")
+	}
+
+	// The patched network routes correctly right away.
+	for i := 0; i < 256; i++ {
+		y := interval.Point(rng.Uint64())
+		path := nw.DHLookup(rng.IntN(ring.N()), y, rng)
+		if path[len(path)-1] != ring.Cover(y) {
+			t.Fatalf("lookup for %v ended at %d, owner %d", y, path[len(path)-1], ring.Cover(y))
+		}
+	}
+}

@@ -20,6 +20,7 @@ package route
 import (
 	"math"
 	"math/rand/v2"
+	"slices"
 
 	"condisc/internal/dhgraph"
 	"condisc/internal/interval"
@@ -37,6 +38,18 @@ type Network struct {
 // NewNetwork creates a metered network over g.
 func NewNetwork(g *dhgraph.Graph) *Network {
 	return &Network{G: g, Load: make([]int64, g.N())}
+}
+
+// ServerJoined makes room in the load accounting for a server inserted at
+// index idx, preserving every other server's congestion counter across the
+// churn event (the graph itself is patched in place by dhgraph.Insert).
+func (nw *Network) ServerJoined(idx int) {
+	nw.Load = slices.Insert(nw.Load, idx, 0)
+}
+
+// ServerLeft drops the departed server's counter, preserving all others.
+func (nw *Network) ServerLeft(idx int) {
+	nw.Load = slices.Delete(nw.Load, idx, idx+1)
 }
 
 // ResetLoad zeroes the congestion counters.
