@@ -133,29 +133,81 @@ func BenchmarkChurnLocality(b *testing.B) { run(b, experiments.ChurnLocality) }
 // segment and migrates only the split segment's items; the baseline below
 // reproduces the seed's behaviour — rebuild the whole discrete graph, drop
 // all cache state, and rehash every stored item — for the same DHT.
+//
+// BenchmarkJoin and BenchmarkLeave sweep n = 1k, 10k, 100k with a constant
+// 10 items per server. The acceptance bar for the handle-keyed state model
+// is that the per-op cost stays flat in n (within small-constant drift from
+// the O(log n) factors): nothing in the join/leave path may scan, shift, or
+// renumber Θ(n) state.
 
-const (
-	churnN     = 10_000
-	churnItems = 100_000
-)
+const itemsPerServer = 10
 
 var (
-	churnOnce sync.Once
-	churnDHT  *DHT
+	churnMu   sync.Mutex
+	churnDHTs = map[int]*DHT{}
 )
 
-// benchChurnDHT builds (once) a 10k-server DHT holding 100k items, placing
-// the items directly at their owners to keep setup time out of the way.
-func benchChurnDHT(b *testing.B) *DHT {
-	churnOnce.Do(func() {
-		d := New(churnN, Options{Seed: 4242})
-		for i := 0; i < churnItems; i++ {
-			k := fmt.Sprintf("item-%d", i)
-			d.stores[d.Owner(k)][k] = []byte("v")
-		}
-		churnDHT = d
-	})
-	return churnDHT
+// benchChurnDHT builds (once per size) an n-server DHT holding 10n items,
+// placing the items directly at their owners to keep setup time out of the
+// way.
+func benchChurnDHT(b *testing.B, n int) *DHT {
+	churnMu.Lock()
+	defer churnMu.Unlock()
+	if d, ok := churnDHTs[n]; ok {
+		return d
+	}
+	d := New(n, Options{Seed: 4242})
+	for i := 0; i < n*itemsPerServer; i++ {
+		k := fmt.Sprintf("item-%d", i)
+		d.stores[d.ring.CoverHandle(d.hash.Point(k))][k] = []byte("v")
+	}
+	churnDHTs[n] = d
+	return d
+}
+
+var churnSizes = []struct {
+	name string
+	n    int
+}{{"n=1k", 1_000}, {"n=10k", 10_000}, {"n=100k", 100_000}}
+
+// BenchmarkJoin measures one incremental Join per size (the paired Leave is
+// untimed, keeping the network size stable).
+func BenchmarkJoin(b *testing.B) {
+	for _, sz := range churnSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			d := benchChurnDHT(b, sz.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := d.Join()
+				b.StopTimer()
+				if err := d.Leave(id); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkLeave measures one incremental Leave per size (the paired Join
+// is untimed).
+func BenchmarkLeave(b *testing.B) {
+	for _, sz := range churnSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			d := benchChurnDHT(b, sz.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				id := d.Join()
+				b.StartTimer()
+				if err := d.Leave(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // fullRebuild reproduces the seed's per-churn work: rebuild the discrete
@@ -173,53 +225,22 @@ func fullRebuild(d *DHT) {
 	} else {
 		d.cache = nil
 	}
-	d.stores = make([]map[string][]byte, d.ring.N())
-	for i := range d.stores {
-		d.stores[i] = map[string][]byte{}
+	d.stores = make(map[ServerID]map[string][]byte, d.ring.N())
+	for i := 0; i < d.ring.N(); i++ {
+		d.stores[d.ring.HandleAt(i)] = map[string][]byte{}
 	}
 	for _, m := range old {
 		for k, v := range m {
-			d.stores[d.ring.Cover(d.hash.Point(k))][k] = v
+			d.stores[d.ring.CoverHandle(d.hash.Point(k))][k] = v
 		}
 	}
 }
 
-// BenchmarkJoin measures one incremental Join at n=10,000 with 100k items
-// (the paired Leave is untimed, keeping the network size stable).
-func BenchmarkJoin(b *testing.B) {
-	d := benchChurnDHT(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		id := d.Join()
-		b.StopTimer()
-		if err := d.Leave(id); err != nil {
-			b.Fatal(err)
-		}
-		b.StartTimer()
-	}
-}
-
-// BenchmarkLeave measures one incremental Leave at n=10,000 with 100k items
-// (the paired Join is untimed).
-func BenchmarkLeave(b *testing.B) {
-	d := benchChurnDHT(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		id := d.Join()
-		b.StartTimer()
-		if err := d.Leave(id); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkJoinFullRebuild is the seed's baseline: every churn event
-// rebuilds the graph and rehashes all items. Compare against BenchmarkJoin.
+// BenchmarkJoinFullRebuild is the seed's baseline at n=10k: every churn
+// event rebuilds the graph and rehashes all items. Compare against
+// BenchmarkJoin/n=10k.
 func BenchmarkJoinFullRebuild(b *testing.B) {
-	d := benchChurnDHT(b)
+	d := benchChurnDHT(b, 10_000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -233,9 +254,9 @@ func BenchmarkJoinFullRebuild(b *testing.B) {
 	}
 }
 
-// BenchmarkLeaveFullRebuild is the leave-side baseline.
+// BenchmarkLeaveFullRebuild is the leave-side baseline at n=10k.
 func BenchmarkLeaveFullRebuild(b *testing.B) {
-	d := benchChurnDHT(b)
+	d := benchChurnDHT(b, 10_000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

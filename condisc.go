@@ -27,7 +27,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"slices"
 
 	"condisc/internal/cache"
 	"condisc/internal/dhgraph"
@@ -61,7 +60,10 @@ type Options struct {
 
 // DHT is a simulated Distance Halving network: n servers holding segments
 // of I, routing lookups over the discrete DH graph, storing items at the
-// server covering their hash point.
+// server covering their hash point. All per-server state — routing edges,
+// load counters, cache supply counts, and the item stores — is keyed by
+// the stable ServerID, so a churn event rewrites exactly the state of the
+// servers adjacent to the changed segment and nothing else.
 type DHT struct {
 	opts   Options
 	rng    *rand.Rand
@@ -69,7 +71,7 @@ type DHT struct {
 	net    *route.Network
 	hash   *hashing.Func
 	cache  *cache.System
-	stores []map[string][]byte
+	stores map[ServerID]map[string][]byte
 }
 
 // New builds a DHT of n servers (n >= 2) with Multiple Choice IDs.
@@ -93,9 +95,9 @@ func New(n int, opts Options) *DHT {
 	if d.opts.Delta == 2 && d.opts.CacheThreshold >= 0 {
 		d.cache = cache.NewSystem(d.net, d.hash, d.autoThreshold())
 	}
-	d.stores = make([]map[string][]byte, n)
-	for i := range d.stores {
-		d.stores[i] = map[string][]byte{}
+	d.stores = make(map[ServerID]map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		d.stores[d.ring.HandleAt(i)] = map[string][]byte{}
 	}
 	return d
 }
@@ -133,14 +135,14 @@ func (d *DHT) Lookup(src int, key string) []int {
 func (d *DHT) Put(src int, key string, value []byte) int {
 	path := d.Lookup(src, key)
 	owner := path[len(path)-1]
-	d.stores[owner][key] = append([]byte(nil), value...)
+	d.stores[d.ring.HandleAt(owner)][key] = append([]byte(nil), value...)
 	return len(path) - 1
 }
 
 // Get retrieves a value from server src. With caching enabled, hot items
 // are served by cache-tree copies without reaching the owner (§3).
 func (d *DHT) Get(src int, key string) (value []byte, hops int, ok bool) {
-	owner := d.Owner(key)
+	owner := d.ring.CoverHandle(d.hash.Point(key))
 	v, ok := d.stores[owner][key]
 	if !ok {
 		return nil, 0, false
@@ -163,6 +165,13 @@ func (d *DHT) EndEpoch() {
 // Join adds a server with a Multiple Choice ID (§4), patching the routing
 // graph locally and migrating only the items of the split segment (§2.1
 // Join step 3). It returns the new server's stable identifier.
+//
+// Because every layer keys its state by ServerID, the join is a pure
+// range handoff: the graph patches the O(ρ·∆) servers around the split,
+// the load and supply counters are untouched (the newcomer simply has no
+// entries yet), and the item split moves the new segment's keys out of
+// one store map into a fresh one — no other server's state is read or
+// written.
 func (d *DHT) Join() ServerID {
 	p := partition.MultipleChoice(d.ring, d.rng, 2)
 	idx, ok := d.net.G.Insert(p)
@@ -170,26 +179,26 @@ func (d *DHT) Join() ServerID {
 		p = partition.SingleChoice(d.rng)
 		idx, ok = d.net.G.Insert(p)
 	}
-	d.net.ServerJoined(idx)
+	id := d.ring.HandleAt(idx)
 
 	// Migrate the items the new server now covers: they all lived with the
 	// ring predecessor, whose segment was split — no other store changes.
-	d.stores = slices.Insert(d.stores, idx, map[string][]byte{})
 	seg := d.ring.Segment(idx)
-	pred := d.stores[d.ring.Predecessor(idx)]
+	store := map[string][]byte{}
+	d.stores[id] = store
+	pred := d.stores[d.ring.HandleAt(d.ring.Predecessor(idx))]
 	for k, v := range pred {
 		if seg.Contains(d.hash.Point(k)) {
-			d.stores[idx][k] = v
+			store[k] = v
 			delete(pred, k)
 		}
 	}
 
 	if d.cache != nil {
-		d.cache.ServerJoined(idx)
 		d.cache.InvalidateRegion(seg) // copies in seg were held by the predecessor
 		d.cache.C = d.autoThreshold()
 	}
-	return d.ring.HandleAt(idx)
+	return id
 }
 
 // Leave removes the server named by id; its segment, items and routing
@@ -205,17 +214,18 @@ func (d *DHT) Leave(id ServerID) error {
 		return fmt.Errorf("condisc: cannot shrink below 2 servers")
 	}
 	seg := d.ring.Segment(idx)
-	pred := d.stores[d.ring.Predecessor(idx)] // same map before and after reindexing
+	pred := d.stores[d.ring.HandleAt(d.ring.Predecessor(idx))]
 	d.net.G.Remove(idx)
-	d.net.ServerLeft(idx)
+	d.net.Forget(id)
 
-	for k, v := range d.stores[idx] {
+	// Absorb the leaver's items into the predecessor — a pure map merge.
+	for k, v := range d.stores[id] {
 		pred[k] = v
 	}
-	d.stores = slices.Delete(d.stores, idx, idx+1)
+	delete(d.stores, id)
 
 	if d.cache != nil {
-		d.cache.ServerLeft(idx)
+		d.cache.Forget(id)
 		d.cache.InvalidateRegion(seg) // the leaver's copies are gone
 		d.cache.C = d.autoThreshold()
 	}
@@ -246,4 +256,7 @@ func (d *DHT) MaxLoad() int64 { return d.net.MaxLoad() }
 func (d *DHT) ResetLoad() { d.net.ResetLoad() }
 
 // Items returns how many items server i currently stores.
-func (d *DHT) Items(i int) int { return len(d.stores[i]) }
+func (d *DHT) Items(i int) int { return len(d.stores[d.ring.HandleAt(i)]) }
+
+// ItemsOf returns how many items the server named by id currently stores.
+func (d *DHT) ItemsOf(id ServerID) int { return len(d.stores[id]) }

@@ -117,11 +117,11 @@ func TestChurnItemConservation(t *testing.T) {
 	}
 	check := func(op int) {
 		total := 0
-		for i := range d.stores {
-			total += len(d.stores[i])
-			for k := range d.stores[i] {
-				if own := d.Owner(k); own != i {
-					t.Fatalf("op %d: %q stored at %d, owned by %d", op, k, i, own)
+		for id, store := range d.stores {
+			total += len(store)
+			for k := range store {
+				if own := d.IDAt(d.Owner(k)); own != id {
+					t.Fatalf("op %d: %q stored at %d, owned by %d", op, k, id, own)
 				}
 			}
 		}

@@ -1,0 +1,94 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"condisc/internal/continuous"
+	"condisc/internal/interval"
+)
+
+// setupItems populates the system with `items` known items (root-only
+// trees) plus one hot item whose active tree holds 2^depth-ish copies
+// spread over I. Returns the hot tree.
+func setupItems(s *System, items, depth int) *activeTree {
+	for i := 0; i < items; i++ {
+		s.tree(fmt.Sprintf("cold-%d", i))
+	}
+	t := s.tree("hot")
+	var grow func(z continuous.TreeNode)
+	grow = func(z continuous.TreeNode) {
+		if int(z.Depth) >= depth {
+			return
+		}
+		for b := byte(0); b < 2; b++ {
+			c := z.Child(b)
+			s.activate(t, "hot", c)
+			grow(c)
+		}
+	}
+	grow(continuous.Root)
+	return t
+}
+
+// BenchmarkInvalidateRegion is the regression benchmark for the point-
+// indexed invalidation: the cost of invalidating a fixed-size region must
+// track the number of copies in the region, not the total number of items.
+// The items=1k and items=32k rows must be near-identical (the dense-index
+// era walked every item's whole tree: ~32× apart).
+func BenchmarkInvalidateRegion(b *testing.B) {
+	for _, items := range []int{1_000, 32_000} {
+		b.Run(fmt.Sprintf("items=%d", items), func(b *testing.B) {
+			s, _ := newSystem(256, 4, 33)
+			t := setupItems(s, items, 6) // 126 hot copies among `items` trees
+			// A region holding exactly one deep copy with no active children:
+			// each iteration deletes it and puts it back untimed.
+			var victim continuous.TreeNode
+			for z := range t.active {
+				if int(z.Depth) == 6 {
+					victim = z
+					break
+				}
+			}
+			vp := victim.PointUnder(t.root)
+			seg := interval.Segment{Start: vp, Len: 1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.InvalidateRegion(seg)
+				b.StopTimer()
+				s.activate(t, "hot", victim)
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkInvalidateRegionMiss measures the pure lookup cost when the
+// changed region holds no copies at all — the common case for a join in a
+// cold part of the ring. It must not depend on the item count either.
+func BenchmarkInvalidateRegionMiss(b *testing.B) {
+	for _, items := range []int{1_000, 32_000} {
+		b.Run(fmt.Sprintf("items=%d", items), func(b *testing.B) {
+			s, _ := newSystem(256, 4, 34)
+			t := setupItems(s, items, 6)
+			// A 1-ulp region just outside any copy point.
+			var any continuous.TreeNode
+			for z := range t.active {
+				if z.Depth > 0 {
+					any = z
+					break
+				}
+			}
+			seg := interval.Segment{Start: any.PointUnder(t.root) - 1, Len: 1}
+			if s.copies.inRegion(seg) != nil {
+				b.Skip("collision: region unexpectedly holds a copy")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.InvalidateRegion(seg)
+			}
+		})
+	}
+}

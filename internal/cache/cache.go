@@ -22,15 +22,24 @@
 // The guarantees reproduced by the experiments (Theorems 3.6 and 3.8): each
 // server supplies O(log² n) requests whp under ANY batch of n requests,
 // caches hold O(log n) items whp, and the protocol adds no latency.
+//
+// All per-server state is keyed by the ring's stable handle, and every
+// non-root cached copy is additionally indexed by the point of I it
+// physically occupies (copyIndex). Churn therefore touches only what it
+// must: supply counters survive joins and leaves untouched, and
+// InvalidateRegion locates the copies inside the changed segment in
+// O(log C + k) for C total copies and k hits, instead of walking every
+// item's whole tree.
 package cache
 
 import (
 	"math/rand/v2"
-	"slices"
+	"sort"
 
 	"condisc/internal/continuous"
 	"condisc/internal/hashing"
 	"condisc/internal/interval"
+	"condisc/internal/partition"
 	"condisc/internal/route"
 )
 
@@ -63,6 +72,76 @@ func (t *activeTree) isLeaf(z continuous.TreeNode) bool {
 	return !l && !r
 }
 
+// copyRef locates one non-root cached copy: the item it replicates and the
+// path-tree node holding it. Its physical location is the node's point
+// under the item's root.
+type copyRef struct {
+	p    interval.Point
+	item string
+	node continuous.TreeNode
+}
+
+func refLess(a, b copyRef) bool {
+	if a.p != b.p {
+		return a.p < b.p
+	}
+	if a.item != b.item {
+		return a.item < b.item
+	}
+	if a.node.Depth != b.node.Depth {
+		return a.node.Depth < b.node.Depth
+	}
+	return a.node.Path < b.node.Path
+}
+
+// copyIndex is the sorted-by-point index over all non-root cached copies
+// across all items. Range queries cost O(log C + k); inserts and removes
+// cost O(log C) plus a memmove bounded by the copy population C, which
+// Observation 3.1 bounds by O(q/c) per item.
+type copyIndex struct {
+	refs []copyRef
+}
+
+func (ci *copyIndex) search(r copyRef) (int, bool) {
+	i := sort.Search(len(ci.refs), func(k int) bool { return !refLess(ci.refs[k], r) })
+	return i, i < len(ci.refs) && ci.refs[i] == r
+}
+
+func (ci *copyIndex) add(r copyRef) {
+	if i, ok := ci.search(r); !ok {
+		ci.refs = append(ci.refs, copyRef{})
+		copy(ci.refs[i+1:], ci.refs[i:])
+		ci.refs[i] = r
+	}
+}
+
+func (ci *copyIndex) remove(r copyRef) {
+	if i, ok := ci.search(r); ok {
+		copy(ci.refs[i:], ci.refs[i+1:])
+		ci.refs = ci.refs[:len(ci.refs)-1]
+	}
+}
+
+// inRegion returns the copies physically located in seg. The segment may
+// wrap past 1, in which case it is scanned as two ascending runs.
+func (ci *copyIndex) inRegion(seg interval.Segment) []copyRef {
+	if seg.Len == 0 { // full circle
+		return append([]copyRef(nil), ci.refs...)
+	}
+	var out []copyRef
+	run := func(from interval.Point) {
+		i := sort.Search(len(ci.refs), func(k int) bool { return ci.refs[k].p >= from })
+		for ; i < len(ci.refs) && seg.Contains(ci.refs[i].p); i++ {
+			out = append(out, ci.refs[i])
+		}
+	}
+	run(seg.Start)
+	if seg.End() < seg.Start { // wraps: also scan [0, End)
+		run(0)
+	}
+	return out
+}
+
 // System couples a Distance Halving network with per-item active trees.
 type System struct {
 	Net *route.Network
@@ -78,10 +157,13 @@ type System struct {
 	// single-threshold protocol as stated).
 	CollapseC int
 
-	trees map[string]*activeTree
-	// Supplied[i] counts requests served by server i's cache (root copies
-	// included) — the "number of times V supplies a data item" of Thm 3.8.
-	Supplied []int64
+	trees  map[string]*activeTree
+	copies copyIndex
+	// Supplied counts requests served by each server's cache (root copies
+	// included) — the "number of times V supplies a data item" of Thm 3.8 —
+	// keyed by the server's stable handle, so churn never moves or
+	// re-buckets a surviving server's count.
+	Supplied map[partition.Handle]int64
 }
 
 // NewSystem creates a caching system over the network with threshold c.
@@ -94,7 +176,7 @@ func NewSystem(net *route.Network, h *hashing.Func, c int) *System {
 		H:        h,
 		C:        c,
 		trees:    make(map[string]*activeTree),
-		Supplied: make([]int64, net.G.N()),
+		Supplied: make(map[partition.Handle]int64, net.G.N()),
 	}
 }
 
@@ -108,6 +190,21 @@ func (s *System) tree(item string) *activeTree {
 	return t
 }
 
+// supplyAt charges one supplied request to the server covering p.
+func (s *System) supplyAt(p interval.Point) {
+	s.Supplied[s.Net.G.Ring.CoverHandle(p)]++
+}
+
+// SuppliedOf returns the supply count of the server with stable handle h.
+func (s *System) SuppliedOf(h partition.Handle) int64 { return s.Supplied[h] }
+
+// SuppliedAt returns the supply count of the server currently at ring
+// index i.
+func (s *System) SuppliedAt(i int) int64 { return s.Supplied[s.Net.G.Ring.HandleAt(i)] }
+
+// Forget drops the departed server's supply counter.
+func (s *System) Forget(h partition.Handle) { delete(s.Supplied, h) }
+
 // Request routes one request for item from server src. The request follows
 // a Distance Halving lookup toward h(item) but is served by the first
 // active tree node its phase II encounters. It returns the routing path
@@ -120,7 +217,7 @@ func (s *System) Request(src int, item string, rng *rand.Rand) ([]int, int) {
 	if s.C <= 0 {
 		// Baseline: no caching; full route to the home server.
 		path := s.Net.DHLookup(src, y, rng)
-		s.Supplied[path[len(path)-1]]++
+		s.Supplied[s.Net.G.Ring.HandleAt(path[len(path)-1])]++
 		return path, 0
 	}
 
@@ -143,15 +240,26 @@ func (s *System) Request(src int, item string, rng *rand.Rand) ([]int, int) {
 
 	st := t.active[served]
 	st.hits++
-	server := s.Net.G.Ring.Cover(served.PointUnder(y))
-	s.Supplied[server]++
+	s.supplyAt(served.PointUnder(y))
 
 	// Step 1: a leaf hit more than c times replicates into its children.
 	if st.hits > s.C && t.isLeaf(served) {
-		t.active[served.Child(0)] = &nodeState{}
-		t.active[served.Child(1)] = &nodeState{}
+		s.activate(t, item, served.Child(0))
+		s.activate(t, item, served.Child(1))
 	}
 	return path, depth
+}
+
+// activate adds a non-root node to the tree and the point index.
+func (s *System) activate(t *activeTree, item string, z continuous.TreeNode) {
+	t.active[z] = &nodeState{}
+	s.copies.add(copyRef{p: z.PointUnder(t.root), item: item, node: z})
+}
+
+// deactivate removes a non-root node from the tree and the point index.
+func (s *System) deactivate(t *activeTree, item string, z continuous.TreeNode) {
+	delete(t.active, z)
+	s.copies.remove(copyRef{p: z.PointUnder(t.root), item: item, node: z})
 }
 
 // nodeAt converts a phase-I digit string prefix of length j into the
@@ -164,51 +272,41 @@ func nodeAt(digits []uint64, j int) continuous.TreeNode {
 	return continuous.EntryNode(tau, uint8(j))
 }
 
-// ServerJoined makes room in the supply accounting for a server inserted
-// at index idx. The active trees are untouched: they are keyed by points of
-// I, not server indices, so every cached copy outside the changed region
-// keeps serving across the churn event.
-func (s *System) ServerJoined(idx int) {
-	s.Supplied = slices.Insert(s.Supplied, idx, 0)
-}
-
-// ServerLeft drops the departed server's supply counter.
-func (s *System) ServerLeft(idx int) {
-	s.Supplied = slices.Delete(s.Supplied, idx, idx+1)
-}
-
 // InvalidateRegion deletes the cached copies physically located in seg —
 // the active tree nodes whose points fall in the changed segment — together
 // with their active subtrees, so the active sets stay rooted subtrees of
 // the path tree. Roots (the items' home copies) are never deleted; they
 // migrate with the item store. Everything outside seg survives, which is
 // what makes churn local for the §3 protocol: a join or leave invalidates
-// only the copies a single server held, not every epoch's state.
+// only the copies a single server held, not every epoch's state. The doomed
+// copies are found through the point index, so the cost is O(log C + k·d)
+// for k copies in the region with active subtrees of total size d — the
+// total item count never enters.
 func (s *System) InvalidateRegion(seg interval.Segment) {
-	for _, t := range s.trees {
-		var doomed map[continuous.TreeNode]struct{}
-		for z := range t.active {
-			if z.Depth > 0 && seg.Contains(z.PointUnder(t.root)) {
-				if doomed == nil {
-					doomed = make(map[continuous.TreeNode]struct{})
-				}
-				doomed[z] = struct{}{}
-			}
-		}
-		if doomed == nil {
+	for _, ref := range s.copies.inRegion(seg) {
+		t, ok := s.trees[ref.item]
+		if !ok {
 			continue
 		}
-		for z := range t.active {
-			if z.Depth == 0 {
-				continue
-			}
-			for d := uint8(1); d <= z.Depth; d++ {
-				if _, gone := doomed[z.AncestorAt(d)]; gone {
-					delete(t.active, z)
-					break
-				}
-			}
+		s.deleteSubtree(t, ref.item, ref.node)
+	}
+}
+
+// deleteSubtree removes z and every active descendant (z may already be
+// gone if an ancestor was deleted first).
+func (s *System) deleteSubtree(t *activeTree, item string, z continuous.TreeNode) {
+	if _, ok := t.active[z]; !ok {
+		return
+	}
+	stack := []continuous.TreeNode{z}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, ok := t.active[n]; !ok {
+			continue
 		}
+		s.deactivate(t, item, n)
+		stack = append(stack, n.Child(0), n.Child(1))
 	}
 }
 
@@ -216,8 +314,8 @@ func (s *System) InvalidateRegion(seg interval.Segment) {
 // collapse sibling leaves that each supplied fewer than c requests, then
 // reset the epoch counters.
 func (s *System) EndEpoch() {
-	for _, t := range s.trees {
-		s.collapse(t)
+	for item, t := range s.trees {
+		s.collapse(t, item)
 		for _, st := range t.active {
 			st.hits = 0
 		}
@@ -225,7 +323,7 @@ func (s *System) EndEpoch() {
 }
 
 // collapse repeatedly removes cold sibling leaf pairs.
-func (s *System) collapse(t *activeTree) {
+func (s *System) collapse(t *activeTree, item string) {
 	threshold := s.CollapseC
 	if threshold <= 0 {
 		threshold = s.C
@@ -254,7 +352,7 @@ func (s *System) collapse(t *activeTree) {
 			return
 		}
 		for _, v := range victims {
-			delete(t.active, v)
+			s.deactivate(t, item, v)
 		}
 	}
 }
@@ -283,18 +381,13 @@ func (s *System) MaxDepth(item string) int {
 	return max
 }
 
-// ServerCacheSizes returns, per server, the number of distinct cached
-// copies it stores across all items (excluding depth-0 roots, which are the
-// original copies) — Theorem 3.8(i)'s quantity.
+// ServerCacheSizes returns, per current ring index, the number of distinct
+// cached copies each server stores across all items (excluding depth-0
+// roots, which are the original copies) — Theorem 3.8(i)'s quantity.
 func (s *System) ServerCacheSizes() []int {
 	sizes := make([]int, s.Net.G.N())
-	for _, t := range s.trees {
-		for z := range t.active {
-			if z.Depth == 0 {
-				continue
-			}
-			sizes[s.Net.G.Ring.Cover(z.PointUnder(t.root))]++
-		}
+	for _, ref := range s.copies.refs {
+		sizes[s.Net.G.Ring.Cover(ref.p)]++
 	}
 	return sizes
 }
@@ -302,11 +395,7 @@ func (s *System) ServerCacheSizes() []int {
 // TotalCopies returns the total number of non-root cached copies across
 // the network (Observation 3.1 bounds it by 4q/c per item).
 func (s *System) TotalCopies() int {
-	total := 0
-	for _, t := range s.trees {
-		total += len(t.active) - 1
-	}
-	return total
+	return len(s.copies.refs)
 }
 
 // UpdateItem propagates a content update from the item's root along the
@@ -343,7 +432,5 @@ func (s *System) UpdateItem(item string) (messages, parallelTime int) {
 // epochs of an experiment).
 func (s *System) ResetLoadStats() {
 	s.Net.ResetLoad()
-	for i := range s.Supplied {
-		s.Supplied[i] = 0
-	}
+	clear(s.Supplied)
 }

@@ -90,7 +90,7 @@ func TestPerServerSupplyBounded(t *testing.T) {
 func TestCachingPreventsSwamping(t *testing.T) {
 	const n = 1024
 	q := n
-	home := func(s *System) int { return s.Net.G.Ring.Cover(s.H.Point("hot")) }
+	home := func(s *System) partition.Handle { return s.Net.G.Ring.CoverHandle(s.H.Point("hot")) }
 
 	off, rngOff := newSystem(n, 0, 4)
 	for i := 0; i < q; i++ {

@@ -1,10 +1,12 @@
 package cache
 
 import (
+	"fmt"
 	"testing"
 
 	"condisc/internal/continuous"
 	"condisc/internal/interval"
+	"condisc/internal/partition"
 )
 
 // TestInvalidateRegionIsLocal: only the cached copies inside the changed
@@ -63,6 +65,8 @@ func TestInvalidateRegionIsLocal(t *testing.T) {
 			t.Fatalf("orphaned active node %v after invalidation", z)
 		}
 	}
+	// The point index and the trees must agree exactly.
+	checkCopyIndex(t, s)
 	// Requests keep working after invalidation.
 	for i := 0; i < 64; i++ {
 		if path, _ := s.Request(rng.IntN(n), "hot", rng); len(path) == 0 {
@@ -71,37 +75,84 @@ func TestInvalidateRegionIsLocal(t *testing.T) {
 	}
 }
 
-// TestServerJoinedLeftPreservesCounters: churn keeps untouched servers'
-// supply counters, and the slice tracks the network size.
-func TestServerJoinedLeftPreservesCounters(t *testing.T) {
-	s, rng := newSystem(64, 4, 10)
+// checkCopyIndex asserts the sorted-by-point copy index holds exactly the
+// non-root active nodes of every tree.
+func checkCopyIndex(t *testing.T, s *System) {
+	t.Helper()
+	wantTotal := 0
+	for item, tr := range s.trees {
+		for z := range tr.active {
+			if z.Depth == 0 {
+				continue
+			}
+			wantTotal++
+			if _, ok := s.copies.search(copyRef{p: z.PointUnder(tr.root), item: item, node: z}); !ok {
+				t.Fatalf("active copy %v of %q missing from the point index", z, item)
+			}
+		}
+	}
+	if len(s.copies.refs) != wantTotal {
+		t.Fatalf("point index has %d refs, trees have %d non-root nodes", len(s.copies.refs), wantTotal)
+	}
+	for i := 1; i < len(s.copies.refs); i++ {
+		if refLess(s.copies.refs[i], s.copies.refs[i-1]) {
+			t.Fatalf("point index unsorted at %d", i)
+		}
+	}
+}
+
+// TestSuppliedPreservedAcross1kChurnEvents is the counter-preservation
+// property test for the §3 layer: across 1000 random joins and leaves,
+// every surviving server's supply counter is bit-for-bit identical to its
+// value when the requests stopped, and the copy index stays consistent
+// with the active trees throughout.
+func TestSuppliedPreservedAcross1kChurnEvents(t *testing.T) {
+	s, rng := newSystem(256, 5, 11)
 	n := s.Net.G.N()
-	for i := 0; i < 4*n; i++ {
-		s.Request(rng.IntN(n), "item", rng)
+	for i := 0; i < 8*n; i++ {
+		s.Request(rng.IntN(n), fmt.Sprintf("item%d", i%7), rng)
 	}
-	sum := func() (tot int64) {
-		for _, v := range s.Supplied {
-			tot += v
+	ring := s.Net.G.Ring
+
+	want := make(map[partition.Handle]int64, len(s.Supplied))
+	for h, v := range s.Supplied {
+		want[h] = v
+	}
+
+	for op := 0; op < 1000; op++ {
+		join := rng.IntN(2) == 0
+		if ring.N() <= 32 {
+			join = true
+		} else if ring.N() >= 1024 {
+			join = false
 		}
-		return
-	}
-	before := sum()
-	want := append([]int64(nil), s.Supplied...)
-	s.ServerJoined(10)
-	if len(s.Supplied) != n+1 || s.Supplied[10] != 0 || sum() != before {
-		t.Fatalf("ServerJoined corrupted counters (sum %d -> %d)", before, sum())
-	}
-	for i, v := range want {
-		j := i
-		if i >= 10 {
-			j = i + 1
+		if join {
+			idx, ok := s.Net.G.Insert(partition.MultipleChoice(ring, rng, 2))
+			if !ok {
+				continue
+			}
+			s.InvalidateRegion(ring.Segment(idx))
+		} else {
+			victim := rng.IntN(ring.N())
+			h := ring.HandleAt(victim)
+			seg := ring.Segment(victim)
+			s.Net.G.Remove(victim)
+			s.Net.Forget(h)
+			s.Forget(h)
+			s.InvalidateRegion(seg)
+			delete(want, h)
 		}
-		if s.Supplied[j] != v {
-			t.Fatalf("counter %d moved wrongly: %d != %d", i, s.Supplied[j], v)
+		if len(s.Supplied) != len(want) {
+			t.Fatalf("op %d: %d supply entries, want %d", op, len(s.Supplied), len(want))
+		}
+		for h, v := range want {
+			if s.Supplied[h] != v {
+				t.Fatalf("op %d: survivor %d's supply changed: %d != %d", op, h, s.Supplied[h], v)
+			}
+		}
+		if op%100 == 0 {
+			checkCopyIndex(t, s)
 		}
 	}
-	s.ServerLeft(10)
-	if len(s.Supplied) != n || sum() != before {
-		t.Fatalf("ServerLeft corrupted counters")
-	}
+	checkCopyIndex(t, s)
 }

@@ -84,10 +84,20 @@ func EntryNode(tau uint64, t uint8) TreeNode {
 }
 
 // DeltaImages returns the ∆ image segments f_0(s), ..., f_{∆-1}(s) of a
-// segment. Each has 1/∆ of the length (Figure 1 shows the ∆ = 2 case).
+// segment. Each has 1/∆ of the length (Figure 1 shows the ∆ = 2 case),
+// rounded up to the fixed-point grid: the true image of a nonempty real
+// interval is nonempty, but a floor division would round a segment
+// shorter than ∆ ulps to Len 0 — which by convention denotes the full
+// circle, silently connecting a tiny segment's server to every other
+// server. Ceiling division over-approximates each image by at most one
+// ulp instead, which the preimage padding in consumers (see
+// dhgraph.affectedSources) already tolerates.
 func DeltaImages(s interval.Segment, delta uint64) []interval.Segment {
 	out := make([]interval.Segment, delta)
 	ln := s.Len / delta
+	if s.Len%delta != 0 {
+		ln++
+	}
 	if s.Len == 0 { // full circle
 		ln = divideCircle(delta)
 	}

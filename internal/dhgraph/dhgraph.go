@@ -9,14 +9,17 @@
 // most ρ+4, in-degree at most ⌈2ρ⌉+1, again for ∆ = 2; Theorem 2.13 gives
 // the Θ(∆) analogue).
 //
-// Beyond the frozen Build, the graph supports *incremental* churn: Insert
-// and Remove patch the adjacency structure locally, touching only the
-// servers whose forward images or preimages intersect the changed segment.
-// By Theorem 2.2 that neighbourhood has O(ρ·∆) servers, so a join or leave
-// costs O(ρ·∆·log n) plus an O(n) index renumbering pass — against the
+// Adjacency is keyed by the ring's stable partition.Handle, not by sorted
+// index: every edge list names its endpoints by an identifier that churn
+// cannot shift. Insert and Remove therefore patch only the servers whose
+// forward images or preimages intersect the changed segment — O(ρ·∆) of
+// them by Theorem 2.2 — and touch nothing else: there is no renumbering
+// pass, so a join or leave costs O(ρ·∆·log n) total, against the
 // O(n·ρ·∆ + n log n) of a from-scratch Build. The §2.1 locality claim
 // ("an update of the data structures of a constant number of servers")
-// thereby holds for the maintained graph, not just the abstract one.
+// holds for the maintained graph verbatim. Degree maxima are maintained by
+// a multiset of degrees, so they too cost O(1) per patched list rather
+// than an O(n) rescan.
 package dhgraph
 
 import (
@@ -29,6 +32,18 @@ import (
 	"condisc/internal/partition"
 )
 
+// Handle re-exports the ring's stable server identifier for brevity.
+type Handle = partition.Handle
+
+// serverState bundles one server's edge lists, all sorted by handle
+// value. Keeping them in one record means a churn patch loads a server's
+// whole adjacency state with a single map probe.
+type serverState struct {
+	out []Handle // forward-image targets (may include self)
+	in  []Handle // forward-image sources (may include self)
+	adj []Handle // undirected neighbours incl. ring edges, no self
+}
+
 // Graph is a discrete Distance Halving graph over a ring of segments. It is
 // either frozen (built once with Build) or incrementally maintained through
 // Insert/Remove, which mutate the underlying Ring and patch the graph.
@@ -36,13 +51,12 @@ type Graph struct {
 	Ring  *partition.Ring
 	Delta uint64
 
-	out [][]int // sorted forward-image targets per server (may include self)
-	in  [][]int // sorted forward-image sources per server (may include self)
-	adj [][]int // undirected neighbour lists incl. ring edges, sorted, no self
+	// srv keys every server's edge lists by its stable handle.
+	srv map[Handle]*serverState
 
-	contEdges int // continuous-derived undirected edges excl. ring, incl. self-loops (Thm 2.1)
-	maxOut    int // max # distinct targets of one server's forward images (Thm 2.2)
-	maxIn     int // max # distinct sources with a forward image into one server
+	contEdges int    // continuous-derived undirected edges excl. ring, incl. self-loops (Thm 2.1)
+	outDeg    degBag // multiset of out-list lengths (Thm 2.2 max in O(1))
+	inDeg     degBag // multiset of in-list lengths
 
 	lastTouched int // servers whose lists were recomputed by the last Insert/Remove
 }
@@ -63,59 +77,80 @@ func Build(ring *partition.Ring, delta uint64) *Graph {
 // used at construction and as the fallback for very small rings).
 func (g *Graph) rebuild() {
 	n := g.Ring.N()
-	g.out = make([][]int, n)
-	g.in = make([][]int, n)
-	g.adj = make([][]int, n)
+	g.srv = make(map[Handle]*serverState, n)
+	g.outDeg = degBag{}
+	g.inDeg = degBag{}
+	hs := make([]Handle, n)
+	for i := 0; i < n; i++ {
+		hs[i] = g.Ring.HandleAt(i)
+		g.srv[hs[i]] = &serverState{}
+	}
 	for i := 0; i < n; i++ {
 		targets := g.computeOut(i)
-		g.out[i] = targets
+		g.srv[hs[i]].out = targets
+		g.outDeg.add(len(targets))
 		for _, t := range targets {
-			g.in[t] = append(g.in[t], i) // i ascending: stays sorted
+			g.srv[t].in = append(g.srv[t].in, hs[i])
 		}
 	}
 	g.contEdges = 0
-	for i := 0; i < n; i++ {
-		for _, t := range g.out[i] {
-			// Count each unordered pair {i,t} once: always when t >= i, and
-			// for t < i only if the pair was not already seen as t -> i.
-			if t >= i || !memSorted(g.out[t], i) {
+	for _, h := range hs {
+		st := g.srv[h]
+		slices.Sort(st.in)
+		g.inDeg.add(len(st.in))
+	}
+	for _, h := range hs {
+		for _, t := range g.srv[h].out {
+			// Count each unordered pair {h,t} once: always when t >= h, and
+			// for t < h only if the pair was not already seen as t -> h.
+			if t >= h || !memSorted(g.srv[t].out, h) {
 				g.contEdges++
 			}
 		}
 	}
-	for i := 0; i < n; i++ {
-		g.adj[i] = g.mergeAdj(i)
+	for i, h := range hs {
+		g.srv[h].adj = g.mergeAdj(h, i)
 	}
-	g.refreshMaxes()
 	g.lastTouched = n
 }
 
-// computeOut returns the sorted, deduplicated forward-image targets of
-// server i under the current ring.
-func (g *Graph) computeOut(i int) []int {
-	var targets []int
+// computeOut returns the forward-image targets of the server currently at
+// index i under the current ring, sorted by handle.
+func (g *Graph) computeOut(i int) []Handle {
+	var targets []Handle
 	for _, img := range continuous.DeltaImages(g.Ring.Segment(i), g.Delta) {
-		targets = append(targets, g.Ring.CoversOfArc(img)...)
+		targets = append(targets, g.Ring.CoverHandlesOfArc(img)...)
 	}
-	sort.Ints(targets)
-	return dedupSorted(targets)
+	slices.Sort(targets)
+	return slices.Compact(targets)
 }
 
-// mergeAdj recomputes the undirected neighbour list of i from the forward,
-// backward and ring edges.
-func (g *Graph) mergeAdj(i int) []int {
-	n := g.Ring.N()
-	lst := make([]int, 0, len(g.out[i])+len(g.in[i])+2)
-	lst = append(lst, g.out[i]...)
-	lst = append(lst, g.in[i]...)
-	if n > 1 {
-		lst = append(lst, g.Ring.Successor(i), g.Ring.Predecessor(i))
+// computeOutH is computeOut addressed by handle.
+func (g *Graph) computeOutH(h Handle) []Handle {
+	i, ok := g.Ring.IndexOfHandle(h)
+	if !ok {
+		return nil
 	}
-	sort.Ints(lst)
+	return g.computeOut(i)
+}
+
+// mergeAdj recomputes the undirected neighbour list of the server with
+// handle h, currently at ring index i, from the forward, backward and ring
+// edges.
+func (g *Graph) mergeAdj(h Handle, i int) []Handle {
+	n := g.Ring.N()
+	st := g.srv[h]
+	lst := make([]Handle, 0, len(st.out)+len(st.in)+2)
+	lst = append(lst, st.out...)
+	lst = append(lst, st.in...)
+	if n > 1 {
+		lst = append(lst, g.Ring.HandleAt(g.Ring.Successor(i)), g.Ring.HandleAt(g.Ring.Predecessor(i)))
+	}
+	slices.Sort(lst)
 	out := lst[:0]
-	prev := -1
+	prev := Handle(0) // handles start at 1, so 0 never collides
 	for _, v := range lst {
-		if v == i || v == prev {
+		if v == h || v == prev {
 			continue
 		}
 		out = append(out, v)
@@ -124,28 +159,45 @@ func (g *Graph) mergeAdj(i int) []int {
 	return out
 }
 
+// replaceOut swaps a server's out-list, keeping the degree multiset true.
+func (g *Graph) replaceOut(st *serverState, lst []Handle) {
+	g.outDeg.sub(len(st.out))
+	g.outDeg.add(len(lst))
+	st.out = lst
+}
+
+// replaceIn swaps a server's in-list, keeping the degree multiset true.
+func (g *Graph) replaceIn(st *serverState, lst []Handle) {
+	g.inDeg.sub(len(st.in))
+	g.inDeg.add(len(lst))
+	st.in = lst
+}
+
 // setOut replaces server k's forward-target list, patching the reverse
 // lists and the Theorem 2.1 edge count, and marking every server whose
 // lists changed in dirty.
-func (g *Graph) setOut(k int, newT []int, dirty map[int]struct{}) {
-	old := g.out[k]
-	g.out[k] = newT
+func (g *Graph) setOut(k Handle, newT []Handle, dirty map[Handle]struct{}) {
+	sk := g.srv[k]
+	old := sk.out
+	g.replaceOut(sk, newT)
 	i, j := 0, 0
 	for i < len(old) || j < len(newT) {
 		switch {
 		case j >= len(newT) || (i < len(old) && old[i] < newT[j]):
 			t := old[i] // removed forward edge k -> t
 			i++
-			g.in[t] = delSorted(g.in[t], k)
-			if !memSorted(g.out[t], k) { // pair {k,t} gone (covers t == k)
+			st := g.srv[t]
+			g.replaceIn(st, delSorted(st.in, k))
+			if !memSorted(st.out, k) { // pair {k,t} gone (covers t == k)
 				g.contEdges--
 			}
 			dirty[t] = struct{}{}
 		case i >= len(old) || newT[j] < old[i]:
 			t := newT[j] // added forward edge k -> t
 			j++
-			g.in[t] = insSorted(g.in[t], k)
-			if t == k || !memSorted(g.out[t], k) { // pair {k,t} is new
+			st := g.srv[t]
+			g.replaceIn(st, insSorted(st.in, k))
+			if t == k || !memSorted(st.out, k) { // pair {k,t} is new
 				g.contEdges++
 			}
 			dirty[t] = struct{}{}
@@ -163,20 +215,22 @@ func (g *Graph) setOut(k int, newT []int, dirty map[int]struct{}) {
 // padded by a few ulps first because for non-power-of-two ∆ the computed
 // image arcs (interval.DeltaMap) are only accurate to one ulp, so an image
 // can leak into the changed region that the exact preimage just misses.
-func (g *Graph) affectedSources(seg interval.Segment) []int {
+func (g *Graph) affectedSources(seg interval.Segment) []Handle {
 	const pad = 64
 	padded := interval.Segment{Start: seg.Start - pad, Len: seg.Len + 2*pad}
 	if seg.Len == 0 || padded.Len < seg.Len { // full circle or overflow
 		padded = interval.FullCircle
 	}
-	return g.Ring.CoversOfArc(continuous.DeltaBackImage(padded, g.Delta))
+	return g.Ring.CoverHandlesOfArc(continuous.DeltaBackImage(padded, g.Delta))
 }
 
 // Insert splits the segment covering p by adding a new server there
 // (Algorithm Join step 3) and patches the graph locally: only servers whose
 // forward images or preimages intersect the split segment — O(ρ·∆) of them
-// by Theorem 2.2 — have their edge lists recomputed. It reports the new
-// server's index and whether the point was inserted (false if present).
+// by Theorem 2.2 — have their edge lists recomputed. Nothing is renumbered:
+// every untouched server's lists are byte-identical before and after. It
+// reports the new server's index and whether the point was inserted (false
+// if present).
 func (g *Graph) Insert(p interval.Point) (int, bool) {
 	idx, ok := g.Ring.Insert(p)
 	if !ok {
@@ -187,36 +241,31 @@ func (g *Graph) Insert(p interval.Point) (int, bool) {
 		g.rebuild()
 		return idx, true
 	}
-	pred := (idx - 1 + n) % n
-	succ := (idx + 1) % n
+	predIdx := (idx - 1 + n) % n
+	succIdx := (idx + 1) % n
+	hNew := g.Ring.HandleAt(idx)
+	hPred := g.Ring.HandleAt(predIdx)
+	hSucc := g.Ring.HandleAt(succIdx)
 	// The segment that was split: pred's pre-insert segment [x_pred, x_succ).
+	predPt := g.Ring.Point(predIdx)
 	oldSeg := interval.Segment{
-		Start: g.Ring.Point(pred),
-		Len:   interval.CWDist(g.Ring.Point(pred), g.Ring.Point(succ)),
+		Start: predPt,
+		Len:   interval.CWDist(predPt, g.Ring.Point(succIdx)),
 	}
 
-	// Renumber: indices >= idx shifted up by one; open an empty slot at idx.
-	renumber(g.out, idx, +1)
-	renumber(g.in, idx, +1)
-	renumber(g.adj, idx, +1)
-	g.out = insertSlot(g.out, idx)
-	g.in = insertSlot(g.in, idx)
-	g.adj = insertSlot(g.adj, idx)
+	g.srv[hNew] = &serverState{}
 
 	// Affected sources: the two servers whose segments changed shape, plus
 	// every server with a forward image into the split segment.
-	affected := map[int]struct{}{pred: {}, idx: {}}
+	affected := map[Handle]struct{}{hPred: {}, hNew: {}}
 	for _, k := range g.affectedSources(oldSeg) {
 		affected[k] = struct{}{}
 	}
-	dirty := map[int]struct{}{pred: {}, idx: {}, succ: {}} // ring edges changed here
+	dirty := map[Handle]struct{}{hPred: {}, hNew: {}, hSucc: {}} // ring edges changed here
 	for k := range affected {
-		g.setOut(k, g.computeOut(k), dirty)
+		g.setOut(k, g.computeOutH(k), dirty)
 	}
-	for v := range dirty {
-		g.adj[v] = g.mergeAdj(v)
-	}
-	g.refreshMaxes()
+	g.remergeAdj(dirty)
 	g.lastTouched = len(dirty)
 	return idx, true
 }
@@ -232,64 +281,59 @@ func (g *Graph) Remove(idx int) {
 		return
 	}
 	absorbed := g.Ring.Segment(idx)
-	pred := (idx - 1 + n) % n
+	h := g.Ring.HandleAt(idx)
+	hPred := g.Ring.HandleAt((idx - 1 + n) % n)
+	hSucc := g.Ring.HandleAt((idx + 1) % n)
 
-	// Affected sources, in pre-removal indexing: the absorbing predecessor
-	// plus every server with a forward image into the absorbed segment.
-	affected := map[int]struct{}{pred: {}}
+	// Affected sources: the absorbing predecessor plus every server with a
+	// forward image into the absorbed segment. Handles stay valid across
+	// the removal, so this set needs no index remapping afterwards.
+	affected := map[Handle]struct{}{hPred: {}}
 	for _, k := range g.affectedSources(absorbed) {
-		if k != idx {
+		if k != h {
 			affected[k] = struct{}{}
 		}
 	}
 
-	// Drop every edge incident to idx while the old indexing is valid, so
-	// no list retains a reference to the vanishing index.
-	dirty := map[int]struct{}{}
-	g.setOut(idx, nil, dirty)
-	for _, s := range append([]int(nil), g.in[idx]...) {
-		g.out[s] = delSorted(g.out[s], idx)
-		g.contEdges-- // out[idx] is empty, so the pair {s, idx} is gone
+	// Drop every edge incident to the departing server so no list retains a
+	// reference to its handle.
+	dirty := map[Handle]struct{}{hPred: {}, hSucc: {}} // new ring edge pred—succ
+	g.setOut(h, nil, dirty)
+	sh := g.srv[h]
+	for _, s := range append([]Handle(nil), sh.in...) {
+		st := g.srv[s]
+		g.replaceOut(st, delSorted(st.out, h))
+		g.contEdges-- // out[h] is empty, so the pair {s, h} is gone
 		dirty[s] = struct{}{}
 	}
-	g.in[idx] = nil
+	g.replaceIn(sh, nil)
+	delete(g.srv, h)
+	delete(dirty, h)
 
 	g.Ring.RemoveAt(idx)
 
-	// Renumber: indices > idx shift down by one; close idx's slot.
-	g.out = removeSlot(g.out, idx)
-	g.in = removeSlot(g.in, idx)
-	g.adj = removeSlot(g.adj, idx)
-	renumber(g.out, idx, -1)
-	renumber(g.in, idx, -1)
-	renumber(g.adj, idx, -1)
-
-	nn := n - 1
-	remap := func(v int) int {
-		if v > idx {
-			return v - 1
-		}
-		return v
-	}
-	newDirty := map[int]struct{}{remap(pred): {}, idx % nn: {}} // new ring edge pred—succ
-	for v := range dirty {
-		if v != idx {
-			newDirty[remap(v)] = struct{}{}
-		}
-	}
 	for k := range affected {
-		g.setOut(remap(k), g.computeOut(remap(k)), newDirty)
+		g.setOut(k, g.computeOutH(k), dirty)
 	}
-	for v := range newDirty {
-		g.adj[v] = g.mergeAdj(v)
+	g.remergeAdj(dirty)
+	g.lastTouched = len(dirty)
+}
+
+// remergeAdj refreshes the undirected neighbour lists of every dirty
+// server.
+func (g *Graph) remergeAdj(dirty map[Handle]struct{}) {
+	for v := range dirty {
+		i, ok := g.Ring.IndexOfHandle(v)
+		if !ok {
+			continue
+		}
+		g.srv[v].adj = g.mergeAdj(v, i)
 	}
-	g.refreshMaxes()
-	g.lastTouched = len(newDirty)
 }
 
 // RemoveHandle is Remove addressed by the ring's stable handle, reporting
 // the index the server occupied (false if the handle is unknown).
-func (g *Graph) RemoveHandle(h partition.Handle) (int, bool) {
+func (g *Graph) RemoveHandle(h Handle) (int, bool) {
 	idx, ok := g.Ring.IndexOfHandle(h)
 	if !ok {
 		return 0, false
@@ -300,44 +344,49 @@ func (g *Graph) RemoveHandle(h partition.Handle) (int, bool) {
 
 // LastTouched returns how many servers had their edge lists recomputed by
 // the most recent Insert or Remove — the churn blast radius the §2.1
-// locality claim bounds by O(ρ·∆).
+// locality claim bounds by O(ρ·∆). Since the edge lists are handle-keyed,
+// this is the complete set of servers whose state changed: no other
+// server's lists are rewritten, renumbered, or even read.
 func (g *Graph) LastTouched() int { return g.lastTouched }
 
-// renumber adds d to every stored index >= bound (for d = +1, making room
-// at bound) or > bound (for d = -1, after bound was vacated). Shifting by a
-// constant preserves sortedness.
-func renumber(lists [][]int, bound int, d int) {
-	lo := bound
-	if d < 0 {
-		lo = bound + 1
+// degBag is a multiset of degrees supporting O(1) max queries under the
+// local updates churn performs. Only nonzero degrees are tracked; max
+// decays by scanning down, which is bounded by the degree values themselves
+// (O(ρ·∆) on a smooth ring, Theorem 2.2).
+type degBag struct {
+	count []int
+	max   int
+}
+
+func (b *degBag) add(d int) {
+	if d == 0 {
+		return
 	}
-	for _, lst := range lists {
-		for i, v := range lst {
-			if v >= lo {
-				lst[i] = v + d
-			}
-		}
+	for len(b.count) <= d {
+		b.count = append(b.count, 0)
+	}
+	b.count[d]++
+	if d > b.max {
+		b.max = d
 	}
 }
 
-func insertSlot(lists [][]int, idx int) [][]int {
-	return slices.Insert(lists, idx, nil)
+func (b *degBag) sub(d int) {
+	if d == 0 {
+		return
+	}
+	b.count[d]--
+	for b.max > 0 && b.count[b.max] == 0 {
+		b.max--
+	}
 }
 
-func removeSlot(lists [][]int, idx int) [][]int {
-	return slices.Delete(lists, idx, idx+1)
-}
-
-func dedupSorted(xs []int) []int {
-	return slices.Compact(xs)
-}
-
-func memSorted(lst []int, v int) bool {
+func memSorted(lst []Handle, v Handle) bool {
 	_, ok := slices.BinarySearch(lst, v)
 	return ok
 }
 
-func insSorted(lst []int, v int) []int {
+func insSorted(lst []Handle, v Handle) []Handle {
 	i, ok := slices.BinarySearch(lst, v)
 	if ok {
 		return lst
@@ -345,7 +394,7 @@ func insSorted(lst []int, v int) []int {
 	return slices.Insert(lst, i, v)
 }
 
-func delSorted(lst []int, v int) []int {
+func delSorted(lst []Handle, v Handle) []Handle {
 	i, ok := slices.BinarySearch(lst, v)
 	if !ok {
 		return lst
@@ -353,42 +402,75 @@ func delSorted(lst []int, v int) []int {
 	return slices.Delete(lst, i, i+1)
 }
 
-// refreshMaxes rescans the degree maxima. It runs eagerly at the end of
-// rebuild/Insert/Remove — its O(n) scan is dwarfed by the renumber pass —
-// so the accessors stay pure reads and the graph can keep being shared by
-// concurrent readers (route.ParallelRandomLookups relies on that).
-func (g *Graph) refreshMaxes() {
-	g.maxOut, g.maxIn = 0, 0
-	for i := range g.out {
-		if len(g.out[i]) > g.maxOut {
-			g.maxOut = len(g.out[i])
-		}
-		if len(g.in[i]) > g.maxIn {
-			g.maxIn = len(g.in[i])
-		}
-	}
-}
-
 // N returns the number of servers.
 func (g *Graph) N() int { return g.Ring.N() }
 
-// Adj returns the sorted undirected neighbour list of server i (ring edges
-// included, self excluded).
-func (g *Graph) Adj(i int) []int { return g.adj[i] }
+// AdjH returns the undirected neighbour set of the server with handle h
+// (ring edges included, self excluded), sorted by handle.
+func (g *Graph) AdjH(h Handle) []Handle {
+	if st, ok := g.srv[h]; ok {
+		return st.adj
+	}
+	return nil
+}
 
-// Out returns the sorted forward-image target list of server i (the
-// directed edges Theorem 2.2 bounds; may include i itself).
-func (g *Graph) Out(i int) []int { return g.out[i] }
+// OutH returns the forward-image target set of the server with handle h
+// (the directed edges Theorem 2.2 bounds; may include h itself).
+func (g *Graph) OutH(h Handle) []Handle {
+	if st, ok := g.srv[h]; ok {
+		return st.out
+	}
+	return nil
+}
 
-// In returns the sorted list of servers with a forward image into i.
-func (g *Graph) In(i int) []int { return g.in[i] }
+// InH returns the set of servers with a forward image into h.
+func (g *Graph) InH(h Handle) []Handle {
+	if st, ok := g.srv[h]; ok {
+		return st.in
+	}
+	return nil
+}
 
-// IsNeighbor reports whether j is a neighbour of i (or j == i).
+// IsNeighborH reports whether the servers with handles hi and hj are
+// neighbours (or hi == hj).
+func (g *Graph) IsNeighborH(hi, hj Handle) bool {
+	if hi == hj {
+		return true
+	}
+	st, ok := g.srv[hi]
+	return ok && memSorted(st.adj, hj)
+}
+
+// toIndices converts a handle list to current sorted ring indices
+// (O(len·log n); an index-era convenience view for experiments and tests).
+func (g *Graph) toIndices(hs []Handle) []int {
+	out := make([]int, len(hs))
+	for i, h := range hs {
+		out[i], _ = g.Ring.IndexOfHandle(h)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Adj returns the sorted indices of server i's undirected neighbours (ring
+// edges included, self excluded). Index views are snapshots: they are
+// invalidated by the next churn event, unlike the handle lists backing
+// them.
+func (g *Graph) Adj(i int) []int { return g.toIndices(g.AdjH(g.Ring.HandleAt(i))) }
+
+// Out returns the sorted indices of server i's forward-image targets.
+func (g *Graph) Out(i int) []int { return g.toIndices(g.OutH(g.Ring.HandleAt(i))) }
+
+// In returns the sorted indices of servers with a forward image into i.
+func (g *Graph) In(i int) []int { return g.toIndices(g.InH(g.Ring.HandleAt(i))) }
+
+// IsNeighbor reports whether j is a neighbour of i (or j == i), addressed
+// by current ring index.
 func (g *Graph) IsNeighbor(i, j int) bool {
 	if i == j {
 		return true
 	}
-	return memSorted(g.adj[i], j)
+	return g.IsNeighborH(g.Ring.HandleAt(i), g.Ring.HandleAt(j))
 }
 
 // EdgeCountNoRing returns the number of continuous-derived undirected edges
@@ -398,30 +480,35 @@ func (g *Graph) EdgeCountNoRing() int { return g.contEdges }
 
 // MaxOutNoRing returns the maximum out-degree without ring edges, bounded
 // by ρ+4 for ∆ = 2 (Theorem 2.2).
-func (g *Graph) MaxOutNoRing() int { return g.maxOut }
+func (g *Graph) MaxOutNoRing() int { return g.outDeg.max }
 
 // MaxInNoRing returns the maximum in-degree without ring edges, bounded by
 // ⌈2ρ⌉+1 for ∆ = 2 (Theorem 2.2).
-func (g *Graph) MaxInNoRing() int { return g.maxIn }
+func (g *Graph) MaxInNoRing() int { return g.inDeg.max }
 
 // MaxDegree returns the maximum undirected degree including ring edges.
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for _, l := range g.adj {
-		if len(l) > max {
-			max = len(l)
+	for _, st := range g.srv {
+		if len(st.adj) > max {
+			max = len(st.adj)
 		}
 	}
 	return max
 }
 
-// Undirected converts to a generic graph (for diameter/connectivity
-// checks).
+// Undirected converts to a generic index-addressed graph (for
+// diameter/connectivity checks).
 func (g *Graph) Undirected() *graph.Undirected {
-	b := graph.NewBuilder(g.N())
-	for i, lst := range g.adj {
-		for _, j := range lst {
-			b.AddEdge(i, j)
+	n := g.N()
+	idx := make(map[Handle]int, n)
+	for i := 0; i < n; i++ {
+		idx[g.Ring.HandleAt(i)] = i
+	}
+	b := graph.NewBuilder(n)
+	for h, st := range g.srv {
+		for _, t := range st.adj {
+			b.AddEdge(idx[h], idx[t])
 		}
 	}
 	return b.Build()

@@ -59,7 +59,7 @@ func Thm36SingleHotspot(cfg Config) Result {
 				maxSup = s
 			}
 		}
-		home := sys.Net.G.Ring.Cover(sys.H.Point("hot"))
+		home := sys.Net.G.Ring.CoverHandle(sys.H.Point("hot"))
 		return maxSup, sys.Supplied[home], sys.Net.MaxLoad()
 	}
 	onSup, onHome, onLoad := run(c, 21)

@@ -50,7 +50,7 @@ func ChurnLocality(cfg Config) Result {
 		Table: t,
 		Notes: []string{
 			"touched = servers whose edge lists were recomputed; O(ρ·∆) by Thm 2.2, independent of n",
-			"incremental cost grows only with the O(n) renumber pass; rebuild grows as O(n·ρ + n log n)",
+			"incremental cost is O(ρ·∆·log n) — handle-keyed lists, no renumber pass; rebuild grows as O(n·ρ + n log n)",
 		},
 	}
 }

@@ -163,7 +163,7 @@ func JoinLeaveCost(cfg Config) Result {
 		// Servers whose state changes: the split segment's owner plus the
 		// new node's neighbour set (degree of the new node).
 		g := dhgraph.Build(ring, 2)
-		touched.AddInt(1 + len(g.Adj(idx)))
+		touched.AddInt(1 + len(g.AdjH(ring.HandleAt(idx))))
 		ring.RemoveAt(idx)
 	}
 	t := metrics.NewTable("metric", "value", "paper claim")

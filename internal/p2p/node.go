@@ -11,14 +11,20 @@ import (
 	"condisc/internal/interval"
 )
 
-// NodeInfo is a routing-table entry: a node's segment start and address.
+// NodeInfo is a routing-table entry: a node's stable identifier, segment
+// start, and address. The ID plays the role partition.Handle plays in the
+// simulator: it names the same node across arbitrary churn, so neighbour
+// tables keyed by it can be patched entry-by-entry by join/leave messages
+// instead of being rebuilt.
 type NodeInfo struct {
+	ID    uint64
 	Point uint64
 	Addr  string
 }
 
 // Node is one Distance Halving DHT server.
 type Node struct {
+	id   uint64 // stable identifier, fixed for the node's lifetime
 	addr string
 	ln   net.Listener
 	hash *hashing.Func
@@ -28,10 +34,15 @@ type Node struct {
 	end  interval.Point // segment end = successor's point
 	pred NodeInfo
 	succ NodeInfo
-	// back lists covers of the backward image b(s) — the neighbours Fast
-	// Lookup hops through — sorted by Point. Refreshed by Stabilize.
-	back []NodeInfo
-	data map[string][]byte
+	// back holds the covers of the backward image b(s) — the neighbours
+	// Fast Lookup hops through — keyed by stable node ID. Entries are
+	// patched incrementally by opPatchBack messages when a neighbour joins
+	// or leaves, and refreshed wholesale by Stabilize. backSorted is the
+	// Point-sorted view the routing hot path binary-searches; it is
+	// re-derived whenever back changes (the table has O(ρ·∆) entries).
+	back       map[uint64]NodeInfo
+	backSorted []NodeInfo
+	data       map[string][]byte
 
 	closed  chan struct{}
 	wg      sync.WaitGroup
@@ -40,14 +51,17 @@ type Node struct {
 
 // NewNode creates a node listening on addr ("127.0.0.1:0" for an ephemeral
 // port). seed derives the shared item-hash function: all nodes of a cluster
-// must use the same seed.
+// must use the same seed. The node's stable ID is derived from the seed and
+// the bound address, so it is reproducible for a fixed deployment.
 func NewNode(addr string, seed uint64) (*Node, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("p2p: listen: %w", err)
 	}
+	bound := ln.Addr().String()
 	n := &Node{
-		addr:   ln.Addr().String(),
+		id:     nodeID(seed, bound),
+		addr:   bound,
 		ln:     ln,
 		hash:   hashing.NewKWise(8, rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))),
 		data:   make(map[string][]byte),
@@ -56,8 +70,51 @@ func NewNode(addr string, seed uint64) (*Node, error) {
 	return n, nil
 }
 
+// nodeID derives a stable identifier from the cluster seed and the node's
+// bound address (FNV-1a, seed-mixed).
+func nodeID(seed uint64, addr string) uint64 {
+	h := uint64(14695981039346656037) ^ seed
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.addr }
+
+// ID returns the node's stable identifier.
+func (n *Node) ID() uint64 { return n.id }
+
+// setBackLocked replaces the whole backward table (mu held).
+func (n *Node) setBackLocked(entries []NodeInfo) {
+	n.back = make(map[uint64]NodeInfo, len(entries))
+	for _, e := range entries {
+		n.back[e.ID] = e
+	}
+	n.rebuildBackSortedLocked()
+}
+
+// patchBackLocked adds or removes one backward-table entry by stable ID
+// (mu held) — the incremental churn message the simulator's handle-keyed
+// adjacency lists correspond to on the wire.
+func (n *Node) patchBackLocked(e NodeInfo, remove bool) {
+	if remove {
+		delete(n.back, e.ID)
+	} else {
+		n.back[e.ID] = e
+	}
+	n.rebuildBackSortedLocked()
+}
+
+func (n *Node) rebuildBackSortedLocked() {
+	n.backSorted = n.backSorted[:0]
+	for _, e := range n.back {
+		n.backSorted = append(n.backSorted, e)
+	}
+	sortByPoint(n.backSorted)
+}
 
 // Point returns the node's segment start.
 func (n *Node) Point() interval.Point {
@@ -79,9 +136,9 @@ func (n *Node) StartFirst(x interval.Point) {
 	n.mu.Lock()
 	n.x = x
 	n.end = x
-	self := NodeInfo{Point: uint64(x), Addr: n.addr}
+	self := NodeInfo{ID: n.id, Point: uint64(x), Addr: n.addr}
 	n.pred, n.succ = self, self
-	n.back = []NodeInfo{self}
+	n.setBackLocked([]NodeInfo{self})
 	n.mu.Unlock()
 	n.serve()
 }
@@ -105,31 +162,35 @@ func (n *Node) StartJoin(bootstrap string, rng *rand.Rand) error {
 		}
 	}
 	// Ask the owner to split its segment at mid.
-	resp, err := call(owner.Addr, request{Op: opJoin, NewPoint: uint64(mid), NewAddr: n.addr})
+	resp, err := call(owner.Addr, request{Op: opJoin, NewPoint: uint64(mid), NewAddr: n.addr, NewID: n.id})
 	if err != nil {
 		return err
 	}
 	n.mu.Lock()
 	n.x = mid
 	n.end = interval.Point(resp.End)
-	n.pred = NodeInfo{Point: resp.Point, Addr: resp.Addr}
-	n.succ = NodeInfo{Point: resp.End, Addr: resp.SuccAddr}
+	n.pred = NodeInfo{ID: resp.ID, Point: resp.Point, Addr: resp.Addr}
+	n.succ = NodeInfo{ID: resp.SuccID, Point: resp.End, Addr: resp.SuccAddr}
 	if resp.SuccAddr == "" { // two-node network: owner is also successor
-		n.succ = NodeInfo{Point: resp.Point, Addr: resp.Addr}
+		n.succ = NodeInfo{ID: resp.ID, Point: resp.Point, Addr: resp.Addr}
 	}
 	for k, v := range resp.Items {
 		n.data[k] = v
 	}
-	n.back = []NodeInfo{{Point: resp.Point, Addr: resp.Addr}}
+	n.setBackLocked([]NodeInfo{{ID: resp.ID, Point: resp.Point, Addr: resp.Addr}})
 	n.mu.Unlock()
 	n.serve()
 	// Tell the successor its predecessor changed.
 	succ := n.succInfo()
 	if succ.Addr != n.addr {
-		if _, err := call(succ.Addr, request{Op: opSetPred, NewPoint: uint64(mid), NewAddr: n.addr}); err != nil {
+		if _, err := call(succ.Addr, request{Op: opSetPred, NewPoint: uint64(mid), NewAddr: n.addr, NewID: n.id}); err != nil {
 			return err
 		}
 	}
+	// Incrementally announce the join to the nodes whose backward tables
+	// must now contain us: the covers of our segment's forward images.
+	// Best-effort — Stabilize repairs anything a lost patch leaves stale.
+	n.notifyImageCovers(false)
 	return n.Stabilize()
 }
 
@@ -194,11 +255,16 @@ func (n *Node) handle(req request) response {
 	case opState:
 		n.mu.Lock()
 		defer n.mu.Unlock()
-		return response{OK: true, Point: uint64(n.x), End: uint64(n.end),
-			Addr: n.addr, SuccAddr: n.succ.Addr, PredAddr: n.pred.Addr}
+		return response{OK: true, ID: n.id, Point: uint64(n.x), End: uint64(n.end),
+			Addr: n.addr, SuccID: n.succ.ID, SuccAddr: n.succ.Addr, PredAddr: n.pred.Addr}
 	case opSetPred:
 		n.mu.Lock()
-		n.pred = NodeInfo{Point: req.NewPoint, Addr: req.NewAddr}
+		n.pred = NodeInfo{ID: req.NewID, Point: req.NewPoint, Addr: req.NewAddr}
+		n.mu.Unlock()
+		return response{OK: true}
+	case opPatchBack:
+		n.mu.Lock()
+		n.patchBackLocked(NodeInfo{ID: req.NewID, Point: req.NewPoint, Addr: req.NewAddr}, req.Remove)
 		n.mu.Unlock()
 		return response{OK: true}
 	case opJoin:
@@ -233,18 +299,19 @@ func (n *Node) handleJoin(req request) response {
 		}
 	}
 	resp := response{
-		OK:    true,
-		Point: uint64(n.x), Addr: n.addr,
-		End: uint64(n.end), SuccAddr: n.succ.Addr,
+		OK: true,
+		ID: n.id, Point: uint64(n.x), Addr: n.addr,
+		End: uint64(n.end), SuccID: n.succ.ID, SuccAddr: n.succ.Addr,
 		Items: items,
 	}
 	if n.x == n.end { // first split of a singleton network
 		resp.End = uint64(n.x)
+		resp.SuccID = n.id
 		resp.SuccAddr = n.addr
 	}
 	// The joiner becomes our successor.
 	n.end = p
-	n.succ = NodeInfo{Point: req.NewPoint, Addr: req.NewAddr}
+	n.succ = NodeInfo{ID: req.NewID, Point: req.NewPoint, Addr: req.NewAddr}
 	return resp
 }
 
@@ -253,16 +320,17 @@ func (n *Node) handleJoin(req request) response {
 func (n *Node) handleLeave(req request) response {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.end = interval.Point(req.Target)                      // leaver's end
-	n.succ = NodeInfo{Point: req.Target, Addr: req.NewAddr} // leaver's successor
+	n.end = interval.Point(req.Target)                                     // leaver's end
+	n.succ = NodeInfo{ID: req.NewID, Point: req.Target, Addr: req.NewAddr} // leaver's successor
 	for k, v := range req.Items {
 		n.data[k] = v
 	}
 	return response{OK: true, Addr: n.addr, Point: uint64(n.x)}
 }
 
-// Leave gracefully exits: hand segment and data to the predecessor and
-// repoint the successor.
+// Leave gracefully exits: hand segment and data to the predecessor,
+// repoint the successor, and incrementally retract this node from the
+// backward tables that reference it.
 func (n *Node) Leave() error {
 	n.mu.Lock()
 	pred, succ := n.pred, n.succ
@@ -273,15 +341,45 @@ func (n *Node) Leave() error {
 		n.Close()
 		return nil // last node
 	}
-	req := request{Op: opLeave, Target: uint64(end), NewAddr: succ.Addr, Items: items}
+	// Tell the covers of our forward images to drop us from their backward
+	// tables before the segment moves (best-effort; routing falls back to
+	// ring hops for any entry a lost patch leaves stale).
+	n.notifyImageCovers(true)
+	req := request{Op: opLeave, Target: uint64(end), NewAddr: succ.Addr, NewID: succ.ID, Items: items}
 	if _, err := call(pred.Addr, req); err != nil {
 		return err
 	}
 	if succ.Addr != n.addr {
-		if _, err := call(succ.Addr, request{Op: opSetPred, NewPoint: pred.Point, NewAddr: pred.Addr}); err != nil {
+		if _, err := call(succ.Addr, request{Op: opSetPred, NewPoint: pred.Point, NewAddr: pred.Addr, NewID: pred.ID}); err != nil {
 			return err
 		}
 	}
 	n.Close()
 	return nil
+}
+
+// notifyImageCovers sends an incremental backward-table patch (add, or
+// remove when leaving) for this node to every node whose segment
+// intersects one of the ∆ = 2 forward images of our segment — exactly the
+// nodes whose backward image covers part of our segment, i.e. whose `back`
+// table must list us. O(ρ) recipients by Theorem 2.2. Errors are ignored:
+// patches are an optimization over the Stabilize repair loop, never the
+// source of truth for ring pointers.
+func (n *Node) notifyImageCovers(remove bool) {
+	n.mu.Lock()
+	seg := n.segmentLocked()
+	self := request{Op: opPatchBack, NewID: n.id, NewPoint: uint64(n.x), NewAddr: n.addr, Remove: remove}
+	n.mu.Unlock()
+	for _, img := range []interval.Segment{seg.Half(), seg.HalfPlus()} {
+		covers, err := n.coversOfArc(img)
+		if err != nil {
+			continue
+		}
+		for _, c := range covers {
+			if c.Addr == n.addr {
+				continue
+			}
+			_, _ = call(c.Addr, self)
+		}
+	}
 }

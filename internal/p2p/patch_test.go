@@ -1,0 +1,128 @@
+package p2p
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"condisc/internal/interval"
+)
+
+// backIDs snapshots a node's ID-keyed backward table.
+func backIDs(n *Node) map[uint64]NodeInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[uint64]NodeInfo, len(n.back))
+	for id, e := range n.back {
+		out[id] = e
+	}
+	return out
+}
+
+// TestJoinPatchesBackTablesIncrementally: a joining node announces itself
+// to the covers of its forward images with opPatchBack, so their ID-keyed
+// backward tables list it without anyone running a Stabilize pass.
+func TestJoinPatchesBackTablesIncrementally(t *testing.T) {
+	c, err := StartCluster(10, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	joiner, err := NewNode("127.0.0.1:0", 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := joiner.StartJoin(c.Nodes[0].Addr(), rand.New(rand.NewPCG(72, 73))); err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+
+	// NO StabilizeAll here: only the join-time patches have run. Some node
+	// whose backward image intersects the joiner's images must know it.
+	found := 0
+	for _, n := range c.Nodes {
+		if _, ok := backIDs(n)[joiner.ID()]; ok {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no backward table learned the joiner incrementally")
+	}
+
+	// Every node's ring pointers must carry real stable IDs: the succ
+	// pointer's ID names the node at the succ address (the incremental
+	// patch protocol keys on these).
+	byAddr := map[string]uint64{joiner.Addr(): joiner.ID()}
+	for _, n := range c.Nodes {
+		byAddr[n.Addr()] = n.ID()
+	}
+	for _, n := range append(append([]*Node(nil), c.Nodes...), joiner) {
+		n.mu.Lock()
+		succ := n.succ
+		n.mu.Unlock()
+		if succ.ID == 0 || succ.ID != byAddr[succ.Addr] {
+			t.Fatalf("node %s: succ pointer %s has ID %x, want %x",
+				n.Addr(), succ.Addr, succ.ID, byAddr[succ.Addr])
+		}
+	}
+
+	// The patched tables route correctly end to end.
+	cl := &Client{Bootstrap: c.Nodes[1].Addr()}
+	if _, err := cl.Put("patched", []byte("x"), c.Hash()); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := cl.Get("patched", c.Hash())
+	if err != nil || string(v) != "x" {
+		t.Fatalf("get after incremental join: %v %q", err, v)
+	}
+}
+
+// TestLeaveRetractsFromBackTables: a leaving node retracts its ID from the
+// backward tables referencing it, so no table keeps routing to a dead
+// address even before the next stabilization round.
+func TestLeaveRetractsFromBackTables(t *testing.T) {
+	c, err := StartCluster(10, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.StabilizeAll(2); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := c.Nodes[4]
+	holders := 0
+	for i, n := range c.Nodes {
+		if i == 4 {
+			continue
+		}
+		if _, ok := backIDs(n)[victim.ID()]; ok {
+			holders++
+		}
+	}
+	if holders == 0 {
+		t.Skip("no table lists the victim; nothing to retract")
+	}
+	if err := victim.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range c.Nodes {
+		if i == 4 {
+			continue
+		}
+		if e, ok := backIDs(n)[victim.ID()]; ok {
+			t.Fatalf("node %d still lists departed %x -> %s", i, e.ID, e.Addr)
+		}
+	}
+	// Routing still works through the survivors.
+	cl := &Client{Bootstrap: c.Nodes[0].Addr()}
+	if _, err := cl.Put("after-leave", []byte("y"), c.Hash()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		y := interval.Point(rand.Uint64())
+		if _, _, err := cl.Lookup(y); err != nil {
+			t.Fatalf("lookup %d failed after retraction: %v", i, err)
+		}
+	}
+}

@@ -25,13 +25,14 @@ import (
 
 // op codes for the wire protocol.
 const (
-	opState   = "state"   // node status: point, end, ring pointers
-	opLookup  = "lookup"  // route to the owner of a point
-	opGet     = "get"     // route + read
-	opPut     = "put"     // route + write
-	opJoin    = "join"    // segment split at the owner
-	opLeave   = "leave"   // absorb a leaving successor's segment + data
-	opSetPred = "setpred" // update predecessor pointer
+	opState     = "state"     // node status: id, point, end, ring pointers
+	opLookup    = "lookup"    // route to the owner of a point
+	opGet       = "get"       // route + read
+	opPut       = "put"       // route + write
+	opJoin      = "join"      // segment split at the owner
+	opLeave     = "leave"     // absorb a leaving successor's segment + data
+	opSetPred   = "setpred"   // update predecessor pointer
+	opPatchBack = "patchback" // incremental backward-table patch (add/remove one ID-keyed entry)
 )
 
 // request is the single wire request type.
@@ -47,9 +48,13 @@ type request struct {
 	StepsLeft int
 	Started   bool
 	Hops      int
-	// NewAddr/NewPoint describe a joining or leaving node.
+	// NewAddr/NewPoint/NewID describe a joining, leaving, or patched node.
 	NewAddr  string
 	NewPoint uint64
+	NewID    uint64
+	// Remove marks an opPatchBack that retracts (rather than adds) the
+	// entry with NewID.
+	Remove bool
 	// Items carries bulk data transfer on Leave.
 	Items map[string][]byte
 }
@@ -61,9 +66,11 @@ type response struct {
 	Val  []byte
 	Hops int
 	// Node status fields.
+	ID       uint64
 	Point    uint64
 	End      uint64
 	Addr     string
+	SuccID   uint64
 	SuccAddr string
 	PredAddr string
 	// Join/Leave payload: transferred items and seed neighbours.

@@ -83,8 +83,8 @@ func (n *Node) route(req request) response {
 // serveLocal executes the data operation at the owner (mu held).
 func (n *Node) serveLocal(req request) response {
 	resp := response{OK: true, Hops: req.Hops,
-		Point: uint64(n.x), End: uint64(n.end), Addr: n.addr,
-		SuccAddr: n.succ.Addr, PredAddr: n.pred.Addr}
+		ID: n.id, Point: uint64(n.x), End: uint64(n.end), Addr: n.addr,
+		SuccID: n.succ.ID, SuccAddr: n.succ.Addr, PredAddr: n.pred.Addr}
 	switch req.Op {
 	case opGet:
 		v, ok := n.data[req.Key]
@@ -98,15 +98,16 @@ func (n *Node) serveLocal(req request) response {
 	return resp
 }
 
-// nextHopLocked picks the backward-table entry covering pos, falling back
-// to a ring step while tables are stale (mu held).
+// nextHopLocked picks the backward-table entry covering pos (via the
+// Point-sorted view of the ID-keyed table), falling back to a ring step
+// while tables are stale (mu held).
 func (n *Node) nextHopLocked(pos interval.Point) NodeInfo {
-	if len(n.back) > 0 {
-		i := sort.Search(len(n.back), func(k int) bool { return n.back[k].Point > uint64(pos) })
+	if len(n.backSorted) > 0 {
+		i := sort.Search(len(n.backSorted), func(k int) bool { return n.backSorted[k].Point > uint64(pos) })
 		if i == 0 {
-			i = len(n.back)
+			i = len(n.backSorted)
 		}
-		cand := n.back[i-1]
+		cand := n.backSorted[i-1]
 		if cand.Addr != n.addr {
 			return cand
 		}
@@ -171,7 +172,7 @@ func (n *Node) Stabilize() error {
 	n.mu.Lock()
 	if candidate != nil {
 		if p := interval.Point(candidate.Point); n.segmentLocked().Contains(p) && p != n.x {
-			n.succ = NodeInfo{Point: candidate.Point, Addr: candidate.Addr}
+			n.succ = NodeInfo{ID: candidate.ID, Point: candidate.Point, Addr: candidate.Addr}
 			n.end = p
 		}
 	} else if st.PredAddr == n.addr {
@@ -180,16 +181,24 @@ func (n *Node) Stabilize() error {
 	seg := n.segmentLocked()
 	n.mu.Unlock()
 
-	// Re-enumerate backward neighbours: covers of b(s).
+	// Re-enumerate backward neighbours: covers of b(s). This wholesale
+	// refresh is the repair loop; between passes the ID-keyed table is
+	// kept current by the incremental opPatchBack messages joins and
+	// leaves send.
 	arc := seg.BackImage()
 	covers, err := n.coversOfArc(arc)
 	if err != nil {
 		return err
 	}
 	n.mu.Lock()
-	n.back = covers
+	n.setBackLocked(covers)
 	n.mu.Unlock()
 	return nil
+}
+
+// sortByPoint orders routing-table entries by segment start.
+func sortByPoint(entries []NodeInfo) {
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Point < entries[b].Point })
 }
 
 // coversOfArc finds all nodes whose segments intersect the arc, by looking
@@ -199,7 +208,7 @@ func (n *Node) coversOfArc(arc interval.Segment) ([]NodeInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	covers := []NodeInfo{{Point: first.Point, Addr: first.Addr}}
+	covers := []NodeInfo{{ID: first.ID, Point: first.Point, Addr: first.Addr}}
 	cur := first
 	for i := 0; i < 4096; i++ {
 		if cur.SuccAddr == "" || cur.SuccAddr == first.Addr {
@@ -212,10 +221,10 @@ func (n *Node) coversOfArc(arc interval.Segment) ([]NodeInfo, error) {
 		if !arc.Contains(interval.Point(st.Point)) || st.Addr == first.Addr {
 			break
 		}
-		covers = append(covers, NodeInfo{Point: st.Point, Addr: st.Addr})
+		covers = append(covers, NodeInfo{ID: st.ID, Point: st.Point, Addr: st.Addr})
 		cur = st
 	}
-	sort.Slice(covers, func(a, b int) bool { return covers[a].Point < covers[b].Point })
+	sortByPoint(covers)
 	return covers, nil
 }
 

@@ -54,7 +54,7 @@ func NewBucketRing(n0 int, smoothCap float64, rng *rand.Rand) *BucketRing {
 	}
 	r := FromPoints(pts)
 	b := &BucketRing{
-		pts:        append([]interval.Point(nil), r.Points()...),
+		pts:        r.Points(), // Points() materializes a fresh slice
 		smoothCap:  smoothCap,
 		densityCap: 2,
 	}

@@ -25,7 +25,7 @@ func ImprovedSingleChoice(r *Ring, rng *rand.Rand) interval.Point {
 		return interval.Point(rng.Uint64())
 	}
 	z := interval.Point(rng.Uint64())
-	return r.Segment(r.Cover(z)).Mid()
+	return r.SegmentOf(z).Mid()
 }
 
 // MultipleChoice implements the Multiple Choice Algorithm: sample t·log n
@@ -43,20 +43,19 @@ func MultipleChoice(r *Ring, rng *rand.Rand, t int) interval.Point {
 	if probes < 1 {
 		probes = 1
 	}
-	bestIdx, bestLen := -1, uint64(0)
+	var best interval.Segment
+	haveBest := false
 	for i := 0; i < probes; i++ {
 		z := interval.Point(rng.Uint64())
-		idx := r.Cover(z)
-		seg := r.Segment(idx)
+		seg := r.SegmentOf(z)
 		if seg.Len == 0 { // full circle: any probe wins
-			bestIdx = idx
-			break
+			return seg.Mid()
 		}
-		if seg.Len > bestLen {
-			bestIdx, bestLen = idx, seg.Len
+		if !haveBest || seg.Len > best.Len {
+			best, haveBest = seg, true
 		}
 	}
-	return r.Segment(bestIdx).Mid()
+	return best.Mid()
 }
 
 // Chooser is a pluggable ID-selection strategy, letting experiments sweep

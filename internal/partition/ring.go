@@ -8,11 +8,22 @@
 // s(x_i) = [x_i, x_{i+1}) with the last segment wrapping around. The
 // quality of the decomposition is its smoothness ρ = max|s_i| / min|s_j|
 // (Definition 1); every theorem in the paper is parameterized by ρ.
+//
+// Two addressing schemes coexist. The sorted index of a server is its
+// position in the decomposition: cheap to enumerate, meaningful only until
+// the next churn event (indices shift when any server joins or leaves).
+// The Handle is stable: assigned at insertion, never reused, valid until
+// that server leaves. All per-server state elsewhere in the system (graph
+// adjacency, load counters, caches, item stores) is keyed by Handle, so a
+// churn event never renumbers anything; indices are resolved from handles
+// only at the moment a ring-order query is needed.
+//
+// Insert and RemoveAt cost O(log n) amortized: points live in a chunked
+// sorted list (olist.go), not a flat slice, so no O(n) memmove is paid.
 package partition
 
 import (
 	"fmt"
-	"slices"
 	"sort"
 
 	"condisc/internal/interval"
@@ -27,8 +38,7 @@ type Handle uint64
 // Ring is a dynamic decomposition of I into segments. The zero value is an
 // empty ring ready for use.
 type Ring struct {
-	pts   []interval.Point // sorted ascending, all distinct
-	hs    []Handle         // hs[i] is the stable handle of pts[i]
+	ol    olist
 	byH   map[Handle]interval.Point
 	nextH Handle
 }
@@ -49,19 +59,24 @@ func FromPoints(pts []interval.Point) *Ring {
 }
 
 // N returns the number of servers (segments).
-func (r *Ring) N() int { return len(r.pts) }
+func (r *Ring) N() int { return r.ol.size() }
 
-// Point returns the i-th server point in sorted order.
-func (r *Ring) Point(i int) interval.Point { return r.pts[i] }
+// Point returns the i-th server point in sorted order (O(log n)).
+func (r *Ring) Point(i int) interval.Point { return r.ol.pointAt(i) }
 
-// Points returns the underlying sorted point slice (read-only view).
-func (r *Ring) Points() []interval.Point { return r.pts }
+// Points materializes the sorted point set as a fresh slice (O(n)).
+func (r *Ring) Points() []interval.Point {
+	out := make([]interval.Point, 0, r.ol.size())
+	r.ol.scan(func(_ int, p interval.Point, _ Handle) {
+		out = append(out, p)
+	})
+	return out
+}
 
 // Clone returns a deep copy of the ring, handles included.
 func (r *Ring) Clone() *Ring {
 	c := &Ring{
-		pts:   append([]interval.Point(nil), r.pts...),
-		hs:    append([]Handle(nil), r.hs...),
+		ol:    r.ol.clone(),
 		nextH: r.nextH,
 	}
 	if r.byH != nil {
@@ -73,44 +88,42 @@ func (r *Ring) Clone() *Ring {
 	return c
 }
 
-// search returns the index of the first point > p (possibly len(pts)).
+// search returns the index of the first point > p (possibly N()).
 func (r *Ring) search(p interval.Point) int {
-	return sort.Search(len(r.pts), func(i int) bool { return r.pts[i] > p })
+	return r.ol.searchGT(p)
 }
 
 // Insert adds a new server point, implementing the segment split of
 // Algorithm Join step 3: the segment covering p is divided so that the new
 // server owns [p, oldEnd). It reports the new index and whether the point
-// was inserted (false if already present). The affected index range is
-// local: only the predecessor's segment changed shape, and only indices
-// >= the returned one shifted up by one.
+// was inserted (false if already present). Only the predecessor's segment
+// changed shape; the new server's handle is HandleAt of the returned
+// index. Cost: O(log n) amortized.
 func (r *Ring) Insert(p interval.Point) (int, bool) {
-	i := r.search(p)
-	if i > 0 && r.pts[i-1] == p {
-		return i - 1, false
+	h := r.nextH + 1
+	i, ok := r.ol.insert(p, h)
+	if !ok {
+		return i, false
 	}
-	r.nextH++
-	h := r.nextH
+	r.nextH = h
 	if r.byH == nil {
 		r.byH = make(map[Handle]interval.Point)
 	}
 	r.byH[h] = p
-	r.pts = slices.Insert(r.pts, i, p)
-	r.hs = slices.Insert(r.hs, i, h)
 	return i, true
 }
 
 // RemoveAt deletes the i-th server; its segment is absorbed by the ring
-// predecessor (the simple Leave of §2.1). Only indices > i shift (down by
-// one); the predecessor is the only server whose segment changed shape.
+// predecessor (the simple Leave of §2.1). The predecessor is the only
+// server whose segment changed shape. Cost: O(log n) amortized.
 func (r *Ring) RemoveAt(i int) {
-	delete(r.byH, r.hs[i])
-	r.pts = slices.Delete(r.pts, i, i+1)
-	r.hs = slices.Delete(r.hs, i, i+1)
+	delete(r.byH, r.ol.handleAt(i))
+	r.ol.removeAt(i)
 }
 
-// HandleAt returns the stable handle of the server currently at index i.
-func (r *Ring) HandleAt(i int) Handle { return r.hs[i] }
+// HandleAt returns the stable handle of the server currently at index i
+// (O(log n)).
+func (r *Ring) HandleAt(i int) Handle { return r.ol.handleAt(i) }
 
 // IndexOfHandle returns the current sorted index of the server named by h,
 // or false if no such server exists (never joined, or already left).
@@ -119,11 +132,10 @@ func (r *Ring) IndexOfHandle(h Handle) (int, bool) {
 	if !ok {
 		return 0, false
 	}
-	i := r.search(p)
-	return i - 1, true // p is present, so pts[i-1] == p
+	return r.ol.searchGT(p) - 1, true // p is present, so rank(p) = searchGT(p)-1
 }
 
-// PointOfHandle returns the point of the server named by h.
+// PointOfHandle returns the point of the server named by h (O(1)).
 func (r *Ring) PointOfHandle(h Handle) (interval.Point, bool) {
 	p, ok := r.byH[h]
 	return p, ok
@@ -145,24 +157,32 @@ func (r *Ring) RemoveHandle(h Handle) (int, bool) {
 // present.
 func (r *Ring) Remove(p interval.Point) bool {
 	i := r.search(p)
-	if i == 0 || r.pts[i-1] != p {
+	if i == 0 {
+		return false
+	}
+	if q, _ := r.ol.at(i - 1); q != p {
 		return false
 	}
 	r.RemoveAt(i - 1)
 	return true
 }
 
-// Version-free sanity check used by tests: handles and points agree.
+// checkHandles is the bookkeeping sanity check used by tests: the chunked
+// list, the handle map, and the rank queries all agree.
 func (r *Ring) checkHandles() bool {
-	if len(r.hs) != len(r.pts) || len(r.byH) != len(r.pts) {
+	if len(r.byH) != r.ol.size() {
 		return false
 	}
-	for i, h := range r.hs {
-		if r.byH[h] != r.pts[i] {
-			return false
+	ok := true
+	r.ol.scan(func(i int, p interval.Point, h Handle) {
+		if r.byH[h] != p {
+			ok = false
 		}
-	}
-	return true
+		if idx, found := r.IndexOfHandle(h); !found || idx != i {
+			ok = false
+		}
+	})
+	return ok
 }
 
 // Cover returns the index i of the server covering p, i.e. p ∈ s(x_i).
@@ -170,14 +190,41 @@ func (r *Ring) checkHandles() bool {
 func (r *Ring) Cover(p interval.Point) int {
 	i := r.search(p)
 	if i == 0 {
-		return len(r.pts) - 1 // p precedes all points: wrapping segment
+		return r.N() - 1 // p precedes all points: wrapping segment
 	}
 	return i - 1
 }
 
+// CoverHandle returns the stable handle of the server covering p.
+func (r *Ring) CoverHandle(p interval.Point) Handle {
+	return r.HandleAt(r.Cover(p))
+}
+
+// CoverSegment returns the index of the server covering p together with
+// its segment, in a single ordered-list descent — the probe primitive of
+// the §4 ID-selection algorithms, which sample Θ(log n) segments per join.
+func (r *Ring) CoverSegment(p interval.Point) (int, interval.Segment) {
+	if r.N() == 1 {
+		return 0, interval.FullCircle
+	}
+	i, x, next := r.ol.coverSeg(p)
+	return i, interval.Segment{Start: x, Len: uint64(next - x)}
+}
+
+// SegmentOf returns the segment of the server covering p without
+// computing its rank — the cheapest probe when the caller only needs the
+// segment shape.
+func (r *Ring) SegmentOf(p interval.Point) interval.Segment {
+	if r.N() == 1 {
+		return interval.FullCircle
+	}
+	x, next := r.ol.coverSegOnly(p)
+	return interval.Segment{Start: x, Len: uint64(next - x)}
+}
+
 // Successor returns the index after i on the ring.
 func (r *Ring) Successor(i int) int {
-	if i == len(r.pts)-1 {
+	if i == r.N()-1 {
 		return 0
 	}
 	return i + 1
@@ -186,45 +233,61 @@ func (r *Ring) Successor(i int) int {
 // Predecessor returns the index before i on the ring.
 func (r *Ring) Predecessor(i int) int {
 	if i == 0 {
-		return len(r.pts) - 1
+		return r.N() - 1
 	}
 	return i - 1
 }
 
 // Segment returns s(x_i) = [x_i, x_{i+1}).
 func (r *Ring) Segment(i int) interval.Segment {
-	if len(r.pts) == 1 {
+	if r.N() == 1 {
 		return interval.FullCircle
 	}
-	next := r.pts[r.Successor(i)]
-	return interval.Segment{Start: r.pts[i], Len: uint64(next - r.pts[i])}
+	p := r.Point(i)
+	next := r.Point(r.Successor(i))
+	return interval.Segment{Start: p, Len: uint64(next - p)}
 }
 
-// Segments returns all segments in index order.
+// Segments returns all segments in index order (O(n)).
 func (r *Ring) Segments() []interval.Segment {
-	out := make([]interval.Segment, len(r.pts))
-	for i := range r.pts {
-		out[i] = r.Segment(i)
+	n := r.N()
+	out := make([]interval.Segment, n)
+	if n == 0 {
+		return out
 	}
+	if n == 1 {
+		out[0] = interval.FullCircle
+		return out
+	}
+	var first, prev interval.Point
+	r.ol.scan(func(i int, p interval.Point, _ Handle) {
+		if i == 0 {
+			first = p
+		} else {
+			out[i-1] = interval.Segment{Start: prev, Len: uint64(p - prev)}
+		}
+		prev = p
+	})
+	out[n-1] = interval.Segment{Start: prev, Len: uint64(first - prev)}
 	return out
 }
 
 // SegmentLens returns min and max segment lengths (fixed-point scale).
 func (r *Ring) SegmentLens() (min, max uint64) {
-	if len(r.pts) == 0 {
+	n := r.N()
+	if n == 0 {
 		return 0, 0
 	}
-	if len(r.pts) == 1 {
+	if n == 1 {
 		return ^uint64(0), ^uint64(0)
 	}
 	min = ^uint64(0)
-	for i := range r.pts {
-		l := r.Segment(i).Len
-		if l < min {
-			min = l
+	for _, s := range r.Segments() {
+		if s.Len < min {
+			min = s.Len
 		}
-		if l > max {
-			max = l
+		if s.Len > max {
+			max = s.Len
 		}
 	}
 	return min, max
@@ -245,7 +308,7 @@ func (r *Ring) Smoothness() float64 {
 // primitive behind edge derivation (§2.1: "two cells are connected if they
 // contain adjacent points in the continuous graph").
 func (r *Ring) CoversOfArc(arc interval.Segment) []int {
-	n := len(r.pts)
+	n := r.N()
 	if n == 0 {
 		return nil
 	}
@@ -261,12 +324,43 @@ func (r *Ring) CoversOfArc(arc interval.Segment) []int {
 	for len(out) < n {
 		// x_i is the start of the next segment; it intersects the arc iff it
 		// lies strictly inside [arc.Start, arc.End).
-		if uint64(r.pts[i]-arc.Start) >= arc.Len || r.pts[i] == arc.Start {
+		p := r.Point(i)
+		if uint64(p-arc.Start) >= arc.Len || p == arc.Start {
 			break
 		}
 		out = append(out, i)
 		i = r.Successor(i)
 	}
+	return out
+}
+
+// CoverHandlesOfArc is the handle-native CoversOfArc: the stable handles
+// of all servers whose segments intersect the arc, in ring order. It walks
+// the ordered list chunk-wise — O(log n + covers), no per-step rank
+// computation — and is the primitive the incremental graph engine derives
+// edges with.
+func (r *Ring) CoverHandlesOfArc(arc interval.Segment) []Handle {
+	n := r.N()
+	if n == 0 {
+		return nil
+	}
+	var out []Handle
+	if arc.Len == 0 { // full circle
+		out = make([]Handle, 0, n)
+		r.ol.scan(func(_ int, _ interval.Point, h Handle) {
+			out = append(out, h)
+		})
+		return out
+	}
+	first := true
+	r.ol.scanRing(arc.Start, func(p interval.Point, h Handle) bool {
+		if !first && (uint64(p-arc.Start) >= arc.Len || p == arc.Start) {
+			return false
+		}
+		first = false
+		out = append(out, h)
+		return true
+	})
 	return out
 }
 

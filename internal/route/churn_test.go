@@ -10,8 +10,9 @@ import (
 )
 
 // TestChurnPreservesLoadAndRouting: joins and leaves applied through the
-// incremental graph keep the untouched servers' congestion counters and
-// leave the network immediately routable.
+// incremental graph leave the handle-keyed congestion counters untouched
+// (no entry moves, appears, or changes) and the network immediately
+// routable.
 func TestChurnPreservesLoadAndRouting(t *testing.T) {
 	rng := rand.New(rand.NewPCG(77, 78))
 	ring := partition.Grow(partition.New(), 256, partition.MultipleChooser(2), rng)
@@ -32,17 +33,20 @@ func TestChurnPreservesLoadAndRouting(t *testing.T) {
 	if !ok {
 		t.Fatal("insert failed")
 	}
-	nw.ServerJoined(idx)
-	if len(nw.Load) != ring.N() || nw.Load[idx] != 0 || sum() != before {
+	if nw.LoadAt(idx) != 0 || sum() != before {
 		t.Fatalf("join corrupted load accounting (sum %d -> %d)", before, sum())
 	}
 
 	victim := rng.IntN(ring.N())
-	dropped := nw.Load[victim]
+	h := ring.HandleAt(victim)
+	dropped := nw.Load[h]
 	nw.G.Remove(victim)
-	nw.ServerLeft(victim)
-	if len(nw.Load) != ring.N() || sum() != before-dropped {
+	nw.Forget(h)
+	if sum() != before-dropped {
 		t.Fatalf("leave corrupted load accounting")
+	}
+	if _, ok := nw.Load[h]; ok {
+		t.Fatal("departed server's counter survived Forget")
 	}
 
 	// The patched network routes correctly right away.
@@ -51,6 +55,48 @@ func TestChurnPreservesLoadAndRouting(t *testing.T) {
 		path := nw.DHLookup(rng.IntN(ring.N()), y, rng)
 		if path[len(path)-1] != ring.Cover(y) {
 			t.Fatalf("lookup for %v ended at %d, owner %d", y, path[len(path)-1], ring.Cover(y))
+		}
+	}
+}
+
+// TestLoadPreservedAcross1kChurnEvents is the counter-preservation
+// property test: across 1000 random joins and leaves, every surviving
+// server's congestion counter is bit-for-bit identical to its value when
+// the metering stopped — not merely the same in aggregate.
+func TestLoadPreservedAcross1kChurnEvents(t *testing.T) {
+	rng := rand.New(rand.NewPCG(79, 80))
+	ring := partition.Grow(partition.New(), 512, partition.MultipleChooser(2), rng)
+	nw := NewNetwork(dhgraph.Build(ring, 2))
+	nw.RandomLookups(2048, false, rng)
+
+	want := make(map[partition.Handle]int64, len(nw.Load))
+	for h, l := range nw.Load {
+		want[h] = l
+	}
+
+	for op := 0; op < 1000; op++ {
+		join := rng.IntN(2) == 0
+		if ring.N() <= 64 {
+			join = true
+		} else if ring.N() >= 2048 {
+			join = false
+		}
+		if join {
+			nw.G.Insert(partition.MultipleChoice(ring, rng, 2))
+		} else {
+			victim := rng.IntN(ring.N())
+			h := ring.HandleAt(victim)
+			nw.G.Remove(victim)
+			nw.Forget(h)
+			delete(want, h)
+		}
+		if len(nw.Load) != len(want) {
+			t.Fatalf("op %d: %d load entries, want %d", op, len(nw.Load), len(want))
+		}
+		for h, l := range want {
+			if nw.Load[h] != l {
+				t.Fatalf("op %d: survivor %d's load changed: %d != %d", op, h, nw.Load[h], l)
+			}
 		}
 	}
 }

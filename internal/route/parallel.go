@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"condisc/internal/interval"
+	"condisc/internal/partition"
 )
 
 // BulkResult aggregates a parallel batch of lookups.
@@ -13,8 +14,9 @@ type BulkResult struct {
 	Lookups int
 	SumLen  int
 	MaxLen  int
-	// Load is the merged per-server message count of the batch.
-	Load []int64
+	// Load is the merged per-server message count of the batch, keyed by
+	// stable handle.
+	Load map[partition.Handle]int64
 }
 
 // MaxLoad returns the busiest server's load in the batch.
@@ -78,25 +80,34 @@ func (nw *Network) ParallelRandomLookups(count int, useFast bool, seed uint64) B
 					parts[w].max = l
 				}
 			}
-			parts[w].load = local.Load
+			parts[w].load = local.loadIdx
 		}(w, share)
 	}
 	wg.Wait()
 
-	out := BulkResult{Lookups: count, Load: make([]int64, n)}
+	// Merge the dense worker vectors and resolve index→handle once per
+	// server, instead of once per routed message.
+	merged := make([]int64, n)
+	out := BulkResult{Lookups: count, Load: make(map[partition.Handle]int64, n)}
 	for _, p := range parts {
 		out.SumLen += p.sum
 		if p.max > out.MaxLen {
 			out.MaxLen = p.max
 		}
 		for i, l := range p.load {
-			out.Load[i] += l
+			merged[i] += l
+		}
+	}
+	for i, l := range merged {
+		if l != 0 {
+			out.Load[nw.G.Ring.HandleAt(i)] = l
 		}
 	}
 	return out
 }
 
-// shadowNetwork shares the immutable graph but owns private load counters.
+// shadowNetwork shares the immutable graph but owns a private dense load
+// vector (indices are stable because the batch never mutates the ring).
 func shadowNetwork(nw *Network) *Network {
-	return &Network{G: nw.G, Load: make([]int64, nw.G.N())}
+	return &Network{G: nw.G, loadIdx: make([]int64, nw.G.N())}
 }

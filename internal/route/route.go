@@ -20,43 +20,46 @@ package route
 import (
 	"math"
 	"math/rand/v2"
-	"slices"
 
 	"condisc/internal/dhgraph"
 	"condisc/internal/interval"
+	"condisc/internal/partition"
 )
 
 // Network wraps a discrete DH graph with message-load accounting.
 type Network struct {
 	G *dhgraph.Graph
-	// Load[i] counts the messages server i has handled (every appearance on
+	// Load counts the messages each server has handled (every appearance on
 	// a lookup path, origin included — Definition 3's notion of "active in a
-	// routing").
-	Load []int64
+	// routing"), keyed by the server's stable handle. Because the key never
+	// shifts, congestion metering survives churn with zero copying: a join
+	// adds no entry until the new server handles a message, and a leave
+	// drops exactly one entry (Forget). Servers absent from the map have
+	// load 0.
+	Load map[partition.Handle]int64
+
+	// loadIdx, when non-nil, redirects metering to a dense index-addressed
+	// vector instead of Load. Only the worker shadows of
+	// ParallelRandomLookups use it: they route over a frozen graph, where
+	// indices are stable for the whole batch, so the per-hop handle
+	// resolution can be deferred to one index→handle pass at merge time.
+	loadIdx []int64
 }
 
 // NewNetwork creates a metered network over g.
 func NewNetwork(g *dhgraph.Graph) *Network {
-	return &Network{G: g, Load: make([]int64, g.N())}
+	return &Network{G: g, Load: make(map[partition.Handle]int64, g.N())}
 }
 
-// ServerJoined makes room in the load accounting for a server inserted at
-// index idx, preserving every other server's congestion counter across the
-// churn event (the graph itself is patched in place by dhgraph.Insert).
-func (nw *Network) ServerJoined(idx int) {
-	nw.Load = slices.Insert(nw.Load, idx, 0)
-}
-
-// ServerLeft drops the departed server's counter, preserving all others.
-func (nw *Network) ServerLeft(idx int) {
-	nw.Load = slices.Delete(nw.Load, idx, idx+1)
+// Forget drops the departed server's counter (all other entries are
+// untouched; handles are never reused, so the key cannot come back).
+func (nw *Network) Forget(h partition.Handle) {
+	delete(nw.Load, h)
 }
 
 // ResetLoad zeroes the congestion counters.
 func (nw *Network) ResetLoad() {
-	for i := range nw.Load {
-		nw.Load[i] = 0
-	}
+	clear(nw.Load)
 }
 
 // MaxLoad returns the maximum per-server load.
@@ -70,13 +73,24 @@ func (nw *Network) MaxLoad() int64 {
 	return max
 }
 
+// LoadOf returns the load of the server with stable handle h.
+func (nw *Network) LoadOf(h partition.Handle) int64 { return nw.Load[h] }
+
+// LoadAt returns the load of the server currently at ring index i (an
+// index-era convenience; the index is resolved to a handle at call time).
+func (nw *Network) LoadAt(i int) int64 { return nw.Load[nw.G.Ring.HandleAt(i)] }
+
 // visit appends server v to the path if it differs from the current last
-// element, and counts its load.
+// element, and counts its load against the server's stable handle.
 func (nw *Network) visit(path []int, v int) []int {
 	if len(path) > 0 && path[len(path)-1] == v {
 		return path
 	}
-	nw.Load[v]++
+	if nw.loadIdx != nil {
+		nw.loadIdx[v]++
+	} else {
+		nw.Load[nw.G.Ring.HandleAt(v)]++
+	}
 	return append(path, v)
 }
 

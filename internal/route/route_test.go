@@ -277,7 +277,7 @@ func TestCongestionProportionalToSegment(t *testing.T) {
 	}
 	ps := make([]pair, n)
 	for i := 0; i < n; i++ {
-		ps[i] = pair{nw.G.Ring.Segment(i).Len, nw.Load[i]}
+		ps[i] = pair{nw.G.Ring.Segment(i).Len, nw.LoadAt(i)}
 	}
 	sort.Slice(ps, func(i, j int) bool { return ps[i].len < ps[j].len })
 	var lo, hi int64
