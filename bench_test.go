@@ -17,7 +17,9 @@ import (
 	"condisc/internal/cache"
 	"condisc/internal/dhgraph"
 	"condisc/internal/experiments"
+	"condisc/internal/interval"
 	"condisc/internal/route"
+	"condisc/internal/store"
 )
 
 // benchCfg trades problem size for bench-loop friendliness.
@@ -127,6 +129,10 @@ func BenchmarkErasureVsReplication(b *testing.B) { run(b, experiments.ErasureVsR
 // BenchmarkChurnLocality regenerates E28 (incremental churn vs rebuild).
 func BenchmarkChurnLocality(b *testing.B) { run(b, experiments.ChurnLocality) }
 
+// BenchmarkStoreEngines regenerates E30 (the ordered item-store layer:
+// put/get cost per engine and split-cost flatness in resident items).
+func BenchmarkStoreEngines(b *testing.B) { run(b, experiments.StoreEngines) }
+
 // ---- churn benchmarks: incremental join/leave vs the full rebuild ----
 //
 // The incremental engine patches only the O(ρ·∆) servers around the changed
@@ -159,7 +165,10 @@ func benchChurnDHT(b *testing.B, n int) *DHT {
 	d := New(n, Options{Seed: 4242})
 	for i := 0; i < n*itemsPerServer; i++ {
 		k := fmt.Sprintf("item-%d", i)
-		d.stores[d.ring.CoverHandle(d.hash.Point(k))][k] = []byte("v")
+		p := d.hash.Point(k)
+		if err := d.stores[d.ring.CoverHandle(p)].Put(p, k, []byte("v")); err != nil {
+			b.Fatal(err)
+		}
 	}
 	churnDHTs[n] = d
 	return d
@@ -225,14 +234,15 @@ func fullRebuild(d *DHT) {
 	} else {
 		d.cache = nil
 	}
-	d.stores = make(map[ServerID]map[string][]byte, d.ring.N())
+	d.stores = make(map[ServerID]store.Store, d.ring.N())
 	for i := 0; i < d.ring.N(); i++ {
-		d.stores[d.ring.HandleAt(i)] = map[string][]byte{}
+		d.stores[d.ring.HandleAt(i)] = d.newStore()
 	}
 	for _, m := range old {
-		for k, v := range m {
-			d.stores[d.ring.CoverHandle(d.hash.Point(k))][k] = v
-		}
+		m.Ascend(interval.FullCircle, func(it store.Item) bool {
+			d.stores[d.ring.CoverHandle(it.Point)].Put(it.Point, it.Key, it.Value)
+			return true
+		})
 	}
 }
 

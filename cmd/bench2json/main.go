@@ -1,10 +1,15 @@
 // Command bench2json converts `go test -bench` output into a stable JSON
 // document, so CI can archive benchmark results (BENCH_join_leave.json)
-// and the churn-cost trajectory stays comparable across PRs.
+// and the churn- and storage-cost trajectories stay comparable across PRs.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkJoin$|BenchmarkLeave$' -benchtime 100x . | bench2json -o BENCH_join_leave.json
+//
+// Output from several packages may be concatenated on stdin (CI pipes the
+// root churn sweep and the internal/store sweep through one invocation);
+// entries after the first `pkg:` header carry their own "pkg" field when
+// it differs from the document-level one.
 //
 // Lines that are not benchmark results (headers, PASS/ok trailers) are
 // skipped. Each result line
@@ -24,9 +29,11 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark result.
+// Entry is one benchmark result. Pkg is set only when the entry's package
+// differs from the document-level Pkg (multi-package concatenated input).
 type Entry struct {
 	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
@@ -73,6 +80,7 @@ func main() {
 
 func parse(sc *bufio.Scanner) (Doc, error) {
 	var doc Doc
+	pkg := ""
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
@@ -81,11 +89,17 @@ func parse(sc *bufio.Scanner) (Doc, error) {
 		case strings.HasPrefix(line, "goarch:"):
 			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 		case strings.HasPrefix(line, "pkg:"):
-			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			if doc.Pkg == "" {
+				doc.Pkg = pkg
+			}
 		case strings.HasPrefix(line, "cpu:"):
 			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
 			if e, ok := parseResult(line); ok {
+				if pkg != doc.Pkg {
+					e.Pkg = pkg
+				}
 				doc.Benchmarks = append(doc.Benchmarks, e)
 			}
 		}

@@ -16,6 +16,12 @@
 // neighbour tables every
 // -stabilize interval; the ring pointers are maintained synchronously and
 // lookups fall back to ring hops while tables converge.
+//
+// Items live in an ordered store selected by -store: "mem" (default) keeps
+// them in memory, "log" persists them in an append-only WAL under -data,
+// scaling past RAM and surviving restarts (a restarted node replays its
+// WAL; items handed off in a graceful Leave are not replayed because the
+// store is drained before shutdown).
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 
 	"condisc/internal/interval"
 	"condisc/internal/p2p"
+	"condisc/internal/store"
 )
 
 func main() {
@@ -38,12 +45,22 @@ func main() {
 	seed := flag.Uint64("seed", 42, "cluster seed (must match across all nodes)")
 	stabilize := flag.Duration("stabilize", 2*time.Second, "stabilization interval")
 	entropy := flag.Bool("entropy", false, "mix wall-clock entropy into ID selection (placement no longer reproducible from -seed)")
+	engine := flag.String("store", "mem", "item-store engine: mem (in-memory ordered) or log (disk-backed WAL)")
+	data := flag.String("data", "", "data directory for -store=log")
 	flag.Parse()
 
-	node, err := p2p.NewNode(*listen, *seed)
+	st, err := store.Open(*engine, *data)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dhnode:", err)
 		os.Exit(1)
+	}
+	node, err := p2p.NewNode(*listen, *seed, p2p.WithStore(st))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dhnode:", err)
+		os.Exit(1)
+	}
+	if *engine == "log" && node.NumItems() > 0 {
+		fmt.Printf("dhnode: recovered %d items from %s\n", node.NumItems(), *data)
 	}
 	// Derive the ID-selection RNG from the cluster seed and this node's
 	// bound address, so a cluster started with the same -seed and addresses

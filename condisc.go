@@ -16,6 +16,7 @@
 //	internal/expander    the §5 Gabber–Galil dynamic expander
 //	internal/emulate     the §7 general graph emulation
 //	internal/baselines   Chord, Tapestry-style, CAN, small worlds, butterfly
+//	internal/store       ordered item stores (in-memory + disk-backed WAL)
 //	internal/p2p         a real TCP implementation of the DH node
 //	internal/experiments drivers reproducing every table/figure/theorem
 //
@@ -27,6 +28,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"os"
+	"path/filepath"
 
 	"condisc/internal/cache"
 	"condisc/internal/dhgraph"
@@ -34,6 +37,7 @@ import (
 	"condisc/internal/interval"
 	"condisc/internal/partition"
 	"condisc/internal/route"
+	"condisc/internal/store"
 )
 
 // Point is a point of the unit interval I = [0,1) in 64-bit fixed point.
@@ -46,6 +50,18 @@ type Point = interval.Point
 // the only safe way to remove a specific server.
 type ServerID = partition.Handle
 
+// StorageEngine selects the item-store backend of a DHT.
+type StorageEngine int
+
+const (
+	// StorageMem keeps each server's items in an in-memory ordered store
+	// (the default).
+	StorageMem StorageEngine = iota
+	// StorageLog keeps each server's items in a disk-backed WAL store
+	// under Options.DataDir, scaling the item population past RAM.
+	StorageLog
+)
+
 // Options configures a simulated DHT.
 type Options struct {
 	// Delta is the alphabet size ∆ of the underlying De Bruijn-style graph
@@ -56,6 +72,13 @@ type Options struct {
 	// CacheThreshold is the hot-spot protocol's threshold c; 0 selects
 	// Θ(log n) at construction. Negative disables caching.
 	CacheThreshold int
+	// Storage selects the per-server item-store engine. Both engines keep
+	// items ordered by hash point, so Join/Leave item migration is a pure
+	// range move (internal/store).
+	Storage StorageEngine
+	// DataDir is the root directory for StorageLog stores; required when
+	// Storage == StorageLog.
+	DataDir string
 }
 
 // DHT is a simulated Distance Halving network: n servers holding segments
@@ -65,13 +88,15 @@ type Options struct {
 // the stable ServerID, so a churn event rewrites exactly the state of the
 // servers adjacent to the changed segment and nothing else.
 type DHT struct {
-	opts   Options
-	rng    *rand.Rand
-	ring   *partition.Ring
-	net    *route.Network
-	hash   *hashing.Func
-	cache  *cache.System
-	stores map[ServerID]map[string][]byte
+	opts     Options
+	rng      *rand.Rand
+	ring     *partition.Ring
+	net      *route.Network
+	hash     *hashing.Func
+	cache    *cache.System
+	stores   map[ServerID]store.Store
+	newStore func() store.Store
+	storeSeq int
 }
 
 // New builds a DHT of n servers (n >= 2) with Multiple Choice IDs.
@@ -95,11 +120,48 @@ func New(n int, opts Options) *DHT {
 	if d.opts.Delta == 2 && d.opts.CacheThreshold >= 0 {
 		d.cache = cache.NewSystem(d.net, d.hash, d.autoThreshold())
 	}
-	d.stores = make(map[ServerID]map[string][]byte, n)
+	switch opts.Storage {
+	case StorageMem:
+		d.newStore = func() store.Store { return store.NewMem() }
+	case StorageLog:
+		if opts.DataDir == "" {
+			panic("condisc: StorageLog requires Options.DataDir")
+		}
+		// The simulated DHT does not adopt prior on-disk state: the ring
+		// decomposition is rebuilt from the seed, so items replayed from a
+		// previous run would sit in stores whose segments no longer cover
+		// them. Refuse a non-empty DataDir instead of corrupting silently.
+		if entries, err := os.ReadDir(opts.DataDir); err == nil && len(entries) > 0 {
+			panic(fmt.Sprintf("condisc: DataDir %s is not empty; the simulated DHT does not adopt prior state", opts.DataDir))
+		}
+		d.newStore = func() store.Store {
+			d.storeSeq++
+			s, err := store.OpenLog(filepath.Join(opts.DataDir, fmt.Sprintf("s-%06d", d.storeSeq)), store.LogOptions{})
+			if err != nil {
+				panic(fmt.Sprintf("condisc: open log store: %v", err))
+			}
+			return s
+		}
+	default:
+		panic(fmt.Sprintf("condisc: unknown storage engine %d", opts.Storage))
+	}
+	d.stores = make(map[ServerID]store.Store, n)
 	for i := 0; i < n; i++ {
-		d.stores[d.ring.HandleAt(i)] = map[string][]byte{}
+		d.stores[d.ring.HandleAt(i)] = d.newStore()
 	}
 	return d
+}
+
+// Close releases the per-server stores (the disk-backed engine holds open
+// WAL files). The DHT must not be used afterwards.
+func (d *DHT) Close() error {
+	var first error
+	for _, s := range d.stores {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // autoThreshold resolves the caching threshold c for the current size.
@@ -135,15 +197,21 @@ func (d *DHT) Lookup(src int, key string) []int {
 func (d *DHT) Put(src int, key string, value []byte) int {
 	path := d.Lookup(src, key)
 	owner := path[len(path)-1]
-	d.stores[d.ring.HandleAt(owner)][key] = append([]byte(nil), value...)
+	if err := d.stores[d.ring.HandleAt(owner)].Put(d.hash.Point(key), key, value); err != nil {
+		panic(fmt.Sprintf("condisc: store put: %v", err))
+	}
 	return len(path) - 1
 }
 
 // Get retrieves a value from server src. With caching enabled, hot items
 // are served by cache-tree copies without reaching the owner (§3).
 func (d *DHT) Get(src int, key string) (value []byte, hops int, ok bool) {
-	owner := d.ring.CoverHandle(d.hash.Point(key))
-	v, ok := d.stores[owner][key]
+	p := d.hash.Point(key)
+	owner := d.ring.CoverHandle(p)
+	v, ok, err := d.stores[owner].Get(p, key)
+	if err != nil {
+		panic(fmt.Sprintf("condisc: store get: %v", err))
+	}
 	if !ok {
 		return nil, 0, false
 	}
@@ -169,9 +237,9 @@ func (d *DHT) EndEpoch() {
 // Because every layer keys its state by ServerID, the join is a pure
 // range handoff: the graph patches the O(ρ·∆) servers around the split,
 // the load and supply counters are untouched (the newcomer simply has no
-// entries yet), and the item split moves the new segment's keys out of
-// one store map into a fresh one — no other server's state is read or
-// written.
+// entries yet), and the item split moves the new segment's items out of
+// the predecessor's ordered store in O(log S + moved) — no scan of the
+// items that stay behind, no other server's state read or written.
 func (d *DHT) Join() ServerID {
 	p := partition.MultipleChoice(d.ring, d.rng, 2)
 	idx, ok := d.net.G.Insert(p)
@@ -182,17 +250,15 @@ func (d *DHT) Join() ServerID {
 	id := d.ring.HandleAt(idx)
 
 	// Migrate the items the new server now covers: they all lived with the
-	// ring predecessor, whose segment was split — no other store changes.
+	// ring predecessor, whose segment was split — a pure range move out of
+	// its ordered store.
 	seg := d.ring.Segment(idx)
-	store := map[string][]byte{}
-	d.stores[id] = store
 	pred := d.stores[d.ring.HandleAt(d.ring.Predecessor(idx))]
-	for k, v := range pred {
-		if seg.Contains(d.hash.Point(k)) {
-			store[k] = v
-			delete(pred, k)
-		}
+	moved, err := pred.SplitRange(seg)
+	if err != nil {
+		panic(fmt.Sprintf("condisc: store split: %v", err))
 	}
+	d.stores[id] = moved
 
 	if d.cache != nil {
 		d.cache.InvalidateRegion(seg) // copies in seg were held by the predecessor
@@ -218,9 +284,13 @@ func (d *DHT) Leave(id ServerID) error {
 	d.net.G.Remove(idx)
 	d.net.Forget(id)
 
-	// Absorb the leaver's items into the predecessor — a pure map merge.
-	for k, v := range d.stores[id] {
-		pred[k] = v
+	// Absorb the leaver's items into the predecessor — a pure range merge
+	// of two adjacent segments' ordered stores.
+	if err := pred.MergeFrom(d.stores[id]); err != nil {
+		panic(fmt.Sprintf("condisc: store merge: %v", err))
+	}
+	if err := store.Destroy(d.stores[id]); err != nil {
+		panic(fmt.Sprintf("condisc: store destroy: %v", err))
 	}
 	delete(d.stores, id)
 
@@ -256,7 +326,7 @@ func (d *DHT) MaxLoad() int64 { return d.net.MaxLoad() }
 func (d *DHT) ResetLoad() { d.net.ResetLoad() }
 
 // Items returns how many items server i currently stores.
-func (d *DHT) Items(i int) int { return len(d.stores[d.ring.HandleAt(i)]) }
+func (d *DHT) Items(i int) int { return d.stores[d.ring.HandleAt(i)].Len() }
 
 // ItemsOf returns how many items the server named by id currently stores.
-func (d *DHT) ItemsOf(id ServerID) int { return len(d.stores[id]) }
+func (d *DHT) ItemsOf(id ServerID) int { return d.stores[id].Len() }

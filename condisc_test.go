@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"math"
 	"testing"
+
+	"condisc/internal/interval"
+	"condisc/internal/store"
 )
 
 func TestPutGetRoundTrip(t *testing.T) {
@@ -117,13 +120,17 @@ func TestChurnItemConservation(t *testing.T) {
 	}
 	check := func(op int) {
 		total := 0
-		for id, store := range d.stores {
-			total += len(store)
-			for k := range store {
-				if own := d.IDAt(d.Owner(k)); own != id {
-					t.Fatalf("op %d: %q stored at %d, owned by %d", op, k, id, own)
+		for id, s := range d.stores {
+			total += s.Len()
+			s.Ascend(interval.FullCircle, func(it store.Item) bool {
+				if own := d.IDAt(d.Owner(it.Key)); own != id {
+					t.Fatalf("op %d: %q stored at %d, owned by %d", op, it.Key, id, own)
 				}
-			}
+				if d.hash.Point(it.Key) != it.Point {
+					t.Fatalf("op %d: %q stored under point %v, hashes to %v", op, it.Key, it.Point, d.hash.Point(it.Key))
+				}
+				return true
+			})
 		}
 		if total != items {
 			t.Fatalf("op %d: %d items stored, want %d", op, total, items)
@@ -217,6 +224,40 @@ func TestDeterministicSeed(t *testing.T) {
 	a, b := New(64, Options{Seed: 9}), New(64, Options{Seed: 9})
 	if a.Owner("x") != b.Owner("x") || a.Smoothness() != b.Smoothness() {
 		t.Error("same seed must give identical networks")
+	}
+}
+
+// TestLogBackedDHT: the simulated DHT runs end to end on the disk-backed
+// WAL engine — puts, gets, and churn-driven range migration all flow
+// through internal/store, and Leave reclaims the departed server's files.
+func TestLogBackedDHT(t *testing.T) {
+	d := New(16, Options{Seed: 21, Storage: StorageLog, DataDir: t.TempDir()})
+	defer d.Close()
+	const items = 120
+	for i := 0; i < items; i++ {
+		d.Put(i%d.N(), fmt.Sprintf("key%d", i), []byte{byte(i)})
+	}
+	var ids []ServerID
+	for j := 0; j < 6; j++ {
+		ids = append(ids, d.Join())
+	}
+	for _, id := range ids {
+		if err := d.Leave(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for i := 0; i < d.N(); i++ {
+		total += d.Items(i)
+	}
+	if total != items {
+		t.Fatalf("%d items on disk after churn, want %d", total, items)
+	}
+	for i := 0; i < items; i++ {
+		v, _, ok := d.Get(i%d.N(), fmt.Sprintf("key%d", i))
+		if !ok || !bytes.Equal(v, []byte{byte(i)}) {
+			t.Fatalf("key%d lost or corrupted on the log engine: %q %v", i, v, ok)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"condisc/internal/interval"
 	"condisc/internal/partition"
 )
 
@@ -172,6 +173,49 @@ func TestEmulationSurvivesChurn(t *testing.T) {
 	}
 	if after := e2.Overlay().MaxDegree(); after > 4*before+8 {
 		t.Errorf("degree exploded after churn: %d -> %d", before, after)
+	}
+}
+
+// TestSubUlpSegmentEmulation: the emulation mapping Φ_k stays a partition
+// of G_k's nodes even when the decomposition contains a 1-ulp segment.
+// This is the degenerate-segment audit for the emulation path (the bug
+// class fixed in continuous.DeltaImages and Segment.Half/HalfPlus): the
+// finding is that emulate carries no such rounding hazard — ServerOf uses
+// exact Ring.Cover and NodesOf a ceiling'd first-node computation, neither
+// of which divides a segment length — and this regression pins that down.
+func TestSubUlpSegmentEmulation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 31))
+	pts := make([]interval.Point, 0, 34)
+	for i := 0; i < 32; i++ {
+		pts = append(pts, interval.Point(rng.Uint64()))
+	}
+	// Adjacent points one ulp apart: the smallest possible segment.
+	base := interval.Point(0x4000000000001234)
+	pts = append(pts, base, base+1)
+	ring := partition.FromPoints(pts)
+
+	for _, fam := range AllFamilies() {
+		e := Build(fam, ring)
+		N := fam.Nodes(e.K)
+		seen := make([]int, N)
+		total := 0
+		for i := 0; i < ring.N(); i++ {
+			for _, j := range e.NodesOf(i) {
+				if got := e.ServerOf(j); got != i {
+					t.Fatalf("%T: NodesOf(%d) lists node %d but ServerOf(%d) = %d", fam, i, j, j, got)
+				}
+				seen[j]++
+				total++
+			}
+		}
+		if total != N {
+			t.Fatalf("%T: Φ_k assigned %d of %d nodes with a 1-ulp segment present", fam, total, N)
+		}
+		for j, c := range seen {
+			if c != 1 {
+				t.Fatalf("%T: node %d assigned %d times", fam, j, c)
+			}
+		}
 	}
 }
 

@@ -1,6 +1,6 @@
 // Package experiments contains one driver per reproduced paper item —
 // Table 1, Figures 1–4, and every theorem-level claim indexed in
-// DESIGN.md (E1–E28). The drivers are shared by cmd/condisc-bench (which
+// DESIGN.md (E1–E30). The drivers are shared by cmd/condisc-bench (which
 // prints paper-style tables) and the root bench_test.go (which regenerates
 // each item under `go test -bench`).
 package experiments
@@ -87,5 +87,6 @@ func All(cfg Config) []Result {
 		ErasureVsReplication(cfg),
 		JoinLeaveCost(cfg),
 		ChurnLocality(cfg),
+		StoreEngines(cfg),
 	}
 }

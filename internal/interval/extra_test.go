@@ -51,6 +51,39 @@ func TestFullCircleImages(t *testing.T) {
 	}
 }
 
+// TestSubUlpSegmentImagesNonEmpty: the forward image of a sub-∆-ulp
+// segment must stay a (tiny) segment, never round to Len 0 — which by
+// convention denotes the full circle. Regression for the degenerate-
+// segment aliasing first fixed in continuous.DeltaImages and audited here
+// into the shared Segment.Half/HalfPlus primitives: before the ceiling
+// rounding, a 1-ulp segment's image "covered" every point of I, silently
+// connecting its server to the whole network (overlap.DegreeOf,
+// p2p.notifyImageCovers).
+func TestSubUlpSegmentImagesNonEmpty(t *testing.T) {
+	for _, ln := range []uint64{1, 2, 3} {
+		s := Segment{Start: FromFloat(0.7), Len: ln}
+		for _, img := range []Segment{s.Half(), s.HalfPlus()} {
+			if img.Len == 0 {
+				t.Fatalf("image of %d-ulp segment rounded to the full circle", ln)
+			}
+			if img.Len > ln/2+1 {
+				t.Fatalf("image of %d-ulp segment over-approximated to %d ulps", ln, img.Len)
+			}
+		}
+		// The image still contains the image of every point of s.
+		for off := uint64(0); off < ln; off++ {
+			p := s.Start + Point(off)
+			if !s.Half().Contains(p.Half()) || !s.HalfPlus().Contains(p.HalfPlus()) {
+				t.Fatalf("point image escaped the %d-ulp segment image", ln)
+			}
+		}
+		// And a far-away point is NOT covered (the aliasing symptom).
+		if far := FromFloat(0.1); s.Half().Contains(far) && s.HalfPlus().Contains(far) {
+			t.Fatalf("%d-ulp segment image still behaves like the full circle", ln)
+		}
+	}
+}
+
 func TestRingDistAntipodal(t *testing.T) {
 	// Antipodal points: both directions give exactly half the circle.
 	a, b := Point(0), Point(1<<63)

@@ -167,19 +167,30 @@ func (s Segment) Overlaps(o Segment) bool {
 // Half returns ℓ(s) = the image of the segment under the left map: an arc
 // of half the length starting at ℓ(Start). (Figure 1 of the paper: an
 // interval is mapped into two intervals, each half its size.)
+//
+// The length is rounded UP to the fixed-point grid: the image of a
+// nonempty real interval is nonempty, but a floor division would round a
+// 1-ulp segment's image to Len 0 — which by convention denotes the full
+// circle, silently aliasing the smallest possible segment to the largest.
+// This is the same degenerate-segment bug fixed by ceiling division in
+// continuous.DeltaImages; the audit of the remaining Segment consumers
+// (overlap.DegreeOf, p2p.notifyImageCovers) moved the fix here, to the
+// shared primitive. Over-approximating by at most one ulp is harmless:
+// the paper's bounds tolerate polynomially small perturbations (§4).
 func (s Segment) Half() Segment {
 	if s.Len == 0 {
 		return Segment{0, 1 << 63}
 	}
-	return Segment{s.Start.Half(), s.Len / 2}
+	return Segment{s.Start.Half(), s.Len/2 + s.Len%2}
 }
 
-// HalfPlus returns r(s), the image under the right map.
+// HalfPlus returns r(s), the image under the right map (rounded up to the
+// grid like Half).
 func (s Segment) HalfPlus() Segment {
 	if s.Len == 0 {
 		return Segment{1 << 63, 1 << 63}
 	}
-	return Segment{s.Start.HalfPlus(), s.Len / 2}
+	return Segment{s.Start.HalfPlus(), s.Len/2 + s.Len%2}
 }
 
 // BackImage returns b(s) = the preimage arc of s under ℓ and r jointly: the

@@ -143,8 +143,9 @@ func TestSegmentContains(t *testing.T) {
 
 func TestSegmentImagesHalveLength(t *testing.T) {
 	s := Segment{FromFloat(0.3), uint64(FromFloat(0.4))}
-	if s.Half().Len != s.Len/2 || s.HalfPlus().Len != s.Len/2 {
-		t.Error("images should have half the length")
+	ceil := s.Len/2 + s.Len%2
+	if s.Half().Len != ceil || s.HalfPlus().Len != ceil {
+		t.Error("images should have half the length (rounded up to the grid)")
 	}
 	// Every point of s maps into the images.
 	rng := rand.New(rand.NewPCG(3, 4))

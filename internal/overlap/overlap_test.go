@@ -265,6 +265,30 @@ func TestDeadSourceFails(t *testing.T) {
 	}
 }
 
+// TestDegenerateSegmentDegree: a server whose overlapping segment shrinks
+// to a single ulp must keep a local degree, not suddenly neighbour the
+// whole network. Regression for the sub-ulp rounding bug audited out of
+// Segment.Half/HalfPlus: a 1-ulp segment's forward image used to round to
+// Len 0 — the full-circle convention — making DegreeOf count every server
+// as a neighbour (the same aliasing continuous.DeltaImages fixed for the
+// discrete graph builder).
+func TestDegenerateSegmentDegree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(14, 14))
+	const n = 512
+	o := Build(n, 1, rng)
+	victim := 7
+	o.q[victim] = 1 // sub-ulp overlapping segment
+	deg := o.DegreeOf(victim)
+	logN := math.Log2(n)
+	if float64(deg) > 24*logN {
+		t.Fatalf("1-ulp segment degree %d ≈ Θ(n): forward image aliased to the full circle (Θ(log n) ≈ %.0f expected)", deg, logN)
+	}
+	// The victim still covers its own point, and lookups route around it.
+	if covers := o.Covers(o.ring.Point(victim)); len(covers) == 0 {
+		t.Fatal("degenerate segment lost all covers at its own start")
+	}
+}
+
 func TestBuildPanicsOnTinyN(t *testing.T) {
 	defer func() {
 		if recover() == nil {

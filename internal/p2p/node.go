@@ -6,9 +6,12 @@ import (
 	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"condisc/internal/hashing"
 	"condisc/internal/interval"
+	"condisc/internal/store"
 )
 
 // NodeInfo is a routing-table entry: a node's stable identifier, segment
@@ -42,18 +45,39 @@ type Node struct {
 	// re-derived whenever back changes (the table has O(ρ·∆) entries).
 	back       map[uint64]NodeInfo
 	backSorted []NodeInfo
-	data       map[string][]byte
+	// data is the node's item store, ordered by hash point so that the
+	// Join handoff drains exactly the split range (internal/store). It is
+	// the in-memory engine unless WithStore installed a disk-backed one.
+	data store.Store
+	// leaving marks that Leave has drained the store: item requests are
+	// refused (explicit error, not a silent miss or a silently dropped
+	// write) until the node finishes shutting down.
+	leaving bool
+
+	// failPatches injects opPatchBack failures for the retry tests: while
+	// positive, incoming patches are refused (and the counter decremented).
+	failPatches atomic.Int32
 
 	closed  chan struct{}
 	wg      sync.WaitGroup
 	started bool
 }
 
+// NodeOption configures a Node at construction.
+type NodeOption func(*Node)
+
+// WithStore backs the node's items with s (for example a disk-backed WAL
+// store from store.OpenLog) instead of the default in-memory store. The
+// node takes ownership: Close closes the store.
+func WithStore(s store.Store) NodeOption {
+	return func(n *Node) { n.data = s }
+}
+
 // NewNode creates a node listening on addr ("127.0.0.1:0" for an ephemeral
 // port). seed derives the shared item-hash function: all nodes of a cluster
 // must use the same seed. The node's stable ID is derived from the seed and
 // the bound address, so it is reproducible for a fixed deployment.
-func NewNode(addr string, seed uint64) (*Node, error) {
+func NewNode(addr string, seed uint64, opts ...NodeOption) (*Node, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("p2p: listen: %w", err)
@@ -64,8 +88,13 @@ func NewNode(addr string, seed uint64) (*Node, error) {
 		addr:   bound,
 		ln:     ln,
 		hash:   hashing.NewKWise(8, rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))),
-		data:   make(map[string][]byte),
 		closed: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	if n.data == nil {
+		n.data = store.NewMem()
 	}
 	return n, nil
 }
@@ -175,7 +204,10 @@ func (n *Node) StartJoin(bootstrap string, rng *rand.Rand) error {
 		n.succ = NodeInfo{ID: resp.ID, Point: resp.Point, Addr: resp.Addr}
 	}
 	for k, v := range resp.Items {
-		n.data[k] = v
+		if err := n.data.Put(n.hash.Point(k), k, v); err != nil {
+			n.mu.Unlock()
+			return fmt.Errorf("p2p: store join items: %w", err)
+		}
 	}
 	n.setBackLocked([]NodeInfo{{ID: resp.ID, Point: resp.Point, Addr: resp.Addr}})
 	n.mu.Unlock()
@@ -247,6 +279,7 @@ func (n *Node) Close() {
 	close(n.closed)
 	n.ln.Close()
 	n.wg.Wait()
+	_ = n.data.Close()
 }
 
 // handle dispatches one request.
@@ -263,6 +296,9 @@ func (n *Node) handle(req request) response {
 		n.mu.Unlock()
 		return response{OK: true}
 	case opPatchBack:
+		if n.failPatches.Load() > 0 && n.failPatches.Add(-1) >= 0 {
+			return response{Err: "injected patch drop"} // test hook: see failPatches
+		}
 		n.mu.Lock()
 		n.patchBackLocked(NodeInfo{ID: req.NewID, Point: req.NewPoint, Addr: req.NewAddr}, req.Remove)
 		n.mu.Unlock()
@@ -283,20 +319,37 @@ func (n *Node) handle(req request) response {
 func (n *Node) handleJoin(req request) response {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.leaving {
+		// Our segment and items are mid-handoff to the predecessor: a
+		// split now would give the joiner items the predecessor is also
+		// absorbing, and ring pointers the opLeave message no longer
+		// reflects.
+		return response{Err: "node is leaving; retry via another node"}
+	}
 	p := interval.Point(req.NewPoint)
 	if !n.segmentLocked().Contains(p) || p == n.x {
 		return response{Err: fmt.Sprintf("join point %v outside segment", p)}
 	}
-	items := make(map[string][]byte)
 	upper := interval.Segment{Start: p, Len: uint64(n.end - p)}
 	if n.x == n.end { // full circle: the joiner takes [p, x)
 		upper = interval.Segment{Start: p, Len: uint64(n.x - p)}
 	}
-	for k, v := range n.data {
-		if upper.Contains(n.hash.Point(k)) {
-			items[k] = v
-			delete(n.data, k)
-		}
+	// Drain exactly the handed-off range from the ordered store — the
+	// items that stay behind are never touched.
+	//
+	// Known window (pre-existing in the join protocol, tracked in
+	// ROADMAP): the drain happens before the response carrying the items
+	// is delivered, so a joiner that dies mid-RPC strands the drained
+	// range. Closing it needs a two-phase join handshake; a single
+	// request/response cannot sequence "drain after the joiner has the
+	// items".
+	drained, err := store.Drain(n.data, upper)
+	if err != nil {
+		return response{Err: fmt.Sprintf("store drain: %v", err)}
+	}
+	items := make(map[string][]byte, len(drained))
+	for _, it := range drained {
+		items[it.Key] = it.Value
 	}
 	resp := response{
 		OK: true,
@@ -320,11 +373,26 @@ func (n *Node) handleJoin(req request) response {
 func (n *Node) handleLeave(req request) response {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.leaving {
+		// We are handing our own store off: absorbing the successor's
+		// items now would park them in a store about to be drained —
+		// they would be in neither snapshot. The leaver aborts and
+		// retries once our own leave resolves.
+		return response{Err: "node is leaving; retry"}
+	}
+	// Absorb the items BEFORE committing the ring-pointer change: a store
+	// error (the Put is fallible on a disk-backed store) must leave the
+	// leaver owning its segment — the aborted leave resumes serving. Items
+	// absorbed before a mid-loop failure are orphaned duplicates here
+	// (harmless: the leaver still serves the authoritative copies), not
+	// losses.
+	for k, v := range req.Items {
+		if err := n.data.Put(n.hash.Point(k), k, v); err != nil {
+			return response{Err: fmt.Sprintf("store absorb: %v", err)}
+		}
+	}
 	n.end = interval.Point(req.Target)                                     // leaver's end
 	n.succ = NodeInfo{ID: req.NewID, Point: req.Target, Addr: req.NewAddr} // leaver's successor
-	for k, v := range req.Items {
-		n.data[k] = v
-	}
 	return response{OK: true, Addr: n.addr, Point: uint64(n.x)}
 }
 
@@ -332,39 +400,114 @@ func (n *Node) handleLeave(req request) response {
 // repoint the successor, and incrementally retract this node from the
 // backward tables that reference it.
 func (n *Node) Leave() error {
+	// Ordering of the handoff, chosen so no crash point loses data:
+	//
+	//  1. snapshot the items under mu and set `leaving` — later puts/gets
+	//     are refused loudly, so the snapshot stays complete;
+	//  2. transfer the snapshot to the predecessor and wait for its ack;
+	//  3. only then drain the local store (on a WAL store the drain is a
+	//     durable tombstone, so it must not happen before the ack: a kill
+	//     in between would leave the items nowhere).
+	//
+	// A crash after the ack but before the drain leaves the items both at
+	// the predecessor and in this node's WAL — a restart on the same data
+	// directory re-serves stale duplicates, which is recoverable, unlike
+	// loss. A failed transfer clears `leaving` and resumes serving; the
+	// store was never touched.
 	n.mu.Lock()
-	pred, succ := n.pred, n.succ
-	items := n.data
-	end := n.end
-	n.mu.Unlock()
-	if pred.Addr == n.addr {
-		n.Close()
-		return nil // last node
+	if n.leaving {
+		n.mu.Unlock()
+		return fmt.Errorf("p2p: leave already in progress")
 	}
+	pred, succ := n.pred, n.succ
+	end := n.end
+	if pred.Addr == n.addr {
+		// Last node: there is nowhere to hand the items — keep the store
+		// intact (a WAL store retains them for a future restart) and stop.
+		n.mu.Unlock()
+		n.Close()
+		return nil
+	}
+	items := make(map[string][]byte, n.data.Len())
+	err := n.data.Ascend(interval.FullCircle, func(it store.Item) bool {
+		items[it.Key] = it.Value
+		return true
+	})
+	if err != nil {
+		n.mu.Unlock()
+		return fmt.Errorf("p2p: collect items for leave: %w", err)
+	}
+	n.leaving = true
+	n.mu.Unlock()
 	// Tell the covers of our forward images to drop us from their backward
-	// tables before the segment moves (best-effort; routing falls back to
-	// ring hops for any entry a lost patch leaves stale).
+	// tables before the segment moves (with ack + bounded retry; routing
+	// falls back to ring hops for any entry a truly lost patch leaves
+	// stale, until Stabilize repairs it).
 	n.notifyImageCovers(true)
 	req := request{Op: opLeave, Target: uint64(end), NewAddr: succ.Addr, NewID: succ.ID, Items: items}
 	if _, err := call(pred.Addr, req); err != nil {
+		n.mu.Lock()
+		n.leaving = false
+		n.mu.Unlock()
 		return err
 	}
+	// The leave is committed: the predecessor owns the segment and items.
+	// Everything after this point is best-effort cleanup and must not
+	// abort the shutdown (aborting would wedge the node: leaving=true
+	// refuses all requests and a retried Leave is rejected).
+	//
+	// Clear our store (no value re-reads — the snapshot already holds
+	// them) so a persistent (WAL) store does not replay the handed-off
+	// items on a later restart.
+	n.mu.Lock()
+	cleanupErr := store.Clear(n.data)
+	n.mu.Unlock()
+	if cleanupErr != nil {
+		cleanupErr = fmt.Errorf("p2p: leave handed off, but draining the local store failed (a restart on this data directory will re-serve stale items): %w", cleanupErr)
+	}
 	if succ.Addr != n.addr {
-		if _, err := call(succ.Addr, request{Op: opSetPred, NewPoint: pred.Point, NewAddr: pred.Addr, NewID: pred.ID}); err != nil {
-			return err
+		// Best-effort: a failure leaves the successor's pred pointer
+		// stale, which is only used as a stabilization hint (dials to it
+		// fail and are ignored) and is rewritten by the next join in that
+		// gap. The handoff is already done either way.
+		if _, err := call(succ.Addr, request{Op: opSetPred, NewPoint: pred.Point, NewAddr: pred.Addr, NewID: pred.ID}); err != nil && cleanupErr == nil {
+			cleanupErr = fmt.Errorf("p2p: leave handed off, but repointing the successor failed: %w", err)
 		}
 	}
 	n.Close()
-	return nil
+	return cleanupErr
+}
+
+// Patch delivery policy: every opPatchBack is acknowledged by its RPC
+// response, and a failed delivery (transport error or remote refusal) is
+// retried up to patchAttempts times with a short backoff — so a single
+// dropped patch is repaired in milliseconds instead of waiting out a full
+// stabilization interval (seconds). Patches remain an optimization over
+// the Stabilize repair loop, never the source of truth for ring pointers.
+const (
+	patchAttempts   = 3
+	patchRetryDelay = 5 * time.Millisecond
+)
+
+// sendPatch delivers one acknowledged patch with bounded retry, reporting
+// whether any attempt succeeded.
+func sendPatch(addr string, req request) bool {
+	for attempt := 0; attempt < patchAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(patchRetryDelay)
+		}
+		if _, err := call(addr, req); err == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // notifyImageCovers sends an incremental backward-table patch (add, or
 // remove when leaving) for this node to every node whose segment
 // intersects one of the ∆ = 2 forward images of our segment — exactly the
 // nodes whose backward image covers part of our segment, i.e. whose `back`
-// table must list us. O(ρ) recipients by Theorem 2.2. Errors are ignored:
-// patches are an optimization over the Stabilize repair loop, never the
-// source of truth for ring pointers.
+// table must list us. O(ρ) recipients by Theorem 2.2.
 func (n *Node) notifyImageCovers(remove bool) {
 	n.mu.Lock()
 	seg := n.segmentLocked()
@@ -379,7 +522,7 @@ func (n *Node) notifyImageCovers(remove bool) {
 			if c.Addr == n.addr {
 				continue
 			}
-			_, _ = call(c.Addr, self)
+			sendPatch(c.Addr, self)
 		}
 	}
 }

@@ -1,0 +1,138 @@
+package p2p
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestDroppedJoinPatchRepairedByRetry: every node refuses the first
+// opPatchBack it receives (an injected drop). Without the ack + bounded
+// retry the join-time patches would all be lost and no backward table
+// would learn the joiner until the next stabilization pass; with retry the
+// second attempt lands within milliseconds.
+func TestDroppedJoinPatchRepairedByRetry(t *testing.T) {
+	c, err := StartCluster(10, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for _, n := range c.Nodes {
+		n.failPatches.Store(1) // drop exactly the first patch delivery
+	}
+
+	joiner, err := NewNode("127.0.0.1:0", 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := joiner.StartJoin(c.Nodes[0].Addr(), rand.New(rand.NewPCG(92, 93))); err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+
+	// NO StabilizeAll: only the retried join-time patches have run.
+	dropped, learned := 0, 0
+	for _, n := range c.Nodes {
+		if n.failPatches.Load() < 1 {
+			dropped++
+		}
+		if _, ok := backIDs(n)[joiner.ID()]; ok {
+			learned++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no patch was dropped; the injection hook never fired")
+	}
+	if learned == 0 {
+		t.Fatal("dropped join patch was not repaired by retry before stabilization")
+	}
+}
+
+// TestDroppedLeavePatchRepairedByRetry: the leave-side retraction patch
+// survives a drop the same way — the departed node's ID is gone from every
+// backward table without any stabilization pass.
+func TestDroppedLeavePatchRepairedByRetry(t *testing.T) {
+	c, err := StartCluster(10, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.StabilizeAll(2); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := c.Nodes[4]
+	holders := 0
+	for i, n := range c.Nodes {
+		if i == 4 {
+			continue
+		}
+		if _, ok := backIDs(n)[victim.ID()]; ok {
+			holders++
+		}
+	}
+	if holders == 0 {
+		t.Skip("no table lists the victim; nothing to retract")
+	}
+	for i, n := range c.Nodes {
+		if i == 4 {
+			continue
+		}
+		n.failPatches.Store(1)
+	}
+	if err := victim.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range c.Nodes {
+		if i == 4 {
+			continue
+		}
+		if e, ok := backIDs(n)[victim.ID()]; ok {
+			t.Fatalf("node %d still lists departed %x -> %s after dropped-patch retry", i, e.ID, e.Addr)
+		}
+	}
+}
+
+// TestPatchExhaustedRetriesFallsBackToStabilize: a patch dropped more
+// times than the retry budget is genuinely lost — and the stabilization
+// loop still repairs the table, preserving the old safety net.
+func TestPatchExhaustedRetriesFallsBackToStabilize(t *testing.T) {
+	c, err := StartCluster(8, 111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for _, n := range c.Nodes {
+		n.failPatches.Store(patchAttempts) // every retry attempt fails
+	}
+
+	joiner, err := NewNode("127.0.0.1:0", 111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := joiner.StartJoin(c.Nodes[0].Addr(), rand.New(rand.NewPCG(112, 113))); err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+
+	learned := 0
+	for _, n := range c.Nodes {
+		if _, ok := backIDs(n)[joiner.ID()]; ok {
+			learned++
+		}
+	}
+	if learned != 0 {
+		t.Fatalf("%d tables learned the joiner despite exhausted retries", learned)
+	}
+	if err := c.StabilizeAll(2); err != nil {
+		t.Fatal(err)
+	}
+	learned = 0
+	for _, n := range c.Nodes {
+		if _, ok := backIDs(n)[joiner.ID()]; ok {
+			learned++
+		}
+	}
+	if learned == 0 {
+		t.Fatal("stabilization did not repair the exhausted-retry loss")
+	}
+}

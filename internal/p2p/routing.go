@@ -82,18 +82,29 @@ func (n *Node) route(req request) response {
 
 // serveLocal executes the data operation at the owner (mu held).
 func (n *Node) serveLocal(req request) response {
+	if n.leaving && (req.Op == opGet || req.Op == opPut) {
+		// The store was drained by Leave: the predecessor owns the items
+		// now. Fail loudly — a silent miss (or a write into the drained
+		// store) would lose data.
+		return response{Err: "node is leaving; retry", Hops: req.Hops}
+	}
 	resp := response{OK: true, Hops: req.Hops,
 		ID: n.id, Point: uint64(n.x), End: uint64(n.end), Addr: n.addr,
 		SuccID: n.succ.ID, SuccAddr: n.succ.Addr, PredAddr: n.pred.Addr}
 	switch req.Op {
 	case opGet:
-		v, ok := n.data[req.Key]
+		v, ok, err := n.data.Get(interval.Point(req.Target), req.Key)
+		if err != nil {
+			return response{Err: "store get: " + err.Error(), Hops: req.Hops}
+		}
 		if !ok {
 			return response{Err: "key not found: " + req.Key, Hops: req.Hops}
 		}
 		resp.Val = v
 	case opPut:
-		n.data[req.Key] = req.Val
+		if err := n.data.Put(interval.Point(req.Target), req.Key, req.Val); err != nil {
+			return response{Err: "store put: " + err.Error(), Hops: req.Hops}
+		}
 	}
 	return resp
 }
@@ -283,7 +294,5 @@ func (n *Node) State() (x, end interval.Point, pred, succ NodeInfo) {
 
 // NumItems returns how many items the node stores.
 func (n *Node) NumItems() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.data)
+	return n.data.Len()
 }

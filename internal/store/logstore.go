@@ -1,0 +1,697 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"condisc/internal/interval"
+)
+
+// Log is the disk-backed engine: every mutation is one CRC-framed record
+// appended to a write-ahead log, and an in-memory ordered index maps
+// (point, key) to the value's disk location. Reads cost one pread; range
+// moves extract the index range (chunk moves, like Mem) plus O(moved) WAL
+// appends on the receiving store and a single range tombstone here.
+//
+// WAL layout: dir/wal-NNNNNN.log segment files, appended in id order. A
+// segment rotates at SegmentBytes; when dead bytes (overwritten, deleted,
+// or split-away records) pass CompactAt and outweigh live bytes, the live
+// records are rewritten into fresh segments and the old files deleted.
+//
+// Record framing (little-endian):
+//
+//	u32 bodyLen | u32 crc32(body) | body
+//
+// bodies:
+//
+//	opPut:      u8 op | u64 point | u32 klen | key | value
+//	opDelete:   u8 op | u64 point | u32 klen | key
+//	opDelRange: u8 op | u64 start | u64 len      (segment; Len 0 = full circle)
+//
+// Recovery replays segments in id order. A torn or corrupt record in the
+// final segment marks the crash point: the tail is truncated and every
+// record before it — every acknowledged write — survives. A corrupt record
+// in an earlier segment is reported as an error (real corruption, not a
+// crash artifact).
+type Log struct {
+	dir  string
+	opts LogOptions
+
+	mu        sync.Mutex
+	idx       list[lloc]
+	active    *os.File
+	activeID  uint32
+	activeOff int64
+	readers   map[uint32]*os.File
+	liveBytes int64 // record bytes still reachable through the index
+	deadBytes int64 // record bytes overwritten, deleted, or tombstoned
+	closed    bool
+}
+
+// LogOptions tunes the WAL engine; the zero value selects the defaults.
+type LogOptions struct {
+	// SegmentBytes is the rotation threshold (default 4 MiB).
+	SegmentBytes int64
+	// CompactAt is the dead-byte volume that arms compaction (default
+	// 1 MiB); compaction fires once dead bytes also outweigh live bytes.
+	// Negative disables compaction.
+	CompactAt int64
+	// Fsync syncs the active segment after every mutation. Off by default:
+	// acknowledged writes then survive a process kill (the data is in the
+	// kernel page cache) but not a power failure.
+	Fsync bool
+}
+
+func (o LogOptions) withDefaults() LogOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.CompactAt == 0 {
+		o.CompactAt = 1 << 20
+	}
+	return o
+}
+
+// lloc is a value's disk location.
+type lloc struct {
+	seg  uint32 // segment id
+	off  int64  // byte offset of the value within the segment file
+	vlen uint32
+}
+
+const (
+	logOpPut      = 1
+	logOpDelete   = 2
+	logOpDelRange = 3
+
+	frameHeaderLen = 8         // u32 bodyLen + u32 crc
+	putHeaderLen   = 1 + 8 + 4 // op + point + klen
+	maxBodyLen     = 1 << 30   // sanity bound for replay
+	segPrefix      = "wal-"    // segment file name: wal-NNNNNN.log
+	segSuffix      = ".log"
+)
+
+// frameBytes is the on-disk footprint of a put record.
+func frameBytes(klen, vlen int) int64 {
+	return int64(frameHeaderLen + putHeaderLen + klen + vlen)
+}
+
+func segName(id uint32) string { return fmt.Sprintf("%s%06d%s", segPrefix, id, segSuffix) }
+
+// OpenLog opens (creating if necessary) a WAL store rooted at dir and
+// replays its segments, recovering every acknowledged write.
+func OpenLog(dir string, opts LogOptions) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	s := &Log{dir: dir, opts: opts, readers: map[uint32]*os.File{}}
+
+	ids, err := s.segmentIDs()
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range ids {
+		if err := s.replaySegment(id, i == len(ids)-1); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+	}
+	last := uint32(1)
+	if len(ids) > 0 {
+		last = ids[len(ids)-1]
+	}
+	if err := s.openActive(last); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	return s, nil
+}
+
+// segmentIDs lists the segment ids present in the directory, ascending.
+// Parsing strips the fixed prefix/suffix rather than Sscanf-ing the %06d
+// pattern: the format's 06 is a minimum width, so a long-lived store's
+// ids grow past six digits and a width-limited scan would silently skip
+// those segments on reopen.
+func (s *Log) segmentIDs() ([]uint32, error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		return nil, err
+	}
+	var ids []uint32
+	for _, name := range names {
+		base := filepath.Base(name)
+		num := strings.TrimSuffix(strings.TrimPrefix(base, segPrefix), segSuffix)
+		if id, err := strconv.ParseUint(num, 10, 32); err == nil {
+			ids = append(ids, uint32(id))
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids, nil
+}
+
+// openActive opens segment id for appending and registers it as a reader.
+func (s *Log) openActive(id uint32) error {
+	f, ok := s.readers[id]
+	if !ok {
+		var err error
+		f, err = os.OpenFile(filepath.Join(s.dir, segName(id)), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		s.readers[id] = f
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	s.active, s.activeID, s.activeOff = f, id, st.Size()
+	return nil
+}
+
+// replaySegment reads one segment and applies its records to the index.
+// A torn or corrupt tail of the final segment is truncated (crash point);
+// the same damage in an earlier segment is an error.
+func (s *Log) replaySegment(id uint32, last bool) error {
+	path := filepath.Join(s.dir, segName(id))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	s.readers[id] = f
+	br := bufio.NewReaderSize(io.NewSectionReader(f, 0, 1<<62), 1<<16)
+	var off int64
+	truncate := func() error {
+		if !last {
+			return fmt.Errorf("store: corrupt record at %s:%d (not the final segment)", segName(id), off)
+		}
+		return f.Truncate(off)
+	}
+	var hdr [frameHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return truncate() // torn frame header
+		}
+		bodyLen := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if bodyLen == 0 || bodyLen > maxBodyLen {
+			return truncate()
+		}
+		body := make([]byte, bodyLen)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return truncate() // torn body
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			return truncate() // corrupt body
+		}
+		if !s.applyRecord(id, off, body) {
+			return truncate() // malformed but checksummed: treat as tail damage
+		}
+		off += frameHeaderLen + int64(bodyLen)
+	}
+}
+
+// applyRecord applies one replayed record body to the index, reporting
+// whether it parsed.
+func (s *Log) applyRecord(seg uint32, off int64, body []byte) bool {
+	switch body[0] {
+	case logOpPut:
+		if len(body) < putHeaderLen {
+			return false
+		}
+		p := interval.Point(binary.LittleEndian.Uint64(body[1:9]))
+		klen := int(binary.LittleEndian.Uint32(body[9:13]))
+		if klen < 0 || putHeaderLen+klen > len(body) {
+			return false
+		}
+		key := string(body[putHeaderLen : putHeaderLen+klen])
+		vlen := len(body) - putHeaderLen - klen
+		loc := lloc{seg: seg, off: off + frameHeaderLen + putHeaderLen + int64(klen), vlen: uint32(vlen)}
+		s.indexPut(p, key, loc)
+	case logOpDelete:
+		if len(body) < putHeaderLen || len(body) != putHeaderLen+int(binary.LittleEndian.Uint32(body[9:13])) {
+			return false
+		}
+		p := interval.Point(binary.LittleEndian.Uint64(body[1:9]))
+		key := string(body[putHeaderLen:])
+		s.indexDelete(p, key)
+		s.deadBytes += frameHeaderLen + int64(len(body)) // the tombstone itself
+	case logOpDelRange:
+		if len(body) != 17 {
+			return false
+		}
+		seg := interval.Segment{
+			Start: interval.Point(binary.LittleEndian.Uint64(body[1:9])),
+			Len:   binary.LittleEndian.Uint64(body[9:17]),
+		}
+		s.indexDropRange(seg)
+		s.deadBytes += frameHeaderLen + int64(len(body))
+	default:
+		return false
+	}
+	return true
+}
+
+// indexPut installs a location, moving any displaced record to the dead set.
+func (s *Log) indexPut(p interval.Point, key string, loc lloc) {
+	fb := frameBytes(len(key), int(loc.vlen))
+	s.liveBytes += fb
+	if old, replaced := s.idx.put(p, key, loc); replaced {
+		ofb := frameBytes(len(key), int(old.vlen))
+		s.liveBytes -= ofb
+		s.deadBytes += ofb
+	}
+}
+
+// indexDelete removes a location, moving its record to the dead set.
+func (s *Log) indexDelete(p interval.Point, key string) bool {
+	old, ok := s.idx.del(p, key)
+	if ok {
+		fb := frameBytes(len(key), int(old.vlen))
+		s.liveBytes -= fb
+		s.deadBytes += fb
+	}
+	return ok
+}
+
+// indexDropRange removes every indexed location in seg, moving the
+// records to the dead set.
+func (s *Log) indexDropRange(seg interval.Segment) {
+	for _, r := range ranges(seg) {
+		cs, _ := s.idx.extractRange(r)
+		for _, c := range cs {
+			for _, e := range c.es {
+				fb := frameBytes(len(e.key), int(e.val.vlen))
+				s.liveBytes -= fb
+				s.deadBytes += fb
+			}
+		}
+	}
+}
+
+// --- write path ---
+
+// appendRecord frames and appends one record body, returning the segment
+// and offset it landed at. Callers hold mu. Bodies beyond the replay
+// bound are rejected up front: acknowledging a record that recovery would
+// discard as tail damage (or whose length field would wrap) would break
+// the zero-lost-acknowledged-writes guarantee.
+func (s *Log) appendRecord(body []byte) (seg uint32, off int64, err error) {
+	if len(body) > maxBodyLen {
+		return 0, 0, fmt.Errorf("store: record too large (%d bytes, max %d)", len(body), maxBodyLen)
+	}
+	if s.activeOff >= s.opts.SegmentBytes {
+		if err := s.rotate(); err != nil {
+			return 0, 0, err
+		}
+	}
+	buf := make([]byte, frameHeaderLen+len(body))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(body))
+	copy(buf[frameHeaderLen:], body)
+	seg, off = s.activeID, s.activeOff
+	if _, err := s.active.WriteAt(buf, s.activeOff); err != nil {
+		return 0, 0, fmt.Errorf("store: append to %s: %w", segName(s.activeID), err)
+	}
+	s.activeOff += int64(len(buf))
+	if s.opts.Fsync {
+		if err := s.active.Sync(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return seg, off, nil
+}
+
+// rotate closes the active segment for writing and starts the next one.
+func (s *Log) rotate() error {
+	return s.openActive(s.activeID + 1)
+}
+
+func putBody(p interval.Point, key string, value []byte) []byte {
+	body := make([]byte, putHeaderLen+len(key)+len(value))
+	body[0] = logOpPut
+	binary.LittleEndian.PutUint64(body[1:9], uint64(p))
+	binary.LittleEndian.PutUint32(body[9:13], uint32(len(key)))
+	copy(body[putHeaderLen:], key)
+	copy(body[putHeaderLen+len(key):], value)
+	return body
+}
+
+// Put appends a put record and indexes its value location. When Put
+// returns nil the write is acknowledged: it survives reopen (and, with
+// Fsync, power loss).
+func (s *Log) Put(p interval.Point, key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	seg, off, err := s.appendRecord(putBody(p, key, value))
+	if err != nil {
+		return err
+	}
+	loc := lloc{seg: seg, off: off + frameHeaderLen + putHeaderLen + int64(len(key)), vlen: uint32(len(value))}
+	s.indexPut(p, key, loc)
+	return s.maybeCompact()
+}
+
+// Get reads the value under (p, key) from its WAL segment.
+func (s *Log) Get(p interval.Point, key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, errClosed
+	}
+	loc, ok := s.idx.get(p, key)
+	if !ok {
+		return nil, false, nil
+	}
+	v, err := s.readValue(loc)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// readValue preads one value. Callers hold mu.
+func (s *Log) readValue(loc lloc) ([]byte, error) {
+	f, ok := s.readers[loc.seg]
+	if !ok {
+		return nil, fmt.Errorf("store: missing segment %d", loc.seg)
+	}
+	buf := make([]byte, loc.vlen)
+	if _, err := f.ReadAt(buf, loc.off); err != nil {
+		return nil, fmt.Errorf("store: read %s@%d: %w", segName(loc.seg), loc.off, err)
+	}
+	return buf, nil
+}
+
+// Delete appends a tombstone and unindexes (p, key); absent keys are a
+// no-op with no disk write.
+func (s *Log) Delete(p interval.Point, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if _, ok := s.idx.get(p, key); !ok {
+		return nil
+	}
+	body := make([]byte, putHeaderLen+len(key))
+	body[0] = logOpDelete
+	binary.LittleEndian.PutUint64(body[1:9], uint64(p))
+	binary.LittleEndian.PutUint32(body[9:13], uint32(len(key)))
+	copy(body[putHeaderLen:], key)
+	if _, _, err := s.appendRecord(body); err != nil {
+		return err
+	}
+	s.indexDelete(p, key)
+	s.deadBytes += frameHeaderLen + int64(len(body))
+	return s.maybeCompact()
+}
+
+// Len returns the number of live items.
+func (s *Log) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.size()
+}
+
+// Ascend iterates seg's items in (point, key) order, reading each value
+// from disk.
+func (s *Log) Ascend(seg interval.Segment, fn func(item Item) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	var err error
+	for _, r := range ranges(seg) {
+		done := s.idx.ascendRange(r, func(e entry[lloc]) bool {
+			var v []byte
+			if v, err = s.readValue(e.val); err != nil {
+				return false
+			}
+			return fn(Item{Point: e.p, Key: e.key, Value: v})
+		})
+		if err != nil || !done {
+			return err
+		}
+	}
+	return nil
+}
+
+// SplitRange moves seg's items into a new Log store in a fresh sibling
+// directory: O(moved) reads here and appends there, one range tombstone in
+// this store's WAL, and index extraction by chunk moves — nothing touches
+// the items that stay behind.
+//
+// Failure atomicity: the moved items are copied into the child BEFORE
+// anything here changes, and the range tombstone is appended BEFORE the
+// index drops the range (matching replay order) — so an error leaves this
+// store exactly as it was, and a crash in between replays to either the
+// pre-split state or the post-split state, never a mix. Reclaiming the
+// tombstoned bytes is left to the next Put/Delete-triggered compaction.
+func (s *Log) SplitRange(seg interval.Segment) (Store, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	dir, err := os.MkdirTemp(filepath.Dir(s.dir), filepath.Base(s.dir)+".split-")
+	if err != nil {
+		return nil, err
+	}
+	child, err := OpenLog(dir, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	var cerr error
+	for _, r := range ranges(seg) {
+		s.idx.ascendRange(r, func(e entry[lloc]) bool {
+			v, err := s.readValue(e.val)
+			if err == nil {
+				err = child.Put(e.p, e.key, v)
+			}
+			cerr = err
+			return err == nil
+		})
+		if cerr != nil {
+			child.destroy()
+			return nil, cerr
+		}
+	}
+	if err := s.dropRangeLocked(seg); err != nil {
+		child.destroy()
+		return nil, err
+	}
+	return child, nil
+}
+
+// dropRangeLocked appends a range tombstone and then removes the range
+// from the index, in that (replay) order: an append failure leaves the
+// store untouched. Callers hold mu.
+func (s *Log) dropRangeLocked(seg interval.Segment) error {
+	body := make([]byte, 17)
+	body[0] = logOpDelRange
+	binary.LittleEndian.PutUint64(body[1:9], uint64(seg.Start))
+	binary.LittleEndian.PutUint64(body[9:17], seg.Len)
+	if _, _, err := s.appendRecord(body); err != nil {
+		return err
+	}
+	s.deadBytes += frameHeaderLen + int64(len(body))
+	s.indexDropRange(seg)
+	return nil
+}
+
+// dropRange removes every item in seg with a single range tombstone — the
+// Clear fast path (one WAL append instead of one tombstone per item). A
+// bulk drop is where dead bytes spike the most (a post-handoff Clear
+// kills the whole live set), and no later Put/Delete may ever arrive to
+// trigger reclamation, so compaction runs here directly; SplitRange
+// deliberately skips it (a compaction error there would masquerade as a
+// failed split).
+func (s *Log) dropRange(seg interval.Segment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if err := s.dropRangeLocked(seg); err != nil {
+		return err
+	}
+	// Best-effort: the drop is already durable; a compaction failure only
+	// leaves dead bytes for a later pass, and reporting it here would
+	// make a succeeded drop look failed.
+	_ = s.maybeCompact()
+	return nil
+}
+
+// MergeFrom moves every item of src into this store's WAL, copy-before-
+// drop like SplitRange: collect from src (read-only), append here, and
+// only then tombstone src — an error or crash at any point leaves every
+// item in at least one store (worst case both: duplicates, recoverable),
+// never in neither. The two stores' locks are never held together, so
+// opposite-direction merges cannot deadlock; per the Store contract the
+// source must not be mutated concurrently with the merge.
+func (s *Log) MergeFrom(src Store) error {
+	if src == Store(s) {
+		return nil
+	}
+	var items []Item
+	if err := src.Ascend(interval.FullCircle, func(it Item) bool {
+		items = append(items, it)
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, it := range items {
+		if err := s.Put(it.Point, it.Key, it.Value); err != nil {
+			return err
+		}
+	}
+	return Clear(src)
+}
+
+// drainItems atomically collects and removes every item in seg — the
+// collection and the range tombstone happen under one lock hold, so no
+// concurrent write can slip into the gap.
+func (s *Log) drainItems(seg interval.Segment) ([]Item, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	var items []Item
+	var rerr error
+	for _, r := range ranges(seg) {
+		s.idx.ascendRange(r, func(e entry[lloc]) bool {
+			v, err := s.readValue(e.val)
+			if err != nil {
+				rerr = err
+				return false
+			}
+			items = append(items, Item{Point: e.p, Key: e.key, Value: v})
+			return true
+		})
+		if rerr != nil {
+			return nil, rerr
+		}
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	if err := s.dropRangeLocked(seg); err != nil {
+		return nil, err
+	}
+	_ = s.maybeCompact() // best-effort, as in dropRange
+	return items, nil
+}
+
+// --- compaction ---
+
+// maybeCompact rewrites the live records into fresh segments once the dead
+// volume passes CompactAt and outweighs the live volume. Callers hold mu.
+// Crash safety: the compacted copies land in segments with higher ids than
+// every record they replace, so a replay that sees both (crash before the
+// old files were removed) converges to the same state.
+func (s *Log) maybeCompact() error {
+	if s.opts.CompactAt < 0 || s.deadBytes < s.opts.CompactAt || s.deadBytes < s.liveBytes {
+		return nil
+	}
+	firstNew := s.activeID + 1
+	if err := s.openActive(firstNew); err != nil {
+		return err
+	}
+	var werr error
+	s.idx.scanMut(func(e *entry[lloc]) {
+		if werr != nil || e.val.seg >= firstNew {
+			return
+		}
+		v, err := s.readValue(e.val)
+		if err != nil {
+			werr = err
+			return
+		}
+		seg, off, err := s.appendRecord(putBody(e.p, e.key, v))
+		if err != nil {
+			werr = err
+			return
+		}
+		e.val = lloc{seg: seg, off: off + frameHeaderLen + putHeaderLen + int64(len(e.key)), vlen: e.val.vlen}
+	})
+	if werr != nil {
+		return werr
+	}
+	if err := s.active.Sync(); err != nil { // the copies must be durable before the originals go
+		return err
+	}
+	// Remove the obsolete segments in ascending id order: a tombstone
+	// always lives in a later-or-equal segment than the put it kills, so
+	// a crash mid-removal can never leave a put on disk without its
+	// tombstone (which would resurrect a deleted item on replay).
+	var old []uint32
+	for id := range s.readers {
+		if id < firstNew {
+			old = append(old, id)
+		}
+	}
+	sort.Slice(old, func(a, b int) bool { return old[a] < old[b] })
+	for _, id := range old {
+		s.readers[id].Close()
+		delete(s.readers, id)
+		if err := os.Remove(filepath.Join(s.dir, segName(id))); err != nil {
+			return err
+		}
+	}
+	s.deadBytes = 0
+	return nil
+}
+
+// Close releases the store's files.
+func (s *Log) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.opts.Fsync {
+		if err := s.active.Sync(); err != nil {
+			return err
+		}
+	}
+	s.closeFiles()
+	return nil
+}
+
+func (s *Log) closeFiles() {
+	for id, f := range s.readers {
+		f.Close()
+		delete(s.readers, id)
+	}
+	s.active = nil
+}
+
+// destroy closes the store and deletes its directory.
+func (s *Log) destroy() error {
+	s.Close()
+	return os.RemoveAll(s.dir)
+}
+
+// Dir returns the store's data directory.
+func (s *Log) Dir() string { return s.dir }
+
+var errClosed = fmt.Errorf("store: use after Close")

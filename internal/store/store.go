@@ -1,0 +1,148 @@
+// Package store provides the per-server ordered item storage behind the
+// DHT (§2.1 item placement): items are keyed by (hash point, key) and kept
+// in (point, key) order, so the item migration a Join or Leave triggers is
+// a pure range move — O(log S + moved) — instead of a scan of the whole
+// predecessor store.
+//
+// Two engines implement the interface:
+//
+//   - Mem: an in-memory chunked sorted list. Range splits move whole
+//     chunks by pointer; only the two boundary chunks are copied.
+//   - Log: a disk-backed engine with an append-only WAL, an in-memory
+//     ordered index of disk locations, segment rotation and compaction,
+//     and crash recovery on reopen (a torn or corrupt tail record is
+//     truncated; everything acknowledged before it survives).
+//
+// The simulated DHT (package condisc) keeps one store per server; the TCP
+// node (internal/p2p, cmd/dhnode) keeps one per process.
+package store
+
+import (
+	"fmt"
+
+	"condisc/internal/interval"
+)
+
+// Item is one stored item: the hash point it lives at, its key, and its
+// value.
+type Item struct {
+	Point interval.Point
+	Key   string
+	Value []byte
+}
+
+// Store is an ordered item container keyed by (hash point, key).
+//
+// The three churn-path operations are the reason the interface exists:
+// Ascend iterates a segment's items in (point, key) order, SplitRange
+// moves a segment's items out as a new store of the same engine, and
+// MergeFrom absorbs (and drains) another store. Implementations are safe
+// for concurrent use; Ascend callbacks must not call back into the store.
+type Store interface {
+	// Put stores value under (p, key), replacing any previous value. The
+	// value is copied (or persisted); the caller keeps ownership of its
+	// slice.
+	Put(p interval.Point, key string, value []byte) error
+	// Get returns the value stored under (p, key). The returned slice must
+	// not be modified.
+	Get(p interval.Point, key string) (value []byte, ok bool, err error)
+	// Delete removes (p, key); deleting an absent item is a no-op.
+	Delete(p interval.Point, key string) error
+	// Len returns the number of stored items.
+	Len() int
+	// Ascend calls fn for every item whose point lies in seg, in global
+	// (point, key) order, until fn returns false.
+	Ascend(seg interval.Segment, fn func(item Item) bool) error
+	// SplitRange removes every item whose point lies in seg and returns
+	// them as a new store of the same engine — the §2.1 Join step 3 range
+	// handoff. Cost is O(log S + moved), independent of the items that
+	// stay behind.
+	SplitRange(seg interval.Segment) (Store, error)
+	// MergeFrom moves every item of src into this store, leaving src
+	// empty — the §2.1 Leave absorption. The source must not be mutated
+	// concurrently with the merge; a crash or error mid-merge leaves
+	// every item in at least one of the two stores (never in neither).
+	MergeFrom(src Store) error
+	// Close releases the store's resources (open files for disk engines).
+	Close() error
+}
+
+// Open opens a store of the named engine: "mem" for the in-memory ordered
+// store, "log" for the disk-backed WAL engine rooted at dir.
+func Open(engine, dir string) (Store, error) {
+	switch engine {
+	case "mem":
+		return NewMem(), nil
+	case "log":
+		if dir == "" {
+			return nil, fmt.Errorf("store: engine %q requires a data directory", engine)
+		}
+		return OpenLog(dir, LogOptions{})
+	default:
+		return nil, fmt.Errorf("store: unknown engine %q (want mem or log)", engine)
+	}
+}
+
+// rangeDropper is the engines' bulk-removal fast path: one range
+// tombstone (Log) or one chunk extraction (Mem) instead of a per-item
+// delete.
+type rangeDropper interface {
+	dropRange(seg interval.Segment) error
+}
+
+// atomicDrainer is the engines' collect-and-remove fast path: both steps
+// happen under one lock hold, so no concurrent write lands in the gap.
+type atomicDrainer interface {
+	drainItems(seg interval.Segment) ([]Item, error)
+}
+
+// Drain removes and returns all items of s whose point lies in seg, in
+// (point, key) order — the wire-transfer form of a range move (the TCP
+// node serializes the result into a Join response). On the built-in
+// engines the collection and removal are one atomic step.
+func Drain(s Store, seg interval.Segment) ([]Item, error) {
+	if ad, ok := s.(atomicDrainer); ok {
+		return ad.drainItems(seg)
+	}
+	var items []Item
+	if err := s.Ascend(seg, func(it Item) bool {
+		items = append(items, it)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	for _, it := range items {
+		if err := s.Delete(it.Point, it.Key); err != nil {
+			return items, err
+		}
+	}
+	return items, nil
+}
+
+// Clear removes every item of s without reading any values: one range
+// tombstone (Log) or chunk drop (Mem) on the built-in engines, a per-item
+// delete otherwise. Use it when the items were already transferred and
+// only the removal is needed (the TCP node's post-handoff drain).
+func Clear(s Store) error {
+	if rd, ok := s.(rangeDropper); ok {
+		return rd.dropRange(interval.FullCircle)
+	}
+	_, err := Drain(s, interval.FullCircle)
+	return err
+}
+
+// destroyer is implemented by engines whose Destroy must reclaim more than
+// Close does (the WAL engine removes its directory).
+type destroyer interface {
+	destroy() error
+}
+
+// Destroy closes s and reclaims its underlying storage: a drained
+// disk-backed store deletes its files (the §2.1 Leave end state), an
+// in-memory store just drops its content.
+func Destroy(s Store) error {
+	if d, ok := s.(destroyer); ok {
+		return d.destroy()
+	}
+	return s.Close()
+}
