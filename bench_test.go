@@ -133,6 +133,12 @@ func BenchmarkChurnLocality(b *testing.B) { run(b, experiments.ChurnLocality) }
 // put/get cost per engine and split-cost flatness in resident items).
 func BenchmarkStoreEngines(b *testing.B) { run(b, experiments.StoreEngines) }
 
+// BenchmarkStalenessVsStabilization regenerates E31 (stale-route rate vs
+// stabilization period under churn, on the live TCP cluster).
+func BenchmarkStalenessVsStabilization(b *testing.B) {
+	run(b, experiments.StalenessVsStabilization)
+}
+
 // ---- churn benchmarks: incremental join/leave vs the full rebuild ----
 //
 // The incremental engine patches only the O(ρ·∆) servers around the changed

@@ -31,13 +31,16 @@ import (
 
 // Entry is one benchmark result. Pkg is set only when the entry's package
 // differs from the document-level Pkg (multi-package concatenated input).
+// Custom b.ReportMetric units (e.g. BenchmarkHandoff's "peakB" transfer-
+// memory watermark) land in Metrics keyed by their unit string.
 type Entry struct {
-	Name        string  `json:"name"`
-	Pkg         string  `json:"pkg,omitempty"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Doc is the archived document.
@@ -127,15 +130,22 @@ func parseResult(line string) (Entry, bool) {
 	}
 	e := Entry{Name: name, Iterations: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseInt(f[i], 10, 64)
-		if err != nil {
-			continue
-		}
 		switch f[i+1] {
 		case "B/op":
-			e.BytesPerOp = v
+			if v, err := strconv.ParseInt(f[i], 10, 64); err == nil {
+				e.BytesPerOp = v
+			}
 		case "allocs/op":
-			e.AllocsPerOp = v
+			if v, err := strconv.ParseInt(f[i], 10, 64); err == nil {
+				e.AllocsPerOp = v
+			}
+		default: // a b.ReportMetric unit
+			if v, err := strconv.ParseFloat(f[i], 64); err == nil {
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[f[i+1]] = v
+			}
 		}
 	}
 	return e, true

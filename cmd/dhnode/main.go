@@ -21,7 +21,12 @@
 // them in memory, "log" persists them in an append-only WAL under -data,
 // scaling past RAM and surviving restarts (a restarted node replays its
 // WAL; items handed off in a graceful Leave are not replayed because the
-// store is drained before shutdown).
+// store is cleared at the handoff commit). Join and Leave move items as
+// streaming two-phase handoff sessions (internal/handoff): transfers are
+// chunked — O(chunk) memory however large the range — and crash-safe; a
+// node killed mid-join and restarted with the same -listen address and
+// -data directory resumes the transfer from its staged prefix, or aborts
+// it cleanly and joins fresh.
 package main
 
 import (

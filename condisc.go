@@ -17,6 +17,7 @@
 //	internal/emulate     the §7 general graph emulation
 //	internal/baselines   Chord, Tapestry-style, CAN, small worlds, butterfly
 //	internal/store       ordered item stores (in-memory + disk-backed WAL)
+//	internal/handoff     streaming two-phase churn transfer sessions
 //	internal/p2p         a real TCP implementation of the DH node
 //	internal/experiments drivers reproducing every table/figure/theorem
 //
@@ -33,6 +34,7 @@ import (
 
 	"condisc/internal/cache"
 	"condisc/internal/dhgraph"
+	"condisc/internal/handoff"
 	"condisc/internal/hashing"
 	"condisc/internal/interval"
 	"condisc/internal/partition"
@@ -250,13 +252,15 @@ func (d *DHT) Join() ServerID {
 	id := d.ring.HandleAt(idx)
 
 	// Migrate the items the new server now covers: they all lived with the
-	// ring predecessor, whose segment was split — a pure range move out of
-	// its ordered store.
+	// ring predecessor, whose segment was split. The move runs through the
+	// same bounded-memory handoff path the TCP node streams over
+	// (internal/handoff): cursor batches out of the predecessor's ordered
+	// store, then one range delete — copy-before-delete, O(chunk) memory.
 	seg := d.ring.Segment(idx)
 	pred := d.stores[d.ring.HandleAt(d.ring.Predecessor(idx))]
-	moved, err := pred.SplitRange(seg)
-	if err != nil {
-		panic(fmt.Sprintf("condisc: store split: %v", err))
+	moved := d.newStore()
+	if _, err := handoff.Move(pred, moved, seg); err != nil {
+		panic(fmt.Sprintf("condisc: join handoff: %v", err))
 	}
 	d.stores[id] = moved
 
@@ -284,10 +288,10 @@ func (d *DHT) Leave(id ServerID) error {
 	d.net.G.Remove(idx)
 	d.net.Forget(id)
 
-	// Absorb the leaver's items into the predecessor — a pure range merge
-	// of two adjacent segments' ordered stores.
-	if err := pred.MergeFrom(d.stores[id]); err != nil {
-		panic(fmt.Sprintf("condisc: store merge: %v", err))
+	// Absorb the leaver's items into the predecessor through the handoff
+	// path (§2.1 Leave), then reclaim the leaver's store.
+	if _, err := handoff.Move(d.stores[id], pred, interval.FullCircle); err != nil {
+		panic(fmt.Sprintf("condisc: leave handoff: %v", err))
 	}
 	if err := store.Destroy(d.stores[id]); err != nil {
 		panic(fmt.Sprintf("condisc: store destroy: %v", err))

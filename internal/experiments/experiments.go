@@ -88,5 +88,6 @@ func All(cfg Config) []Result {
 		JoinLeaveCost(cfg),
 		ChurnLocality(cfg),
 		StoreEngines(cfg),
+		StalenessVsStabilization(cfg),
 	}
 }

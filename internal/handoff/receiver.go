@@ -1,0 +1,216 @@
+package handoff
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"condisc/internal/interval"
+	"condisc/internal/store"
+)
+
+// Receiver is the receiving half of a transfer: a staging store the
+// incoming chunks are appended to, plus (when disk-backed) a durable
+// manifest that makes the session replayable across a receiver crash.
+// Items enter the receiver's live store only at Promote, and Promote runs
+// BEFORE the sender is asked to commit — so at every instant each item of
+// the range is durable in the sender's store, the staging store, or the
+// live store (often two of them; never none).
+type Receiver struct {
+	ID     uint64
+	Role   string // RoleJoin or RoleLeave
+	Seg    interval.Segment
+	Sender string
+	Meta   map[string]string
+
+	dir     string // "" = in-memory staging (no manifest, not recoverable)
+	staging store.Store
+	state   string
+}
+
+// Receiver roles: a join pulls a split range from the segment's owner; a
+// leave pulls the leaver's whole segment into its ring predecessor.
+const (
+	RoleJoin  = "join"
+	RoleLeave = "leave"
+)
+
+// Receiver states recorded in the manifest. The transition to
+// StagePromoting is durable BEFORE the first staged item can reach the
+// live store, so a recovering receiver knows whether the live store may
+// hold a partial promotion (re-promoting is idempotent: same keys, same
+// values).
+const (
+	StageStreaming = "streaming"
+	StagePromoting = "promoting"
+)
+
+const manifestName = "manifest.json"
+
+type manifest struct {
+	Session  uint64            `json:"session"`
+	Role     string            `json:"role"`
+	SegStart uint64            `json:"seg_start"`
+	SegLen   uint64            `json:"seg_len"`
+	Sender   string            `json:"sender"`
+	State    string            `json:"state"`
+	Meta     map[string]string `json:"meta,omitempty"`
+}
+
+// Begin opens a receiver for one session. dir selects the staging engine:
+// "" stages in memory (a crash discards the session — fine for mem-backed
+// nodes, whose live items die with the process anyway); otherwise a WAL
+// staging store plus manifest are created in dir, making the session
+// recoverable with Recover.
+func Begin(dir string, id uint64, role string, seg interval.Segment, sender string, meta map[string]string) (*Receiver, error) {
+	r := &Receiver{ID: id, Role: role, Seg: seg, Sender: sender, Meta: meta, dir: dir, state: StageStreaming}
+	if dir == "" {
+		r.staging = store.NewMem()
+		return r, nil
+	}
+	s, err := store.OpenLog(dir, store.LogOptions{})
+	if err != nil {
+		return nil, err
+	}
+	r.staging = s
+	if err := r.writeManifest(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Recover reopens a crashed receiver from its staging directory. The
+// staged items (every chunk acknowledged by the WAL before the crash) and
+// the manifest state come back; the caller decides — by probing the
+// sender's session status — whether to resume streaming, finish
+// promoting, or abort.
+func Recover(dir string) (*Receiver, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("handoff: corrupt manifest in %s: %w", dir, err)
+	}
+	if m.Session == 0 || (m.Role != RoleJoin && m.Role != RoleLeave) {
+		return nil, fmt.Errorf("handoff: invalid manifest in %s", dir)
+	}
+	s, err := store.OpenLog(dir, store.LogOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{
+		ID:     m.Session,
+		Role:   m.Role,
+		Seg:    interval.Segment{Start: interval.Point(m.SegStart), Len: m.SegLen},
+		Sender: m.Sender, Meta: m.Meta,
+		dir: dir, staging: s, state: m.State,
+	}, nil
+}
+
+func (r *Receiver) writeManifest() error {
+	m := manifest{
+		Session: r.ID, Role: r.Role,
+		SegStart: uint64(r.Seg.Start), SegLen: r.Seg.Len,
+		Sender: r.Sender, State: r.state, Meta: r.Meta,
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(r.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(r.dir, manifestName))
+}
+
+// State returns the receiver's manifest state.
+func (r *Receiver) State() string { return r.state }
+
+// Staged returns how many items are currently staged.
+func (r *Receiver) Staged() int { return r.staging.Len() }
+
+// Apply stages one chunk. On a WAL staging store the items are durable
+// when Apply returns — the resume point after a crash is wherever the
+// last acknowledged chunk ended.
+func (r *Receiver) Apply(items []store.Item) error {
+	for _, it := range items {
+		if err := r.staging.Put(it.Point, it.Key, it.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResumeAfter returns the last staged position in ring order — the
+// stream is ordered, so the staged items form a prefix and the next
+// connection asks the sender to continue strictly after this position.
+// ok is false when nothing is staged yet.
+func (r *Receiver) ResumeAfter() (p interval.Point, key string, ok bool, err error) {
+	cur := r.staging.Cursor(r.Seg)
+	defer cur.Close()
+	for {
+		items, err := cur.Next(batchItems)
+		if err != nil {
+			return 0, "", false, err
+		}
+		if items == nil {
+			return p, key, ok, nil
+		}
+		last := items[len(items)-1]
+		p, key, ok = last.Point, last.Key, true
+	}
+}
+
+// MarkPromoting durably records that staged items may start reaching the
+// live store. Must be called (and acknowledged) before Promote.
+func (r *Receiver) MarkPromoting() error {
+	r.state = StagePromoting
+	if r.dir == "" {
+		return nil
+	}
+	return r.writeManifest()
+}
+
+// Promote moves the staged items into the live store, draining staging.
+// It is idempotent under replay: a crash mid-promote leaves some items in
+// both stores, and re-promoting overwrites them with identical values.
+func (r *Receiver) Promote(live store.Store) error {
+	if r.state != StagePromoting {
+		if err := r.MarkPromoting(); err != nil {
+			return err
+		}
+	}
+	return live.MergeFrom(r.staging)
+}
+
+// Abort rolls the receiver back to "never happened": staged items are
+// discarded, and if promotion had begun the range is deleted from the
+// live store (the sender never committed, so it still owns every one of
+// those items). live may be nil when the receiver never promoted.
+func (r *Receiver) Abort(live store.Store) error {
+	if r.state == StagePromoting && live != nil {
+		if err := live.DeleteRange(r.Seg); err != nil {
+			return err
+		}
+	}
+	return r.discard()
+}
+
+// Finish destroys the staging store and manifest after a completed
+// session (items promoted, sender committed).
+func (r *Receiver) Finish() error { return r.discard() }
+
+func (r *Receiver) discard() error {
+	if err := store.Destroy(r.staging); err != nil {
+		return err
+	}
+	if r.dir == "" {
+		return nil
+	}
+	return os.RemoveAll(r.dir)
+}

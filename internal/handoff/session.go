@@ -1,0 +1,224 @@
+package handoff
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"condisc/internal/interval"
+)
+
+// SessionState is the sender-side lifecycle of a transfer.
+type SessionState int32
+
+const (
+	// StateUnknown: no such session (never prepared, expired, or aborted).
+	// A receiver probing an unknown session must treat the sender as the
+	// owner and abort its own side.
+	StateUnknown SessionState = iota
+	// StateStreaming: prepared; the range is fenced against writes and
+	// the sender still owns it.
+	StateStreaming
+	// StateCommitted: the sender deleted the range and flipped ownership;
+	// the receiver is the owner even if it has not finished cleaning up.
+	StateCommitted
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case StateStreaming:
+		return "streaming"
+	case StateCommitted:
+		return "committed"
+	default:
+		return "unknown"
+	}
+}
+
+// Session is one sender-side transfer. Seg is the moving range; Meta is
+// caller state carried to commit time (the p2p node stores the peer's
+// ring identity there). The session owns a done channel closed at commit
+// or abort, so a sender that must outlive its RPC (a leaver waiting for
+// its predecessor to pull the stream) can block on the outcome.
+type Session struct {
+	ID       uint64
+	Seg      interval.Segment
+	Peer     string
+	Meta     any
+	state    atomic.Int32
+	deadline atomic.Int64 // unixnano; refreshed by activity
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// State returns the session's current state.
+func (s *Session) State() SessionState { return SessionState(s.state.Load()) }
+
+// Done is closed when the session commits or aborts; check State after.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+func (s *Session) finish(st SessionState) {
+	s.state.Store(int32(st))
+	s.doneOnce.Do(func() { close(s.done) })
+}
+
+// Sessions is a sender's registry of active transfers. It enforces the
+// write fence (Fenced), refuses overlapping prepares, and lazily expires
+// sessions whose receiver went silent past the TTL — an expired streaming
+// session aborts (the sender keeps the range), so an abandoned receiver
+// can never wedge the sender's writes forever.
+type Sessions struct {
+	ttl time.Duration
+	mu  sync.Mutex
+	m   map[uint64]*Session
+}
+
+// DefaultTTL is the receiver-silence deadline after which a sender
+// unilaterally aborts a streaming session.
+const DefaultTTL = 30 * time.Second
+
+// NewSessions returns a registry with the given receiver-silence TTL
+// (DefaultTTL if d <= 0).
+func NewSessions(d time.Duration) *Sessions {
+	if d <= 0 {
+		d = DefaultTTL
+	}
+	return &Sessions{ttl: d, m: map[uint64]*Session{}}
+}
+
+// expireLocked drops sessions past their deadline: streaming ones abort
+// (ownership stays with the sender), committed ones are garbage-collected
+// (their outcome is already durable; a very late status probe reads
+// unknown, which the receiver resolves against the ring).
+func (ss *Sessions) expireLocked(now time.Time) {
+	for id, s := range ss.m {
+		if now.UnixNano() > s.deadline.Load() {
+			if s.State() == StateStreaming {
+				s.finish(StateUnknown)
+			}
+			delete(ss.m, id)
+		}
+	}
+}
+
+// Prepare opens a session for seg. It refuses a zero or duplicate id and
+// any seg overlapping an active session's range — one range, one mover.
+func (ss *Sessions) Prepare(id uint64, seg interval.Segment, peer string, meta any) (*Session, error) {
+	if id == 0 {
+		return nil, fmt.Errorf("handoff: session id must be nonzero")
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	now := time.Now()
+	ss.expireLocked(now)
+	if _, ok := ss.m[id]; ok {
+		return nil, fmt.Errorf("handoff: session %x already exists", id)
+	}
+	for _, s := range ss.m {
+		if s.State() == StateStreaming && s.Seg.Overlaps(seg) {
+			return nil, fmt.Errorf("handoff: range %v is mid-handoff (session %x)", seg, s.ID)
+		}
+	}
+	s := &Session{ID: id, Seg: seg, Peer: peer, Meta: meta, done: make(chan struct{})}
+	s.state.Store(int32(StateStreaming))
+	s.deadline.Store(now.Add(ss.ttl).UnixNano())
+	ss.m[id] = s
+	return s, nil
+}
+
+// Get returns the session if it is still streaming, refreshing its
+// deadline (stream activity keeps a session alive).
+func (ss *Sessions) Get(id uint64) (*Session, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	now := time.Now()
+	ss.expireLocked(now)
+	s, ok := ss.m[id]
+	if !ok || s.State() != StateStreaming {
+		return nil, false
+	}
+	s.deadline.Store(now.Add(ss.ttl).UnixNano())
+	return s, true
+}
+
+// Touch refreshes a session's deadline (called per streamed frame).
+func (ss *Sessions) Touch(s *Session) {
+	s.deadline.Store(time.Now().Add(ss.ttl).UnixNano())
+}
+
+// Fenced reports whether p lies in the range of an active (streaming)
+// session: a write there would be invisible to a cursor already past it
+// and silently lost at commit, so the caller must refuse it.
+func (ss *Sessions) Fenced(p interval.Point) bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.expireLocked(time.Now())
+	for _, s := range ss.m {
+		if s.State() == StateStreaming && s.Seg.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Active returns the number of streaming sessions.
+func (ss *Sessions) Active() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.expireLocked(time.Now())
+	n := 0
+	for _, s := range ss.m {
+		if s.State() == StateStreaming {
+			n++
+		}
+	}
+	return n
+}
+
+// Commit transitions a streaming session to committed and returns it; ok
+// is false if the session is unknown, expired, or already resolved — the
+// caller must NOT flip ownership then. The caller performs its durable
+// range delete and pointer flip in the same critical section that calls
+// Commit, making the sender's commit point atomic with the state change.
+func (ss *Sessions) Commit(id uint64) (*Session, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.expireLocked(time.Now())
+	s, ok := ss.m[id]
+	if !ok || s.State() != StateStreaming {
+		return nil, false
+	}
+	// A committed session is kept far past the streaming TTL: a receiver
+	// that crashed after the commit landed must still read "committed"
+	// (not "unknown") when it restarts and probes, or it would abort a
+	// range it now owns. 100× the receiver-silence TTL bounds the leak.
+	s.deadline.Store(time.Now().Add(100 * ss.ttl).UnixNano())
+	s.finish(StateCommitted)
+	return s, true
+}
+
+// Abort resolves a streaming session as failed: the fence lifts and the
+// sender remains the owner. Aborting an unknown or committed session is a
+// no-op (commit wins).
+func (ss *Sessions) Abort(id uint64) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if s, ok := ss.m[id]; ok && s.State() == StateStreaming {
+		s.finish(StateUnknown)
+		delete(ss.m, id)
+	}
+}
+
+// Status reports a session's state for a receiver probe: streaming and
+// committed are reported as such; everything else is unknown.
+func (ss *Sessions) Status(id uint64) SessionState {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.expireLocked(time.Now())
+	s, ok := ss.m[id]
+	if !ok {
+		return StateUnknown
+	}
+	return s.State()
+}

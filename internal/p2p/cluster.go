@@ -14,34 +14,59 @@ type Cluster struct {
 	Nodes []*Node
 	seed  uint64
 	rng   *rand.Rand
+	opts  []NodeOption
 }
 
 // StartCluster boots n nodes: the first owns the full circle and the rest
 // join sequentially through it, with a stabilization pass after each join.
-func StartCluster(n int, seed uint64) (*Cluster, error) {
+// opts apply to every node of the cluster (and to later Join calls); do
+// not pass per-node options like WithStore here.
+func StartCluster(n int, seed uint64, opts ...NodeOption) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("p2p: cluster needs n >= 1")
 	}
-	c := &Cluster{seed: seed, rng: rand.New(rand.NewPCG(seed, seed+1))}
-	first, err := NewNode("127.0.0.1:0", seed)
+	c := &Cluster{seed: seed, rng: rand.New(rand.NewPCG(seed, seed+1)), opts: opts}
+	first, err := NewNode("127.0.0.1:0", seed, opts...)
 	if err != nil {
 		return nil, err
 	}
 	first.StartFirst(interval.Point(c.rng.Uint64()))
 	c.Nodes = append(c.Nodes, first)
 	for i := 1; i < n; i++ {
-		node, err := NewNode("127.0.0.1:0", seed)
-		if err != nil {
-			c.Stop()
-			return nil, err
-		}
-		if err := node.StartJoin(first.Addr(), c.rng); err != nil {
+		if _, err := c.Join(); err != nil {
 			c.Stop()
 			return nil, fmt.Errorf("p2p: join %d: %w", i, err)
 		}
-		c.Nodes = append(c.Nodes, node)
 	}
 	return c, c.StabilizeAll(2)
+}
+
+// Join adds one node through the cluster's first node and appends it to
+// Nodes — the churn half the E31 staleness sweep exercises live.
+func (c *Cluster) Join() (*Node, error) {
+	node, err := NewNode("127.0.0.1:0", c.seed, c.opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := node.StartJoin(c.Nodes[0].Addr(), c.rng); err != nil {
+		node.Close()
+		return nil, err
+	}
+	c.Nodes = append(c.Nodes, node)
+	return node, nil
+}
+
+// LeaveAt gracefully removes node i (i > 0: node 0 is the bootstrap) from
+// the ring and from Nodes.
+func (c *Cluster) LeaveAt(i int) error {
+	if i <= 0 || i >= len(c.Nodes) {
+		return fmt.Errorf("p2p: cannot leave node %d of %d", i, len(c.Nodes))
+	}
+	if err := c.Nodes[i].Leave(); err != nil {
+		return err
+	}
+	c.Nodes = append(c.Nodes[:i], c.Nodes[i+1:]...)
+	return nil
 }
 
 // StabilizeAll runs `rounds` stabilization passes over every node.

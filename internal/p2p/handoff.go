@@ -1,0 +1,682 @@
+package p2p
+
+// This file wires the internal/handoff session protocol into the node:
+// Join and Leave both move their segment's items as a streaming, two-phase
+// (prepare → stream → commit) transfer instead of a gob map inside one
+// RPC. Ownership — ring pointers on the sender plus the sender-side range
+// delete — flips only at commit, and the receiver promotes its durably
+// staged items into its live store BEFORE asking for that commit, so a
+// crash or disconnect at any point leaves exactly one owner and every
+// item in at least one durable store.
+//
+// Join (the joiner drives; the segment owner is the sender):
+//
+//	joiner                         owner
+//	  |--- opHandPrepare(mid) ------>|  fence [mid,end), register session
+//	  |<-- ring info ----------------|
+//	  |--- opHandStream ------------>|  cursor over the fenced range
+//	  |<== framed chunks ===========>|  staged durably as they arrive
+//	  |   (disconnect? reconnect with FromPoint/FromKey and resume)
+//	  |   promote staging → live store (durable, still unowned)
+//	  |--- opHandCommit ------------>|  delete range + end/succ := joiner
+//	  |<-- ok ----------------------|
+//	  |   adopt ring pointers, serve, patch covers, stabilize
+//
+// Leave (the leaver offers; its predecessor drives the same pull):
+//
+//	leaver                         pred
+//	  |--- opLeave(seg, succ) ------>|  accept, then asynchronously:
+//	  |<== opHandStream pull ========|  leaver streams its segment
+//	  |                              |  pred promotes, extends end/succ
+//	  |<-- opHandCommit -------------|  leaver clears store, wakes Leave()
+//	  |   repoint successor, close
+//
+// A restarted joiner (same address and data directory) finds its staging
+// manifest, probes the owner with opHandStatus, and resumes the stream,
+// finishes a committed session, or aborts cleanly and joins fresh.
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"condisc/internal/handoff"
+	"condisc/internal/interval"
+	"condisc/internal/store"
+)
+
+// sessMeta is the sender-side per-session state: what to do at commit.
+type sessMeta struct {
+	kind   string // handoff.RoleJoin or handoff.RoleLeave
+	joiner NodeInfo
+}
+
+// Stream reconnect policy: a broken stream connection is retried with the
+// receiver's resume position; a sender refusal (unknown/expired session)
+// is terminal.
+const (
+	streamAttempts   = 4
+	streamRetryDelay = 25 * time.Millisecond
+)
+
+// errHookKill marks a test-injected receiver death: the caller must NOT
+// clean up (no abort, no staging removal) — the point is to leave the
+// on-disk state exactly as a crash would.
+var errHookKill = errors.New("p2p: handoff receiver killed by test hook")
+
+func u64s(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func metaU64(m map[string]string, k string) uint64 {
+	v, _ := strconv.ParseUint(m[k], 10, 64)
+	return v
+}
+
+// --- joiner side ---
+
+// StartJoin joins an existing network through the bootstrap address,
+// implementing Algorithm Join of §2.1 with the Improved Single Choice ID
+// rule of §4: sample a random z, look up its owner, and take the middle of
+// that owner's segment. The item transfer is a resumable handoff session;
+// if this node crashed mid-join and was restarted on the same address and
+// data directory, the recovered session is resumed (or aborted cleanly)
+// before any fresh join.
+func (n *Node) StartJoin(bootstrap string, rng *rand.Rand) error {
+	if rec := n.recovered; rec != nil {
+		n.recovered = nil
+		joined, err := n.resumeJoin(rec)
+		if joined || err != nil {
+			return err
+		}
+		// The sender had expired the session and kept the range; the
+		// rollback is done and a fresh join follows.
+	}
+	z := interval.Point(rng.Uint64())
+	owner, err := lookupVia(bootstrap, z)
+	if err != nil {
+		return err
+	}
+	mid := interval.Point(owner.Point) + interval.Point(uint64(owner.End-owner.Point)/2)
+	if uint64(mid) == owner.Point { // degenerate tiny segment; fall back
+		mid = interval.Point(rng.Uint64())
+		owner, err = lookupVia(bootstrap, mid)
+		if err != nil {
+			return err
+		}
+	}
+	sess := rng.Uint64() | 1
+	prep, err := call(owner.Addr, request{Op: opHandPrepare, Session: sess,
+		NewPoint: uint64(mid), NewAddr: n.addr, NewID: n.id})
+	if err != nil {
+		return err
+	}
+	// The session range is exactly this node's future segment; the ring
+	// identities needed to adopt it at commit time ride in the manifest,
+	// so a restarted joiner can finish without re-asking anyone.
+	seg := interval.Segment{Start: mid, Len: uint64(interval.Point(prep.End) - mid)}
+	meta := map[string]string{
+		"pred_id": u64s(prep.ID), "pred_point": u64s(prep.Point), "pred_addr": prep.Addr,
+		"succ_id": u64s(prep.SuccID), "succ_addr": prep.SuccAddr,
+	}
+	rec, err := handoff.Begin(n.stagingDir(sess), sess, handoff.RoleJoin, seg, owner.Addr, meta)
+	if err != nil {
+		return err
+	}
+	return n.completeJoin(rec)
+}
+
+// resumeJoin resolves a join session recovered from disk against the
+// sender's authoritative state. joined reports that the node is now part
+// of the ring; (false, nil) means the session was aborted cleanly and the
+// caller should join fresh.
+func (n *Node) resumeJoin(rec *handoff.Receiver) (joined bool, err error) {
+	st, serr := call(rec.Sender, request{Op: opHandStatus, Session: rec.ID})
+	if serr != nil {
+		// The sender is unreachable, so "who owns the range" cannot be
+		// decided: aborting could demote items we own, resuming could
+		// duplicate items the sender kept. Keep the staging untouched and
+		// surface the ambiguity.
+		return false, fmt.Errorf("p2p: recovered handoff session %x unresolved (sender %s unreachable): %w",
+			rec.ID, rec.Sender, serr)
+	}
+	switch st.State {
+	case handoff.StateStreaming.String():
+		// The sender still holds the fenced session: continue where the
+		// staged prefix ends.
+		return true, n.completeJoin(rec)
+	case handoff.StateCommitted.String():
+		// The commit already landed — this node owns the range (the
+		// sender deleted its copy); only the local finish was lost.
+		if err := rec.Promote(n.data); err != nil {
+			return false, err
+		}
+		n.adoptFromReceiver(rec)
+		if err := rec.Finish(); err != nil {
+			return false, err
+		}
+		n.serve()
+		n.afterJoin()
+		return true, nil
+	default:
+		// Unknown: the sender expired the session and kept the range.
+		// Roll back (deleting any promoted items — the sender owns them)
+		// and let the caller join fresh.
+		return false, rec.Abort(n.data)
+	}
+}
+
+// completeJoin runs stream → promote → commit → adopt for a prepared
+// session (fresh or recovered).
+func (n *Node) completeJoin(rec *handoff.Receiver) error {
+	if err := n.pullStream(rec); err != nil {
+		var re *handoff.RemoteError
+		if errors.As(err, &re) {
+			// The sender refused the session (expired or aborted): it
+			// kept the range; roll our side back.
+			if aerr := rec.Abort(n.data); aerr != nil {
+				return aerr
+			}
+			return fmt.Errorf("p2p: join handoff aborted by sender: %w", err)
+		}
+		// Transport failure after all retries, or a test-injected kill:
+		// leave the staging session intact for recovery on restart.
+		return err
+	}
+	// Promote before commit: the items become durable and live at their
+	// future owner BEFORE the current owner is allowed to delete them.
+	if err := rec.Promote(n.data); err != nil {
+		return err
+	}
+	committed, definitive := n.resolveCommit(rec.Sender, rec.ID)
+	if !definitive {
+		// The sender is unreachable and the commit's fate unknown: keep
+		// the staging session untouched so a restart (or retry) can
+		// resolve it against the sender later.
+		return fmt.Errorf("p2p: commit of join session %x unresolved (owner unreachable)", rec.ID)
+	}
+	if !committed {
+		if aerr := rec.Abort(n.data); aerr != nil {
+			return aerr
+		}
+		return fmt.Errorf("p2p: join session %x expired before commit; the owner kept the range", rec.ID)
+	}
+	n.adoptFromReceiver(rec)
+	if err := rec.Finish(); err != nil {
+		return err
+	}
+	n.serve()
+	n.afterJoin()
+	return nil
+}
+
+// adoptFromReceiver installs the ring state a committed join session
+// implies: the session range is the node's segment, the sender its
+// predecessor, the sender's old successor its successor.
+func (n *Node) adoptFromReceiver(rec *handoff.Receiver) {
+	pred := NodeInfo{ID: metaU64(rec.Meta, "pred_id"), Point: metaU64(rec.Meta, "pred_point"), Addr: rec.Meta["pred_addr"]}
+	succ := NodeInfo{ID: metaU64(rec.Meta, "succ_id"), Point: uint64(rec.Seg.End()), Addr: rec.Meta["succ_addr"]}
+	n.mu.Lock()
+	n.x = rec.Seg.Start
+	n.end = rec.Seg.End()
+	n.pred, n.succ = pred, succ
+	n.setBackLocked([]NodeInfo{pred})
+	n.mu.Unlock()
+}
+
+// afterJoin repoints the successor and announces the join (the post-
+// transfer half of Algorithm Join). Everything here runs AFTER the
+// commit, so failures must never surface as a failed join — the caller
+// would tear down a node that already owns the range. All steps are
+// best-effort with bounded retry; a stale successor pred pointer is only
+// a stabilization hint, and the periodic Stabilize pass repairs whatever
+// a lost message leaves behind.
+func (n *Node) afterJoin() {
+	succ := n.succInfo()
+	if succ.Addr != n.addr {
+		sendPatch(succ.Addr, request{Op: opSetPred, NewPoint: uint64(n.Point()), NewAddr: n.addr, NewID: n.id})
+	}
+	// Incrementally announce the join to the nodes whose backward tables
+	// must now contain us: the covers of our segment's forward images.
+	n.notifyImageCovers(false)
+	_ = n.Stabilize()
+}
+
+// pullStream drives the receiving end of a session's chunk stream,
+// reconnecting with the resume position after transport failures. A
+// sender refusal (RemoteError) and a test-injected kill are terminal.
+func (n *Node) pullStream(rec *handoff.Receiver) error {
+	var lastErr error
+	for attempt := 0; attempt < streamAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(streamRetryDelay)
+		}
+		err := n.pullOnce(rec)
+		if err == nil {
+			return nil
+		}
+		var re *handoff.RemoteError
+		if errors.As(err, &re) || errors.Is(err, errHookKill) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+func (n *Node) pullOnce(rec *handoff.Receiver) error {
+	req := request{Op: opHandStream, Session: rec.ID}
+	if p, key, ok, err := rec.ResumeAfter(); err != nil {
+		return err
+	} else if ok {
+		req.FromPoint, req.FromKey, req.HasFrom = uint64(p), key, true
+	}
+	conn, err := net.DialTimeout("tcp", rec.Sender, rpcTimeout)
+	if err != nil {
+		return fmt.Errorf("p2p: dial %s: %w", rec.Sender, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(rpcTimeout))
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return fmt.Errorf("p2p: encode stream request: %w", err)
+	}
+	chunk := 0
+	_, err = handoff.ReadStream(bufio.NewReaderSize(conn, 64<<10), func(items []store.Item) error {
+		if n.handoffChunkHook != nil {
+			if herr := n.handoffChunkHook(chunk); herr != nil {
+				return fmt.Errorf("%w: %v", errHookKill, herr)
+			}
+		}
+		chunk++
+		return rec.Apply(items)
+	}, func() {
+		conn.SetReadDeadline(time.Now().Add(rpcTimeout)) // a live stream never times out between frames
+	})
+	return err
+}
+
+// Commit-ambiguity probes: when a commit RPC fails in transport, the
+// commit may have been applied with its response lost, so the sender is
+// probed for the session's status. The sender stays reachable for the
+// whole receiver-silence TTL (a leaver blocks in Leave() until commit or
+// expiry), so a handful of spaced probes resolve every single-failure
+// case; only a sender that crashed in exactly this window stays unknown.
+const (
+	commitProbeAttempts = 5
+	commitProbeDelay    = 100 * time.Millisecond
+)
+
+// resolveCommit asks the sender to commit session id and pins down the
+// outcome. definitive=false means the sender was unreachable for every
+// probe and the commit's fate is genuinely unknown; otherwise committed
+// reports the authoritative answer (a refusal or a still/again-streaming
+// session both mean the sender kept the range).
+func (n *Node) resolveCommit(sender string, id uint64) (committed, definitive bool) {
+	resp, err := call(sender, request{Op: opHandCommit, Session: id})
+	if err == nil {
+		return true, true
+	}
+	if resp.Err != "" {
+		return false, true // remote refusal, definitive
+	}
+	for attempt := 0; attempt < commitProbeAttempts; attempt++ {
+		time.Sleep(commitProbeDelay)
+		st, serr := call(sender, request{Op: opHandStatus, Session: id})
+		if serr == nil {
+			return st.State == handoff.StateCommitted.String(), true
+		}
+	}
+	return false, false
+}
+
+// --- sender side ---
+
+// handleHandPrepare opens a join session: the upper part of this node's
+// segment is fenced and registered, but ownership does not move — that
+// happens at commit. The response carries the ring identities the joiner
+// will adopt.
+func (n *Node) handleHandPrepare(req request) response {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.leaving {
+		return response{Err: "node is leaving; retry via another node"}
+	}
+	if n.absorbing > 0 {
+		// An inbound leave absorption is rewriting end/succ; a join
+		// prepared against the pre-absorb segment would commit pointers
+		// that strand the absorbed range.
+		return response{Err: "node is absorbing a leave; retry"}
+	}
+	p := interval.Point(req.NewPoint)
+	if !n.segmentLocked().Contains(p) || p == n.x {
+		return response{Err: fmt.Sprintf("join point %v outside segment", p)}
+	}
+	upper := interval.Segment{Start: p, Len: uint64(n.end - p)}
+	if n.x == n.end { // full circle: the joiner takes [p, x)
+		upper = interval.Segment{Start: p, Len: uint64(n.x - p)}
+	}
+	joiner := NodeInfo{ID: req.NewID, Point: req.NewPoint, Addr: req.NewAddr}
+	if _, err := n.sessions.Prepare(req.Session, upper, req.NewAddr, sessMeta{kind: handoff.RoleJoin, joiner: joiner}); err != nil {
+		return response{Err: err.Error()}
+	}
+	resp := response{
+		OK: true,
+		ID: n.id, Point: uint64(n.x), Addr: n.addr,
+		End: uint64(n.end), SuccID: n.succ.ID, SuccAddr: n.succ.Addr,
+	}
+	if n.x == n.end { // first split of a singleton network
+		resp.End = uint64(n.x)
+		resp.SuccID = n.id
+		resp.SuccAddr = n.addr
+	}
+	return resp
+}
+
+// handleStream serves a session's chunk stream on the raw connection: a
+// store cursor walks the fenced range (optionally resumed strictly after
+// the receiver's last staged position) in O(chunk) memory, extending the
+// write deadline and the session TTL per frame.
+func (n *Node) handleStream(req request, conn net.Conn) {
+	writeDeadline := func() { conn.SetWriteDeadline(time.Now().Add(rpcTimeout)) }
+	sess, ok := n.sessions.Get(req.Session)
+	if !ok {
+		writeDeadline()
+		conn.Write(handoff.EncodeError("unknown session"))
+		return
+	}
+	cur := n.data.Cursor(sess.Seg)
+	defer cur.Close()
+	if req.HasFrom {
+		cur.Seek(interval.Point(req.FromPoint), req.FromKey)
+	}
+	w := deadlineWriter{conn: conn}
+	// A failed write just drops the connection: the receiver reconnects
+	// and resumes; the session stays alive until commit or TTL expiry.
+	_, _, _ = handoff.Stream(w, cur, n.chunkBytes, func() { n.sessions.Touch(sess) })
+}
+
+type deadlineWriter struct{ conn net.Conn }
+
+func (w deadlineWriter) Write(p []byte) (int, error) {
+	w.conn.SetWriteDeadline(time.Now().Add(rpcTimeout))
+	return w.conn.Write(p)
+}
+
+// handleHandCommit is the ownership flip — the single decision point of a
+// transfer. Under the node mutex: durably delete the moved range from the
+// local store, mark the session committed, and (for a join) repoint
+// end/succ at the joiner. After this response the receiver is the owner;
+// before it, this node is. There is no state in which both or neither own
+// the range.
+func (n *Node) handleHandCommit(req request) response {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sess, ok := n.sessions.Get(req.Session)
+	if !ok {
+		return response{Err: "unknown or expired session"}
+	}
+	meta, _ := sess.Meta.(sessMeta)
+	delSeg := sess.Seg
+	if meta.kind == handoff.RoleLeave {
+		// The whole store departs with the node, not just the nominal
+		// segment — a WAL store must not replay anything on a later
+		// restart at this directory.
+		delSeg = interval.FullCircle
+	}
+	if err := n.data.DeleteRange(delSeg); err != nil {
+		// The delete failed, so this node still holds (and keeps owning)
+		// the items: abort the session so the receiver rolls back.
+		n.sessions.Abort(req.Session)
+		return response{Err: "store delete: " + err.Error()}
+	}
+	if _, ok := n.sessions.Commit(req.Session); !ok {
+		return response{Err: "session expired at commit"}
+	}
+	if meta.kind == handoff.RoleJoin {
+		n.end = sess.Seg.Start
+		n.succ = meta.joiner
+	}
+	// RoleLeave: nothing to repoint here — the leaver is departing and
+	// its blocked Leave() call wakes on the session's done channel.
+	return response{OK: true, ID: n.id, Point: uint64(n.x), Addr: n.addr, End: uint64(sess.Seg.End())}
+}
+
+// handleHandStatus answers a receiver's crash-recovery probe.
+func (n *Node) handleHandStatus(req request) response {
+	return response{OK: true, State: n.sessions.Status(req.Session).String()}
+}
+
+// --- leave ---
+
+// Leave gracefully exits: offer the segment to the ring predecessor, let
+// it pull the item stream, and shut down once it commits. Ownership flips
+// at the commit this node's own session registry serializes — a crash on
+// either side before that leaves this node the owner (and still serving
+// after an abort); a crash after it leaves the predecessor the owner with
+// every item durably promoted.
+func (n *Node) Leave() error {
+	n.mu.Lock()
+	if n.leaving {
+		n.mu.Unlock()
+		return fmt.Errorf("p2p: leave already in progress")
+	}
+	if n.sessions.Active() > 0 || n.absorbing > 0 {
+		// A join is mid-transfer out of our segment (its session holds a
+		// fence a leave stream would violate), or an inbound absorption
+		// is still promoting items our leave stream would miss and our
+		// commit's store clear would destroy.
+		n.mu.Unlock()
+		return fmt.Errorf("p2p: handoff in progress; retry")
+	}
+	pred, succ := n.pred, n.succ
+	end := n.end
+	if pred.Addr == n.addr {
+		// Last node: there is nowhere to hand the items — keep the store
+		// intact (a WAL store retains them for a future restart) and stop.
+		n.mu.Unlock()
+		n.Close()
+		return nil
+	}
+	seg := n.segmentLocked()
+	sessID := (n.id ^ uint64(time.Now().UnixNano())) | 1
+	sess, err := n.sessions.Prepare(sessID, seg, pred.Addr, sessMeta{kind: handoff.RoleLeave})
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	n.leaving = true // refuse item ops: the store must match the stream
+	n.mu.Unlock()
+	// Tell the covers of our forward images to drop us from their backward
+	// tables before the segment moves (with ack + bounded retry; routing
+	// falls back to ring hops for any entry a truly lost patch leaves
+	// stale, until Stabilize repairs it).
+	n.notifyImageCovers(true)
+	offer := request{Op: opLeave, Session: sessID, SrcAddr: n.addr,
+		SegStart: uint64(seg.Start), SegLen: seg.Len,
+		Target: uint64(end), NewAddr: succ.Addr, NewID: succ.ID, NewPoint: uint64(succ.Point)}
+	if _, err := call(pred.Addr, offer); err != nil {
+		n.sessions.Abort(sessID)
+		n.mu.Lock()
+		n.leaving = false
+		n.mu.Unlock()
+		return err
+	}
+	// The predecessor accepted and pulls the stream; block until it
+	// commits or the session expires (expiry is lazy, so poll it).
+	for done := false; !done; {
+		select {
+		case <-sess.Done():
+			done = true
+		case <-time.After(n.handoffTTL / 2):
+			n.sessions.Status(sessID) // lazily expire an abandoned session
+		}
+	}
+	if sess.State() != handoff.StateCommitted {
+		n.mu.Lock()
+		n.leaving = false
+		n.mu.Unlock()
+		return fmt.Errorf("p2p: leave handoff did not commit (predecessor failed mid-transfer); resuming service")
+	}
+	// Committed: the predecessor owns segment and items, and the commit
+	// handler already cleared the local store (durably, on a WAL store).
+	// Everything further is best-effort cleanup and must not surface as a
+	// failed leave — the caller would treat a departed, committed node as
+	// still alive. A lost setpred leaves the successor's pred pointer
+	// stale, which is only a stabilization hint and is rewritten by the
+	// next join in that gap.
+	if succ.Addr != n.addr {
+		sendPatch(succ.Addr, request{Op: opSetPred, NewPoint: pred.Point, NewAddr: pred.Addr, NewID: pred.ID})
+	}
+	n.Close()
+	return nil
+}
+
+// handleLeave accepts a leave offer (§2.1: "the predecessor on the ring
+// enlarges its segment") and pulls the handoff session asynchronously —
+// the offer RPC stays fast no matter how many items the leaver holds.
+func (n *Node) handleLeave(req request) response {
+	n.mu.Lock()
+	if n.leaving {
+		// We are handing our own store off; absorbing now would park the
+		// items in a store about to be cleared. The leaver aborts and
+		// retries once our own leave resolves.
+		n.mu.Unlock()
+		return response{Err: "node is leaving; retry"}
+	}
+	if n.absorbing > 0 || n.sessions.Active() > 0 {
+		// One pointer-rewriting transfer at a time: a second absorption
+		// (or an outbound join session) racing this one would interleave
+		// end/succ updates and strand a range.
+		n.mu.Unlock()
+		return response{Err: "handoff in progress; retry"}
+	}
+	if req.SrcAddr != n.succ.Addr {
+		n.mu.Unlock()
+		return response{Err: "leave offer from a node that is not my successor"}
+	}
+	n.absorbing++
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer func() {
+			n.mu.Lock()
+			n.absorbing--
+			n.mu.Unlock()
+		}()
+		n.absorbLeave(req)
+	}()
+	return response{OK: true}
+}
+
+// absorbLeave is the predecessor's receiving side of a leave: pull the
+// stream into staging, promote, extend the ring pointers, and commit at
+// the leaver. The pointers extend before the commit RPC so that the
+// moment the leaver's Leave() returns, this node already answers for the
+// absorbed range; if the commit then turns out refused (the leaver
+// expired the session in that instant), the extension and promotion are
+// rolled back and the leaver resumes serving.
+func (n *Node) absorbLeave(req request) {
+	seg := interval.Segment{Start: interval.Point(req.SegStart), Len: req.SegLen}
+	rec, err := handoff.Begin(n.stagingDir(req.Session), req.Session, handoff.RoleLeave, seg, req.SrcAddr, nil)
+	if err != nil {
+		return
+	}
+	if err := n.pullStream(rec); err != nil {
+		rec.Abort(n.data)
+		return
+	}
+	if err := rec.Promote(n.data); err != nil {
+		rec.Abort(n.data)
+		return
+	}
+	n.mu.Lock()
+	oldEnd, oldSucc := n.end, n.succ
+	n.end = interval.Point(req.Target)
+	n.succ = NodeInfo{ID: req.NewID, Point: req.NewPoint, Addr: req.NewAddr}
+	n.mu.Unlock()
+	committed, definitive := n.resolveCommit(req.SrcAddr, req.Session)
+	switch {
+	case committed:
+		rec.Finish()
+	case definitive:
+		// The leaver refused (expired session, or still streaming — the
+		// commit never landed) and authoritatively kept its items: roll
+		// the pointer extension and the promotion back; the leaver's
+		// Leave() times out and resumes serving.
+		n.mu.Lock()
+		n.end, n.succ = oldEnd, oldSucc
+		n.mu.Unlock()
+		rec.Abort(n.data)
+	default:
+		// The leaver is unreachable and the commit's fate unknown. If it
+		// landed, the leaver durably cleared its store before going away
+		// — our promoted copies are the ONLY copies, so aborting here
+		// would destroy the segment. Keep the items and the extended
+		// pointers: the lossy direction is unrecoverable, the duplicate
+		// direction is not (a leaver that in fact crashed un-committed
+		// re-serves its WAL on restart, and the stabilization pass
+		// re-adopts it as successor, shadowing our duplicates).
+		rec.Finish()
+	}
+}
+
+// --- staging recovery ---
+
+// stagingDir returns the disk staging directory for an inbound session,
+// or "" (memory staging) when the node's store is not disk-backed — a
+// crash then loses the staged items, but it loses the live items too, so
+// the session is simply gone, not half-applied.
+func (n *Node) stagingDir(id uint64) string {
+	lg, ok := n.data.(*store.Log)
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("%s.handoff-%016x", lg.Dir(), id)
+}
+
+// recoverStaging scans for staging sessions a previous process left
+// beside this node's WAL directory. A join session is kept for StartJoin
+// to resolve against the sender; a leave session that had reached
+// promotion is finished (if our commit reached the leaver, these items
+// exist nowhere else; if it did not, the duplicates are overwritten by
+// the authoritative copies at the next absorb); anything else is debris
+// whose sender still owns the range, and is discarded.
+func (n *Node) recoverStaging() error {
+	lg, ok := n.data.(*store.Log)
+	if !ok {
+		return nil
+	}
+	dirs, err := filepath.Glob(lg.Dir() + ".handoff-*")
+	if err != nil {
+		return err
+	}
+	for _, dir := range dirs {
+		rec, err := handoff.Recover(dir)
+		if err != nil {
+			os.RemoveAll(dir) // crashed before the manifest write: nothing staged
+			continue
+		}
+		switch {
+		case rec.Role == handoff.RoleJoin && n.recovered == nil:
+			n.recovered = rec
+		case rec.Role == handoff.RoleLeave && rec.State() == handoff.StagePromoting:
+			if err := rec.Promote(n.data); err != nil {
+				return err
+			}
+			if err := rec.Finish(); err != nil {
+				return err
+			}
+		default:
+			if err := rec.Abort(nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+package p2p
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"condisc/internal/interval"
+	"condisc/internal/store"
+)
+
+// handoffHarness: a log-backed single-node network holding `items` keys,
+// with a tiny chunk budget so a join transfer spans many frames.
+func handoffHarness(t *testing.T, seed uint64, items int, ownerOpts ...NodeOption) (*Node, string) {
+	t.Helper()
+	ownerDir := filepath.Join(t.TempDir(), "owner")
+	st, err := store.OpenLog(ownerDir, store.LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := append([]NodeOption{WithStore(st), WithChunkBytes(256)}, ownerOpts...)
+	owner, err := NewNode("127.0.0.1:0", seed, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner.StartFirst(interval.FromFloat(0.42))
+	cl := &Client{Bootstrap: owner.Addr()}
+	for i := 0; i < items; i++ {
+		if _, err := cl.Put(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%03d", i)), owner.HashFunc()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return owner, ownerDir
+}
+
+// verifyAllKeys asserts every key is retrievable through bootstrap and
+// returns nothing missing.
+func verifyAllKeys(t *testing.T, bootstrap string, h func(string) interval.Point, items int, when string) {
+	t.Helper()
+	cl := &Client{Bootstrap: bootstrap}
+	for i := 0; i < items; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		v, _, err := cl.Get(key, h)
+		if err != nil {
+			t.Fatalf("%s: get %s: %v", when, key, err)
+		}
+		if string(v) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("%s: %s = %q", when, key, v)
+		}
+	}
+}
+
+// countLogItems reopens a WAL directory offline and returns its item count.
+func countLogItems(t *testing.T, dir string) int {
+	t.Helper()
+	s, err := store.OpenLog(dir, store.LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	return s.Len()
+}
+
+// TestJoinerKilledMidStreamThenResumes is the acceptance scenario for the
+// handoff subsystem: a log-backed joiner dies mid-stream; afterwards
+// exactly one node owns the range (the owner — ownership never flipped),
+// no item is lost or duplicated, and a joiner restarted on the same
+// address and data directory resumes the session from its staged prefix
+// and completes the join. Durability is verified by reopening both WALs
+// offline at the end.
+func TestJoinerKilledMidStreamThenResumes(t *testing.T) {
+	const items = 300
+	owner, ownerDir := handoffHarness(t, 77, items)
+	defer owner.Close()
+
+	joinerDir := filepath.Join(t.TempDir(), "joiner")
+	openJoiner := func() *Node {
+		st, err := store.OpenLog(joinerDir, store.LogOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := NewNode("127.0.0.1:0", 77, WithStore(st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	// First incarnation: dies after two staged chunks.
+	j1 := openJoiner()
+	j1.handoffChunkHook = func(chunk int) error {
+		if chunk >= 2 {
+			return fmt.Errorf("kill -9")
+		}
+		return nil
+	}
+	err := j1.StartJoin(owner.Addr(), rand.New(rand.NewPCG(78, 78)))
+	if err == nil {
+		t.Fatal("killed joiner reported a successful join")
+	}
+	jAddr := j1.Addr()
+	j1.Close() // the crash: no abort, no cleanup
+
+	// Exactly one owner, nothing lost: the owner still serves all keys
+	// from its own store (ownership never flipped), and the crashed
+	// joiner's staging session survives on disk.
+	if got := owner.NumItems(); got != items {
+		t.Fatalf("after joiner crash the owner has %d items, want %d", got, items)
+	}
+	verifyAllKeys(t, owner.Addr(), owner.HashFunc(), items, "after joiner crash")
+	staging, err := filepath.Glob(joinerDir + ".handoff-*")
+	if err != nil || len(staging) != 1 {
+		t.Fatalf("want exactly one staging dir, got %v (%v)", staging, err)
+	}
+	if n := countLogItems(t, staging[0]); n == 0 || n >= items {
+		t.Fatalf("staging holds %d items, want a strict prefix of the range", n)
+	}
+
+	// Second incarnation on the same address + data directory: the
+	// recovered session resumes from the staged prefix.
+	st2, err := store.OpenLog(joinerDir, store.LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := NewNode(jAddr, 77, WithStore(st2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.recovered == nil {
+		t.Fatal("restarted joiner did not recover the staging session")
+	}
+	if err := j2.StartJoin(owner.Addr(), rand.New(rand.NewPCG(79, 79))); err != nil {
+		t.Fatalf("resumed join failed: %v", err)
+	}
+
+	// The range moved exactly once: counts are disjoint and conserved,
+	// every key is served, the staging session is gone.
+	if sum := owner.NumItems() + j2.NumItems(); sum != items {
+		t.Fatalf("items not conserved after resume: owner %d + joiner %d != %d",
+			owner.NumItems(), j2.NumItems(), items)
+	}
+	if j2.NumItems() == 0 {
+		t.Fatal("resumed joiner owns no items; the transfer did not complete")
+	}
+	verifyAllKeys(t, owner.Addr(), owner.HashFunc(), items, "after resumed join")
+	verifyAllKeys(t, j2.Addr(), owner.HashFunc(), items, "after resumed join via joiner")
+	if left, _ := filepath.Glob(joinerDir + ".handoff-*"); len(left) != 0 {
+		t.Fatalf("staging session not cleaned up: %v", left)
+	}
+
+	// Durability: reopen both WALs offline — the split survives restarts
+	// with no item lost or present on both sides.
+	ownerN, joinerN := owner.NumItems(), j2.NumItems()
+	owner.Close()
+	j2.Close()
+	if n := countLogItems(t, ownerDir); n != ownerN {
+		t.Fatalf("owner WAL reopened with %d items, want %d", n, ownerN)
+	}
+	if n := countLogItems(t, joinerDir); n != joinerN {
+		t.Fatalf("joiner WAL reopened with %d items, want %d", n, joinerN)
+	}
+}
+
+// TestJoinerKilledExpiredSessionAbortsCleanly: if the owner expires the
+// session before the joiner returns, the restarted joiner rolls its
+// staging back and joins fresh — still exactly one copy of every item.
+func TestJoinerKilledExpiredSessionAbortsCleanly(t *testing.T) {
+	const items = 200
+	owner, _ := handoffHarness(t, 91, items, WithHandoffTTL(100*time.Millisecond))
+	defer owner.Close()
+
+	joinerDir := filepath.Join(t.TempDir(), "joiner")
+	st, err := store.OpenLog(joinerDir, store.LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := NewNode("127.0.0.1:0", 91, WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.handoffChunkHook = func(chunk int) error {
+		if chunk >= 1 {
+			return fmt.Errorf("kill -9")
+		}
+		return nil
+	}
+	if err := j1.StartJoin(owner.Addr(), rand.New(rand.NewPCG(92, 92))); err == nil {
+		t.Fatal("killed joiner reported a successful join")
+	}
+	jAddr := j1.Addr()
+	j1.Close()
+
+	time.Sleep(250 * time.Millisecond) // let the owner's session expire
+
+	// The fence must have lifted: writes to the once-fenced range land.
+	if _, err := (&Client{Bootstrap: owner.Addr()}).Put("post-expiry", []byte("x"), owner.HashFunc()); err != nil {
+		t.Fatalf("put after session expiry: %v", err)
+	}
+
+	st2, err := store.OpenLog(joinerDir, store.LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := NewNode(jAddr, 91, WithStore(st2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.StartJoin(owner.Addr(), rand.New(rand.NewPCG(93, 93))); err != nil {
+		t.Fatalf("fresh join after clean abort failed: %v", err)
+	}
+	defer j2.Close()
+
+	if sum := owner.NumItems() + j2.NumItems(); sum != items+1 {
+		t.Fatalf("items not conserved after abort+rejoin: %d + %d != %d",
+			owner.NumItems(), j2.NumItems(), items+1)
+	}
+	verifyAllKeys(t, j2.Addr(), owner.HashFunc(), items, "after abort and fresh join")
+	if left, _ := filepath.Glob(joinerDir + ".handoff-*"); len(left) != 0 {
+		t.Fatalf("aborted staging session not cleaned up: %v", left)
+	}
+}
+
+// TestLeaveStreamsThroughDiskStaging: a leave between two log-backed
+// nodes stages on the predecessor's disk, promotes, and cleans up; the
+// leaver's WAL is empty on reopen (nothing replays) and the predecessor
+// serves everything.
+func TestLeaveStreamsThroughDiskStaging(t *testing.T) {
+	const items = 150
+	predDir := filepath.Join(t.TempDir(), "pred")
+	predStore, err := store.OpenLog(predDir, store.LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := NewNode("127.0.0.1:0", 55, WithStore(predStore), WithChunkBytes(256), WithHandoffTTL(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pred.Close()
+	pred.StartFirst(interval.FromFloat(0.1))
+
+	leaverDir := filepath.Join(t.TempDir(), "leaver")
+	leaverStore, err := store.OpenLog(leaverDir, store.LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaver, err := NewNode("127.0.0.1:0", 55, WithStore(leaverStore), WithChunkBytes(256), WithHandoffTTL(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leaver.StartJoin(pred.Addr(), rand.New(rand.NewPCG(56, 56))); err != nil {
+		t.Fatal(err)
+	}
+	cl := &Client{Bootstrap: pred.Addr()}
+	for i := 0; i < items; i++ {
+		if _, err := cl.Put(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%03d", i)), pred.HashFunc()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if leaver.NumItems() == 0 {
+		t.Fatal("test needs the leaver to own part of the range")
+	}
+
+	if err := leaver.Leave(); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if got := pred.NumItems(); got != items {
+		t.Fatalf("predecessor has %d items after absorb, want %d", got, items)
+	}
+	verifyAllKeys(t, pred.Addr(), pred.HashFunc(), items, "after streamed leave")
+	if left, _ := filepath.Glob(predDir + ".handoff-*"); len(left) != 0 {
+		t.Fatalf("predecessor staging not cleaned up: %v", left)
+	}
+	if n := countLogItems(t, leaverDir); n != 0 {
+		t.Fatalf("leaver WAL replays %d handed-off items", n)
+	}
+}
+
+// TestFencedPutRefusedDuringStream: while a join session is streaming, a
+// put into the moving range is refused loudly instead of silently lost at
+// commit.
+func TestFencedPutRefusedDuringStream(t *testing.T) {
+	owner, _ := handoffHarness(t, 33, 50)
+	defer owner.Close()
+	x, _, _, _ := owner.State()
+	// The singleton owner covers the full circle; fence the quarter arc
+	// opposite its start point (a session opened directly — no joiner
+	// process needed to test the fence).
+	mid := x + interval.Point(1)<<63
+	if _, err := owner.sessions.Prepare(999, interval.Segment{Start: mid, Len: 1 << 62}, "t", sessMeta{kind: "join"}); err != nil {
+		t.Fatal(err)
+	}
+	resp := owner.handle(request{Op: opPut, Key: "fenced", Val: []byte("x"), Target: uint64(mid) + 1})
+	if resp.OK || resp.Err == "" {
+		t.Fatalf("put into a fenced range was accepted: %+v", resp)
+	}
+	// Outside the fence writes still land.
+	resp = owner.handle(request{Op: opPut, Key: "free", Val: []byte("x"), Target: uint64(x) + 1})
+	if !resp.OK {
+		t.Fatalf("put outside the fence refused: %+v", resp)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"condisc/internal/handoff"
 	"condisc/internal/hashing"
 	"condisc/internal/interval"
 	"condisc/internal/store"
@@ -45,18 +46,41 @@ type Node struct {
 	// re-derived whenever back changes (the table has O(ρ·∆) entries).
 	back       map[uint64]NodeInfo
 	backSorted []NodeInfo
-	// data is the node's item store, ordered by hash point so that the
-	// Join handoff drains exactly the split range (internal/store). It is
-	// the in-memory engine unless WithStore installed a disk-backed one.
+	// data is the node's item store, ordered by hash point so that a
+	// churn handoff streams exactly the moving range (internal/store). It
+	// is the in-memory engine unless WithStore installed a disk-backed one.
 	data store.Store
-	// leaving marks that Leave has drained the store: item requests are
+	// leaving marks that a Leave handoff is in flight: item requests are
 	// refused (explicit error, not a silent miss or a silently dropped
-	// write) until the node finishes shutting down.
+	// write) until the leave commits or aborts.
 	leaving bool
+
+	// sessions is the sender side of the node's handoff transfers: it
+	// fences writes to a mid-handoff range and answers commit/status.
+	sessions   *handoff.Sessions
+	handoffTTL time.Duration
+	chunkBytes int
+	// absorbing counts in-flight inbound leave absorptions (this node as
+	// receiver). Joins, leaves, and further absorptions are refused while
+	// one runs: an absorb rewrites end/succ and promotes items a
+	// concurrent transfer would delete or strand.
+	absorbing int
+	// recovered is a crashed join's staging session found on disk at
+	// construction; StartJoin resumes or aborts it before a fresh join.
+	recovered *handoff.Receiver
+	// noPatches disables the incremental opPatchBack announcements,
+	// leaving table repair to Stabilize alone — the ablation arm of the
+	// E31 staleness-vs-stabilization experiment.
+	noPatches bool
 
 	// failPatches injects opPatchBack failures for the retry tests: while
 	// positive, incoming patches are refused (and the counter decremented).
 	failPatches atomic.Int32
+	// handoffChunkHook, when set by a test, runs before each received
+	// stream chunk is staged; an error simulates the receiver dying
+	// mid-stream (no cleanup runs — staging is left exactly as a crash
+	// would leave it).
+	handoffChunkHook func(chunk int) error
 
 	closed  chan struct{}
 	wg      sync.WaitGroup
@@ -71,6 +95,28 @@ type NodeOption func(*Node)
 // node takes ownership: Close closes the store.
 func WithStore(s store.Store) NodeOption {
 	return func(n *Node) { n.data = s }
+}
+
+// WithHandoffTTL sets the receiver-silence deadline after which this
+// node, as a handoff sender, unilaterally aborts a streaming session and
+// keeps its range (default handoff.DefaultTTL). Tests shrink it to
+// exercise the expiry paths.
+func WithHandoffTTL(d time.Duration) NodeOption {
+	return func(n *Node) { n.handoffTTL = d }
+}
+
+// WithChunkBytes sets the per-frame byte budget of outgoing handoff
+// streams (default handoff.DefaultChunkBytes). Peak transfer memory on
+// both ends is O(this budget), independent of the range size.
+func WithChunkBytes(b int) NodeOption {
+	return func(n *Node) { n.chunkBytes = b }
+}
+
+// WithoutPatches disables the incremental join/leave backward-table
+// announcements: tables are then repaired only by Stabilize, making table
+// staleness a pure function of the stabilization interval (E31).
+func WithoutPatches() NodeOption {
+	return func(n *Node) { n.noPatches = true }
 }
 
 // NewNode creates a node listening on addr ("127.0.0.1:0" for an ephemeral
@@ -95,6 +141,17 @@ func NewNode(addr string, seed uint64, opts ...NodeOption) (*Node, error) {
 	}
 	if n.data == nil {
 		n.data = store.NewMem()
+	}
+	if n.handoffTTL <= 0 {
+		n.handoffTTL = handoff.DefaultTTL
+	}
+	if n.chunkBytes <= 0 {
+		n.chunkBytes = handoff.DefaultChunkBytes
+	}
+	n.sessions = handoff.NewSessions(n.handoffTTL)
+	if err := n.recoverStaging(); err != nil {
+		ln.Close()
+		return nil, err
 	}
 	return n, nil
 }
@@ -172,60 +229,6 @@ func (n *Node) StartFirst(x interval.Point) {
 	n.serve()
 }
 
-// StartJoin joins an existing network through the bootstrap address,
-// implementing Algorithm Join of §2.1 with the Improved Single Choice ID
-// rule of §4: sample a random z, look up its owner, and take the middle of
-// that owner's segment.
-func (n *Node) StartJoin(bootstrap string, rng *rand.Rand) error {
-	z := interval.Point(rng.Uint64())
-	owner, err := lookupVia(bootstrap, z)
-	if err != nil {
-		return err
-	}
-	mid := interval.Point(owner.Point) + interval.Point(uint64(owner.End-owner.Point)/2)
-	if uint64(mid) == owner.Point { // degenerate tiny segment; fall back
-		mid = interval.Point(rng.Uint64())
-		owner, err = lookupVia(bootstrap, mid)
-		if err != nil {
-			return err
-		}
-	}
-	// Ask the owner to split its segment at mid.
-	resp, err := call(owner.Addr, request{Op: opJoin, NewPoint: uint64(mid), NewAddr: n.addr, NewID: n.id})
-	if err != nil {
-		return err
-	}
-	n.mu.Lock()
-	n.x = mid
-	n.end = interval.Point(resp.End)
-	n.pred = NodeInfo{ID: resp.ID, Point: resp.Point, Addr: resp.Addr}
-	n.succ = NodeInfo{ID: resp.SuccID, Point: resp.End, Addr: resp.SuccAddr}
-	if resp.SuccAddr == "" { // two-node network: owner is also successor
-		n.succ = NodeInfo{ID: resp.ID, Point: resp.Point, Addr: resp.Addr}
-	}
-	for k, v := range resp.Items {
-		if err := n.data.Put(n.hash.Point(k), k, v); err != nil {
-			n.mu.Unlock()
-			return fmt.Errorf("p2p: store join items: %w", err)
-		}
-	}
-	n.setBackLocked([]NodeInfo{{ID: resp.ID, Point: resp.Point, Addr: resp.Addr}})
-	n.mu.Unlock()
-	n.serve()
-	// Tell the successor its predecessor changed.
-	succ := n.succInfo()
-	if succ.Addr != n.addr {
-		if _, err := call(succ.Addr, request{Op: opSetPred, NewPoint: uint64(mid), NewAddr: n.addr, NewID: n.id}); err != nil {
-			return err
-		}
-	}
-	// Incrementally announce the join to the nodes whose backward tables
-	// must now contain us: the covers of our segment's forward images.
-	// Best-effort — Stabilize repairs anything a lost patch leaves stale.
-	n.notifyImageCovers(false)
-	return n.Stabilize()
-}
-
 func (n *Node) succInfo() NodeInfo {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -260,6 +263,12 @@ func (n *Node) serve() {
 				defer conn.Close()
 				var req request
 				if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+					return
+				}
+				if req.Op == opHandStream {
+					// The response is a framed chunk stream on the same
+					// connection, not a gob message.
+					n.handleStream(req, conn)
 					return
 				}
 				resp := n.handle(req)
@@ -303,8 +312,12 @@ func (n *Node) handle(req request) response {
 		n.patchBackLocked(NodeInfo{ID: req.NewID, Point: req.NewPoint, Addr: req.NewAddr}, req.Remove)
 		n.mu.Unlock()
 		return response{OK: true}
-	case opJoin:
-		return n.handleJoin(req)
+	case opHandPrepare:
+		return n.handleHandPrepare(req)
+	case opHandCommit:
+		return n.handleHandCommit(req)
+	case opHandStatus:
+		return n.handleHandStatus(req)
 	case opLeave:
 		return n.handleLeave(req)
 	case opLookup, opGet, opPut:
@@ -312,170 +325,6 @@ func (n *Node) handle(req request) response {
 	default:
 		return response{Err: "unknown op: " + req.Op}
 	}
-}
-
-// handleJoin splits this node's segment at req.NewPoint, transferring the
-// upper part (and its items) to the joiner — Algorithm Join step 3.
-func (n *Node) handleJoin(req request) response {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.leaving {
-		// Our segment and items are mid-handoff to the predecessor: a
-		// split now would give the joiner items the predecessor is also
-		// absorbing, and ring pointers the opLeave message no longer
-		// reflects.
-		return response{Err: "node is leaving; retry via another node"}
-	}
-	p := interval.Point(req.NewPoint)
-	if !n.segmentLocked().Contains(p) || p == n.x {
-		return response{Err: fmt.Sprintf("join point %v outside segment", p)}
-	}
-	upper := interval.Segment{Start: p, Len: uint64(n.end - p)}
-	if n.x == n.end { // full circle: the joiner takes [p, x)
-		upper = interval.Segment{Start: p, Len: uint64(n.x - p)}
-	}
-	// Drain exactly the handed-off range from the ordered store — the
-	// items that stay behind are never touched.
-	//
-	// Known window (pre-existing in the join protocol, tracked in
-	// ROADMAP): the drain happens before the response carrying the items
-	// is delivered, so a joiner that dies mid-RPC strands the drained
-	// range. Closing it needs a two-phase join handshake; a single
-	// request/response cannot sequence "drain after the joiner has the
-	// items".
-	drained, err := store.Drain(n.data, upper)
-	if err != nil {
-		return response{Err: fmt.Sprintf("store drain: %v", err)}
-	}
-	items := make(map[string][]byte, len(drained))
-	for _, it := range drained {
-		items[it.Key] = it.Value
-	}
-	resp := response{
-		OK: true,
-		ID: n.id, Point: uint64(n.x), Addr: n.addr,
-		End: uint64(n.end), SuccID: n.succ.ID, SuccAddr: n.succ.Addr,
-		Items: items,
-	}
-	if n.x == n.end { // first split of a singleton network
-		resp.End = uint64(n.x)
-		resp.SuccID = n.id
-		resp.SuccAddr = n.addr
-	}
-	// The joiner becomes our successor.
-	n.end = p
-	n.succ = NodeInfo{ID: req.NewID, Point: req.NewPoint, Addr: req.NewAddr}
-	return resp
-}
-
-// handleLeave absorbs the leaving successor's segment and items (§2.1:
-// "the predecessor on the ring enlarges its segment").
-func (n *Node) handleLeave(req request) response {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.leaving {
-		// We are handing our own store off: absorbing the successor's
-		// items now would park them in a store about to be drained —
-		// they would be in neither snapshot. The leaver aborts and
-		// retries once our own leave resolves.
-		return response{Err: "node is leaving; retry"}
-	}
-	// Absorb the items BEFORE committing the ring-pointer change: a store
-	// error (the Put is fallible on a disk-backed store) must leave the
-	// leaver owning its segment — the aborted leave resumes serving. Items
-	// absorbed before a mid-loop failure are orphaned duplicates here
-	// (harmless: the leaver still serves the authoritative copies), not
-	// losses.
-	for k, v := range req.Items {
-		if err := n.data.Put(n.hash.Point(k), k, v); err != nil {
-			return response{Err: fmt.Sprintf("store absorb: %v", err)}
-		}
-	}
-	n.end = interval.Point(req.Target)                                     // leaver's end
-	n.succ = NodeInfo{ID: req.NewID, Point: req.Target, Addr: req.NewAddr} // leaver's successor
-	return response{OK: true, Addr: n.addr, Point: uint64(n.x)}
-}
-
-// Leave gracefully exits: hand segment and data to the predecessor,
-// repoint the successor, and incrementally retract this node from the
-// backward tables that reference it.
-func (n *Node) Leave() error {
-	// Ordering of the handoff, chosen so no crash point loses data:
-	//
-	//  1. snapshot the items under mu and set `leaving` — later puts/gets
-	//     are refused loudly, so the snapshot stays complete;
-	//  2. transfer the snapshot to the predecessor and wait for its ack;
-	//  3. only then drain the local store (on a WAL store the drain is a
-	//     durable tombstone, so it must not happen before the ack: a kill
-	//     in between would leave the items nowhere).
-	//
-	// A crash after the ack but before the drain leaves the items both at
-	// the predecessor and in this node's WAL — a restart on the same data
-	// directory re-serves stale duplicates, which is recoverable, unlike
-	// loss. A failed transfer clears `leaving` and resumes serving; the
-	// store was never touched.
-	n.mu.Lock()
-	if n.leaving {
-		n.mu.Unlock()
-		return fmt.Errorf("p2p: leave already in progress")
-	}
-	pred, succ := n.pred, n.succ
-	end := n.end
-	if pred.Addr == n.addr {
-		// Last node: there is nowhere to hand the items — keep the store
-		// intact (a WAL store retains them for a future restart) and stop.
-		n.mu.Unlock()
-		n.Close()
-		return nil
-	}
-	items := make(map[string][]byte, n.data.Len())
-	err := n.data.Ascend(interval.FullCircle, func(it store.Item) bool {
-		items[it.Key] = it.Value
-		return true
-	})
-	if err != nil {
-		n.mu.Unlock()
-		return fmt.Errorf("p2p: collect items for leave: %w", err)
-	}
-	n.leaving = true
-	n.mu.Unlock()
-	// Tell the covers of our forward images to drop us from their backward
-	// tables before the segment moves (with ack + bounded retry; routing
-	// falls back to ring hops for any entry a truly lost patch leaves
-	// stale, until Stabilize repairs it).
-	n.notifyImageCovers(true)
-	req := request{Op: opLeave, Target: uint64(end), NewAddr: succ.Addr, NewID: succ.ID, Items: items}
-	if _, err := call(pred.Addr, req); err != nil {
-		n.mu.Lock()
-		n.leaving = false
-		n.mu.Unlock()
-		return err
-	}
-	// The leave is committed: the predecessor owns the segment and items.
-	// Everything after this point is best-effort cleanup and must not
-	// abort the shutdown (aborting would wedge the node: leaving=true
-	// refuses all requests and a retried Leave is rejected).
-	//
-	// Clear our store (no value re-reads — the snapshot already holds
-	// them) so a persistent (WAL) store does not replay the handed-off
-	// items on a later restart.
-	n.mu.Lock()
-	cleanupErr := store.Clear(n.data)
-	n.mu.Unlock()
-	if cleanupErr != nil {
-		cleanupErr = fmt.Errorf("p2p: leave handed off, but draining the local store failed (a restart on this data directory will re-serve stale items): %w", cleanupErr)
-	}
-	if succ.Addr != n.addr {
-		// Best-effort: a failure leaves the successor's pred pointer
-		// stale, which is only used as a stabilization hint (dials to it
-		// fail and are ignored) and is rewritten by the next join in that
-		// gap. The handoff is already done either way.
-		if _, err := call(succ.Addr, request{Op: opSetPred, NewPoint: pred.Point, NewAddr: pred.Addr, NewID: pred.ID}); err != nil && cleanupErr == nil {
-			cleanupErr = fmt.Errorf("p2p: leave handed off, but repointing the successor failed: %w", err)
-		}
-	}
-	n.Close()
-	return cleanupErr
 }
 
 // Patch delivery policy: every opPatchBack is acknowledged by its RPC
@@ -509,6 +358,9 @@ func sendPatch(addr string, req request) bool {
 // nodes whose backward image covers part of our segment, i.e. whose `back`
 // table must list us. O(ρ) recipients by Theorem 2.2.
 func (n *Node) notifyImageCovers(remove bool) {
+	if n.noPatches {
+		return
+	}
 	n.mu.Lock()
 	seg := n.segmentLocked()
 	self := request{Op: opPatchBack, NewID: n.id, NewPoint: uint64(n.x), NewAddr: n.addr, Remove: remove}

@@ -10,9 +10,14 @@
 //     are refreshed by Stabilize and used opportunistically — when a table
 //     misses the next hop the node falls back to a ring hop, trading hops
 //     for progress (the standard correctness/efficiency split in DHTs).
-//   - Every RPC is one request/response over a fresh TCP connection,
-//     encoded with encoding/gob. Recursive routing: each hop dials the
-//     next node and relays the response back.
+//   - Every control RPC is one request/response over a fresh TCP
+//     connection, encoded with encoding/gob. Recursive routing: each hop
+//     dials the next node and relays the response back.
+//   - Item transfer during churn is NOT a control RPC: Join and Leave run
+//     prepare→stream→commit handoff sessions (internal/handoff), where
+//     the opHandStream response is a CRC-framed chunk stream on the same
+//     connection — bounded memory however large the range, resumable
+//     after a disconnect, and ownership flips only at commit.
 //   - All nodes share the item-hash function, derived from a cluster seed.
 package p2p
 
@@ -29,13 +34,21 @@ const (
 	opLookup    = "lookup"    // route to the owner of a point
 	opGet       = "get"       // route + read
 	opPut       = "put"       // route + write
-	opJoin      = "join"      // segment split at the owner
-	opLeave     = "leave"     // absorb a leaving successor's segment + data
 	opSetPred   = "setpred"   // update predecessor pointer
 	opPatchBack = "patchback" // incremental backward-table patch (add/remove one ID-keyed entry)
+	opLeave     = "leave"     // leave offer: the predecessor pulls a handoff session from the leaver
+
+	// Handoff session ops (two-phase churn transfer, internal/handoff).
+	opHandPrepare = "hprepare" // joiner opens a session at the segment owner
+	opHandStream  = "hstream"  // pull the chunk stream (framed bytes follow, no gob response)
+	opHandCommit  = "hcommit"  // flip ownership: sender deletes the range and repoints
+	opHandStatus  = "hstatus"  // receiver probe after a crash: streaming/committed/unknown
 )
 
-// request is the single wire request type.
+// request is the single wire request type. There is deliberately no bulk
+// item payload: since the handoff protocol replaced the single-RPC
+// join/leave transfer, no request or response can carry a range of items,
+// so the old unbounded-memory path cannot be reintroduced by accident.
 type request struct {
 	Op  string
 	Key string
@@ -48,6 +61,10 @@ type request struct {
 	StepsLeft int
 	Started   bool
 	Hops      int
+	// Stale counts the stale backward-table entries this lookup hit — a
+	// next hop whose node was unreachable, repaired by falling back to a
+	// ring hop. E31 sweeps this against the stabilization interval.
+	Stale int
 	// NewAddr/NewPoint/NewID describe a joining, leaving, or patched node.
 	NewAddr  string
 	NewPoint uint64
@@ -55,16 +72,26 @@ type request struct {
 	// Remove marks an opPatchBack that retracts (rather than adds) the
 	// entry with NewID.
 	Remove bool
-	// Items carries bulk data transfer on Leave.
-	Items map[string][]byte
+	// Handoff session fields. Session names the transfer (nonzero);
+	// SrcAddr is the stream source in a leave offer; SegStart/SegLen
+	// carry the moving range; FromPoint/FromKey (valid when HasFrom)
+	// resume a broken stream strictly after the last staged position.
+	Session   uint64
+	SrcAddr   string
+	SegStart  uint64
+	SegLen    uint64
+	FromPoint uint64
+	FromKey   string
+	HasFrom   bool
 }
 
 // response is the single wire response type.
 type response struct {
-	OK   bool
-	Err  string
-	Val  []byte
-	Hops int
+	OK    bool
+	Err   string
+	Val   []byte
+	Hops  int
+	Stale int
 	// Node status fields.
 	ID       uint64
 	Point    uint64
@@ -73,8 +100,8 @@ type response struct {
 	SuccID   uint64
 	SuccAddr string
 	PredAddr string
-	// Join/Leave payload: transferred items and seed neighbours.
-	Items map[string][]byte
+	// State reports a handoff session's fate to an opHandStatus probe.
+	State string
 }
 
 const rpcTimeout = 5 * time.Second

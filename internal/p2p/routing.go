@@ -63,7 +63,10 @@ func (n *Node) route(req request) response {
 			if !delivered && ring.Addr != next.Addr {
 				// Stale backward-table entry (e.g. a departed node): the
 				// ring pointers are maintained synchronously and always
-				// name a live node, so fall back to a ring hop.
+				// name a live node, so fall back to a ring hop. The Stale
+				// counter records the repair — the staleness observable
+				// E31 sweeps against the stabilization interval.
+				req.Stale++
 				resp, _ = tryForward(ring, req)
 			}
 			return resp
@@ -83,12 +86,19 @@ func (n *Node) route(req request) response {
 // serveLocal executes the data operation at the owner (mu held).
 func (n *Node) serveLocal(req request) response {
 	if n.leaving && (req.Op == opGet || req.Op == opPut) {
-		// The store was drained by Leave: the predecessor owns the items
-		// now. Fail loudly — a silent miss (or a write into the drained
-		// store) would lose data.
+		// The store is mid-handoff to the predecessor: a write now would
+		// be invisible to the stream, and after commit a read would be a
+		// silent miss. Fail loudly instead.
 		return response{Err: "node is leaving; retry", Hops: req.Hops}
 	}
-	resp := response{OK: true, Hops: req.Hops,
+	if req.Op == opPut && n.sessions.Fenced(interval.Point(req.Target)) {
+		// The target point lies in a range mid-handoff to a joiner: the
+		// stream cursor may already be past it, so accepting the write
+		// would silently lose it at commit. (Reads keep being served —
+		// the range is ours until commit.)
+		return response{Err: "range is mid-handoff; retry", Hops: req.Hops}
+	}
+	resp := response{OK: true, Hops: req.Hops, Stale: req.Stale,
 		ID: n.id, Point: uint64(n.x), End: uint64(n.end), Addr: n.addr,
 		SuccID: n.succ.ID, SuccAddr: n.succ.Addr, PredAddr: n.pred.Addr}
 	switch req.Op {
@@ -262,6 +272,17 @@ func (c *Client) Lookup(p interval.Point) (owner string, hops int, err error) {
 		return "", 0, err
 	}
 	return resp.Addr, resp.Hops, nil
+}
+
+// LookupStats resolves a point's owner and also reports how many stale
+// backward-table entries the route hit (each one a failed dial repaired
+// by a ring-hop fallback) — the E31 staleness probe.
+func (c *Client) LookupStats(p interval.Point) (owner string, hops, stale int, err error) {
+	resp, err := lookupVia(c.Bootstrap, p)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	return resp.Addr, resp.Hops, resp.Stale, nil
 }
 
 // Put stores a value under key.

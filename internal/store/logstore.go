@@ -516,14 +516,14 @@ func (s *Log) dropRangeLocked(seg interval.Segment) error {
 	return nil
 }
 
-// dropRange removes every item in seg with a single range tombstone — the
-// Clear fast path (one WAL append instead of one tombstone per item). A
-// bulk drop is where dead bytes spike the most (a post-handoff Clear
-// kills the whole live set), and no later Put/Delete may ever arrive to
-// trigger reclamation, so compaction runs here directly; SplitRange
-// deliberately skips it (a compaction error there would masquerade as a
-// failed split).
-func (s *Log) dropRange(seg interval.Segment) error {
+// DeleteRange removes every item in seg with a single range tombstone —
+// the handoff-commit / Clear fast path (one WAL append instead of one
+// tombstone per item). A bulk drop is where dead bytes spike the most (a
+// post-handoff commit kills the whole live set), and no later Put/Delete
+// may ever arrive to trigger reclamation, so compaction runs here
+// directly; SplitRange deliberately skips it (a compaction error there
+// would masquerade as a failed split).
+func (s *Log) DeleteRange(seg interval.Segment) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -599,6 +599,83 @@ func (s *Log) drainItems(seg interval.Segment) ([]Item, error) {
 	_ = s.maybeCompact() // best-effort, as in dropRange
 	return items, nil
 }
+
+// Cursor returns a batched ring-order iterator over seg. Each Next preads
+// its batch's values from the WAL segments under one lock hold — the
+// memory high-water mark of a full-range walk is one batch, not the
+// range (the streaming-handoff property).
+func (s *Log) Cursor(seg interval.Segment) Cursor {
+	return &logCursor{s: s, rs: ringRanges(seg)}
+}
+
+type logCursor struct {
+	s        *Log
+	rs       []prange
+	ri       int
+	afterP   interval.Point
+	afterKey string
+	resuming bool
+}
+
+func (c *logCursor) Seek(p interval.Point, key string) {
+	c.afterP, c.afterKey, c.resuming = p, key, true
+	for i, r := range c.rs {
+		if r.contains(p) {
+			c.ri = i
+			return
+		}
+	}
+	c.ri = len(c.rs)
+}
+
+func (c *logCursor) Next(max int) ([]Item, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.s.closed {
+		return nil, errClosed
+	}
+	var out []Item
+	var rerr error
+	for c.ri < len(c.rs) && len(out) < max {
+		r := c.rs[c.ri]
+		p, key := r.lo, ""
+		if c.resuming && r.contains(c.afterP) {
+			p, key = c.afterP, c.afterKey+"\x00"
+		}
+		done := c.s.idx.ascendFrom(r, p, key, func(e entry[lloc]) bool {
+			if len(out) >= max {
+				return false
+			}
+			v, err := c.s.readValue(e.val)
+			if err != nil {
+				rerr = err
+				return false
+			}
+			out = append(out, Item{Point: e.p, Key: e.key, Value: v})
+			return true
+		})
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(out) > 0 {
+			last := out[len(out)-1]
+			c.afterP, c.afterKey, c.resuming = last.Point, last.Key, true
+		}
+		if !done {
+			break
+		}
+		c.ri++
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+func (c *logCursor) Close() error { return nil }
 
 // --- compaction ---
 

@@ -111,9 +111,9 @@ func (m *Mem) MergeFrom(src Store) error {
 	return Clear(src)
 }
 
-// dropRange removes every item in seg by chunk extraction — the Clear
-// fast path.
-func (m *Mem) dropRange(seg interval.Segment) error {
+// DeleteRange removes every item in seg by chunk extraction, reading no
+// values — the handoff-commit / Clear fast path.
+func (m *Mem) DeleteRange(seg interval.Segment) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, r := range ranges(seg) {
@@ -121,6 +121,72 @@ func (m *Mem) dropRange(seg interval.Segment) error {
 	}
 	return nil
 }
+
+// Cursor returns a batched ring-order iterator over seg.
+func (m *Mem) Cursor(seg interval.Segment) Cursor {
+	return &memCursor{m: m, rs: ringRanges(seg)}
+}
+
+// memCursor resumes by (point, key) position, so mutations between
+// batches — including the range's own deletion — are tolerated.
+type memCursor struct {
+	m        *Mem
+	rs       []prange
+	ri       int
+	afterP   interval.Point
+	afterKey string
+	resuming bool
+}
+
+func (c *memCursor) Seek(p interval.Point, key string) {
+	c.afterP, c.afterKey, c.resuming = p, key, true
+	for i, r := range c.rs {
+		if r.contains(p) {
+			c.ri = i
+			return
+		}
+	}
+	c.ri = len(c.rs) // position outside the segment: nothing left
+}
+
+func (c *memCursor) Next(max int) ([]Item, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	c.m.mu.Lock()
+	defer c.m.mu.Unlock()
+	var out []Item
+	for c.ri < len(c.rs) && len(out) < max {
+		r := c.rs[c.ri]
+		p, key := r.lo, ""
+		if c.resuming && r.contains(c.afterP) {
+			// Strictly after (afterP, afterKey): key+"\x00" is the least
+			// string above afterKey, so lowerBound lands one entry past it.
+			p, key = c.afterP, c.afterKey+"\x00"
+		}
+		done := c.m.l.ascendFrom(r, p, key, func(e entry[[]byte]) bool {
+			if len(out) >= max {
+				return false
+			}
+			out = append(out, Item{Point: e.p, Key: e.key, Value: e.val})
+			return true
+		})
+		if len(out) > 0 {
+			last := out[len(out)-1]
+			c.afterP, c.afterKey, c.resuming = last.Point, last.Key, true
+		}
+		if !done {
+			break // max reached inside this range
+		}
+		c.ri++
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+func (c *memCursor) Close() error { return nil }
 
 // drainItems atomically collects and removes every item in seg (one lock
 // hold — no concurrent write can land in the gap).

@@ -167,10 +167,32 @@ func ranges(s interval.Segment) []prange {
 	}
 }
 
+// contains reports whether p lies in the linear range.
+func (r prange) contains(p interval.Point) bool {
+	return p >= r.lo && (r.toTop || p < r.hi)
+}
+
+// ringRanges decomposes a ring segment like ranges, but ordered clockwise
+// from the segment start — the order a streaming handoff walks the segment
+// in, so that "resume after the last item received" is a single position.
+func ringRanges(s interval.Segment) []prange {
+	rs := ranges(s)
+	if len(rs) == 2 {
+		rs[0], rs[1] = rs[1], rs[0]
+	}
+	return rs
+}
+
 // ascendRange calls fn for every entry in r in (point, key) order until fn
 // returns false; it reports whether the walk ran to completion.
 func (l *list[V]) ascendRange(r prange, fn func(e entry[V]) bool) bool {
-	ci, i := l.lowerBound(r.lo, "")
+	return l.ascendFrom(r, r.lo, "", fn)
+}
+
+// ascendFrom is ascendRange starting at the first entry >= (p, key)
+// instead of the range start; the upper end of r still bounds the walk.
+func (l *list[V]) ascendFrom(r prange, p interval.Point, key string, fn func(e entry[V]) bool) bool {
+	ci, i := l.lowerBound(p, key)
 	for ; ci < len(l.chunks); ci++ {
 		es := l.chunks[ci].es
 		for ; i < len(es); i++ {

@@ -58,6 +58,19 @@ type Store interface {
 	// handoff. Cost is O(log S + moved), independent of the items that
 	// stay behind.
 	SplitRange(seg interval.Segment) (Store, error)
+	// DeleteRange removes every item whose point lies in seg without
+	// reading any values — one range tombstone (Log) or chunk extraction
+	// (Mem). It is the commit step of a streaming handoff: the items were
+	// already copied elsewhere, only the removal remains.
+	DeleteRange(seg interval.Segment) error
+	// Cursor returns a batched iterator over seg's items in ring order
+	// (clockwise from seg.Start). Unlike Ascend, a cursor acquires the
+	// store lock only for the duration of each Next call, so a transfer
+	// that interleaves network writes between batches never blocks the
+	// store; mutations between batches are tolerated (the cursor re-seeks
+	// by position). It is how a handoff streams a range in O(batch)
+	// memory regardless of the range size.
+	Cursor(seg interval.Segment) Cursor
 	// MergeFrom moves every item of src into this store, leaving src
 	// empty — the §2.1 Leave absorption. The source must not be mutated
 	// concurrently with the merge; a crash or error mid-merge leaves
@@ -83,11 +96,21 @@ func Open(engine, dir string) (Store, error) {
 	}
 }
 
-// rangeDropper is the engines' bulk-removal fast path: one range
-// tombstone (Log) or one chunk extraction (Mem) instead of a per-item
-// delete.
-type rangeDropper interface {
-	dropRange(seg interval.Segment) error
+// Cursor is a batched, resumable iterator over one segment's items in
+// ring order (clockwise from the segment start, (point, key)-ordered
+// within each linear run). Obtained from Store.Cursor.
+type Cursor interface {
+	// Next returns up to max items and advances the cursor; it returns
+	// (nil, nil) once the segment is exhausted. Each call re-acquires the
+	// store lock, so callers may interleave arbitrary store operations —
+	// or slow network writes — between batches.
+	Next(max int) ([]Item, error)
+	// Seek positions the cursor so that the next batch starts strictly
+	// after (p, key) in ring order — the resume step of an interrupted
+	// transfer. The position must lie inside the cursor's segment.
+	Seek(p interval.Point, key string)
+	// Close releases the cursor. The store itself stays open.
+	Close() error
 }
 
 // atomicDrainer is the engines' collect-and-remove fast path: both steps
@@ -120,15 +143,11 @@ func Drain(s Store, seg interval.Segment) ([]Item, error) {
 }
 
 // Clear removes every item of s without reading any values: one range
-// tombstone (Log) or chunk drop (Mem) on the built-in engines, a per-item
-// delete otherwise. Use it when the items were already transferred and
-// only the removal is needed (the TCP node's post-handoff drain).
+// tombstone (Log) or chunk drop (Mem). Use it when the items were already
+// transferred and only the removal is needed (the TCP node's post-handoff
+// drain).
 func Clear(s Store) error {
-	if rd, ok := s.(rangeDropper); ok {
-		return rd.dropRange(interval.FullCircle)
-	}
-	_, err := Drain(s, interval.FullCircle)
-	return err
+	return s.DeleteRange(interval.FullCircle)
 }
 
 // destroyer is implemented by engines whose Destroy must reclaim more than
