@@ -11,6 +11,7 @@ package condisc
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -221,6 +222,35 @@ func BenchmarkLeave(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkChurnConcurrent sweeps the batch width of concurrent churn at
+// n = 100k: each iteration joins `width` servers through JoinBatch and
+// removes them again through LeaveBatch, so the network size is stable
+// and every iteration processes 2·width churn events. The derived
+// "ns/event" metric is the per-event cost at that width; the CI gate
+// compares width=16 against width=1 (the serial baseline — Join/Leave
+// are the width-1 forms of the batch API) and requires the throughput
+// ratio the runner's core count makes possible, up to the 4× target.
+// "cpus" records GOMAXPROCS so the gate can scale its bar.
+func BenchmarkChurnConcurrent(b *testing.B) {
+	d := benchChurnDHT(b, 100_000)
+	for _, width := range []int{1, 2, 4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids := d.JoinBatch(width)
+				if err := d.LeaveBatch(ids); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			events := float64(b.N) * 2 * float64(width)
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/events, "ns/event")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cpus")
 		})
 	}
 }

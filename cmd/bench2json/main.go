@@ -32,10 +32,14 @@ import (
 // Entry is one benchmark result. Pkg is set only when the entry's package
 // differs from the document-level Pkg (multi-package concatenated input).
 // Custom b.ReportMetric units (e.g. BenchmarkHandoff's "peakB" transfer-
-// memory watermark) land in Metrics keyed by their unit string.
+// memory watermark) land in Metrics keyed by their unit string. Width is
+// the batch-width dimension parsed from a "width=N" sub-benchmark path
+// component (BenchmarkChurnConcurrent's sweep), so gates can select and
+// compare widths without re-parsing names.
 type Entry struct {
 	Name        string             `json:"name"`
 	Pkg         string             `json:"pkg,omitempty"`
+	Width       int                `json:"width,omitempty"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
@@ -129,6 +133,13 @@ func parseResult(line string) (Entry, bool) {
 		return Entry{}, false
 	}
 	e := Entry{Name: name, Iterations: iters, NsPerOp: ns}
+	for _, part := range strings.Split(name, "/") {
+		if rest, ok := strings.CutPrefix(part, "width="); ok {
+			if w, err := strconv.Atoi(rest); err == nil {
+				e.Width = w
+			}
+		}
+	}
 	for i := 4; i+1 < len(f); i += 2 {
 		switch f[i+1] {
 		case "B/op":

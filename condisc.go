@@ -18,6 +18,7 @@
 //	internal/baselines   Chord, Tapestry-style, CAN, small worlds, butterfly
 //	internal/store       ordered item stores (in-memory + disk-backed WAL)
 //	internal/handoff     streaming two-phase churn transfer sessions
+//	internal/churntest   the differential concurrent-churn harness
 //	internal/p2p         a real TCP implementation of the DH node
 //	internal/experiments drivers reproducing every table/figure/theorem
 //
@@ -31,10 +32,10 @@ import (
 	"math/rand/v2"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"condisc/internal/cache"
 	"condisc/internal/dhgraph"
-	"condisc/internal/handoff"
 	"condisc/internal/hashing"
 	"condisc/internal/interval"
 	"condisc/internal/partition"
@@ -99,6 +100,13 @@ type DHT struct {
 	stores   map[ServerID]store.Store
 	newStore func() store.Store
 	storeSeq int
+
+	// churnMu serializes churn entry points (Join/Leave and the batch
+	// forms) against each other; inside a batch, disjoint events
+	// parallelize under arc leases (condisc_batch.go).
+	churnMu   sync.Mutex
+	leases    *partition.Leases
+	schedHook func(event int, step string) // test-only interleaving hook
 }
 
 // New builds a DHT of n servers (n >= 2) with Multiple Choice IDs.
@@ -119,6 +127,7 @@ func New(n int, opts Options) *DHT {
 	d.hash = hashing.NewKWise(16, d.rng)
 	d.ring = partition.Grow(partition.New(), n, partition.MultipleChooser(2), d.rng)
 	d.net = route.NewNetwork(dhgraph.Build(d.ring, d.opts.Delta))
+	d.leases = partition.NewLeases()
 	if d.opts.Delta == 2 && d.opts.CacheThreshold >= 0 {
 		d.cache = cache.NewSystem(d.net, d.hash, d.autoThreshold())
 	}
@@ -241,69 +250,20 @@ func (d *DHT) EndEpoch() {
 // the load and supply counters are untouched (the newcomer simply has no
 // entries yet), and the item split moves the new segment's items out of
 // the predecessor's ordered store in O(log S + moved) — no scan of the
-// items that stay behind, no other server's state read or written.
+// items that stay behind, no other server's state read or written. Join
+// is the width-1 form of JoinBatch; disjoint joins batch and run
+// concurrently (condisc_batch.go).
 func (d *DHT) Join() ServerID {
-	p := partition.MultipleChoice(d.ring, d.rng, 2)
-	idx, ok := d.net.G.Insert(p)
-	for !ok {
-		p = partition.SingleChoice(d.rng)
-		idx, ok = d.net.G.Insert(p)
-	}
-	id := d.ring.HandleAt(idx)
-
-	// Migrate the items the new server now covers: they all lived with the
-	// ring predecessor, whose segment was split. The move runs through the
-	// same bounded-memory handoff path the TCP node streams over
-	// (internal/handoff): cursor batches out of the predecessor's ordered
-	// store, then one range delete — copy-before-delete, O(chunk) memory.
-	seg := d.ring.Segment(idx)
-	pred := d.stores[d.ring.HandleAt(d.ring.Predecessor(idx))]
-	moved := d.newStore()
-	if _, err := handoff.Move(pred, moved, seg); err != nil {
-		panic(fmt.Sprintf("condisc: join handoff: %v", err))
-	}
-	d.stores[id] = moved
-
-	if d.cache != nil {
-		d.cache.InvalidateRegion(seg) // copies in seg were held by the predecessor
-		d.cache.C = d.autoThreshold()
-	}
-	return id
+	return d.JoinBatch(1)[0]
 }
 
 // Leave removes the server named by id; its segment, items and routing
 // edges are absorbed by the ring predecessor (§2.1), touching only that
 // neighbourhood. The id stays valid across unrelated churn, so the caller
-// can never remove the wrong server.
+// can never remove the wrong server. Leave is the width-1 form of
+// LeaveBatch.
 func (d *DHT) Leave(id ServerID) error {
-	idx, ok := d.ring.IndexOfHandle(id)
-	if !ok {
-		return fmt.Errorf("condisc: no server with id %d", id)
-	}
-	if d.ring.N() <= 2 {
-		return fmt.Errorf("condisc: cannot shrink below 2 servers")
-	}
-	seg := d.ring.Segment(idx)
-	pred := d.stores[d.ring.HandleAt(d.ring.Predecessor(idx))]
-	d.net.G.Remove(idx)
-	d.net.Forget(id)
-
-	// Absorb the leaver's items into the predecessor through the handoff
-	// path (§2.1 Leave), then reclaim the leaver's store.
-	if _, err := handoff.Move(d.stores[id], pred, interval.FullCircle); err != nil {
-		panic(fmt.Sprintf("condisc: leave handoff: %v", err))
-	}
-	if err := store.Destroy(d.stores[id]); err != nil {
-		panic(fmt.Sprintf("condisc: store destroy: %v", err))
-	}
-	delete(d.stores, id)
-
-	if d.cache != nil {
-		d.cache.Forget(id)
-		d.cache.InvalidateRegion(seg) // the leaver's copies are gone
-		d.cache.C = d.autoThreshold()
-	}
-	return nil
+	return d.LeaveBatch([]ServerID{id})
 }
 
 // Servers returns the stable identifiers of all current servers in index
@@ -325,6 +285,18 @@ func (d *DHT) IndexOf(id ServerID) (int, bool) { return d.ring.IndexOfHandle(id)
 // MaxLoad returns the highest per-server message count since the last
 // ResetLoad — the congestion the §2.2 theorems bound.
 func (d *DHT) MaxLoad() int64 { return d.net.MaxLoad() }
+
+// LoadOf returns the message count of the server named by id.
+func (d *DHT) LoadOf(id ServerID) int64 { return d.net.LoadOf(id) }
+
+// SuppliedOf returns how many requests the server named by id has served
+// from its cache (0 when caching is disabled).
+func (d *DHT) SuppliedOf(id ServerID) int64 {
+	if d.cache == nil {
+		return 0
+	}
+	return d.cache.SuppliedOf(id)
+}
 
 // ResetLoad zeroes the congestion counters.
 func (d *DHT) ResetLoad() { d.net.ResetLoad() }

@@ -33,8 +33,11 @@
 package cache
 
 import (
+	"fmt"
+	"io"
 	"math/rand/v2"
 	"sort"
+	"sync"
 
 	"condisc/internal/continuous"
 	"condisc/internal/hashing"
@@ -157,8 +160,15 @@ type System struct {
 	// single-threshold protocol as stated).
 	CollapseC int
 
-	trees  map[string]*activeTree
-	copies copyIndex
+	// churnMu serializes the churn-path mutators (InvalidateRegion,
+	// Forget) against each other: a batch of disjoint churn events
+	// invalidates its regions concurrently, and while the regions are
+	// disjoint by lease, the copy index and the tree records are shared
+	// containers. The request path (Request, EndEpoch, ...) stays
+	// single-threaded as before and takes no lock.
+	churnMu sync.Mutex
+	trees   map[string]*activeTree
+	copies  copyIndex
 	// Supplied counts requests served by each server's cache (root copies
 	// included) — the "number of times V supplies a data item" of Thm 3.8 —
 	// keyed by the server's stable handle, so churn never moves or
@@ -203,7 +213,11 @@ func (s *System) SuppliedOf(h partition.Handle) int64 { return s.Supplied[h] }
 func (s *System) SuppliedAt(i int) int64 { return s.Supplied[s.Net.G.Ring.HandleAt(i)] }
 
 // Forget drops the departed server's supply counter.
-func (s *System) Forget(h partition.Handle) { delete(s.Supplied, h) }
+func (s *System) Forget(h partition.Handle) {
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	delete(s.Supplied, h)
+}
 
 // Request routes one request for item from server src. The request follows
 // a Distance Halving lookup toward h(item) but is served by the first
@@ -283,6 +297,8 @@ func nodeAt(digits []uint64, j int) continuous.TreeNode {
 // for k copies in the region with active subtrees of total size d — the
 // total item count never enters.
 func (s *System) InvalidateRegion(seg interval.Segment) {
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
 	for _, ref := range s.copies.inRegion(seg) {
 		t, ok := s.trees[ref.item]
 		if !ok {
@@ -433,4 +449,52 @@ func (s *System) UpdateItem(item string) (messages, parallelTime int) {
 func (s *System) ResetLoadStats() {
 	s.Net.ResetLoad()
 	clear(s.Supplied)
+}
+
+// DumpState writes a canonical, deterministic serialization of the whole
+// caching state — thresholds, per-item active trees with epoch hit counts,
+// the copy index, and the supply counters — for differential testing: two
+// systems that evolved through equivalent histories produce byte-identical
+// dumps (internal/churntest compares a concurrent churn run against its
+// serial replay with it).
+func (s *System) DumpState(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "cache C=%d collapseC=%d copies=%d\n", s.C, s.CollapseC, len(s.copies.refs)); err != nil {
+		return err
+	}
+	items := make([]string, 0, len(s.trees))
+	for item := range s.trees {
+		items = append(items, item)
+	}
+	sort.Strings(items)
+	for _, item := range items {
+		t := s.trees[item]
+		nodes := make([]continuous.TreeNode, 0, len(t.active))
+		for z := range t.active {
+			nodes = append(nodes, z)
+		}
+		sort.Slice(nodes, func(i, j int) bool {
+			if nodes[i].Depth != nodes[j].Depth {
+				return nodes[i].Depth < nodes[j].Depth
+			}
+			return nodes[i].Path < nodes[j].Path
+		})
+		fmt.Fprintf(w, "tree %q root=%d\n", item, uint64(t.root))
+		for _, z := range nodes {
+			fmt.Fprintf(w, "  node d=%d path=%d hits=%d\n", z.Depth, z.Path, t.active[z].hits)
+		}
+	}
+	for _, ref := range s.copies.refs {
+		fmt.Fprintf(w, "copy p=%d item=%q d=%d path=%d\n", uint64(ref.p), ref.item, ref.node.Depth, ref.node.Path)
+	}
+	hs := make([]partition.Handle, 0, len(s.Supplied))
+	for h := range s.Supplied {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	for _, h := range hs {
+		if _, err := fmt.Fprintf(w, "supplied h=%d n=%d\n", h, s.Supplied[h]); err != nil {
+			return err
+		}
+	}
+	return nil
 }

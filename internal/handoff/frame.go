@@ -220,6 +220,10 @@ func Stream(w io.Writer, cur store.Cursor, chunkBytes int, tick func()) (count, 
 	}
 	var pending []store.Item
 	var pendingBytes int64
+	// Whatever is still accounted when we return — the not-yet-emitted
+	// tail on a cursor or write error — is released here, so a failed
+	// stream cannot permanently inflate the watermark gauge.
+	defer func() { transferMem.release(pendingBytes) }()
 	// emit writes pending[:cut] as one frame and drops it from pending.
 	emit := func(cut int, cutBytes int64) error {
 		buf := encodeItems(pending[:cut])

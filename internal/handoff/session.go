@@ -162,6 +162,23 @@ func (ss *Sessions) Fenced(p interval.Point) bool {
 	return false
 }
 
+// Streaming returns the currently streaming sessions (in no particular
+// order). Multiple sessions over disjoint ranges may stream at once; the
+// p2p node uses this to bound a new join's range at the nearest already-
+// fenced range instead of refusing the join.
+func (ss *Sessions) Streaming() []*Session {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.expireLocked(time.Now())
+	var out []*Session
+	for _, s := range ss.m {
+		if s.State() == StateStreaming {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Active returns the number of streaming sessions.
 func (ss *Sessions) Active() int {
 	ss.mu.Lock()

@@ -64,6 +64,12 @@ type sessMeta struct {
 const (
 	streamAttempts   = 4
 	streamRetryDelay = 25 * time.Millisecond
+	// joinAttempts bounds the lookup/prepare retries of StartJoin: each
+	// refusal (a contested midpoint mid-handoff to a concurrent joiner,
+	// an owner absorbing a leave, a route through a still-joining node)
+	// retries at a fresh uniformly-sampled point.
+	joinAttempts   = 8
+	joinRetryDelay = 50 * time.Millisecond
 )
 
 // errHookKill marks a test-injected receiver death: the caller must NOT
@@ -88,6 +94,10 @@ func metaU64(m map[string]string, k string) uint64 {
 // data directory, the recovered session is resumed (or aborted cleanly)
 // before any fresh join.
 func (n *Node) StartJoin(bootstrap string, rng *rand.Rand) error {
+	// Serve (fast refusals, see handle) from the first moment other nodes
+	// can learn this address — a concurrent joiner may be told we are its
+	// successor before our own join completes.
+	n.serve()
 	if rec := n.recovered; rec != nil {
 		n.recovered = nil
 		joined, err := n.resumeJoin(rec)
@@ -97,34 +107,79 @@ func (n *Node) StartJoin(bootstrap string, rng *rand.Rand) error {
 		// The sender had expired the session and kept the range; the
 		// rollback is done and a fresh join follows.
 	}
-	z := interval.Point(rng.Uint64())
-	owner, err := lookupVia(bootstrap, z)
-	if err != nil {
-		return err
-	}
-	mid := interval.Point(owner.Point) + interval.Point(uint64(owner.End-owner.Point)/2)
-	if uint64(mid) == owner.Point { // degenerate tiny segment; fall back
-		mid = interval.Point(rng.Uint64())
-		owner, err = lookupVia(bootstrap, mid)
-		if err != nil {
-			return err
+	// Pick a split point and prepare a session at its owner. The first
+	// attempt takes the middle of the owner's segment (Improved Single
+	// Choice, §4); a refusal — the point's surroundings are mid-handoff
+	// to another concurrent joiner, or the owner is absorbing a leave —
+	// retries with the fresh uniform sample itself (plain Single Choice),
+	// which lands in a disjoint sub-range with fresh randomness instead
+	// of recomputing the same contested midpoint.
+	var prep response
+	var sess uint64
+	var joinPt interval.Point
+	var ownerAddr string
+	for attempt := 0; ; attempt++ {
+		retriable := func(err error) error {
+			// A refused lookup (a route through a node that is itself
+			// mid-join answers "joining; retry") is as transient as a
+			// refused prepare: burn an attempt, don't fail the join.
+			if attempt >= joinAttempts-1 {
+				return err
+			}
+			time.Sleep(joinRetryDelay)
+			return nil
 		}
+		z := interval.Point(rng.Uint64())
+		owner, err := lookupVia(bootstrap, z)
+		if err != nil {
+			if rerr := retriable(err); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		p := interval.Point(owner.Point) + interval.Point(uint64(owner.End-owner.Point)/2)
+		if attempt > 0 {
+			p = z
+		}
+		if uint64(p) == owner.Point { // degenerate tiny segment; fall back
+			p = interval.Point(rng.Uint64())
+			owner, err = lookupVia(bootstrap, p)
+			if err != nil {
+				if rerr := retriable(err); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			if uint64(p) == owner.Point {
+				continue
+			}
+		}
+		sess = rng.Uint64() | 1
+		prep, err = call(owner.Addr, request{Op: opHandPrepare, Session: sess,
+			NewPoint: uint64(p), NewAddr: n.addr, NewID: n.id})
+		if err == nil {
+			joinPt, ownerAddr = p, owner.Addr
+			break
+		}
+		if prep.Err == "" || attempt >= joinAttempts-1 {
+			return err // transport failure, or out of retries
+		}
+		// A refused prepare (contested point, owner absorbing a leave) is
+		// transient on the scale of a transfer — pace the retries so the
+		// budget actually spans one instead of burning out in
+		// milliseconds of round-trips.
+		time.Sleep(joinRetryDelay)
 	}
-	sess := rng.Uint64() | 1
-	prep, err := call(owner.Addr, request{Op: opHandPrepare, Session: sess,
-		NewPoint: uint64(mid), NewAddr: n.addr, NewID: n.id})
-	if err != nil {
-		return err
-	}
-	// The session range is exactly this node's future segment; the ring
-	// identities needed to adopt it at commit time ride in the manifest,
-	// so a restarted joiner can finish without re-asking anyone.
-	seg := interval.Segment{Start: mid, Len: uint64(interval.Point(prep.End) - mid)}
+	// The session range is exactly this node's future segment (bounded at
+	// the nearest concurrent join session, if any); the ring identities
+	// needed to adopt it at commit time ride in the manifest, so a
+	// restarted joiner can finish without re-asking anyone.
+	seg := interval.Segment{Start: joinPt, Len: uint64(interval.Point(prep.End) - joinPt)}
 	meta := map[string]string{
 		"pred_id": u64s(prep.ID), "pred_point": u64s(prep.Point), "pred_addr": prep.Addr,
 		"succ_id": u64s(prep.SuccID), "succ_addr": prep.SuccAddr,
 	}
-	rec, err := handoff.Begin(n.stagingDir(sess), sess, handoff.RoleJoin, seg, owner.Addr, meta)
+	rec, err := handoff.Begin(n.stagingDir(sess), sess, handoff.RoleJoin, seg, ownerAddr, meta)
 	if err != nil {
 		return err
 	}
@@ -206,6 +261,13 @@ func (n *Node) completeJoin(rec *handoff.Receiver) error {
 		}
 		return fmt.Errorf("p2p: join session %x expired before commit; the owner kept the range", rec.ID)
 	}
+	if n.handoffCommitHook != nil {
+		if herr := n.handoffCommitHook(); herr != nil {
+			// Test-injected crash in the post-commit window: leave the
+			// staging session exactly as a dying process would.
+			return fmt.Errorf("%w: %v", errHookKill, herr)
+		}
+	}
 	n.adoptFromReceiver(rec)
 	if err := rec.Finish(); err != nil {
 		return err
@@ -226,6 +288,7 @@ func (n *Node) adoptFromReceiver(rec *handoff.Receiver) {
 	n.end = rec.Seg.End()
 	n.pred, n.succ = pred, succ
 	n.setBackLocked([]NodeInfo{pred})
+	n.ready = true
 	n.mu.Unlock()
 }
 
@@ -300,33 +363,64 @@ func (n *Node) pullOnce(rec *handoff.Receiver) error {
 	return err
 }
 
-// Commit-ambiguity probes: when a commit RPC fails in transport, the
-// commit may have been applied with its response lost, so the sender is
-// probed for the session's status. The sender stays reachable for the
-// whole receiver-silence TTL (a leaver blocks in Leave() until commit or
-// expiry), so a handful of spaced probes resolve every single-failure
-// case; only a sender that crashed in exactly this window stays unknown.
+// Commit-ambiguity resolution: when a commit RPC fails in transport, the
+// commit may have been applied with its response lost — or may still be
+// in flight inside the sender. A pure status probe cannot settle the
+// latter (a "streaming" answer can be overtaken by the delayed commit a
+// moment later, and a receiver that rolled back on it would then lose
+// the range from both sides), so the receiver asks the sender to ABORT:
+// abort and commit serialize at the sender, making either answer final.
+// The sender stays reachable for the whole receiver-silence TTL (a
+// leaver blocks in Leave() until commit or expiry), so a handful of
+// spaced attempts resolve every single-failure case; only a sender that
+// crashed in exactly this window stays unknown.
 const (
 	commitProbeAttempts = 5
 	commitProbeDelay    = 100 * time.Millisecond
 )
 
+// commitWaitAttempts bounds how long a receiver re-sends a commit the
+// sender refused with Retry (an inner sub-range waiting for the outer
+// session to resolve). 40 × 250ms rides out a slow outer stream; past it
+// the receiver gives up and rolls back (the outer session most likely
+// aborted, after which this commit can never be accepted).
+const (
+	commitWaitAttempts = 40
+	commitWaitDelay    = 250 * time.Millisecond
+)
+
 // resolveCommit asks the sender to commit session id and pins down the
 // outcome. definitive=false means the sender was unreachable for every
-// probe and the commit's fate is genuinely unknown; otherwise committed
-// reports the authoritative answer (a refusal or a still/again-streaming
-// session both mean the sender kept the range).
+// attempt and the commit's fate is genuinely unknown; otherwise
+// committed reports the authoritative answer (after a refusal, or after
+// an explicit abort landed, the sender keeps the range — and no delayed
+// commit can land afterwards).
 func (n *Node) resolveCommit(sender string, id uint64) (committed, definitive bool) {
-	resp, err := call(sender, request{Op: opHandCommit, Session: id})
-	if err == nil {
-		return true, true
+	for attempt := 0; attempt < commitWaitAttempts; attempt++ {
+		resp, err := call(sender, request{Op: opHandCommit, Session: id})
+		if err == nil {
+			return true, true
+		}
+		if resp.Err == "" {
+			// Transport failure: the request may still be in flight and
+			// could land after any status probe — resolve by abort.
+			return n.resolveByAbort(sender, id)
+		}
+		if !resp.Retry {
+			return false, true // definitive remote refusal
+		}
+		time.Sleep(commitWaitDelay)
 	}
-	if resp.Err != "" {
-		return false, true // remote refusal, definitive
-	}
+	return false, true // the outer session never resolved; roll back
+}
+
+// resolveByAbort settles a transport-ambiguous commit by asking the
+// sender to abort the session: abort and commit serialize at the sender,
+// so either answer is final.
+func (n *Node) resolveByAbort(sender string, id uint64) (committed, definitive bool) {
 	for attempt := 0; attempt < commitProbeAttempts; attempt++ {
 		time.Sleep(commitProbeDelay)
-		st, serr := call(sender, request{Op: opHandStatus, Session: id})
+		st, serr := call(sender, request{Op: opHandAbort, Session: id})
 		if serr == nil {
 			return st.State == handoff.StateCommitted.String(), true
 		}
@@ -340,6 +434,13 @@ func (n *Node) resolveCommit(sender string, id uint64) (committed, definitive bo
 // segment is fenced and registered, but ownership does not move — that
 // happens at commit. The response carries the ring identities the joiner
 // will adopt.
+//
+// Concurrent disjoint joins: the prepared range is bounded at the start
+// of the nearest already-streaming join session after p, so a second
+// joiner splitting the same owner gets the disjoint sub-range [p, bound)
+// — and that bounding session's joiner as its successor — instead of a
+// refusal. Only a p inside an already-fenced range still refuses (the
+// session registry's overlap check): one range, one mover.
 func (n *Node) handleHandPrepare(req request) response {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -360,21 +461,32 @@ func (n *Node) handleHandPrepare(req request) response {
 	if n.x == n.end { // full circle: the joiner takes [p, x)
 		upper = interval.Segment{Start: p, Len: uint64(n.x - p)}
 	}
+	// The joiner's ring successor: by default this node's successor, but
+	// if an active join session starts inside [p, end) the new joiner's
+	// range stops there and that session's joiner becomes its successor.
+	succID, succAddr := n.succ.ID, n.succ.Addr
+	if n.x == n.end { // singleton network: this node is its own successor
+		succID, succAddr = n.id, n.addr
+	}
+	for _, s := range n.sessions.Streaming() {
+		meta, ok := s.Meta.(sessMeta)
+		if !ok || meta.kind != handoff.RoleJoin {
+			continue
+		}
+		if d := uint64(s.Seg.Start - p); d > 0 && d < upper.Len {
+			upper.Len = d
+			succID, succAddr = meta.joiner.ID, meta.joiner.Addr
+		}
+	}
 	joiner := NodeInfo{ID: req.NewID, Point: req.NewPoint, Addr: req.NewAddr}
 	if _, err := n.sessions.Prepare(req.Session, upper, req.NewAddr, sessMeta{kind: handoff.RoleJoin, joiner: joiner}); err != nil {
 		return response{Err: err.Error()}
 	}
-	resp := response{
+	return response{
 		OK: true,
 		ID: n.id, Point: uint64(n.x), Addr: n.addr,
-		End: uint64(n.end), SuccID: n.succ.ID, SuccAddr: n.succ.Addr,
+		End: uint64(upper.End()), SuccID: succID, SuccAddr: succAddr,
 	}
-	if n.x == n.end { // first split of a singleton network
-		resp.End = uint64(n.x)
-		resp.SuccID = n.id
-		resp.SuccAddr = n.addr
-	}
-	return resp
 }
 
 // handleStream serves a session's chunk stream on the raw connection: a
@@ -408,19 +520,87 @@ func (w deadlineWriter) Write(p []byte) (int, error) {
 }
 
 // handleHandCommit is the ownership flip — the single decision point of a
-// transfer. Under the node mutex: durably delete the moved range from the
-// local store, mark the session committed, and (for a join) repoint
-// end/succ at the joiner. After this response the receiver is the owner;
-// before it, this node is. There is no state in which both or neither own
-// the range.
+// transfer. Under the node mutex: mark the session committed, durably
+// record the decision, delete the moved range from the local store, and
+// (for a join) repoint end/succ at the joiner. After this response the
+// receiver is the owner; before it, this node is. There is no state in
+// which both or neither own the range.
+//
+// The ordering matters: the commit decision comes FIRST, so a refusal
+// (expired session) leaves the items untouched on this side — the old
+// delete-then-commit order could delete here and then refuse, making the
+// receiver roll back too and lose the range from both sides. A delete
+// failure after the decision leaves unreachable duplicates in a range we
+// no longer own — the recoverable direction.
 func (n *Node) handleHandCommit(req request) response {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	sess, ok := n.sessions.Get(req.Session)
 	if !ok {
+		// Idempotent re-commit: a receiver whose first commit RPC lost
+		// its response (or a restarted receiver replaying it) must read
+		// success, not a refusal it would roll back on — the range is
+		// already durably theirs.
+		if n.committedLocked(req.Session) {
+			resp := response{OK: true, ID: n.id, Point: uint64(n.x), Addr: n.addr, End: uint64(n.end)}
+			n.mu.Unlock()
+			return resp
+		}
+		n.mu.Unlock()
 		return response{Err: "unknown or expired session"}
 	}
 	meta, _ := sess.Meta.(sessMeta)
+	if meta.kind == handoff.RoleJoin && sess.Seg.End() != n.end {
+		// Commit-in-order: concurrent join sessions stream freely, but
+		// only the OUTERMOST unresolved sub-range — the one ending at
+		// the current segment end — may flip ownership. An inner range
+		// committing while the outer one is still streaming would, if
+		// the outer later aborted, shrink the segment past a range the
+		// owner keeps: a hole no stabilization can repair (and a
+		// successor pointer at a joiner that never joined). The inner
+		// receiver retries until the outer session commits (then its own
+		// end matches) or aborts (then this session can never commit and
+		// the receiver gives up and rolls back).
+		n.mu.Unlock()
+		return response{Err: "outer handoff session unresolved; retry commit", Retry: true}
+	}
+	if _, ok := n.sessions.Commit(req.Session); !ok {
+		n.mu.Unlock()
+		return response{Err: "session expired at commit"}
+	}
+	if n.commits != nil {
+		// Durable before anything outside this critical section can read
+		// "committed": status and abort handlers serialize on n.mu, and
+		// the response is emitted after this returns — so once any
+		// observer sees the commit, a crash cannot forget it (dual-crash
+		// corner). A crash between the registry flip above and this
+		// record is indistinguishable from one just before the flip:
+		// nobody observed it and nothing was deleted yet. A failed write
+		// only degrades to the old in-memory-registry behaviour.
+		_ = n.commits.Record(req.Session)
+	}
+	if meta.kind == handoff.RoleJoin {
+		// The commit-in-order gate above guarantees this session's range
+		// is exactly the tail of the current segment, so adopting the
+		// joiner always shrinks end from Seg.End() to Seg.Start — there
+		// is no out-of-order case left to guard.
+		n.end = sess.Seg.Start
+		n.succ = meta.joiner
+	}
+	// RoleLeave: nothing to repoint here — the leaver is departing and
+	// its blocked Leave() call wakes on the session's done channel.
+	resp := response{OK: true, ID: n.id, Point: uint64(n.x), Addr: n.addr, End: uint64(sess.Seg.End())}
+	n.mu.Unlock()
+
+	// The durable range delete runs outside the node mutex: on a WAL
+	// store it can trigger compaction, and serving lookups meanwhile is
+	// safe — the committed range is no longer this node's segment (a
+	// leaver refuses item ops outright), so nothing reads or writes it
+	// here. A delete failure leaves unreachable duplicates in a range we
+	// no longer own — the recoverable direction; the old delete-then-
+	// commit order could instead delete here, then refuse the commit and
+	// make the receiver roll back too, losing the range from both sides.
+	// (A departing leaver's Close waits out this handler's goroutine, so
+	// the store cannot close under the delete.)
 	delSeg := sess.Seg
 	if meta.kind == handoff.RoleLeave {
 		// The whole store departs with the node, not just the nominal
@@ -428,27 +608,47 @@ func (n *Node) handleHandCommit(req request) response {
 		// restart at this directory.
 		delSeg = interval.FullCircle
 	}
-	if err := n.data.DeleteRange(delSeg); err != nil {
-		// The delete failed, so this node still holds (and keeps owning)
-		// the items: abort the session so the receiver rolls back.
-		n.sessions.Abort(req.Session)
-		return response{Err: "store delete: " + err.Error()}
-	}
-	if _, ok := n.sessions.Commit(req.Session); !ok {
-		return response{Err: "session expired at commit"}
-	}
-	if meta.kind == handoff.RoleJoin {
-		n.end = sess.Seg.Start
-		n.succ = meta.joiner
-	}
-	// RoleLeave: nothing to repoint here — the leaver is departing and
-	// its blocked Leave() call wakes on the session's done channel.
-	return response{OK: true, ID: n.id, Point: uint64(n.x), Addr: n.addr, End: uint64(sess.Seg.End())}
+	_ = n.data.DeleteRange(delSeg)
+	return resp
 }
 
-// handleHandStatus answers a receiver's crash-recovery probe.
+// committedLocked reports whether the session is known committed, by the
+// in-memory registry or the durable commit log (mu held).
+func (n *Node) committedLocked(id uint64) bool {
+	if n.sessions.Status(id) == handoff.StateCommitted {
+		return true
+	}
+	return n.commits != nil && n.commits.Contains(id)
+}
+
+// handleHandAbort settles an ambiguous commit for the receiver: abort
+// the session unless it already committed, and say which happened. Abort
+// and commit serialize on the node mutex, so the answer is final — after
+// an "unknown" reply a delayed commit RPC can no longer land (its session
+// is gone), and after a "committed" reply the receiver owns the range.
+func (n *Node) handleHandAbort(req request) response {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.committedLocked(req.Session) {
+		return response{OK: true, State: handoff.StateCommitted.String()}
+	}
+	n.sessions.Abort(req.Session)
+	return response{OK: true, State: handoff.StateUnknown.String()}
+}
+
+// handleHandStatus answers a receiver's crash-recovery probe. The
+// in-memory registry is authoritative while this process lives; after a
+// restart the durable commit log still answers for committed sessions.
+// It takes the node mutex for the whole read so a probe cannot observe
+// the instant between a commit's registry flip and its durable record.
 func (n *Node) handleHandStatus(req request) response {
-	return response{OK: true, State: n.sessions.Status(req.Session).String()}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.sessions.Status(req.Session)
+	if st == handoff.StateUnknown && n.commits != nil && n.commits.Contains(req.Session) {
+		st = handoff.StateCommitted
+	}
+	return response{OK: true, State: st.String()}
 }
 
 // --- leave ---

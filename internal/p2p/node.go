@@ -54,16 +54,34 @@ type Node struct {
 	// refused (explicit error, not a silent miss or a silently dropped
 	// write) until the leave commits or aborts.
 	leaving bool
+	// ready marks that the node holds a ring position (StartFirst ran, or
+	// a join committed and the segment was adopted). A node that is still
+	// joining serves fast "retry" refusals instead of leaving peers to
+	// hang on its open-but-unserved listener until their RPC deadline.
+	ready bool
 
 	// sessions is the sender side of the node's handoff transfers: it
 	// fences writes to a mid-handoff range and answers commit/status.
+	// Several join sessions over disjoint sub-ranges of the segment may
+	// stream at once: a new prepare is bounded at the nearest fenced
+	// range (handleHandPrepare), and commits resolve in ring order —
+	// only the sub-range ending at the current segment end may flip
+	// (handleHandCommit), so an aborted outer session can never strand
+	// an inner committed range or leave a dangling successor.
 	sessions   *handoff.Sessions
 	handoffTTL time.Duration
 	chunkBytes int
+	// commits durably records every commit decision this node makes as a
+	// handoff sender (disk-backed nodes only): a restarted, otherwise
+	// amnesiac process can still answer an opHandStatus probe with
+	// "committed" — the dual-crash corner where both sides restart
+	// between the sender's commit and the receiver's acknowledgement.
+	commits *handoff.CommitLog
 	// absorbing counts in-flight inbound leave absorptions (this node as
-	// receiver). Joins, leaves, and further absorptions are refused while
-	// one runs: an absorb rewrites end/succ and promotes items a
-	// concurrent transfer would delete or strand.
+	// receiver). Leaves and further absorptions are refused while one
+	// runs, as are new join prepares: an absorb rewrites end/succ, which
+	// a join session prepared against the pre-absorb segment would
+	// strand.
 	absorbing int
 	// recovered is a crashed join's staging session found on disk at
 	// construction; StartJoin resumes or aborts it before a fresh join.
@@ -81,6 +99,11 @@ type Node struct {
 	// mid-stream (no cleanup runs — staging is left exactly as a crash
 	// would leave it).
 	handoffChunkHook func(chunk int) error
+	// handoffCommitHook, when set by a test, runs after a join's commit
+	// has landed at the sender but before this node adopts the range; an
+	// error simulates the receiver dying in exactly the dual-crash
+	// window (commit durable at the sender, acknowledgement lost here).
+	handoffCommitHook func() error
 
 	closed  chan struct{}
 	wg      sync.WaitGroup
@@ -149,6 +172,17 @@ func NewNode(addr string, seed uint64, opts ...NodeOption) (*Node, error) {
 		n.chunkBytes = handoff.DefaultChunkBytes
 	}
 	n.sessions = handoff.NewSessions(n.handoffTTL)
+	if lg, ok := n.data.(*store.Log); ok {
+		// Same 100×TTL horizon the in-memory registry keeps committed
+		// sessions for; past it a probe reading "unknown" resolves against
+		// the ring, exactly as before.
+		cl, err := handoff.OpenCommitLog(lg.Dir()+".commits", 100*n.handoffTTL)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		n.commits = cl
+	}
 	if err := n.recoverStaging(); err != nil {
 		ln.Close()
 		return nil, err
@@ -225,6 +259,7 @@ func (n *Node) StartFirst(x interval.Point) {
 	self := NodeInfo{ID: n.id, Point: uint64(x), Addr: n.addr}
 	n.pred, n.succ = self, self
 	n.setBackLocked([]NodeInfo{self})
+	n.ready = true
 	n.mu.Unlock()
 	n.serve()
 }
@@ -289,10 +324,23 @@ func (n *Node) Close() {
 	n.ln.Close()
 	n.wg.Wait()
 	_ = n.data.Close()
+	if n.commits != nil {
+		_ = n.commits.Close()
+	}
 }
 
 // handle dispatches one request.
 func (n *Node) handle(req request) response {
+	n.mu.Lock()
+	ready := n.ready
+	n.mu.Unlock()
+	if !ready {
+		// Mid-join: no ring position to answer for yet. Refuse fast so a
+		// peer that learned this address early (e.g. as the successor of
+		// a concurrent join) retries or falls back to a ring hop instead
+		// of hanging until its RPC deadline.
+		return response{Err: "node is joining; retry"}
+	}
 	switch req.Op {
 	case opState:
 		n.mu.Lock()
@@ -318,6 +366,8 @@ func (n *Node) handle(req request) response {
 		return n.handleHandCommit(req)
 	case opHandStatus:
 		return n.handleHandStatus(req)
+	case opHandAbort:
+		return n.handleHandAbort(req)
 	case opLeave:
 		return n.handleLeave(req)
 	case opLookup, opGet, opPut:

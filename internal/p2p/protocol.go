@@ -41,8 +41,9 @@ const (
 	// Handoff session ops (two-phase churn transfer, internal/handoff).
 	opHandPrepare = "hprepare" // joiner opens a session at the segment owner
 	opHandStream  = "hstream"  // pull the chunk stream (framed bytes follow, no gob response)
-	opHandCommit  = "hcommit"  // flip ownership: sender deletes the range and repoints
+	opHandCommit  = "hcommit"  // flip ownership: sender deletes the range and repoints (idempotent)
 	opHandStatus  = "hstatus"  // receiver probe after a crash: streaming/committed/unknown
+	opHandAbort   = "habort"   // receiver resolves an ambiguous commit: abort unless already committed
 )
 
 // request is the single wire request type. There is deliberately no bulk
@@ -87,8 +88,12 @@ type request struct {
 
 // response is the single wire response type.
 type response struct {
-	OK    bool
-	Err   string
+	OK  bool
+	Err string
+	// Retry marks a refusal as transient: the same request may succeed
+	// shortly (e.g. a commit waiting for an outer handoff session to
+	// resolve). Non-retry refusals are definitive.
+	Retry bool
 	Val   []byte
 	Hops  int
 	Stale int

@@ -28,21 +28,44 @@ func ImprovedSingleChoice(r *Ring, rng *rand.Rand) interval.Point {
 	return r.SegmentOf(z).Mid()
 }
 
+// ChoiceProbes returns the number of probes Multiple Choice samples for
+// a ring of n servers: t·⌈log2(n+1)⌉, at least 1. ("A multiplicative
+// estimation of n is easily achievable and suffices.")
+func ChoiceProbes(n, t int) int {
+	probes := t * int(math.Ceil(math.Log2(float64(n+1))))
+	if probes < 1 {
+		probes = 1
+	}
+	return probes
+}
+
+// ChooseBest returns the Multiple Choice point for a set of pre-probed
+// segments: the middle of the longest (first wins ties, matching
+// MultipleChoice's scan order; a full-circle probe wins outright). It is
+// the selection half of MultipleChoice, split out so a batch caller can
+// probe many draws in parallel and still select identically.
+func ChooseBest(segs []interval.Segment) interval.Point {
+	best := segs[0]
+	for _, seg := range segs[1:] {
+		if best.Len == 0 {
+			break
+		}
+		if seg.Len == 0 || seg.Len > best.Len {
+			best = seg
+		}
+	}
+	return best.Mid()
+}
+
 // MultipleChoice implements the Multiple Choice Algorithm: sample t·log n
 // uniform points, find the longest segment among those covering them, and
 // take its middle. Lemma 4.3 (t >= 2): the shortest segment stays >= 1/(4n)
 // whp; Theorem 4.4: the algorithm self-corrects any initial configuration.
-//
-// The number of probes uses the ring's own size as the estimate of n ("a
-// multiplicative estimation of n is easily achievable and suffices").
 func MultipleChoice(r *Ring, rng *rand.Rand, t int) interval.Point {
 	if r.N() == 0 {
 		return interval.Point(rng.Uint64())
 	}
-	probes := t * int(math.Ceil(math.Log2(float64(r.N()+1))))
-	if probes < 1 {
-		probes = 1
-	}
+	probes := ChoiceProbes(r.N(), t)
 	var best interval.Segment
 	haveBest := false
 	for i := 0; i < probes; i++ {
