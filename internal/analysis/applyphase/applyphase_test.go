@@ -1,0 +1,12 @@
+package applyphase_test
+
+import (
+	"testing"
+
+	"condisc/internal/analysis/analysistest"
+	"condisc/internal/analysis/applyphase"
+)
+
+func TestApplyphase(t *testing.T) {
+	analysistest.Run(t, "testdata/src/applyphasedata", "condisc/exemplar/applyphasedata", applyphase.Analyzer)
+}

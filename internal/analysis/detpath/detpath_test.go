@@ -1,0 +1,14 @@
+package detpath_test
+
+import (
+	"testing"
+
+	"condisc/internal/analysis/analysistest"
+	"condisc/internal/analysis/detpath"
+)
+
+// The import path places the exemplar under internal/dhgraph, one of
+// the determinism-contract packages.
+func TestDetpath(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detpathdata", "condisc/internal/dhgraph/detpathdata", detpath.Analyzer)
+}

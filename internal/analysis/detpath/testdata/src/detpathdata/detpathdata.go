@@ -1,0 +1,75 @@
+// Package detpathdata is the detpath exemplar: wall-clock reads,
+// global randomness, and map-order leaks in a determinism-contract
+// package, plus the sanctioned seeded/injected/sorted forms.
+package detpathdata
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"time"
+)
+
+// stampBad reads the wall clock directly: two replays of the same
+// trace produce different state.
+func stampBad() int64 {
+	return time.Now().UnixNano() // want `wall-clock read in a determinism-contract package`
+}
+
+// clockRefBad stores the clock as a value; calling through the
+// variable would evade a call-site-only check, so the reference itself
+// is flagged.
+var clockRefBad = time.Now // want `reference to time\.Now in a determinism-contract package`
+
+// drawBad draws from the process-global source.
+func drawBad() int {
+	return rand.IntN(6) // want `global math/rand source in a determinism-contract package`
+}
+
+// drawGood draws from a seeded generator: replayable.
+func drawGood(seed uint64) uint64 {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	return rng.Uint64()
+}
+
+// leakBad lets map iteration order reach an ordered sink.
+func leakBad(m map[uint64]string) []string {
+	var out []string
+	for _, v := range m { // want `map iteration appends to "out" without sorting`
+		out = append(out, v)
+	}
+	return out
+}
+
+// printBad writes output directly from inside the iteration.
+func printBad(m map[uint64]string) {
+	for k := range m { // want `map iteration feeds ordered output`
+		fmt.Println(k)
+	}
+}
+
+// leakGood sorts the collected slice before anyone can observe the
+// iteration order.
+func leakGood(m map[uint64]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// countGood aggregates commutatively; no order reaches the result.
+func countGood(m map[uint64]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// ttlGood is a justified wall-clock use behind the escape hatch.
+func ttlGood() int64 {
+	//condisc:wallclock exemplar of a justified opt-out: receiver-silence TTL measured across real processes
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,334 @@
+// Package fsyncack machine-checks the WAL acknowledgement discipline
+// of internal/store and internal/handoff: any function that appends a
+// framed record to a file (os.File Write/WriteAt/WriteString, or
+// os.WriteFile) and then returns a success value must pass through
+// Sync() on EVERY path first. Acknowledging an unsynced record breaks
+// the zero-lost-acknowledged-writes guarantee the kill-and-reopen tests
+// enforce; the PR 5 delete-then-commit bug was exactly this shape — the
+// destructive range delete ran before the commit decision was durable,
+// so a crash between them lost the range from both sides.
+//
+// The check is a branch-sensitive abstract interpretation over the
+// function body with a two-value lattice (clean/dirty): file writes set
+// dirty, Sync() calls (including deferred ones) set clean, and a return
+// reached in a dirty state is reported — unless the return is an error
+// propagation (`return err`, `return fmt.Errorf(...)`), because a
+// failure report is not an acknowledgement.
+package fsyncack
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"condisc/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncack",
+	Doc: "in internal/store and internal/handoff, every path from a framed record write to " +
+		"a returned acknowledgement must pass through Sync() (delete-then-commit / " +
+		"lost-acknowledged-write bug class, PR 5)",
+	Run: run,
+}
+
+// scopeSubstrings limit the analyzer to the two packages that own
+// durable state. (Testdata exemplar packages pick matching paths.)
+var scopeSubstrings = []string{"internal/store", "internal/handoff"}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, s := range scopeSubstrings {
+		if strings.Contains(pass.Pkg.Path(), s) {
+			inScope = true
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					analyzeFunc(pass, n.Body)
+				}
+				// Inspect continues into the body and will hit any
+				// FuncLit below; don't re-analyze the decl body.
+				return true
+			case *ast.FuncLit:
+				analyzeFunc(pass, n.Body)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// state is the write-durability lattice: dirty joins over clean.
+type state int
+
+const (
+	clean state = iota
+	dirty
+)
+
+func join(a, b state) state {
+	if a == dirty || b == dirty {
+		return dirty
+	}
+	return clean
+}
+
+// flow is the result of scanning a statement sequence: the out-state,
+// and whether every path through it terminated (returned/panicked).
+type flow struct {
+	st   state
+	term bool
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// deferredSync: a `defer f.Sync()` anywhere in the function makes
+	// every later return durable (order approximation: defers run
+	// before the caller observes the return value's ack).
+	deferredSync bool
+}
+
+func analyzeFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{pass: pass}
+	// Pre-scan for deferred syncs so early returns see them too.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested functions are analyzed on their own
+		}
+		if d, ok := n.(*ast.DeferStmt); ok && c.isSyncCall(d.Call) {
+			c.deferredSync = true
+		}
+		return true
+	})
+	c.scanStmts(body.List, clean)
+}
+
+func (c *checker) scanStmts(stmts []ast.Stmt, st state) flow {
+	for _, s := range stmts {
+		f := c.scanStmt(s, st)
+		if f.term {
+			return flow{st: f.st, term: true}
+		}
+		st = f.st
+	}
+	return flow{st: st}
+}
+
+func (c *checker) scanStmt(s ast.Stmt, st state) flow {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return flow{st: c.evalExpr(s.X, st)}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			st = c.evalExpr(r, st)
+		}
+		return flow{st: st}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st = c.evalExpr(r, st)
+		}
+		if st == dirty && !c.deferredSync && !c.isErrorReturn(s) {
+			c.pass.Reportf(s.Pos(),
+				"acknowledgement returned over an unsynced framed write: every path from a "+
+					"record append to its ack must pass through Sync() first — a crash here "+
+					"forgets an acknowledged record (delete-then-commit bug class, PR 5)")
+		}
+		return flow{st: st, term: true}
+	case *ast.BlockStmt:
+		return c.scanStmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = c.scanStmt(s.Init, st).st
+		}
+		st = c.evalExpr(s.Cond, st)
+		thenF := c.scanStmts(s.Body.List, st)
+		elseF := flow{st: st}
+		if s.Else != nil {
+			elseF = c.scanStmt(s.Else, st)
+		}
+		switch {
+		case thenF.term && elseF.term:
+			return flow{st: join(thenF.st, elseF.st), term: true}
+		case thenF.term:
+			return flow{st: elseF.st}
+		case elseF.term:
+			return flow{st: thenF.st}
+		default:
+			return flow{st: join(thenF.st, elseF.st)}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = c.scanStmt(s.Init, st).st
+		}
+		if s.Cond != nil {
+			st = c.evalExpr(s.Cond, st)
+		}
+		// Two passes reach the fixpoint of the 2-value lattice: the
+		// second sees any dirtiness the first iteration produced.
+		once := c.scanStmts(s.Body.List, st)
+		twice := c.scanStmts(s.Body.List, join(st, once.st))
+		return flow{st: join(st, twice.st)}
+	case *ast.RangeStmt:
+		st = c.evalExpr(s.X, st)
+		once := c.scanStmts(s.Body.List, st)
+		twice := c.scanStmts(s.Body.List, join(st, once.st))
+		return flow{st: join(st, twice.st)}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = c.scanStmt(s.Init, st).st
+		}
+		if s.Tag != nil {
+			st = c.evalExpr(s.Tag, st)
+		}
+		return c.scanClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = c.scanStmt(s.Init, st).st
+		}
+		return c.scanClauses(s.Body, st)
+	case *ast.SelectStmt:
+		return c.scanClauses(s.Body, st)
+	case *ast.LabeledStmt:
+		return c.scanStmt(s.Stmt, st)
+	case *ast.DeferStmt:
+		// Argument evaluation can write (rare); the call itself runs at
+		// return time and is modelled by the deferredSync pre-scan.
+		for _, a := range s.Call.Args {
+			st = c.evalExpr(a, st)
+		}
+		return flow{st: st}
+	case *ast.GoStmt:
+		return flow{st: st}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = c.evalExpr(v, st)
+					}
+				}
+			}
+		}
+		return flow{st: st}
+	default:
+		return flow{st: st}
+	}
+}
+
+// scanClauses handles switch/select bodies: each clause starts from the
+// pre-state; the merged out-state joins the fall-out of every
+// non-terminating clause plus the pre-state (no clause may match).
+func (c *checker) scanClauses(body *ast.BlockStmt, st state) flow {
+	out := st
+	allTerm := len(body.List) > 0
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				st = c.evalExpr(e, st)
+			}
+		case *ast.CommClause:
+			stmts = cl.Body
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+		}
+		f := c.scanStmts(stmts, st)
+		if !f.term {
+			out = join(out, f.st)
+			allTerm = false
+		}
+	}
+	return flow{st: out, term: allTerm && hasDefault}
+}
+
+// evalExpr folds write/sync effects of the calls inside an expression
+// into the state. If the expression contains both, the sync wins (the
+// idiomatic single-expression form is `return f.Sync()`).
+func (c *checker) evalExpr(e ast.Expr, st state) state {
+	if e == nil {
+		return st
+	}
+	sawWrite, sawSync := false, false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case c.isSyncCall(call):
+			sawSync = true
+		case c.isFramedWrite(call):
+			sawWrite = true
+		}
+		return true
+	})
+	switch {
+	case sawSync:
+		return clean
+	case sawWrite:
+		return dirty
+	}
+	return st
+}
+
+// isFramedWrite recognizes the raw durable-write primitives: the Write
+// family on *os.File, and os.WriteFile.
+func (c *checker) isFramedWrite(call *ast.CallExpr) bool {
+	if analysis.IsMethodOn(c.pass.TypesInfo, call, "os", "File",
+		"Write", "WriteAt", "WriteString") {
+		return true
+	}
+	return analysis.IsPkgFunc(c.pass.TypesInfo, call, "os", "WriteFile")
+}
+
+func (c *checker) isSyncCall(call *ast.CallExpr) bool {
+	return analysis.IsMethodOn(c.pass.TypesInfo, call, "os", "File", "Sync")
+}
+
+// isErrorReturn reports whether a return propagates a failure rather
+// than acknowledging success: some result is an error-typed identifier
+// (`return err`) or a direct error construction (fmt.Errorf,
+// errors.New/Join). A tail call like `return os.Rename(...)` is NOT an
+// error return — it can succeed, and then it IS the ack.
+func (c *checker) isErrorReturn(ret *ast.ReturnStmt) bool {
+	for _, r := range ret.Results {
+		switch r := analysis.Unparen(r).(type) {
+		case *ast.Ident:
+			if r.Name == "nil" {
+				continue
+			}
+			if obj := c.pass.TypesInfo.Uses[r]; obj != nil && isErrorType(obj.Type()) {
+				return true
+			}
+		case *ast.CallExpr:
+			if analysis.IsPkgFunc(c.pass.TypesInfo, r, "fmt", "Errorf") ||
+				analysis.IsPkgFunc(c.pass.TypesInfo, r, "errors", "New", "Join") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,14 @@
+package fsyncack_test
+
+import (
+	"testing"
+
+	"condisc/internal/analysis/analysistest"
+	"condisc/internal/analysis/fsyncack"
+)
+
+// The import path places the exemplar inside internal/store, the
+// analyzer's scope.
+func TestFsyncack(t *testing.T) {
+	analysistest.Run(t, "testdata/src/fsyncackdata", "condisc/internal/store/fsyncackdata", fsyncack.Analyzer)
+}

@@ -1,0 +1,67 @@
+// Package fsyncackdata is the fsyncack exemplar: the PR 5
+// delete-then-commit bug shape, plus the sanctioned
+// write-sync-then-ack forms that must stay clean.
+package fsyncackdata
+
+import "os"
+
+type wal struct {
+	f     *os.File
+	items map[uint64][]byte
+}
+
+// commitBad reproduces the delete-then-commit bug: the destructive
+// range delete runs first, the commit record is appended — and the ack
+// returns before the record is durable. A crash between the return and
+// the page flush forgets the commit while the delete survives.
+func (w *wal) commitBad(id uint64, rec []byte) error {
+	delete(w.items, id) // destructive step, already applied
+	if _, err := w.f.Write(rec); err != nil {
+		return err
+	}
+	return nil // want `acknowledgement returned over an unsynced framed write`
+}
+
+// renameBad is the manifest variant: os.WriteFile leaves the data in
+// the page cache, and the tail call's success IS the acknowledgement.
+func renameBad(path string, raw []byte) error {
+	if err := os.WriteFile(path+".tmp", raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path) // want `acknowledgement returned over an unsynced framed write`
+}
+
+// commitGood syncs on the ack path; the error returns are failure
+// reports, not acknowledgements.
+func (w *wal) commitGood(id uint64, rec []byte) error {
+	if _, err := w.f.Write(rec); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	delete(w.items, id) // destructive step AFTER the record is durable
+	return nil
+}
+
+// deferGood uses a deferred sync: every return passes through it
+// before the caller can observe the ack.
+func (w *wal) deferGood(rec []byte) error {
+	defer w.f.Sync()
+	if _, err := w.f.Write(rec); err != nil {
+		return err
+	}
+	return nil
+}
+
+// branchBad syncs on one branch only; the fallthrough path acks an
+// unsynced record.
+func (w *wal) branchBad(rec []byte, durable bool) error {
+	if _, err := w.f.Write(rec); err != nil {
+		return err
+	}
+	if durable {
+		return w.f.Sync()
+	}
+	return nil // want `acknowledgement returned over an unsynced framed write`
+}

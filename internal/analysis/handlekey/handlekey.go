@@ -1,0 +1,210 @@
+// Package handlekey machine-checks the handle-keyed-state contract PR 2
+// established: ring indices — bare ints produced by sort/search over
+// the current decomposition — shift on every join and leave, so state
+// that outlives a churn event must be keyed by the stable
+// partition.Handle / condisc.ServerID instead. (The seed's index-keyed
+// maps forced an O(n) renumber pass on every churn event; PR 2 deleted
+// it, and this analyzer keeps it deleted.)
+//
+// Two shapes are flagged in the contract packages:
+//
+//  1. long-lived declarations — struct fields, package-level vars and
+//     named types — whose type contains map[int]...: such a map can
+//     only be index-keyed state;
+//  2. map writes whose key expression is directly a position-returning
+//     call (sort.Search, slices.BinarySearch*, Ring.Cover, CoverOf,
+//     IndexOfHandle): storing under a current position, even into a
+//     handle-typed map, bakes in a value the next churn event
+//     invalidates.
+package handlekey
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"condisc/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "handlekey",
+	Doc: "forbid ring indices (int positions from sort/search) as map keys or struct fields " +
+		"that outlive a churn event; key long-lived state by the stable partition.Handle / " +
+		"ServerID (the O(n) renumber bug class PR 2 deleted)",
+	Run: run,
+}
+
+// contractPaths: the churn-facing packages whose long-lived state must
+// be handle-keyed. internal/partition itself is exempt — it OWNS the
+// index<->handle mapping, and internal/graph &c. are static-snapshot
+// structures rebuilt from scratch each use.
+var contractPaths = []string{
+	"condisc",
+	"condisc/internal/dhgraph",
+	"condisc/internal/route",
+	"condisc/internal/cache",
+	"condisc/internal/p2p",
+}
+
+func inContract(path string) bool {
+	for _, p := range contractPaths {
+		if path == p || (p != "condisc" && strings.HasPrefix(path, p+"/")) {
+			return true
+		}
+	}
+	return false
+}
+
+// positionFuncs are package-level functions returning current sorted
+// positions.
+var positionFuncs = map[string][]string{
+	"sort":   {"Search", "SearchInts", "SearchFloat64s", "SearchStrings"},
+	"slices": {"BinarySearch", "BinarySearchFunc"},
+}
+
+// positionMethods are methods returning current ring positions.
+var positionMethods = map[string]bool{
+	"Cover": true, "CoverOf": true, "IndexOfHandle": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inContract(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if mt := intKeyedMapIn(pass.TypesInfo, field.Type); mt != nil {
+						pass.Reportf(field.Pos(),
+							"struct field typed %s outlives churn events but is keyed by bare "+
+								"int: ring indices shift on every join/leave; key it by "+
+								"partition.Handle / ServerID (PR 2 renumber bug class)",
+							types.TypeString(pass.TypesInfo.Types[field.Type].Type, nil))
+					}
+				}
+			case *ast.GenDecl:
+				checkGenDecl(pass, n)
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkIndexWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkIndexWrite(pass, n.X)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGenDecl flags package-level vars and named types whose type
+// contains an int-keyed map. (Function-local declarations are handled
+// by the enclosing FuncDecl check below — locals are transient within
+// one churn event and allowed.)
+func checkGenDecl(pass *analysis.Pass, gd *ast.GenDecl) {
+	if !atPackageLevel(pass, gd) {
+		return
+	}
+	for _, spec := range gd.Specs {
+		switch spec := spec.(type) {
+		case *ast.ValueSpec:
+			if spec.Type != nil && intKeyedMapIn(pass.TypesInfo, spec.Type) != nil {
+				pass.Reportf(spec.Pos(),
+					"package-level state keyed by bare int: ring indices shift on every "+
+						"join/leave; key it by partition.Handle / ServerID (PR 2 renumber bug class)")
+			}
+		case *ast.TypeSpec:
+			if intKeyedMapIn(pass.TypesInfo, spec.Type) != nil {
+				pass.Reportf(spec.Pos(),
+					"named type %s is keyed by bare int: ring indices shift on every "+
+						"join/leave; key long-lived state by partition.Handle / ServerID "+
+						"(PR 2 renumber bug class)", spec.Name.Name)
+			}
+		}
+	}
+}
+
+// atPackageLevel reports whether the declaration is a top-level decl of
+// one of the package's files.
+func atPackageLevel(pass *analysis.Pass, gd *ast.GenDecl) bool {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if d == gd {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// intKeyedMapIn walks a type expression and returns the first MapType
+// whose key is the predeclared int, or nil. Named key types (Handle,
+// ServerID — both uint64) never match.
+func intKeyedMapIn(info *types.Info, texpr ast.Expr) *ast.MapType {
+	var found *ast.MapType
+	ast.Inspect(texpr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		mt, ok := n.(*ast.MapType)
+		if !ok {
+			return true
+		}
+		if kt := info.Types[mt.Key].Type; kt != nil && types.Identical(kt, types.Typ[types.Int]) {
+			found = mt
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkIndexWrite flags m[...] = v where the key expression contains a
+// direct call to a position-returning function or method.
+func checkIndexWrite(pass *analysis.Pass, lhs ast.Expr) {
+	idx, ok := analysis.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	if t := pass.TypesInfo.Types[idx.X].Type; t == nil {
+		return
+	} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var bad *ast.CallExpr
+	ast.Inspect(idx.Index, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil {
+			if sig, isSig := fn.Type().(*types.Signature); isSig {
+				if sig.Recv() != nil && positionMethods[fn.Name()] {
+					bad = call
+					return false
+				}
+				if sig.Recv() == nil && fn.Pkg() != nil {
+					for _, name := range positionFuncs[fn.Pkg().Path()] {
+						if fn.Name() == name {
+							bad = call
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if bad != nil {
+		fn := analysis.CalleeFunc(pass.TypesInfo, bad)
+		pass.Reportf(lhs.Pos(),
+			"map write keyed by the result of %s: that is a CURRENT ring position, "+
+				"invalidated by the next join/leave; store under the stable "+
+				"partition.Handle / ServerID instead (PR 2 renumber bug class)", fn.Name())
+	}
+}

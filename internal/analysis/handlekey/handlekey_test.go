@@ -1,0 +1,14 @@
+package handlekey_test
+
+import (
+	"testing"
+
+	"condisc/internal/analysis/analysistest"
+	"condisc/internal/analysis/handlekey"
+)
+
+// The import path places the exemplar under internal/route, one of the
+// churn-facing contract packages (internal/partition itself is exempt).
+func TestHandlekey(t *testing.T) {
+	analysistest.Run(t, "testdata/src/handlekeydata", "condisc/internal/route/handlekeydata", handlekey.Analyzer)
+}

@@ -1,0 +1,44 @@
+// Package handlekeydata is the handlekey exemplar: churn-unstable ring
+// indices used as long-lived keys, plus the stable handle-keyed forms.
+package handlekeydata
+
+import "sort"
+
+// Handle is the stable churn-surviving identity (stand-in for
+// partition.Handle).
+type Handle uint64
+
+// tableBad keys long-lived per-server state by bare int: every
+// join/leave shifts the indices and silently re-attributes the state.
+type tableBad struct { // want `named type tableBad is keyed by bare int`
+	byIdx map[int]string // want `struct field typed map\[int\]string`
+}
+
+// cacheBad is package-level index-keyed state.
+var cacheBad map[int]int // want `package-level state keyed by bare int`
+
+// tableGood keys the same state by the stable handle.
+type tableGood struct {
+	byHandle map[Handle]string
+}
+
+// storeBad bakes a CURRENT sorted position in as a map key.
+func storeBad(points []uint64, p uint64, m map[int]string) {
+	m[sort.Search(len(points), func(i int) bool { return points[i] >= p })] = "owner" // want `map write keyed by the result of Search`
+}
+
+// storeGood resolves the position to the stable handle first.
+func storeGood(points []uint64, handles []Handle, p uint64, m map[Handle]string) {
+	i := sort.Search(len(points), func(k int) bool { return points[k] >= p })
+	m[handles[i]] = "owner"
+}
+
+// scratch is transient within one churn event: function-local
+// index-keyed maps are allowed.
+func scratch(points []uint64) map[int]uint64 {
+	m := map[int]uint64{}
+	for i, p := range points {
+		m[i] = p
+	}
+	return m
+}

@@ -1,0 +1,199 @@
+// Package load type-checks packages of this module for the condisc-vet
+// analyzers without depending on golang.org/x/tools/go/packages: it
+// shells out to `go list -export -deps -json` for metadata and compiled
+// export data, parses the target package's source with go/parser, and
+// type-checks it with go/types, resolving every import (stdlib and
+// in-module alike) through the build cache's export files via the
+// stdlib gc importer. This is the same division of labor as a
+// `go vet -vettool` unit check: one package from source, dependencies
+// from export data.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Meta is the `go list` metadata for one package.
+type Meta struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Loader resolves and type-checks packages against one `go list`
+// snapshot of the module and its dependency universe.
+type Loader struct {
+	Fset *token.FileSet
+	meta map[string]*Meta
+	// roots are the packages matched by the patterns (DepOnly=false),
+	// in go list order.
+	roots []string
+	imp   types.Importer
+}
+
+// Source is one parsed, type-checked package.
+type Source struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// New runs `go list -e -export -deps -json <patterns>` in dir and
+// returns a Loader over the result. Patterns default to "./...".
+func New(dir string, patterns ...string) (*Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+	l := &Loader{Fset: token.NewFileSet(), meta: map[string]*Meta{}}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m Meta
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decode go list output: %v", err)
+		}
+		l.meta[m.ImportPath] = &m
+		if !m.DepOnly {
+			l.roots = append(l.roots, m.ImportPath)
+		}
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		m := l.meta[path]
+		if m == nil || m.Export == "" {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(m.Export)
+	})
+	return l, nil
+}
+
+// Roots returns the import paths matched by the patterns, excluding
+// standard-library packages.
+func (l *Loader) Roots() []string {
+	var out []string
+	for _, p := range l.roots {
+		if m := l.meta[p]; m != nil && !m.Standard {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Meta returns the go list record for an import path, or nil.
+func (l *Loader) Meta(importPath string) *Meta { return l.meta[importPath] }
+
+// LoadSource parses and type-checks the named module package from its
+// non-test source files.
+func (l *Loader) LoadSource(importPath string) (*Source, error) {
+	m := l.meta[importPath]
+	if m == nil {
+		return nil, fmt.Errorf("load: unknown package %q", importPath)
+	}
+	files := make([]string, len(m.GoFiles))
+	for i, f := range m.GoFiles {
+		files[i] = filepath.Join(m.Dir, f)
+	}
+	return l.check(importPath, files)
+}
+
+// LoadDir parses every .go file in dir (testdata exemplar packages for
+// analysistest) and type-checks them under the given import path —
+// the path chooses which package-scoped analyzers consider the package
+// in scope.
+func (l *Loader) LoadDir(dir, importPath string) (*Source, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	return l.check(importPath, files)
+}
+
+func (l *Loader) check(importPath string, filenames []string) (*Source, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("load: type errors in %s: %v", importPath, typeErrs[0])
+	}
+	return &Source{ImportPath: importPath, Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// ModuleRoot walks upward from dir to the enclosing go.mod directory.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}

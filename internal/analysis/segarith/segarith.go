@@ -1,0 +1,154 @@
+// Package segarith forbids raw shift/division/float arithmetic on
+// interval.Point values and interval.Segment lengths outside the two
+// packages that own the ceiling-division primitives.
+//
+// The bug class (found twice): Segment.Len==0 denotes the FULL CIRCLE,
+// so floor arithmetic on a sub-ulp length silently aliases the smallest
+// possible segment to the largest. PR 1 fixed `s.Len / delta` in
+// continuous.DeltaImages with ceiling division after the dhgraph fuzzer
+// found a 1-ulp segment whose forward image connected its server to the
+// whole ring; PR 3 re-found the same floor in two more consumers and
+// moved the fix into interval.Segment.Half/HalfPlus. Every caller must
+// go through those primitives; this analyzer makes sure the third
+// rediscovery never gets written.
+package segarith
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"condisc/internal/analysis"
+)
+
+// intervalPath is the package that owns Point/Segment arithmetic.
+const intervalPath = "condisc/internal/interval"
+
+// exemptSuffixes are the packages allowed to do raw length arithmetic:
+// interval (the primitives themselves) and continuous (DeltaImages, the
+// sanctioned ∆-ary image computation).
+var exemptSuffixes = []string{"internal/interval", "internal/continuous"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "segarith",
+	Doc: "forbid raw shift/division/float arithmetic on interval.Point and Segment.Len " +
+		"outside internal/interval and internal/continuous; a floor-divided 1-ulp segment " +
+		"aliases to the full circle (Len 0)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, suf := range exemptSuffixes {
+		if strings.HasSuffix(pass.Pkg.Path(), suf) {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.CallExpr:
+				checkPointFromFloat(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// riskyOps are the operators whose floor/truncation/overflow semantics
+// can collapse a sub-ulp length to 0 (or wrap it past the ring size).
+var riskyOps = map[token.Token]bool{
+	token.QUO: true, // floor division: 1/2 == 0 == full circle
+	token.REM: true,
+	token.SHR: true, // 1>>1 == 0 == full circle
+	token.SHL: true, // can shift a length to 0 mod 2^64
+	token.MUL: true, // can wrap a length to 0 mod 2^64
+}
+
+func checkBinary(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if !riskyOps[b.Op] {
+		return
+	}
+	for _, op := range []ast.Expr{b.X, b.Y} {
+		switch classify(pass.TypesInfo, op) {
+		case kindPoint:
+			pass.Reportf(b.Pos(),
+				"raw %q arithmetic on interval.Point outside internal/interval: "+
+					"use Point.Half/HalfPlus/Back or interval.DeltaMap — floor/overflow "+
+					"arithmetic on fixed-point values aliases sub-ulp results (PR 1/PR 3 bug class)",
+				b.Op)
+			return
+		case kindSegLen:
+			pass.Reportf(b.Pos(),
+				"raw %q arithmetic on interval.Segment.Len outside internal/interval: "+
+					"use Segment.Half/HalfPlus/BackImage or continuous.DeltaImages — a "+
+					"floor-divided 1-ulp segment gets Len 0, which denotes the FULL CIRCLE "+
+					"(PR 1/PR 3 bug class)",
+				b.Op)
+			return
+		}
+	}
+}
+
+// checkPointFromFloat flags conversions of float expressions into
+// interval.Point: fixed-point values must be constructed through
+// interval.FromFloat (which wraps and rounds on the grid), never by a
+// bare truncating conversion.
+func checkPointFromFloat(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || !analysis.IsNamed(tv.Type, intervalPath, "Point") {
+		return
+	}
+	argT := pass.TypesInfo.Types[call.Args[0]].Type
+	if argT == nil {
+		return
+	}
+	if basic, ok := argT.Underlying().(*types.Basic); ok && basic.Info()&types.IsFloat != 0 {
+		pass.Reportf(call.Pos(),
+			"interval.Point constructed by truncating a float: use interval.FromFloat "+
+				"(wraps mod 1 and rounds on the fixed-point grid)")
+	}
+}
+
+type kind int
+
+const (
+	kindNone kind = iota
+	kindPoint
+	kindSegLen
+)
+
+// classify decides whether an operand is an interval.Point value or a
+// Segment length, looking through parentheses and basic-type
+// conversions (a conversion like uint64(p)/2 launders the type but not
+// the hazard).
+func classify(info *types.Info, e ast.Expr) kind {
+	e = analysis.Unparen(e)
+	if t := info.Types[e].Type; t != nil && analysis.IsNamed(t, intervalPath, "Point") {
+		return kindPoint
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if e.Sel.Name == "Len" {
+			if t := info.Types[e.X].Type; t != nil && analysis.IsNamed(t, intervalPath, "Segment") {
+				return kindSegLen
+			}
+		}
+	case *ast.CallExpr:
+		// Basic-type conversion: classify the converted operand.
+		if len(e.Args) == 1 {
+			if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+				if _, basic := tv.Type.Underlying().(*types.Basic); basic {
+					return classify(info, e.Args[0])
+				}
+			}
+		}
+	}
+	return kindNone
+}

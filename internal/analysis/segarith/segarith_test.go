@@ -1,0 +1,14 @@
+package segarith_test
+
+import (
+	"testing"
+
+	"condisc/internal/analysis/analysistest"
+	"condisc/internal/analysis/segarith"
+)
+
+// The exemplar loads under a non-exempt import path: segarith checks
+// every package except internal/interval and internal/continuous.
+func TestSegarith(t *testing.T) {
+	analysistest.Run(t, "testdata/src/segarithdata", "condisc/exemplar/segarithdata", segarith.Analyzer)
+}

@@ -1,0 +1,56 @@
+// Package segarithdata is the segarith exemplar: the historical 1-ulp
+// aliases-to-full-circle bug, written the way PR 1 found it in the
+// wild, plus the sanctioned forms that must stay clean.
+package segarithdata
+
+import "condisc/internal/interval"
+
+// splitBad reproduces the PR 1 bug verbatim: halving a segment with
+// floor division. For tiny.Len == 1 (a 1-ulp segment) the quotient is
+// 0 — and Len 0 denotes the FULL CIRCLE, so the smallest possible
+// segment aliases to the largest.
+func splitBad(tiny interval.Segment) interval.Segment {
+	return interval.Segment{
+		Start: tiny.Start,
+		Len:   tiny.Len / 2, // want `raw "/" arithmetic on interval\.Segment\.Len`
+	}
+}
+
+// splitShift is the same bug spelled as a shift.
+func splitShift(s interval.Segment) uint64 {
+	return s.Len >> 1 // want `raw ">>" arithmetic on interval\.Segment\.Len`
+}
+
+// pointShift does raw arithmetic on a Point value itself.
+func pointShift(p interval.Point) interval.Point {
+	return p / 2 // want `raw "/" arithmetic on interval\.Point`
+}
+
+// laundered hides the Point behind a basic-type conversion; the
+// conversion changes the static type but not the hazard.
+func laundered(p interval.Point) uint64 {
+	return uint64(p) >> 4 // want `raw ">>" arithmetic on interval\.Point`
+}
+
+// fromFloatBad truncates a float straight into the fixed-point grid.
+func fromFloatBad(x float64) interval.Point {
+	return interval.Point(x * 12345.0) // want `interval\.Point constructed by truncating a float`
+}
+
+// splitGood is the sanctioned form: the ceiling-division primitive the
+// interval package owns.
+func splitGood(tiny interval.Segment) interval.Segment {
+	return tiny.Half()
+}
+
+// maskAllowed shows the escape hatch for arithmetic that is genuinely
+// not segment-length math.
+func maskAllowed(p interval.Point) interval.Point {
+	return p >> 60 //condisc:allow segarith exemplar of a justified opt-out: extracts a hex digit, no length semantics
+}
+
+// unjustified shows that a bare directive is itself a finding.
+func unjustified(p interval.Point) interval.Point {
+	//condisc:allow segarith
+	return p / 4 // want `directive requires a justification`
+}

@@ -45,12 +45,12 @@ func (p *Prefix) rangeOfPrefix(key interval.Point, digits int) (int, int) {
 	if digits*prefixBits >= 64 {
 		shift = 0
 	}
-	lo := key >> shift << shift
+	lo := key >> shift << shift //condisc:allow segarith hex-prefix truncation of a node ID, not segment-length arithmetic; the baseline routes on digit prefixes, not interval halving
 	var hi interval.Point
 	if shift == 0 {
 		hi = lo + 1
 	} else {
-		hi = lo + 1<<shift
+		hi = lo + 1<<shift //condisc:allow segarith prefix-range upper bound from the same digit mask; no ceiling semantics apply
 	}
 	i := sort.Search(len(p.ids), func(k int) bool { return p.ids[k] >= lo })
 	j := i
@@ -129,7 +129,7 @@ func (p *Prefix) MaxLinkage() int {
 			present := map[uint64]bool{}
 			shift := uint(64 - (l+1)*prefixBits)
 			for k := loL; k < hiL; k++ {
-				present[uint64(p.ids[k])>>shift&0xf] = true
+				present[uint64(p.ids[k])>>shift&0xf] = true //condisc:allow segarith extracts one hex digit of a node ID for table occupancy; not interval arithmetic
 			}
 			entries += len(present)
 		}

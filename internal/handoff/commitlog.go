@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"slices"
 	"time"
 )
 
@@ -52,6 +53,7 @@ func OpenCommitLog(path string, retention time.Duration) (*CommitLog, error) {
 	c := &CommitLog{path: path, retention: retention, ids: map[uint64]int64{}}
 	cutoff := int64(0)
 	if retention > 0 {
+		//condisc:wallclock retention compares persisted commit timestamps against real elapsed time; the log is p2p crash-recovery state, never replayed by churntest
 		cutoff = time.Now().Add(-retention).UnixNano()
 	}
 	dropped := len(raw)%commitRecSize != 0 // partial tail: rewrite it away
@@ -93,8 +95,15 @@ func (c *CommitLog) rewrite() error {
 	if err != nil {
 		return err
 	}
-	for id, at := range c.ids {
-		if _, err := f.Write(encodeCommitRec(id, at)); err != nil {
+	// Sorted by session id so a compaction is byte-reproducible: two
+	// rewrites of the same surviving set produce identical files.
+	ids := make([]uint64, 0, len(c.ids))
+	for id := range c.ids {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		if _, err := f.Write(encodeCommitRec(id, c.ids[id])); err != nil {
 			f.Close()
 			return err
 		}
@@ -133,6 +142,7 @@ func (c *CommitLog) Record(id uint64) error {
 	if c.f == nil {
 		return fmt.Errorf("handoff: commit log %s is not open", c.path)
 	}
+	//condisc:wallclock the commit instant is durability metadata compared against retention on reopen; it never feeds replayed state
 	at := time.Now().UnixNano()
 	if _, err := c.f.Write(encodeCommitRec(id, at)); err != nil {
 		return fmt.Errorf("handoff: append commit record: %w", err)
@@ -148,6 +158,7 @@ func (c *CommitLog) Record(id uint64) error {
 // half the retained entries are stale. Best-effort: on any error the
 // existing (larger but complete) log stays in place.
 func (c *CommitLog) maybeCompact() {
+	//condisc:wallclock staleness is real elapsed time since the persisted commit instant; compaction is p2p housekeeping outside the replayed paths
 	cutoff := time.Now().Add(-c.retention).UnixNano()
 	stale := 0
 	for _, at := range c.ids {

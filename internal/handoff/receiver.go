@@ -121,8 +121,25 @@ func (r *Receiver) writeManifest() error {
 	if err != nil {
 		return err
 	}
+	// Write-sync-close-rename: the rename may survive a crash that the
+	// unsynced data did not, and a manifest whose STATE field reads
+	// "promoting" is the receiver's commit record — recovery trusts it
+	// to decide whether the live store may hold a partial promotion, so
+	// it must be durable before it replaces the old manifest.
 	tmp := filepath.Join(r.dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	return os.Rename(tmp, filepath.Join(r.dir, manifestName))

@@ -1,7 +1,9 @@
 package handoff
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +72,7 @@ func (s *Session) finish(st SessionState) {
 // can never wedge the sender's writes forever.
 type Sessions struct {
 	ttl time.Duration
+	now func() time.Time // injected clock; wall time in production
 	mu  sync.Mutex
 	m   map[uint64]*Session
 }
@@ -84,8 +87,15 @@ func NewSessions(d time.Duration) *Sessions {
 	if d <= 0 {
 		d = DefaultTTL
 	}
-	return &Sessions{ttl: d, m: map[uint64]*Session{}}
+	// The registry reads the clock only through ss.now, so this is the
+	// single wall-clock source of the session machinery.
+	//condisc:wallclock receiver-silence TTLs measure real elapsed time across processes; churntest's in-process path never lets a session expire, and tests may override the clock with SetClock
+	return &Sessions{ttl: d, now: time.Now, m: map[uint64]*Session{}}
 }
+
+// SetClock overrides the registry's time source (tests only: expiry can
+// be driven without sleeping). Not safe concurrently with use.
+func (ss *Sessions) SetClock(now func() time.Time) { ss.now = now }
 
 // expireLocked drops sessions past their deadline: streaming ones abort
 // (ownership stays with the sender), committed ones are garbage-collected
@@ -110,7 +120,7 @@ func (ss *Sessions) Prepare(id uint64, seg interval.Segment, peer string, meta a
 	}
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	now := time.Now()
+	now := ss.now()
 	ss.expireLocked(now)
 	if _, ok := ss.m[id]; ok {
 		return nil, fmt.Errorf("handoff: session %x already exists", id)
@@ -132,7 +142,7 @@ func (ss *Sessions) Prepare(id uint64, seg interval.Segment, peer string, meta a
 func (ss *Sessions) Get(id uint64) (*Session, bool) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	now := time.Now()
+	now := ss.now()
 	ss.expireLocked(now)
 	s, ok := ss.m[id]
 	if !ok || s.State() != StateStreaming {
@@ -144,7 +154,7 @@ func (ss *Sessions) Get(id uint64) (*Session, bool) {
 
 // Touch refreshes a session's deadline (called per streamed frame).
 func (ss *Sessions) Touch(s *Session) {
-	s.deadline.Store(time.Now().Add(ss.ttl).UnixNano())
+	s.deadline.Store(ss.now().Add(ss.ttl).UnixNano())
 }
 
 // Fenced reports whether p lies in the range of an active (streaming)
@@ -153,7 +163,7 @@ func (ss *Sessions) Touch(s *Session) {
 func (ss *Sessions) Fenced(p interval.Point) bool {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	ss.expireLocked(time.Now())
+	ss.expireLocked(ss.now())
 	for _, s := range ss.m {
 		if s.State() == StateStreaming && s.Seg.Contains(p) {
 			return true
@@ -162,20 +172,22 @@ func (ss *Sessions) Fenced(p interval.Point) bool {
 	return false
 }
 
-// Streaming returns the currently streaming sessions (in no particular
-// order). Multiple sessions over disjoint ranges may stream at once; the
-// p2p node uses this to bound a new join's range at the nearest already-
-// fenced range instead of refusing the join.
+// Streaming returns the currently streaming sessions, ordered by id so
+// callers iterate deterministically. Multiple sessions over disjoint
+// ranges may stream at once; the p2p node uses this to bound a new
+// join's range at the nearest already-fenced range instead of refusing
+// the join.
 func (ss *Sessions) Streaming() []*Session {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	ss.expireLocked(time.Now())
+	ss.expireLocked(ss.now())
 	var out []*Session
 	for _, s := range ss.m {
 		if s.State() == StateStreaming {
 			out = append(out, s)
 		}
 	}
+	slices.SortFunc(out, func(a, b *Session) int { return cmp.Compare(a.ID, b.ID) })
 	return out
 }
 
@@ -183,7 +195,7 @@ func (ss *Sessions) Streaming() []*Session {
 func (ss *Sessions) Active() int {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	ss.expireLocked(time.Now())
+	ss.expireLocked(ss.now())
 	n := 0
 	for _, s := range ss.m {
 		if s.State() == StateStreaming {
@@ -201,7 +213,7 @@ func (ss *Sessions) Active() int {
 func (ss *Sessions) Commit(id uint64) (*Session, bool) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	ss.expireLocked(time.Now())
+	ss.expireLocked(ss.now())
 	s, ok := ss.m[id]
 	if !ok || s.State() != StateStreaming {
 		return nil, false
@@ -210,7 +222,7 @@ func (ss *Sessions) Commit(id uint64) (*Session, bool) {
 	// that crashed after the commit landed must still read "committed"
 	// (not "unknown") when it restarts and probes, or it would abort a
 	// range it now owns. 100× the receiver-silence TTL bounds the leak.
-	s.deadline.Store(time.Now().Add(100 * ss.ttl).UnixNano())
+	s.deadline.Store(ss.now().Add(100 * ss.ttl).UnixNano())
 	s.finish(StateCommitted)
 	return s, true
 }
@@ -232,7 +244,7 @@ func (ss *Sessions) Abort(id uint64) {
 func (ss *Sessions) Status(id uint64) SessionState {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	ss.expireLocked(time.Now())
+	ss.expireLocked(ss.now())
 	s, ok := ss.m[id]
 	if !ok {
 		return StateUnknown

@@ -1,0 +1,123 @@
+package interval_test
+
+// Property tests for the no-sub-ulp-alias invariant the segarith
+// analyzer guards statically: Len == 0 denotes the FULL CIRCLE, so no
+// exported Segment-producing helper may map a nonempty segment to a
+// Len-0 one. PR 1 and PR 3 each fixed a floor division that did
+// exactly that (a 1-ulp segment halving to "everything"); these tests
+// pin the ceiling-rounded primitives against the same regression from
+// the value side, over both adversarial 1-ulp inputs and random ones.
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"condisc/internal/continuous"
+	"condisc/internal/interval"
+)
+
+// adversarialLens are the lengths where floor arithmetic collapses:
+// sub-ulp and near-boundary values on the fixed-point grid.
+var adversarialLens = []uint64{
+	1, 2, 3, 5, 7,
+	1<<63 - 1, 1 << 63, 1<<63 + 1,
+	math.MaxUint64 - 1, math.MaxUint64,
+}
+
+var adversarialStarts = []interval.Point{
+	0, 1, 1<<63 - 1, 1 << 63, math.MaxUint64,
+}
+
+func segments(t *testing.T) []interval.Segment {
+	t.Helper()
+	var segs []interval.Segment
+	for _, l := range adversarialLens {
+		for _, s := range adversarialStarts {
+			segs = append(segs, interval.Segment{Start: s, Len: l})
+		}
+	}
+	rng := rand.New(rand.NewPCG(0xc0d15c, 7))
+	for i := 0; i < 2000; i++ {
+		ln := rng.Uint64()
+		if ln == 0 {
+			ln = 1
+		}
+		if i%3 == 0 {
+			ln = 1 + rng.Uint64N(16) // bias toward the sub-ulp corner
+		}
+		segs = append(segs, interval.Segment{Start: interval.Point(rng.Uint64()), Len: ln})
+	}
+	return segs
+}
+
+// TestSegmentProducersNeverAliasToFullCircle: Half, HalfPlus and
+// DeltaImages map every nonempty segment to nonempty segments.
+// BackImage is allowed to return the full circle exactly when the
+// preimage genuinely covers it (2·Len wraps), and must be nonempty
+// otherwise.
+func TestSegmentProducersNeverAliasToFullCircle(t *testing.T) {
+	deltas := []uint64{2, 3, 4, 5, 8, 16, 60, 1021}
+	for _, s := range segments(t) {
+		if h := s.Half(); h.Len == 0 {
+			t.Fatalf("Half(%v) aliased to the full circle", s)
+		}
+		if h := s.HalfPlus(); h.Len == 0 {
+			t.Fatalf("HalfPlus(%v) aliased to the full circle", s)
+		}
+		if b := s.BackImage(); b.Len == 0 && s.Len < 1<<63 {
+			t.Fatalf("BackImage(%v) aliased to the full circle without covering it", s)
+		}
+		for _, d := range deltas {
+			for i, img := range continuous.DeltaImages(s, d) {
+				if img.Len == 0 {
+					t.Fatalf("DeltaImages(%v, %d)[%d] aliased to the full circle", s, d, i)
+				}
+			}
+		}
+	}
+}
+
+// TestHalfContainsPointImages: the segment image over-approximates the
+// pointwise image — for every p in s, ℓ(p) lies in ℓ(s) and r(p) in
+// r(s). Together with the nonemptiness property this is what consumers
+// (dhgraph edge wiring, overlap degree counting) rely on.
+//
+// Two approximations are part of the primitives' documented contract
+// (§4: all bounds tolerate one-ulp perturbations): the halving maps
+// are discontinuous at the wrap point 0, so arcs crossing 0 have
+// disconnected images a single Segment cannot cover (the containment
+// check restricts itself to non-wrapping arcs); and for odd Start the
+// grid image of a point can land exactly one ulp outside the rounded
+// image segment, so containment is checked within a one-ulp margin.
+// BackImage doubles distances mod 2^64 and must stay exact for every
+// arc it reports as non-full.
+func TestHalfContainsPointImages(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xa11a5, 11))
+	for _, s := range segments(t) {
+		wraps := uint64(s.Start) > math.MaxUint64-(s.Len-1)
+		for trial := 0; trial < 4; trial++ {
+			p := s.Start + interval.Point(rng.Uint64N(s.Len))
+			if !s.Contains(p) {
+				t.Fatalf("generator bug: %v not in %v", p, s)
+			}
+			if !wraps {
+				if !containsWithin1(s.Half(), p.Half()) {
+					t.Fatalf("Half(%v) = %v misses image of contained point %v", s, s.Half(), p)
+				}
+				if !containsWithin1(s.HalfPlus(), p.HalfPlus()) {
+					t.Fatalf("HalfPlus(%v) = %v misses image of contained point %v", s, s.HalfPlus(), p)
+				}
+			}
+			if !s.BackImage().Contains(p.Back()) {
+				t.Fatalf("BackImage(%v) = %v misses preimage point %v", s, s.BackImage(), p)
+			}
+		}
+	}
+}
+
+// containsWithin1 reports whether p lies in s extended by one ulp at
+// either end.
+func containsWithin1(s interval.Segment, p interval.Point) bool {
+	return s.Contains(p) || s.Contains(p+1) || s.Contains(p-1)
+}

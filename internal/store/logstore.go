@@ -331,6 +331,7 @@ func (s *Log) appendRecord(body []byte) (seg uint32, off int64, err error) {
 			return 0, 0, err
 		}
 	}
+	//condisc:allow fsyncack durability is the explicit LogOptions.Fsync choice: with Fsync off the WAL survives process crashes (page cache) but trades power-loss safety for speed; every Fsync=true path syncs above
 	return seg, off, nil
 }
 
