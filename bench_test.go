@@ -255,6 +255,95 @@ func BenchmarkChurnConcurrent(b *testing.B) {
 	}
 }
 
+// ---- read-under-churn: the wait-free read path's acceptance bench ----
+//
+// BenchmarkReadUnderChurn measures Get throughput on a 100k-server DHT
+// while a churn wave of the given width is continuously in flight, against
+// the quiescent baseline on the same instance. The read path resolves
+// owners against epoch snapshots and never takes the churn lock, so
+// throughput during a wave must stay within a small constant of quiescent
+// — the CI gate requires width-16 reads at >= 0.7x quiescent (scaled to
+// the runner's core count: with one core the churn goroutine and the
+// reader share the CPU, which is scheduler fairness, not read-path
+// blocking). Caching is disabled: cache hits would measure the cache, not
+// the snapshot-resolving owner read.
+
+const readBenchKeys = 1024
+
+var (
+	readDHTOnce sync.Once
+	readDHT     *DHT
+)
+
+// benchReadDHT builds (once) the 100k-server cacheless DHT with the read
+// key universe placed directly at the owners.
+func benchReadDHT() *DHT {
+	readDHTOnce.Do(func() {
+		d := New(100_000, Options{Seed: 2718, CacheThreshold: -1})
+		for i := 0; i < readBenchKeys; i++ {
+			k := fmt.Sprintf("read-%d", i)
+			p := d.hash.Point(k)
+			if err := d.stores[d.ring.CoverHandle(p)].Put(p, k, []byte("v")); err != nil {
+				panic(err)
+			}
+		}
+		readDHT = d
+	})
+	return readDHT
+}
+
+// readUnderChurnLoop runs b.N Gets; width > 0 keeps a JoinBatch/LeaveBatch
+// wave of that width continuously in flight in the background. The wave
+// count is reported so a run where churn silently stalled is visible.
+func readUnderChurnLoop(b *testing.B, width int) {
+	d := benchReadDHT()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var waves int64
+	if width > 0 {
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ids := d.JoinBatch(width)
+				if err := d.LeaveBatch(ids); err != nil {
+					panic(err)
+				}
+				waves++
+			}
+		}()
+	} else {
+		close(done)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("read-%d", i%readBenchKeys)
+		if _, _, ok := d.Get(i%100_000, key); !ok {
+			b.Fatalf("Get(%s) missed under churn", key)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/sec")
+	b.ReportMetric(float64(waves), "waves")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cpus")
+}
+
+// BenchmarkReadUnderChurn sweeps the in-flight wave width; "quiescent" is
+// the no-churn baseline the gate compares against.
+func BenchmarkReadUnderChurn(b *testing.B) {
+	b.Run("quiescent", func(b *testing.B) { readUnderChurnLoop(b, 0) })
+	for _, width := range []int{16, 64} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) { readUnderChurnLoop(b, width) })
+	}
+}
+
 // fullRebuild reproduces the seed's per-churn work: rebuild the discrete
 // graph and network from scratch, recreate the caching system (discarding
 // all §3 state), and rehash every stored item.

@@ -1,9 +1,12 @@
-// Command condisc-vet runs this repository's five project-specific
+// Command condisc-vet runs this repository's six project-specific
 // invariant analyzers (see README "Static analysis & invariants"):
 //
 //	segarith   — no raw arithmetic on interval lengths outside the
 //	             ceiling-division primitives (sub-ulp full-circle alias)
 //	applyphase — apply/retire churn phases must not write admit-only state
+//	epochpub   — epoch-published state changes only at sanctioned publish
+//	             points (no mid-phase Publish, immutable snapshots,
+//	             boundary moves only through setEndSuccLocked)
 //	fsyncack   — no acknowledgement over an unsynced framed WAL record
 //	detpath    — no wall clock / global rand / map-order leaks in the
 //	             churntest determinism-contract packages
@@ -38,6 +41,7 @@ import (
 	"condisc/internal/analysis"
 	"condisc/internal/analysis/applyphase"
 	"condisc/internal/analysis/detpath"
+	"condisc/internal/analysis/epochpub"
 	"condisc/internal/analysis/fsyncack"
 	"condisc/internal/analysis/handlekey"
 	"condisc/internal/analysis/load"
@@ -48,6 +52,7 @@ func analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		segarith.Analyzer,
 		applyphase.Analyzer,
+		epochpub.Analyzer,
 		fsyncack.Analyzer,
 		detpath.Analyzer,
 		handlekey.Analyzer,

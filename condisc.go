@@ -32,7 +32,9 @@ import (
 	"math/rand/v2"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"condisc/internal/cache"
 	"condisc/internal/dhgraph"
@@ -101,12 +103,34 @@ type DHT struct {
 	newStore func() store.Store
 	storeSeq int
 
+	// storesMu guards the stores MAP (insertion at join admit, deletion at
+	// wave cleanup); the stores themselves are internally synchronized.
+	// Readers resolve an owner's store through storeOf and never hold any
+	// churn lock.
+	storesMu sync.RWMutex
+
 	// churnMu serializes churn entry points (Join/Leave and the batch
 	// forms) against each other; inside a batch, disjoint events
-	// parallelize under arc leases (condisc_batch.go).
+	// parallelize under arc leases (condisc_batch.go). The read path
+	// (Get/Put/Lookup/Owner) never takes it: reads resolve ownership
+	// against the ring's epoch snapshots and retry if an epoch flips
+	// mid-call.
 	churnMu   sync.Mutex
 	leases    *partition.Leases
 	schedHook func(event int, step string) // test-only interleaving hook
+
+	// readSeed/readCtr derive a private PCG stream per read-path call
+	// (stream = the call's ticket), so concurrent reads never share a
+	// *rand.Rand with each other or with the churn path's d.rng.
+	readSeed uint64
+	readCtr  atomic.Uint64
+
+	// moving, while a churn wave is in flight, holds the wave's
+	// owner-changing ranges (each event's invSeg). Put fences on it: a
+	// write into a mid-handoff range waits for the wave's publish, closing
+	// the window where a fresh key could land on the source store behind
+	// the copy cursor and vanish. nil when no wave is running.
+	moving atomic.Pointer[[]interval.Segment]
 }
 
 // New builds a DHT of n servers (n >= 2) with Multiple Choice IDs.
@@ -121,8 +145,9 @@ func New(n int, opts Options) *DHT {
 		opts.Seed = 1
 	}
 	d := &DHT{
-		opts: opts,
-		rng:  rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x632be59bd9b4e019)),
+		opts:     opts,
+		rng:      rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x632be59bd9b4e019)),
+		readSeed: opts.Seed ^ 0x9e3779b97f4a7c15,
 	}
 	d.hash = hashing.NewKWise(16, d.rng)
 	d.ring = partition.Grow(partition.New(), n, partition.MultipleChooser(2), d.rng)
@@ -166,6 +191,8 @@ func New(n int, opts Options) *DHT {
 // Close releases the per-server stores (the disk-backed engine holds open
 // WAL files). The DHT must not be used afterwards.
 func (d *DHT) Close() error {
+	d.storesMu.Lock()
+	defer d.storesMu.Unlock()
 	var first error
 	for _, s := range d.stores {
 		if err := s.Close(); err != nil && first == nil {
@@ -173,6 +200,62 @@ func (d *DHT) Close() error {
 		}
 	}
 	return first
+}
+
+// storeOf resolves the store of the server named by id without holding
+// any churn lock.
+func (d *DHT) storeOf(id ServerID) (store.Store, bool) {
+	d.storesMu.RLock()
+	s, ok := d.stores[id]
+	d.storesMu.RUnlock()
+	return s, ok
+}
+
+// readRand returns a fresh deterministic PRNG for one read-path call:
+// every call gets its own PCG stream (the ticket from readCtr), split
+// from the instance seed. Concurrent reads therefore share no RNG state,
+// and a serial sequence of reads draws a reproducible digit sequence
+// regardless of churn interleaving — reads no longer consume the churn
+// path's d.rng.
+func (d *DHT) readRand() *rand.Rand {
+	return rand.New(rand.NewPCG(d.readSeed, d.readCtr.Add(1)))
+}
+
+// --- the moving-range fence ---
+
+// setMoving installs the wave's owner-changing ranges; writers into those
+// ranges wait out the wave.
+func (d *DHT) setMoving(segs []interval.Segment) { d.moving.Store(&segs) }
+
+// clearMoving lifts the fence after the wave's cleanup.
+func (d *DHT) clearMoving() { d.moving.Store(nil) }
+
+// pointMoving reports whether p lies in a range whose owner is changing
+// in the wave currently in flight.
+func (d *DHT) pointMoving(p Point) bool {
+	segs := d.moving.Load()
+	if segs == nil {
+		return false
+	}
+	for _, s := range *segs {
+		if s.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// waitNotMoving spins (yielding) until p's range has no handoff in
+// flight. Waves are bounded (copy + publish + cleanup), so the wait is
+// too; the iteration bound turns a stuck wave into a loud failure instead
+// of a silent hang.
+func (d *DHT) waitNotMoving(p Point) {
+	for i := 0; d.pointMoving(p); i++ {
+		if i > 1<<26 {
+			panic("condisc: put stalled on an unfinished churn wave")
+		}
+		runtime.Gosched()
+	}
 }
 
 // autoThreshold resolves the caching threshold c for the current size.
@@ -195,39 +278,116 @@ func (d *DHT) MaxDegree() int { return d.net.G.MaxDegree() }
 // KeyPoint returns the hash point of a key.
 func (d *DHT) KeyPoint(key string) Point { return d.hash.Point(key) }
 
-// Owner returns the server index responsible for a key.
-func (d *DHT) Owner(key string) int { return d.ring.Cover(d.hash.Point(key)) }
-
-// Lookup routes from server src to the owner of key using the randomized
-// Distance Halving Lookup and returns the path of servers visited.
-func (d *DHT) Lookup(src int, key string) []int {
-	return d.net.DHLookup(src, d.hash.Point(key), d.rng)
+// Owner returns the server index responsible for a key, resolved against
+// the latest published epoch snapshot (wait-free under churn).
+func (d *DHT) Owner(key string) int {
+	return d.ring.Snapshot().Cover(d.hash.Point(key))
 }
 
+// Lookup routes from server src to the owner of key using the randomized
+// Distance Halving Lookup and returns the path of servers visited. The
+// route resolves covers against one epoch snapshot and draws digits from
+// a private per-call stream, so concurrent lookups (and lookups under
+// churn) never block or race.
+func (d *DHT) Lookup(src int, key string) []int {
+	return d.net.DHLookup(src, d.hash.Point(key), d.readRand())
+}
+
+// readRetryLimit bounds the stale-owner retries of Get and Put. A retry
+// is only taken when the published epoch actually advanced, so the limit
+// is consumed only if distinct churn waves keep landing mid-call.
+const readRetryLimit = 8
+
 // Put stores a value from server src, returning the routing path length.
+//
+// Put is wait-free against churn except in one range: a write whose point
+// lies in a segment whose ownership is mid-handoff waits for the wave to
+// publish (the moving-range fence) — otherwise a fresh key could land on
+// the source store behind the copy cursor and be lost by the post-publish
+// DeleteRange. After writing, Put re-resolves the owner; if the epoch
+// flipped and moved the point's segment mid-write, the write is undone
+// and retried against the new owner (bounded by readRetryLimit).
 func (d *DHT) Put(src int, key string, value []byte) int {
+	p := d.hash.Point(key)
 	path := d.Lookup(src, key)
-	owner := path[len(path)-1]
-	if err := d.stores[d.ring.HandleAt(owner)].Put(d.hash.Point(key), key, value); err != nil {
-		panic(fmt.Sprintf("condisc: store put: %v", err))
+	for attempt := 0; ; attempt++ {
+		d.waitNotMoving(p)
+		snap := d.ring.Snapshot()
+		owner := snap.CoverHandle(p)
+		st, ok := d.storeOf(owner)
+		if ok {
+			if err := st.Put(p, key, value); err != nil {
+				if d.ring.Snapshot().Epoch() == snap.Epoch() {
+					// Errors are only expected from a store being retired
+					// by a wave, which always advances the epoch first.
+					panic(fmt.Sprintf("condisc: store put: %v", err))
+				}
+				// Store retired mid-call: re-resolve and retry.
+			} else if fresh := d.ring.Snapshot(); fresh.CoverHandle(p) != owner {
+				// The owner changed under the write (the snapshot was
+				// stale, or a wave published mid-put): reclaim the orphan
+				// before retrying at the real owner, so the old store
+				// never retains an item outside its segment. An error here
+				// is benign — a destroyed store takes the orphan with it.
+				_ = st.Delete(p, key)
+			} else if !d.pointMoving(p) {
+				// Settled: the write landed on the store the current epoch
+				// names as p's owner, with no handoff of p in flight.
+				return len(path) - 1
+			}
+			// Owner unchanged but p's range is mid-handoff: the copy
+			// cursor may have passed p before the write landed. Leave the
+			// write in place (the post-publish cleanup wipes that range at
+			// the source), wait the wave out, and re-put on the settled
+			// owner.
+		}
+		if attempt >= readRetryLimit {
+			panic(fmt.Sprintf("condisc: put of %q could not settle after %d owner changes", key, attempt))
+		}
 	}
-	return len(path) - 1
 }
 
 // Get retrieves a value from server src. With caching enabled, hot items
 // are served by cache-tree copies without reaching the owner (§3).
+//
+// Get is wait-free: it resolves the owner against the latest epoch
+// snapshot and reads that server's store directly. If the read misses (or
+// the store errors / is gone) while the published epoch has advanced
+// mid-call, the owner may have changed — Get re-resolves and retries,
+// bounded by readRetryLimit. A miss with a stable epoch is a genuine
+// miss.
 func (d *DHT) Get(src int, key string) (value []byte, hops int, ok bool) {
 	p := d.hash.Point(key)
-	owner := d.ring.CoverHandle(p)
-	v, ok, err := d.stores[owner].Get(p, key)
-	if err != nil {
-		panic(fmt.Sprintf("condisc: store get: %v", err))
-	}
-	if !ok {
+	snap := d.ring.Snapshot()
+	var v []byte
+	for attempt := 0; ; attempt++ {
+		owner := snap.CoverHandle(p)
+		st, live := d.storeOf(owner)
+		var found bool
+		var err error
+		if live {
+			v, found, err = st.Get(p, key)
+		}
+		if live && err == nil && found {
+			break
+		}
+		// Miss, vanished store, or store error: all are expected exactly
+		// when a churn wave republished mid-call. Re-resolve and retry.
+		fresh := d.ring.Snapshot()
+		if fresh.Epoch() != snap.Epoch() && attempt < readRetryLimit {
+			snap = fresh
+			continue
+		}
+		if err != nil {
+			panic(fmt.Sprintf("condisc: store get: %v", err))
+		}
+		if !live {
+			panic(fmt.Sprintf("condisc: epoch %d names server %d, which has no store", snap.Epoch(), owner))
+		}
 		return nil, 0, false
 	}
 	if d.cache != nil {
-		path, _ := d.cache.Request(src, key, d.rng)
+		path, _ := d.cache.Request(src, key, d.readRand())
 		return v, len(path) - 1, true
 	}
 	path := d.Lookup(src, key)
@@ -302,7 +462,19 @@ func (d *DHT) SuppliedOf(id ServerID) int64 {
 func (d *DHT) ResetLoad() { d.net.ResetLoad() }
 
 // Items returns how many items server i currently stores.
-func (d *DHT) Items(i int) int { return d.stores[d.ring.HandleAt(i)].Len() }
+func (d *DHT) Items(i int) int {
+	st, ok := d.storeOf(d.ring.HandleAt(i))
+	if !ok {
+		return 0
+	}
+	return st.Len()
+}
 
 // ItemsOf returns how many items the server named by id currently stores.
-func (d *DHT) ItemsOf(id ServerID) int { return d.stores[id].Len() }
+func (d *DHT) ItemsOf(id ServerID) int {
+	st, ok := d.storeOf(id)
+	if !ok {
+		return 0
+	}
+	return st.Len()
+}

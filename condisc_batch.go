@@ -252,7 +252,9 @@ func (d *DHT) admitJoin(pj *pendingJoin) (*batchEvent, bool) {
 		seg := d.ring.Segment(idx)
 		src := d.stores[d.ring.HandleAt(d.ring.Predecessor(idx))]
 		dst := d.newStore()
+		d.storesMu.Lock()
 		d.stores[id] = dst
+		d.storesMu.Unlock()
 		return &batchEvent{
 			join: true, id: id, ipatch: ipatch,
 			src: src, dst: dst, moveSeg: seg, invSeg: seg, lease: lease,
@@ -279,8 +281,10 @@ func (d *DHT) admitLeave(id ServerID) (*batchEvent, bool) {
 	predH := d.ring.HandleAt(predIdx)
 	rpatch := d.net.G.RemoveAdmit(idx)
 	d.net.Forget(id)
+	// The leaver's store stays in the map (and intact) until cleanupWave:
+	// readers resolving against the pre-wave epoch must keep finding the
+	// leaver's items at the leaver until the post-wave epoch is published.
 	src := d.stores[id]
-	delete(d.stores, id)
 	ev := &batchEvent{
 		id: id, rpatch: rpatch,
 		src: src, dst: d.stores[predH],
@@ -293,13 +297,34 @@ func (d *DHT) admitLeave(id ServerID) (*batchEvent, bool) {
 }
 
 // runWave applies every admitted event — graph patch, item handoff, cache
-// invalidation — then retires and releases. A single-event wave (or one
-// whose graph went through the tiny-ring rebuild) applies inline; larger
-// waves run one goroutine per event.
+// invalidation — then retires, publishes the post-wave epoch, cleans up
+// the source-side copies, and releases the leases. A single-event wave
+// (or one whose graph went through the tiny-ring rebuild) applies inline;
+// larger waves run one goroutine per event.
+//
+// The sequencing is the copy → publish → delete protocol the wait-free
+// read path depends on:
+//
+//  1. setMoving fences Put against every range changing hands this wave
+//     (readers keep being served from the pre-wave epoch's owners);
+//  2. the applies COPY items to their new owners (handoff.Copy — sources
+//     stay intact, so both epochs' owners hold the items);
+//  3. ring.Publish flips readers to the post-wave decomposition — the
+//     single sanctioned publish point of the batch path;
+//  4. cleanupWave deletes the source-side copies and drops departed
+//     stores, which only the retired epoch could ever have resolved to.
 func (d *DHT) runWave(wave []*batchEvent) {
+	if len(wave) == 0 {
+		return
+	}
+	segs := make([]interval.Segment, len(wave))
+	for i, ev := range wave {
+		segs[i] = ev.invSeg
+	}
+	d.setMoving(segs)
 	if len(wave) == 1 {
 		d.applyEvent(wave[0], 0)
-	} else if len(wave) > 1 {
+	} else {
 		var wg sync.WaitGroup
 		for i, ev := range wave {
 			wg.Add(1)
@@ -314,9 +339,36 @@ func (d *DHT) runWave(wave []*batchEvent) {
 		if ev.rpatch != nil {
 			d.net.G.RemoveRetire(ev.rpatch)
 		}
+	}
+	d.ring.Publish()
+	d.cleanupWave(wave)
+	d.clearMoving()
+	for _, ev := range wave {
 		if ev.lease != nil {
 			d.leases.Release(ev.lease)
 		}
+	}
+}
+
+// cleanupWave is the delete half of copy → publish → delete: with the
+// post-wave epoch published, no reader can resolve a moved range to its
+// old owner any more, so the source-side copies go away — a join's source
+// drops the handed-off range, a leave's source is destroyed outright and
+// its map entry removed.
+func (d *DHT) cleanupWave(wave []*batchEvent) {
+	for _, ev := range wave {
+		if ev.join {
+			if err := ev.src.DeleteRange(ev.moveSeg); err != nil {
+				panic(fmt.Sprintf("condisc: post-publish delete: %v", err))
+			}
+			continue
+		}
+		if err := store.Destroy(ev.src); err != nil {
+			panic(fmt.Sprintf("condisc: store destroy: %v", err))
+		}
+		d.storesMu.Lock()
+		delete(d.stores, ev.id)
+		d.storesMu.Unlock()
 	}
 }
 
@@ -341,13 +393,11 @@ func (d *DHT) applyEvent(ev *batchEvent, i int) {
 	if hook != nil {
 		hook(i, "items")
 	}
-	if _, err := handoff.Move(ev.src, ev.dst, ev.moveSeg); err != nil {
+	// Copy, not Move: the source keeps its items until cleanupWave runs
+	// after the post-wave epoch is published, so pre-wave readers stay
+	// servable throughout the handoff.
+	if _, err := handoff.Copy(ev.src, ev.dst, ev.moveSeg); err != nil {
 		panic(fmt.Sprintf("condisc: batch handoff: %v", err))
-	}
-	if !ev.join {
-		if err := store.Destroy(ev.src); err != nil {
-			panic(fmt.Sprintf("condisc: store destroy: %v", err))
-		}
 	}
 	if hook != nil {
 		hook(i, "cache")
@@ -397,7 +447,7 @@ func (d *DHT) WriteState(w io.Writer) error {
 		fmt.Fprintf(w, "server i=%d p=%d h=%d\n", i, uint64(d.ring.Point(i)), h)
 		fmt.Fprintf(w, "  out=%v\n  in=%v\n  adj=%v\n", d.net.G.OutH(h), d.net.G.InH(h), d.net.G.AdjH(h))
 		fmt.Fprintf(w, "  load=%d\n", d.net.LoadOf(h))
-		s, ok := d.stores[h]
+		s, ok := d.storeOf(h)
 		if !ok {
 			return fmt.Errorf("condisc: server %d has no store", h)
 		}
@@ -408,8 +458,11 @@ func (d *DHT) WriteState(w io.Writer) error {
 			return err
 		}
 	}
-	if len(d.stores) != n {
-		return fmt.Errorf("condisc: %d stores for %d servers", len(d.stores), n)
+	d.storesMu.RLock()
+	nStores := len(d.stores)
+	d.storesMu.RUnlock()
+	if nStores != n {
+		return fmt.Errorf("condisc: %d stores for %d servers", nStores, n)
 	}
 	if d.cache != nil {
 		return d.cache.DumpState(w)

@@ -3,7 +3,7 @@
 // vet suite needs: an Analyzer is a named check with a Run function, a
 // Pass hands it one type-checked package, and diagnostics are positions
 // plus messages. The container this project builds in has no module
-// proxy access, so rather than vendoring x/tools (~10k files) the five
+// proxy access, so rather than vendoring x/tools (~10k files) the six
 // project analyzers run on this shim; their Run functions are written
 // against the same shape (pass.Fset / pass.TypesInfo / pass.Reportf) so
 // they would port to the real framework by changing one import.
@@ -15,6 +15,9 @@
 //     primitives (segarith),
 //   - the PR 5 admit/apply churn split: apply-phase code must not touch
 //     admit-only state (applyphase),
+//   - the PR 7 epoch-publication contract of the wait-free read path:
+//     publishes only at sanctioned points, snapshots immutable,
+//     boundary moves only through setEndSuccLocked (epochpub),
 //   - WAL discipline: no acknowledgement may be returned over an
 //     unsynced framed record (fsyncack),
 //   - the determinism contract of the churn differential harness: no

@@ -160,15 +160,14 @@ type System struct {
 	// single-threshold protocol as stated).
 	CollapseC int
 
-	// churnMu serializes the churn-path mutators (InvalidateRegion,
-	// Forget) against each other: a batch of disjoint churn events
-	// invalidates its regions concurrently, and while the regions are
-	// disjoint by lease, the copy index and the tree records are shared
-	// containers. The request path (Request, EndEpoch, ...) stays
-	// single-threaded as before and takes no lock.
-	churnMu sync.Mutex
-	trees   map[string]*activeTree
-	copies  copyIndex
+	// mu guards trees, copies, and Supplied. Both sides take it in short
+	// critical sections: churn mutators (InvalidateRegion, Forget) for the
+	// whole mutation, the request path only around tree bookkeeping — the
+	// routing itself runs lock-free against a ring snapshot, so a request
+	// never waits out a churn wave, only a map update.
+	mu     sync.Mutex
+	trees  map[string]*activeTree
+	copies copyIndex
 	// Supplied counts requests served by each server's cache (root copies
 	// included) — the "number of times V supplies a data item" of Thm 3.8 —
 	// keyed by the server's stable handle, so churn never moves or
@@ -190,7 +189,9 @@ func NewSystem(net *route.Network, h *hashing.Func, c int) *System {
 	}
 }
 
-// tree returns (creating on demand) the active tree for an item.
+// tree returns (creating on demand) the active tree for an item. The
+// caller must hold mu; the returned pointer stays valid after release
+// (trees are never removed from the map).
 func (s *System) tree(item string) *activeTree {
 	t, ok := s.trees[item]
 	if !ok {
@@ -200,22 +201,32 @@ func (s *System) tree(item string) *activeTree {
 	return t
 }
 
-// supplyAt charges one supplied request to the server covering p.
-func (s *System) supplyAt(p interval.Point) {
-	s.Supplied[s.Net.G.Ring.CoverHandle(p)]++
+// supplyAt charges one supplied request to the server covering p under
+// the given ring snapshot. The caller must hold mu.
+func (s *System) supplyAt(snap *partition.Snapshot, p interval.Point) {
+	s.Supplied[snap.CoverHandle(p)]++
 }
 
 // SuppliedOf returns the supply count of the server with stable handle h.
-func (s *System) SuppliedOf(h partition.Handle) int64 { return s.Supplied[h] }
+func (s *System) SuppliedOf(h partition.Handle) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Supplied[h]
+}
 
 // SuppliedAt returns the supply count of the server currently at ring
 // index i.
-func (s *System) SuppliedAt(i int) int64 { return s.Supplied[s.Net.G.Ring.HandleAt(i)] }
+func (s *System) SuppliedAt(i int) int64 {
+	h := s.Net.G.Ring.HandleAt(i)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Supplied[h]
+}
 
 // Forget drops the departed server's supply counter.
 func (s *System) Forget(h partition.Handle) {
-	s.churnMu.Lock()
-	defer s.churnMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	delete(s.Supplied, h)
 }
 
@@ -225,13 +236,18 @@ func (s *System) Forget(h partition.Handle) {
 // (for latency verification: never longer than the plain lookup) and the
 // depth of the serving node.
 func (s *System) Request(src int, item string, rng *rand.Rand) ([]int, int) {
+	s.mu.Lock()
 	t := s.tree(item)
+	s.mu.Unlock()
 	y := t.root
+	snap := s.Net.G.Ring.Snapshot()
 
 	if s.C <= 0 {
 		// Baseline: no caching; full route to the home server.
 		path := s.Net.DHLookup(src, y, rng)
-		s.Supplied[s.Net.G.Ring.HandleAt(path[len(path)-1])]++
+		s.mu.Lock()
+		s.Supplied[snap.HandleAt(path[len(path)-1])]++
+		s.mu.Unlock()
 		return path, 0
 	}
 
@@ -240,7 +256,10 @@ func (s *System) Request(src int, item string, rng *rand.Rand) ([]int, int) {
 	path, depth := s.Net.DHLookupStoppable(src, y, rng,
 		func(digits []uint64, j int, q interval.Point) bool {
 			node := nodeAt(digits, j)
-			if _, ok := t.active[node]; ok {
+			s.mu.Lock()
+			_, ok := t.active[node]
+			s.mu.Unlock()
+			if ok {
 				served, found = node, true
 				return true
 			}
@@ -252,15 +271,23 @@ func (s *System) Request(src int, item string, rng *rand.Rand) ([]int, int) {
 		served = continuous.Root
 	}
 
+	s.mu.Lock()
 	st := t.active[served]
+	if st == nil {
+		// The serving node was invalidated by churn between the probe and
+		// this bookkeeping; the root (never invalidated) serves instead.
+		served = continuous.Root
+		st = t.active[served]
+	}
 	st.hits++
-	s.supplyAt(served.PointUnder(y))
+	s.supplyAt(snap, served.PointUnder(y))
 
 	// Step 1: a leaf hit more than c times replicates into its children.
 	if st.hits > s.C && t.isLeaf(served) {
 		s.activate(t, item, served.Child(0))
 		s.activate(t, item, served.Child(1))
 	}
+	s.mu.Unlock()
 	return path, depth
 }
 
@@ -297,8 +324,8 @@ func nodeAt(digits []uint64, j int) continuous.TreeNode {
 // for k copies in the region with active subtrees of total size d — the
 // total item count never enters.
 func (s *System) InvalidateRegion(seg interval.Segment) {
-	s.churnMu.Lock()
-	defer s.churnMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, ref := range s.copies.inRegion(seg) {
 		t, ok := s.trees[ref.item]
 		if !ok {
@@ -330,6 +357,8 @@ func (s *System) deleteSubtree(t *activeTree, item string, z continuous.TreeNode
 // collapse sibling leaves that each supplied fewer than c requests, then
 // reset the epoch counters.
 func (s *System) EndEpoch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for item, t := range s.trees {
 		s.collapse(t, item)
 		for _, st := range t.active {
@@ -376,6 +405,8 @@ func (s *System) collapse(t *activeTree, item string) {
 // ActiveNodes returns the number of active nodes (cached copies, root
 // included) for an item, or 0 if the item is unknown.
 func (s *System) ActiveNodes(item string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if t, ok := s.trees[item]; ok {
 		return len(t.active)
 	}
@@ -384,6 +415,8 @@ func (s *System) ActiveNodes(item string) int {
 
 // MaxDepth returns the depth of the deepest active node for an item.
 func (s *System) MaxDepth(item string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	t, ok := s.trees[item]
 	if !ok {
 		return 0
@@ -401,9 +434,12 @@ func (s *System) MaxDepth(item string) int {
 // cached copies each server stores across all items (excluding depth-0
 // roots, which are the original copies) — Theorem 3.8(i)'s quantity.
 func (s *System) ServerCacheSizes() []int {
-	sizes := make([]int, s.Net.G.N())
+	snap := s.Net.G.Ring.Snapshot()
+	sizes := make([]int, snap.N())
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, ref := range s.copies.refs {
-		sizes[s.Net.G.Ring.Cover(ref.p)]++
+		sizes[snap.Cover(ref.p)]++
 	}
 	return sizes
 }
@@ -411,6 +447,8 @@ func (s *System) ServerCacheSizes() []int {
 // TotalCopies returns the total number of non-root cached copies across
 // the network (Observation 3.1 bounds it by 4q/c per item).
 func (s *System) TotalCopies() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return len(s.copies.refs)
 }
 
@@ -419,6 +457,8 @@ func (s *System) TotalCopies() int {
 // messages (one per non-root active node) and the parallel time (the tree
 // depth), which the paper bounds by O(log(q/c)) <= O(log n).
 func (s *System) UpdateItem(item string) (messages, parallelTime int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	t, ok := s.trees[item]
 	if !ok {
 		return 0, 0
@@ -448,6 +488,8 @@ func (s *System) UpdateItem(item string) (messages, parallelTime int) {
 // epochs of an experiment).
 func (s *System) ResetLoadStats() {
 	s.Net.ResetLoad()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	clear(s.Supplied)
 }
 
@@ -458,6 +500,8 @@ func (s *System) ResetLoadStats() {
 // dumps (internal/churntest compares a concurrent churn run against its
 // serial replay with it).
 func (s *System) DumpState(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, err := fmt.Fprintf(w, "cache C=%d collapseC=%d copies=%d\n", s.C, s.CollapseC, len(s.copies.refs)); err != nil {
 		return err
 	}

@@ -238,6 +238,172 @@ func Run(tr Trace, cfg Config) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
+// RunInterleaved is the read-path arm of the differential oracle: it
+// applies the trace's churn exactly as Run does, while `readers` extra
+// goroutines hammer Get, Put, and Lookup on keys that were pre-loaded
+// before the first event — INSIDE the churn waves, not between them.
+// Caching is disabled (readers would make cache state depend on the
+// interleaving) and the load counters are reset before the dump (routing
+// work is interleaving-dependent by design); everything else — ring,
+// graph, item placement — must remain byte-identical to a width-1 run
+// with no readers at all.
+//
+// Each reader also checks the epoch consistency contract on every
+// operation: a Get of a pre-loaded key must return exactly its value
+// (the key exists at its owner in every published epoch — a reader sees
+// the pre- or the post-wave owner, never a gap), a re-Put of the same
+// value must settle, and a Lookup must return a non-empty path. Any
+// violation fails the run. Run it with -race: a torn snapshot or an
+// unfenced write surfaces here.
+func RunInterleaved(tr Trace, cfg Config, readers int) ([]byte, error) {
+	d := condisc.New(tr.Initial, condisc.Options{
+		Seed: tr.Seed, Storage: cfg.Storage, DataDir: cfg.DataDir,
+		CacheThreshold: -1,
+	})
+	defer d.Close()
+	if cfg.SchedSeed != 0 {
+		d.SetChurnSchedHook(schedPerturb(cfg.SchedSeed))
+	}
+
+	// Pre-load every key the trace will ever put, in trace order, so the
+	// readers have a stable key universe whose values never change (the
+	// trace's own EvPut events re-put identical values: idempotent).
+	type kv struct {
+		key string
+		val []byte
+	}
+	var universe []kv
+	for _, ev := range tr.Events {
+		if ev.Kind == EvPut {
+			d.Put(ev.Src, ev.Key, ev.Val)
+			universe = append(universe, kv{ev.Key, ev.Val})
+		}
+	}
+	if len(universe) == 0 && readers > 0 {
+		return nil, fmt.Errorf("churntest: interleaved run needs PutFrac > 0 for a key universe")
+	}
+
+	stop := make(chan struct{})
+	errCh := make(chan error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(tr.Seed^0xc0ffee, uint64(r)+1))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Yield between operations: a reader spinning through full
+				// preemption quanta would starve the churn goroutine's own
+				// yield points (the sched-perturbation hook) on small
+				// GOMAXPROCS, inflating wall time by readers×quantum per
+				// churn yield.
+				runtime.Gosched()
+				it := universe[rng.IntN(len(universe))]
+				src := rng.IntN(tr.Initial)
+				switch i % 3 {
+				case 0:
+					v, _, ok := d.Get(src, it.key)
+					if !ok || !bytes.Equal(v, it.val) {
+						errCh <- fmt.Errorf("churntest: reader %d: Get(%q) = %q, %v — want %q, true",
+							r, it.key, v, ok, it.val)
+						return
+					}
+				case 1:
+					if hops := d.Put(src, it.key, it.val); hops < 0 {
+						errCh <- fmt.Errorf("churntest: reader %d: Put(%q) returned %d hops", r, it.key, hops)
+						return
+					}
+				default:
+					if path := d.Lookup(src, it.key); len(path) == 0 {
+						errCh <- fmt.Errorf("churntest: reader %d: Lookup(%q) returned an empty path", r, it.key)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	runChurn := func() error {
+		var joinPts []condisc.Point
+		var leaveIDs []condisc.ServerID
+		flush := func() error {
+			if len(joinPts) > 0 {
+				for _, id := range d.JoinAtBatch(joinPts) {
+					if id == 0 {
+						return fmt.Errorf("churntest: join point already present")
+					}
+				}
+				joinPts = joinPts[:0]
+			}
+			if len(leaveIDs) > 0 {
+				if err := d.LeaveBatch(leaveIDs); err != nil {
+					return err
+				}
+				leaveIDs = leaveIDs[:0]
+			}
+			return nil
+		}
+		width := cfg.Width
+		if width < 1 {
+			width = 1
+		}
+		for _, ev := range tr.Events {
+			switch ev.Kind {
+			case EvJoin:
+				if len(leaveIDs) > 0 || len(joinPts) >= width {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+				joinPts = append(joinPts, ev.Point)
+			case EvLeave:
+				if len(joinPts) > 0 || len(leaveIDs) >= width {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+				leaveIDs = append(leaveIDs, ev.ID)
+			case EvPut:
+				if err := flush(); err != nil {
+					return err
+				}
+				d.Put(ev.Src, ev.Key, ev.Val)
+			case EvGet:
+				if err := flush(); err != nil {
+					return err
+				}
+				d.Get(ev.Src, ev.Key)
+			}
+		}
+		return flush()
+	}
+	churnErr := runChurn()
+	close(stop)
+	wg.Wait()
+	if churnErr != nil {
+		return nil, churnErr
+	}
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	// Routing load is interleaving-dependent by design (the readers route);
+	// everything else in the dump must match the reader-free serial run.
+	d.ResetLoad()
+	var b bytes.Buffer
+	if err := d.WriteState(&b); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
 // schedPerturb returns a seeded interleaving hook: each call yields the
 // scheduler 0–3 times, the count drawn from one shared seeded stream.
 func schedPerturb(seed uint64) func(int, string) {

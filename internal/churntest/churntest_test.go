@@ -155,6 +155,32 @@ func TestDifferentialLogStore(t *testing.T) {
 	diffFatal(t, "logstore", serial, conc)
 }
 
+// TestInterleavedReadsUnderChurnWaves is the read-path acceptance test:
+// Get/Put/Lookup run INSIDE width-2..64 churn waves from four concurrent
+// reader goroutines. Every Get must return exactly the pre-loaded value
+// (a reader resolves against the pre- or the post-wave epoch — never a
+// torn state, never a window with no owner holding the item), and the
+// final ring/graph/item state must be byte-identical to a width-1 run
+// with no readers. Run it with -race: an unfenced write or a torn
+// snapshot surfaces here.
+func TestInterleavedReadsUnderChurnWaves(t *testing.T) {
+	tr := Generate(51, GenOptions{
+		Initial: 128, Events: 400,
+		JoinFrac: 0.40, LeaveFrac: 0.30, PutFrac: 0.20,
+	})
+	serial, err := RunInterleaved(tr, Config{Width: 1}, 0)
+	if err != nil {
+		t.Fatalf("serial interleaved baseline: %v", err)
+	}
+	for _, w := range []int{2, 8, 64} {
+		conc, err := RunInterleaved(tr, Config{Width: w, SchedSeed: uint64(w)}, 4)
+		if err != nil {
+			t.Fatalf("width=%d interleaved: %v", w, err)
+		}
+		diffFatal(t, fmt.Sprintf("interleaved width=%d", w), serial, conc)
+	}
+}
+
 // TestCountersSurviveConcurrentChurn is the no-lost-updates property:
 // accumulate load and cache-supply counters with traffic, run a
 // concurrent churn storm, and require every surviving server's counters

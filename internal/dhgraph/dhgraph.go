@@ -86,6 +86,10 @@ func Build(ring *partition.Ring, delta uint64) *Graph {
 	}
 	g := &Graph{Ring: ring, Delta: delta}
 	g.rebuild()
+	// Sanctioned publish point: construction is complete, so readers may
+	// now resolve covers against the epoch snapshot. rebuild() itself never
+	// publishes — mid-wave rebuilds must stay invisible to readers.
+	ring.Publish()
 	return g
 }
 
@@ -268,6 +272,9 @@ func (g *Graph) Insert(p interval.Point) (int, bool) {
 	if pt != nil {
 		g.InsertApply(pt)
 	}
+	// Sanctioned publish point: the serial Insert is fully applied. Batched
+	// churn (condisc) publishes once per wave instead, after item copies.
+	g.Ring.Publish()
 	return idx, true
 }
 
@@ -343,6 +350,8 @@ func (g *Graph) Remove(idx int) {
 		g.RemoveApply(pt)
 		g.RemoveRetire(pt)
 	}
+	// Sanctioned publish point, mirroring Insert.
+	g.Ring.Publish()
 }
 
 // RemoveAdmit is the serial phase of a Remove: capture the patch and

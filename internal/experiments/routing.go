@@ -73,7 +73,7 @@ func Thm27Congestion(cfg Config) Result {
 			nw.FastLookup(rng.IntN(n), interval.Point(rng.Uint64()))
 		}
 		var sum int64
-		for _, l := range nw.Load {
+		for _, l := range nw.LoadMap() {
 			sum += l
 		}
 		logN := math.Log2(float64(n))

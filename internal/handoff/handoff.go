@@ -89,34 +89,48 @@ func itemBytes(items []store.Item) int64 {
 	return n
 }
 
-// Move transfers seg's items from src to dst through the same bounded-
-// memory cursor path the network stream uses, then deletes the range at
-// the source — the in-process (simulator) form of a handoff session, with
-// the prepare/commit bracketing collapsed: copy-before-delete still holds,
-// so an error mid-move leaves every item in at least one store. It returns
-// the number of items moved.
-func Move(src, dst store.Store, seg interval.Segment) (int, error) {
+// Copy replicates seg's items from src to dst through the same bounded-
+// memory cursor path the network stream uses, leaving the source intact.
+// It is the first half of the epoch-publish churn protocol
+// (copy → publish → delete): between the copy and the source-side
+// DeleteRange the items exist in both stores, so a reader resolving
+// against either the pre- or post-publish epoch finds every item at the
+// owner its epoch names. It returns the number of items copied.
+func Copy(src, dst store.Store, seg interval.Segment) (int, error) {
 	cur := src.Cursor(seg)
 	defer cur.Close()
-	moved := 0
+	copied := 0
 	for {
 		items, err := cur.Next(batchItems)
 		if err != nil {
-			return moved, err
+			return copied, err
 		}
 		if items == nil {
-			break
+			return copied, nil
 		}
 		n := itemBytes(items)
 		transferMem.add(n)
 		for _, it := range items {
 			if err := dst.Put(it.Point, it.Key, it.Value); err != nil {
 				transferMem.release(n)
-				return moved, err
+				return copied, err
 			}
-			moved++
+			copied++
 		}
 		transferMem.release(n)
+	}
+}
+
+// Move transfers seg's items from src to dst through the bounded-memory
+// cursor path, then deletes the range at the source — the in-process
+// (simulator) form of a handoff session, with the prepare/commit
+// bracketing collapsed: copy-before-delete still holds, so an error
+// mid-move leaves every item in at least one store. It returns the
+// number of items moved.
+func Move(src, dst store.Store, seg interval.Segment) (int, error) {
+	moved, err := Copy(src, dst, seg)
+	if err != nil {
+		return moved, err
 	}
 	return moved, src.DeleteRange(seg)
 }

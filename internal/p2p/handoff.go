@@ -56,6 +56,12 @@ import (
 type sessMeta struct {
 	kind   string // handoff.RoleJoin or handoff.RoleLeave
 	joiner NodeInfo
+	// ringVer is the node's (end, succ) version at prepare time. A join
+	// commit whose stamp is stale AND whose range is no longer the segment
+	// tail was prepared against a boundary that has since moved (a leave
+	// absorption extended it): it can be refused definitively instead of
+	// making the joiner spin on retries that can never succeed.
+	ringVer uint64
 }
 
 // Stream reconnect policy: a broken stream connection is retried with the
@@ -285,8 +291,8 @@ func (n *Node) adoptFromReceiver(rec *handoff.Receiver) {
 	succ := NodeInfo{ID: metaU64(rec.Meta, "succ_id"), Point: uint64(rec.Seg.End()), Addr: rec.Meta["succ_addr"]}
 	n.mu.Lock()
 	n.x = rec.Seg.Start
-	n.end = rec.Seg.End()
-	n.pred, n.succ = pred, succ
+	n.pred = pred
+	n.setEndSuccLocked(rec.Seg.End(), succ)
 	n.setBackLocked([]NodeInfo{pred})
 	n.ready = true
 	n.mu.Unlock()
@@ -441,17 +447,21 @@ func (n *Node) resolveByAbort(sender string, id uint64) (committed, definitive b
 // — and that bounding session's joiner as its successor — instead of a
 // refusal. Only a p inside an already-fenced range still refuses (the
 // session registry's overlap check): one range, one mover.
+//
+// An inbound leave absorption does NOT refuse the prepare: the session is
+// stamped with the current ring version, and the commit path validates
+// the stamp (and the boundary geometry) before flipping — so a join may
+// stream concurrently with an absorption, and whichever publishes its
+// pointer update second detects the other and resolves cleanly instead of
+// both being serialized up front.
 func (n *Node) handleHandPrepare(req request) response {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.leaving {
 		return response{Err: "node is leaving; retry via another node"}
 	}
-	if n.absorbing > 0 {
-		// An inbound leave absorption is rewriting end/succ; a join
-		// prepared against the pre-absorb segment would commit pointers
-		// that strand the absorbed range.
-		return response{Err: "node is absorbing a leave; retry"}
+	if n.absorbExtended {
+		return response{Err: "leave absorption resolving; retry"}
 	}
 	p := interval.Point(req.NewPoint)
 	if !n.segmentLocked().Contains(p) || p == n.x {
@@ -479,7 +489,8 @@ func (n *Node) handleHandPrepare(req request) response {
 		}
 	}
 	joiner := NodeInfo{ID: req.NewID, Point: req.NewPoint, Addr: req.NewAddr}
-	if _, err := n.sessions.Prepare(req.Session, upper, req.NewAddr, sessMeta{kind: handoff.RoleJoin, joiner: joiner}); err != nil {
+	meta := sessMeta{kind: handoff.RoleJoin, joiner: joiner, ringVer: n.ringVer}
+	if _, err := n.sessions.Prepare(req.Session, upper, req.NewAddr, meta); err != nil {
 		return response{Err: err.Error()}
 	}
 	return response{
@@ -550,6 +561,18 @@ func (n *Node) handleHandCommit(req request) response {
 	}
 	meta, _ := sess.Meta.(sessMeta)
 	if meta.kind == handoff.RoleJoin && sess.Seg.End() != n.end {
+		if meta.ringVer != n.ringVer && !n.tailSessionLocked() {
+			// The boundary moved since this session was prepared (a leave
+			// absorption extended the segment past the session's end) and
+			// no active session ends at the new boundary — no chain of
+			// commits can ever make this range the tail again. Flipping
+			// would punch a hole: the joiner's range [Start, End) plus our
+			// remaining [x, Start) would strand the absorbed [End, end).
+			// Refuse definitively; the joiner rolls back and re-joins
+			// against the extended segment.
+			n.mu.Unlock()
+			return response{Err: "segment boundary moved since prepare; rejoin"}
+		}
 		// Commit-in-order: concurrent join sessions stream freely, but
 		// only the OUTERMOST unresolved sub-range — the one ending at
 		// the current segment end — may flip ownership. An inner range
@@ -583,8 +606,7 @@ func (n *Node) handleHandCommit(req request) response {
 		// is exactly the tail of the current segment, so adopting the
 		// joiner always shrinks end from Seg.End() to Seg.Start — there
 		// is no out-of-order case left to guard.
-		n.end = sess.Seg.Start
-		n.succ = meta.joiner
+		n.setEndSuccLocked(sess.Seg.Start, meta.joiner)
 	}
 	// RoleLeave: nothing to repoint here — the leaver is departing and
 	// its blocked Leave() call wakes on the session's done channel.
@@ -610,6 +632,21 @@ func (n *Node) handleHandCommit(req request) response {
 	}
 	_ = n.data.DeleteRange(delSeg)
 	return resp
+}
+
+// tailSessionLocked reports whether some streaming join session ends
+// exactly at the current segment end (mu held). While one does, an
+// inner session's mismatched commit is a transient ordering matter —
+// the chain of outer commits can still make it the tail — so it must
+// retry rather than fail.
+func (n *Node) tailSessionLocked() bool {
+	for _, s := range n.sessions.Streaming() {
+		meta, ok := s.Meta.(sessMeta)
+		if ok && meta.kind == handoff.RoleJoin && s.Seg.End() == n.end {
+			return true
+		}
+	}
+	return false
 }
 
 // committedLocked reports whether the session is known committed, by the
@@ -748,12 +785,14 @@ func (n *Node) handleLeave(req request) response {
 		n.mu.Unlock()
 		return response{Err: "node is leaving; retry"}
 	}
-	if n.absorbing > 0 || n.sessions.Active() > 0 {
-		// One pointer-rewriting transfer at a time: a second absorption
-		// (or an outbound join session) racing this one would interleave
-		// end/succ updates and strand a range.
+	if n.absorbing > 0 {
+		// One absorption at a time: two concurrent extensions would race
+		// to rewrite end to different targets. Outbound JOIN sessions, by
+		// contrast, no longer exclude an absorption — their streams
+		// interleave freely, and absorbLeave validates the boundary under
+		// the mutex before publishing its extension.
 		n.mu.Unlock()
-		return response{Err: "handoff in progress; retry"}
+		return response{Err: "absorption in progress; retry"}
 	}
 	if req.SrcAddr != n.succ.Addr {
 		n.mu.Unlock()
@@ -781,6 +820,12 @@ func (n *Node) handleLeave(req request) response {
 // absorbed range; if the commit then turns out refused (the leaver
 // expired the session in that instant), the extension and promotion are
 // rolled back and the leaver resumes serving.
+//
+// Join streams run concurrently with the pull: the extension validates,
+// under the mutex, that this node's segment still ends at the leaver's
+// start — if an interleaved join committed the tail meanwhile, the
+// leaver is no longer the ring successor and the absorption aborts
+// itself at the leaver instead of swallowing the joiner's range.
 func (n *Node) absorbLeave(req request) {
 	seg := interval.Segment{Start: interval.Point(req.SegStart), Len: req.SegLen}
 	rec, err := handoff.Begin(n.stagingDir(req.Session), req.Session, handoff.RoleLeave, seg, req.SrcAddr, nil)
@@ -796,22 +841,38 @@ func (n *Node) absorbLeave(req request) {
 		return
 	}
 	n.mu.Lock()
+	if n.end != seg.Start {
+		// A join committed while the stream was in flight: the segment
+		// tail now belongs to the joiner, the leaver is no longer this
+		// node's ring successor, and extending end over the joiner's range
+		// would swallow it. Abort authoritatively at the leaver (abort and
+		// commit serialize there, so its Leave() resolves as failed and it
+		// resumes serving — its next attempt goes to its new predecessor,
+		// the joiner) and roll the promotion back.
+		n.mu.Unlock()
+		_, _ = call(req.SrcAddr, request{Op: opHandAbort, Session: req.Session})
+		rec.Abort(n.data)
+		return
+	}
 	oldEnd, oldSucc := n.end, n.succ
-	n.end = interval.Point(req.Target)
-	n.succ = NodeInfo{ID: req.NewID, Point: req.NewPoint, Addr: req.NewAddr}
+	n.setEndSuccLocked(interval.Point(req.Target), NodeInfo{ID: req.NewID, Point: req.NewPoint, Addr: req.NewAddr})
+	n.absorbExtended = true
 	n.mu.Unlock()
 	committed, definitive := n.resolveCommit(req.SrcAddr, req.Session)
-	switch {
-	case committed:
-		rec.Finish()
-	case definitive:
+	n.mu.Lock()
+	n.absorbExtended = false
+	if definitive && !committed {
 		// The leaver refused (expired session, or still streaming — the
 		// commit never landed) and authoritatively kept its items: roll
 		// the pointer extension and the promotion back; the leaver's
 		// Leave() times out and resumes serving.
-		n.mu.Lock()
-		n.end, n.succ = oldEnd, oldSucc
-		n.mu.Unlock()
+		n.setEndSuccLocked(oldEnd, oldSucc)
+	}
+	n.mu.Unlock()
+	switch {
+	case committed:
+		rec.Finish()
+	case definitive:
 		rec.Abort(n.data)
 	default:
 		// The leaver is unreachable and the commit's fate unknown. If it

@@ -1,0 +1,210 @@
+package p2p
+
+// Tests for interleaved join and leave transfers: end/succ updates are
+// version-stamped pointer writes (setEndSuccLocked), so a join stream and
+// a leave absorption against the same node no longer exclude each other
+// wholesale — they run concurrently and whichever publishes its pointer
+// update second detects the conflict and resolves it cleanly.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"condisc/internal/store"
+)
+
+// TestJoinPreparesAndCommitsDuringLeaveAbsorption freezes a leave
+// absorption mid-stream at the predecessor and drives a complete join
+// through the same predecessor while it is frozen. The old discipline
+// refused the join's prepare outright ("node is absorbing a leave");
+// now the prepare succeeds, the join commits first, and the resumed
+// absorption detects under the mutex that the leaver is no longer the
+// ring successor: it aborts itself at the leaver, whose Leave() returns
+// a did-not-commit error and resumes serving. Nothing is lost: the ring
+// closes over all three nodes and every key stays readable.
+func TestJoinPreparesAndCommitsDuringLeaveAbsorption(t *testing.T) {
+	const items = 200
+	pred, _ := handoffHarness(t, 510, items, WithHandoffTTL(30*time.Second))
+	defer pred.Close()
+
+	// The leaver joins with a tiny chunk budget so its leave stream back
+	// to pred spans many frames — room to freeze the absorption mid-way.
+	leaver, err := NewNode("127.0.0.1:0", 510, WithChunkBytes(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaver.Close()
+	if err := leaver.StartJoin(pred.Addr(), rand.New(rand.NewPCG(511, 511))); err != nil {
+		t.Fatal(err)
+	}
+
+	absorbPaused := make(chan struct{})
+	absorbResume := make(chan struct{})
+	var pauseOnce sync.Once
+	pred.handoffChunkHook = func(chunk int) error {
+		if chunk >= 1 {
+			pauseOnce.Do(func() { close(absorbPaused) })
+			<-absorbResume
+		}
+		return nil
+	}
+
+	leaveErr := make(chan error, 1)
+	go func() { leaveErr <- leaver.Leave() }()
+	<-absorbPaused
+
+	pred.mu.Lock()
+	absorbing := pred.absorbing
+	pred.mu.Unlock()
+	if absorbing != 1 {
+		t.Fatalf("pred.absorbing = %d while the pull is frozen, want 1", absorbing)
+	}
+
+	// A joiner drives a COMPLETE join through pred while the absorption
+	// is frozen: prepare (previously refused at this point), stream,
+	// commit. Its point must land in pred's segment; a draw into the
+	// leaver's segment is refused ("node is leaving") and retried at a
+	// fresh point by StartJoin itself.
+	joiner, err := NewNode("127.0.0.1:0", 510)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+	if err := joiner.StartJoin(pred.Addr(), rand.New(rand.NewPCG(512, 512))); err != nil {
+		t.Fatalf("join during frozen absorption: %v", err)
+	}
+
+	// The join moved pred's boundary; the resumed absorption must detect
+	// it and abort, failing the leave.
+	close(absorbResume)
+	if err := <-leaveErr; err == nil {
+		t.Fatal("leave committed although a join took the absorbed boundary; the absorption should have aborted")
+	}
+
+	for round := 0; round < 3; round++ {
+		for _, n := range []*Node{pred, joiner, leaver} {
+			if err := n.Stabilize(); err != nil {
+				t.Fatalf("stabilize: %v", err)
+			}
+		}
+	}
+	if sum := pred.NumItems() + joiner.NumItems() + leaver.NumItems(); sum != items {
+		t.Fatalf("items not conserved: %d + %d + %d != %d",
+			pred.NumItems(), joiner.NumItems(), leaver.NumItems(), items)
+	}
+	for _, n := range []*Node{pred, joiner, leaver} {
+		verifyAllKeys(t, n.Addr(), pred.HashFunc(), items, "after aborted absorption via "+n.Addr())
+	}
+	seen := map[string]bool{}
+	addr := pred.Addr()
+	for i := 0; i < 4; i++ {
+		st, err := call(addr, request{Op: opState})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[st.Addr] = true
+		addr = st.SuccAddr
+		if addr == pred.Addr() {
+			break
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("ring closes over %d nodes, want 3 (%v)", len(seen), seen)
+	}
+}
+
+// TestLeaveCompletesDuringJoinStream is the opposite interleaving: a join
+// stream out of the owner is frozen mid-pull at the joiner, and the
+// owner's successor leaves meanwhile. The old discipline made the leaver
+// spin ("handoff in progress; retry") until the join resolved; now the
+// absorption runs to completion while the join stream is still frozen —
+// Leave returns nil on the FIRST attempt. The thawed join's commit is
+// then refused definitively (its session was stamped with the pre-absorb
+// ring version and its range is no longer the segment tail), and the
+// joiner simply rejoins against the extended segment.
+func TestLeaveCompletesDuringJoinStream(t *testing.T) {
+	const items = 200
+	owner, _ := handoffHarness(t, 530, items, WithHandoffTTL(30*time.Second))
+	defer owner.Close()
+
+	leaverDir := t.TempDir()
+	st, err := store.OpenLog(leaverDir+"/leaver", store.LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaver, err := NewNode("127.0.0.1:0", 530, WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaver.Close()
+	if err := leaver.StartJoin(owner.Addr(), rand.New(rand.NewPCG(531, 531))); err != nil {
+		t.Fatal(err)
+	}
+
+	joinPaused := make(chan struct{})
+	joinResume := make(chan struct{})
+	var pauseOnce sync.Once
+	joiner, err := NewNode("127.0.0.1:0", 530)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+	joiner.handoffChunkHook = func(chunk int) error {
+		if chunk >= 1 {
+			pauseOnce.Do(func() { close(joinPaused) })
+			<-joinResume
+		}
+		return nil
+	}
+	joinErr := make(chan error, 1)
+	// Seed chosen so the first draw lands in the owner's segment (the
+	// leaver owns [0.92, 0.42) after its midpoint join): the join must
+	// stream from the OWNER for the leave to interleave with it.
+	rng := rand.New(rand.NewPCG(533, 533))
+	go func() { joinErr <- joiner.StartJoin(owner.Addr(), rng) }()
+	<-joinPaused
+
+	if got := owner.sessions.Active(); got != 1 {
+		t.Fatalf("owner has %d active sessions while the join is frozen, want 1", got)
+	}
+
+	// The leave must complete on the first attempt, with the join stream
+	// still frozen at the owner.
+	if err := leaver.Leave(); err != nil {
+		t.Fatalf("leave during frozen join stream: %v", err)
+	}
+
+	// Thaw the join: its commit is stale (the absorption moved the
+	// boundary) and must be refused definitively, not spun on retries.
+	start := time.Now()
+	close(joinResume)
+	err = <-joinErr
+	if err == nil {
+		t.Fatal("stale join committed although a leave absorption moved the segment boundary")
+	}
+	if waited := time.Since(start); waited > commitWaitAttempts*commitWaitDelay/2 {
+		t.Fatalf("stale join took %v to resolve — it spun on retries instead of failing fast", waited)
+	}
+
+	// The joiner rejoins against the extended segment and succeeds.
+	if err := joiner.StartJoin(owner.Addr(), rng); err != nil {
+		t.Fatalf("rejoin after refused stale commit: %v", err)
+	}
+
+	for round := 0; round < 3; round++ {
+		for _, n := range []*Node{owner, joiner} {
+			if err := n.Stabilize(); err != nil {
+				t.Fatalf("stabilize: %v", err)
+			}
+		}
+	}
+	if sum := owner.NumItems() + joiner.NumItems(); sum != items {
+		t.Fatalf("items not conserved: %d + %d != %d", owner.NumItems(), joiner.NumItems(), items)
+	}
+	for _, n := range []*Node{owner, joiner} {
+		verifyAllKeys(t, n.Addr(), owner.HashFunc(), items, fmt.Sprintf("after leave-during-join via %s", n.Addr()))
+	}
+}

@@ -38,6 +38,14 @@ type Node struct {
 	end  interval.Point // segment end = successor's point
 	pred NodeInfo
 	succ NodeInfo
+	// ringVer counts the (end, succ) updates this node has performed — a
+	// version stamp, bumped only by setEndSuccLocked. Handoff sessions
+	// record it at prepare time so commit can tell a session prepared
+	// against the CURRENT segment tail from one whose boundary was moved
+	// out from under it by an interleaved leave absorption: the two kinds
+	// of transfer no longer exclude each other wholesale, they serialize
+	// only at this version-stamped pointer update.
+	ringVer uint64
 	// back holds the covers of the backward image b(s) — the neighbours
 	// Fast Lookup hops through — keyed by stable node ID. Entries are
 	// patched incrementally by opPatchBack messages when a neighbour joins
@@ -79,10 +87,17 @@ type Node struct {
 	commits *handoff.CommitLog
 	// absorbing counts in-flight inbound leave absorptions (this node as
 	// receiver). Leaves and further absorptions are refused while one
-	// runs, as are new join prepares: an absorb rewrites end/succ, which
-	// a join session prepared against the pre-absorb segment would
-	// strand.
+	// runs. Join prepares are NOT: a join may stream concurrently with
+	// the absorption's stream, and the version-stamped commit path sorts
+	// out whichever pointer update publishes second.
 	absorbing int
+	// absorbExtended marks the short window in which an absorption has
+	// published its pointer extension but its commit at the leaver is
+	// still unresolved. Join prepares are refused during this window
+	// only: a session prepared then could not be handed a correct
+	// successor — the leaver if the absorption rolls back, the leaver's
+	// old successor if it commits.
+	absorbExtended bool
 	// recovered is a crashed join's staging session found on disk at
 	// construction; StartJoin resumes or aborts it before a fresh join.
 	recovered *handoff.Receiver
@@ -243,6 +258,20 @@ func (n *Node) Point() interval.Point {
 	return n.x
 }
 
+// setEndSuccLocked is the single place the node's segment end and ring
+// successor change (callers hold mu). Funnelling every update — a join
+// commit shrinking the tail, a leave absorption extending it, a
+// stabilization repair, a rollback — through one version-bumping setter
+// is what lets concurrent transfers interleave: each one validates the
+// version (or the boundary geometry) it captured before publishing its
+// own update, instead of locking the other kind out for its whole
+// duration.
+func (n *Node) setEndSuccLocked(end interval.Point, succ NodeInfo) {
+	n.end = end
+	n.succ = succ
+	n.ringVer++
+}
+
 // segment returns the node's current segment (callers hold mu).
 func (n *Node) segmentLocked() interval.Segment {
 	if n.x == n.end {
@@ -255,9 +284,9 @@ func (n *Node) segmentLocked() interval.Segment {
 func (n *Node) StartFirst(x interval.Point) {
 	n.mu.Lock()
 	n.x = x
-	n.end = x
 	self := NodeInfo{ID: n.id, Point: uint64(x), Addr: n.addr}
-	n.pred, n.succ = self, self
+	n.pred = self
+	n.setEndSuccLocked(x, self)
 	n.setBackLocked([]NodeInfo{self})
 	n.ready = true
 	n.mu.Unlock()

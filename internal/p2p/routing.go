@@ -193,11 +193,12 @@ func (n *Node) Stabilize() error {
 	n.mu.Lock()
 	if candidate != nil {
 		if p := interval.Point(candidate.Point); n.segmentLocked().Contains(p) && p != n.x {
-			n.succ = NodeInfo{ID: candidate.ID, Point: candidate.Point, Addr: candidate.Addr}
-			n.end = p
+			n.setEndSuccLocked(p, NodeInfo{ID: candidate.ID, Point: candidate.Point, Addr: candidate.Addr})
 		}
-	} else if st.PredAddr == n.addr {
-		n.end = interval.Point(st.Point)
+	} else if st.PredAddr == n.addr && n.end != interval.Point(st.Point) {
+		// Steady state re-reads the same end; only a real repair bumps the
+		// ring version (a spurious bump would fast-fail in-flight commits).
+		n.setEndSuccLocked(interval.Point(st.Point), n.succ)
 	}
 	seg := n.segmentLocked()
 	n.mu.Unlock()

@@ -28,9 +28,17 @@ const (
 )
 
 // chunk is one run of the sorted sequence, kept in parallel slices.
+//
+// shared marks a chunk that is referenced by a published Snapshot: its
+// pts/hs slice headers and backing arrays must never be mutated in place.
+// Mutators call own() first, which clones a shared chunk and swaps the
+// clone into the live directory — the snapshot keeps the original.
+// (Setting shared=true while a snapshot reader walks pts/hs is not a
+// race: shared is a distinct word that readers never touch.)
 type chunk struct {
-	pts []interval.Point
-	hs  []Handle
+	pts    []interval.Point
+	hs     []Handle
+	shared bool
 }
 
 // olist is the ordered (point, handle) sequence.
@@ -216,6 +224,40 @@ func (l *olist) scan(fn func(i int, p interval.Point, h Handle)) {
 
 // --- mutations ---
 
+// own returns chunk c, cloning it first if a published snapshot still
+// references it (copy-on-write). Every mutator must go through own before
+// touching a chunk's slices; the directory entry is replaced so snapshots
+// keep reading the original.
+func (l *olist) own(c int) *chunk {
+	ck := l.chunks[c]
+	if !ck.shared {
+		return ck
+	}
+	cp := &chunk{
+		pts: append([]interval.Point(nil), ck.pts...),
+		hs:  append([]Handle(nil), ck.hs...),
+	}
+	l.chunks[c] = cp
+	return cp
+}
+
+// publishCopy returns a frozen copy of the list for a Snapshot: every
+// live chunk is marked shared (future mutations clone it), and the
+// directory (chunk pointers, maxima, Fenwick tree) is freshly copied so
+// the live list's in-place directory edits never alias the snapshot.
+// Cost: O(m) for m chunks, independent of n.
+func (l *olist) publishCopy() olist {
+	for _, ck := range l.chunks {
+		ck.shared = true
+	}
+	return olist{
+		chunks: append([]*chunk(nil), l.chunks...),
+		maxs:   append([]interval.Point(nil), l.maxs...),
+		fen:    append([]int(nil), l.fen...),
+		n:      l.n,
+	}
+}
+
 // insert adds the pair (p, h), reporting the rank it received and whether
 // it was inserted (false when p is already present).
 func (l *olist) insert(p interval.Point, h Handle) (int, bool) {
@@ -232,6 +274,7 @@ func (l *olist) insert(p interval.Point, h Handle) (int, bool) {
 	if in < len(ck.pts) && ck.pts[in] == p {
 		return l.fenPrefix(c) + in, false
 	}
+	ck = l.own(c)
 	ck.pts = insertAt(ck.pts, in, p)
 	ck.hs = insertAt(ck.hs, in, h)
 	l.fenAdd(c, 1)
@@ -249,7 +292,7 @@ func (l *olist) insert(p interval.Point, h Handle) (int, bool) {
 // removeAt deletes the pair with rank i.
 func (l *olist) removeAt(i int) {
 	c, off := l.fenFind(i)
-	ck := l.chunks[c]
+	ck := l.own(c)
 	ck.pts = deleteAt(ck.pts, off)
 	ck.hs = deleteAt(ck.hs, off)
 	l.fenAdd(c, -1)
@@ -268,7 +311,7 @@ func (l *olist) removeAt(i int) {
 
 // split divides chunk c into two halves.
 func (l *olist) split(c int) {
-	ck := l.chunks[c]
+	ck := l.own(c)
 	half := len(ck.pts) / 2
 	right := &chunk{
 		pts: append([]interval.Point(nil), ck.pts[half:]...),
@@ -300,7 +343,7 @@ func (l *olist) mergeAround(c int) {
 	if a > b {
 		a, b = b, a
 	}
-	la, lb := l.chunks[a], l.chunks[b]
+	la, lb := l.own(a), l.chunks[b]
 	la.pts = append(la.pts, lb.pts...)
 	la.hs = append(la.hs, lb.hs...)
 	l.maxs[a] = la.pts[len(la.pts)-1]

@@ -25,6 +25,7 @@ package partition
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"condisc/internal/interval"
 )
@@ -37,10 +38,21 @@ type Handle uint64
 
 // Ring is a dynamic decomposition of I into segments. The zero value is an
 // empty ring ready for use.
+//
+// Mutation (Insert/Remove*) is single-writer: the owner serializes it
+// externally (churn admission). Concurrent readers do not touch the Ring
+// directly — they call Snapshot() and read the immutable epoch-stamped
+// view published by the last Publish() (see snapshot.go).
 type Ring struct {
 	ol    olist
 	byH   map[Handle]interval.Point
 	nextH Handle
+
+	// epoch counts Publish calls; snap holds the latest published
+	// snapshot. Both are written only by the single mutating owner;
+	// snap is read concurrently by any number of readers.
+	epoch uint64
+	snap  atomic.Pointer[Snapshot]
 }
 
 // New returns an empty ring.

@@ -19,7 +19,7 @@ func TestChurnPreservesLoadAndRouting(t *testing.T) {
 	nw := NewNetwork(dhgraph.Build(ring, 2))
 	nw.RandomLookups(512, false, rng)
 	sum := func() (tot int64) {
-		for _, l := range nw.Load {
+		for _, l := range nw.LoadMap() {
 			tot += l
 		}
 		return
@@ -39,13 +39,13 @@ func TestChurnPreservesLoadAndRouting(t *testing.T) {
 
 	victim := rng.IntN(ring.N())
 	h := ring.HandleAt(victim)
-	dropped := nw.Load[h]
+	dropped := nw.LoadOf(h)
 	nw.G.Remove(victim)
 	nw.Forget(h)
 	if sum() != before-dropped {
 		t.Fatalf("leave corrupted load accounting")
 	}
-	if _, ok := nw.Load[h]; ok {
+	if _, ok := nw.LoadMap()[h]; ok {
 		t.Fatal("departed server's counter survived Forget")
 	}
 
@@ -69,10 +69,7 @@ func TestLoadPreservedAcross1kChurnEvents(t *testing.T) {
 	nw := NewNetwork(dhgraph.Build(ring, 2))
 	nw.RandomLookups(2048, false, rng)
 
-	want := make(map[partition.Handle]int64, len(nw.Load))
-	for h, l := range nw.Load {
-		want[h] = l
-	}
+	want := nw.LoadMap()
 
 	for op := 0; op < 1000; op++ {
 		join := rng.IntN(2) == 0
@@ -90,12 +87,13 @@ func TestLoadPreservedAcross1kChurnEvents(t *testing.T) {
 			nw.Forget(h)
 			delete(want, h)
 		}
-		if len(nw.Load) != len(want) {
-			t.Fatalf("op %d: %d load entries, want %d", op, len(nw.Load), len(want))
+		got := nw.LoadMap()
+		if len(got) != len(want) {
+			t.Fatalf("op %d: %d load entries, want %d", op, len(got), len(want))
 		}
 		for h, l := range want {
-			if nw.Load[h] != l {
-				t.Fatalf("op %d: survivor %d's load changed: %d != %d", op, h, nw.Load[h], l)
+			if got[h] != l {
+				t.Fatalf("op %d: survivor %d's load changed: %d != %d", op, h, got[h], l)
 			}
 		}
 	}

@@ -86,7 +86,9 @@ func (nw *Network) ParallelRandomLookups(count int, useFast bool, seed uint64) B
 	wg.Wait()
 
 	// Merge the dense worker vectors and resolve index→handle once per
-	// server, instead of once per routed message.
+	// server, instead of once per routed message. The resolution reads the
+	// same epoch snapshot the workers routed against.
+	snap := nw.G.Ring.Snapshot()
 	merged := make([]int64, n)
 	out := BulkResult{Lookups: count, Load: make(map[partition.Handle]int64, n)}
 	for _, p := range parts {
@@ -100,7 +102,7 @@ func (nw *Network) ParallelRandomLookups(count int, useFast bool, seed uint64) B
 	}
 	for i, l := range merged {
 		if l != 0 {
-			out.Load[nw.G.Ring.HandleAt(i)] = l
+			out.Load[snap.HandleAt(i)] = l
 		}
 	}
 	return out

@@ -15,31 +15,99 @@
 //     walk backwards. Path length <= 2 log n + 2 log ρ (Theorem 2.8),
 //     congestion Θ(log n / n) even for worst-case permutation routing
 //     (Theorems 2.9–2.11).
+//
+// Concurrency: every lookup resolves the ring against one epoch snapshot
+// (partition.Ring.Snapshot) taken at entry, and decides neighbourhood
+// geometrically from that snapshot — it never reads the live ring, the
+// dhgraph srv map, or any state a churn wave mutates. Lookups are
+// therefore wait-free under concurrent churn: a lookup sees exactly the
+// pre- or post-wave decomposition, never a torn mix. Load metering is an
+// internally synchronized counter, so concurrent lookups never race.
 package route
 
 import (
 	"math"
 	"math/rand/v2"
+	"sync"
+	"sync/atomic"
 
+	"condisc/internal/continuous"
 	"condisc/internal/dhgraph"
 	"condisc/internal/interval"
 	"condisc/internal/partition"
 )
 
+// loadCounter is a concurrent per-handle message counter: a sync.Map of
+// *atomic.Int64, so concurrent lookups increment without a global lock
+// and without racing. Increments commute, so any serial-vs-concurrent
+// differential comparison of totals is exact.
+type loadCounter struct {
+	m sync.Map // partition.Handle -> *atomic.Int64
+}
+
+func (lc *loadCounter) add(h partition.Handle, d int64) {
+	if v, ok := lc.m.Load(h); ok {
+		v.(*atomic.Int64).Add(d)
+		return
+	}
+	v, _ := lc.m.LoadOrStore(h, new(atomic.Int64))
+	v.(*atomic.Int64).Add(d)
+}
+
+func (lc *loadCounter) get(h partition.Handle) int64 {
+	if v, ok := lc.m.Load(h); ok {
+		return v.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
+func (lc *loadCounter) forget(h partition.Handle) { lc.m.Delete(h) }
+
+func (lc *loadCounter) reset() {
+	lc.m.Range(func(k, _ any) bool {
+		lc.m.Delete(k)
+		return true
+	})
+}
+
+func (lc *loadCounter) max() int64 {
+	var m int64
+	lc.m.Range(func(_, v any) bool {
+		if l := v.(*atomic.Int64).Load(); l > m {
+			m = l
+		}
+		return true
+	})
+	return m
+}
+
+func (lc *loadCounter) snapshot() map[partition.Handle]int64 {
+	out := make(map[partition.Handle]int64)
+	lc.m.Range(func(k, v any) bool {
+		if l := v.(*atomic.Int64).Load(); l != 0 {
+			out[k.(partition.Handle)] = l
+		}
+		return true
+	})
+	return out
+}
+
 // Network wraps a discrete DH graph with message-load accounting.
 type Network struct {
 	G *dhgraph.Graph
-	// Load counts the messages each server has handled (every appearance on
-	// a lookup path, origin included — Definition 3's notion of "active in a
-	// routing"), keyed by the server's stable handle. Because the key never
-	// shifts, congestion metering survives churn with zero copying: a join
-	// adds no entry until the new server handles a message, and a leave
-	// drops exactly one entry (Forget). Servers absent from the map have
-	// load 0.
-	Load map[partition.Handle]int64
+
+	// load counts the messages each server has handled (every appearance
+	// on a lookup path, origin included — Definition 3's notion of "active
+	// in a routing"), keyed by the server's stable handle. Because the key
+	// never shifts, congestion metering survives churn with zero copying:
+	// a join adds no entry until the new server handles a message, and a
+	// leave drops exactly one entry (Forget). Servers absent have load 0.
+	// Access it through LoadOf/LoadMap/MaxLoad — the counter is safe under
+	// concurrent lookups.
+	load loadCounter
 
 	// loadIdx, when non-nil, redirects metering to a dense index-addressed
-	// vector instead of Load. Only the worker shadows of
+	// vector instead of load. Only the worker shadows of
 	// ParallelRandomLookups use it: they route over a frozen graph, where
 	// indices are stable for the whole batch, so the per-hop handle
 	// resolution can be deferred to one index→handle pass at merge time.
@@ -48,48 +116,44 @@ type Network struct {
 
 // NewNetwork creates a metered network over g.
 func NewNetwork(g *dhgraph.Graph) *Network {
-	return &Network{G: g, Load: make(map[partition.Handle]int64, g.N())}
+	return &Network{G: g}
 }
 
 // Forget drops the departed server's counter (all other entries are
 // untouched; handles are never reused, so the key cannot come back).
 func (nw *Network) Forget(h partition.Handle) {
-	delete(nw.Load, h)
+	nw.load.forget(h)
 }
 
 // ResetLoad zeroes the congestion counters.
 func (nw *Network) ResetLoad() {
-	clear(nw.Load)
+	nw.load.reset()
 }
 
 // MaxLoad returns the maximum per-server load.
-func (nw *Network) MaxLoad() int64 {
-	var max int64
-	for _, l := range nw.Load {
-		if l > max {
-			max = l
-		}
-	}
-	return max
-}
+func (nw *Network) MaxLoad() int64 { return nw.load.max() }
 
 // LoadOf returns the load of the server with stable handle h.
-func (nw *Network) LoadOf(h partition.Handle) int64 { return nw.Load[h] }
+func (nw *Network) LoadOf(h partition.Handle) int64 { return nw.load.get(h) }
+
+// LoadMap materializes the nonzero per-server loads as a fresh map.
+func (nw *Network) LoadMap() map[partition.Handle]int64 { return nw.load.snapshot() }
 
 // LoadAt returns the load of the server currently at ring index i (an
 // index-era convenience; the index is resolved to a handle at call time).
-func (nw *Network) LoadAt(i int) int64 { return nw.Load[nw.G.Ring.HandleAt(i)] }
+func (nw *Network) LoadAt(i int) int64 { return nw.load.get(nw.G.Ring.HandleAt(i)) }
 
 // visit appends server v to the path if it differs from the current last
-// element, and counts its load against the server's stable handle.
-func (nw *Network) visit(path []int, v int) []int {
+// element, and counts its load against the server's stable handle, as
+// named by the lookup's snapshot.
+func (nw *Network) visit(snap *partition.Snapshot, path []int, v int) []int {
 	if len(path) > 0 && path[len(path)-1] == v {
 		return path
 	}
 	if nw.loadIdx != nil {
 		nw.loadIdx[v]++
 	} else {
-		nw.Load[nw.G.Ring.HandleAt(v)]++
+		nw.load.add(snap.HandleAt(v), 1)
 	}
 	return append(path, v)
 }
@@ -100,15 +164,69 @@ func (nw *Network) maxWalkSteps() uint {
 	return uint(math.Ceil(64/math.Log2(float64(nw.G.Delta)))) + 2
 }
 
+// clampSrc folds a caller-supplied source index into the snapshot's index
+// range: under churn the caller may have picked the index against a
+// different epoch, and any nearby server is an equally valid lookup
+// origin.
+func clampSrc(snap *partition.Snapshot, src int) int {
+	if n := snap.N(); src >= n || src < 0 {
+		return 0
+	}
+	return src
+}
+
+// snapNeighbor reports whether servers i and j (snapshot indices) are
+// neighbours in the discrete DH graph over the snapshot's decomposition —
+// the geometric restatement of dhgraph adjacency (out ∪ in ∪ ring edges):
+// i and j are adjacent iff they are ring-adjacent or some forward image
+// of one's segment intersects the other's segment (§2.1: two cells are
+// connected iff they contain adjacent points of the continuous graph).
+// It reads only the snapshot, so phase-I termination never touches the
+// srv map a concurrent churn wave is patching.
+func (nw *Network) snapNeighbor(snap *partition.Snapshot, i, j int) bool {
+	if i == j {
+		return true
+	}
+	n := snap.N()
+	if n <= 2 {
+		return true
+	}
+	if (i+1)%n == j || (j+1)%n == i {
+		return true // ring edge
+	}
+	return nw.coversImage(snap, i, j) || nw.coversImage(snap, j, i)
+}
+
+// coversImage reports whether server j's segment intersects any forward
+// image of server i's segment — i.e. whether j ∈ out(i). The membership
+// test mirrors Ring.CoverHandlesOfArc: j intersects an image arc iff j
+// covers the arc's start, or j's own point lies strictly inside the arc.
+func (nw *Network) coversImage(snap *partition.Snapshot, i, j int) bool {
+	xj := snap.Point(j)
+	for _, img := range continuous.DeltaImages(snap.Segment(i), nw.G.Delta) {
+		if img.Len == 0 { // full-circle image intersects everything
+			return true
+		}
+		if j == snap.Cover(img.Start) {
+			return true
+		}
+		if d := interval.CWDist(img.Start, xj); d > 0 && d < img.Len {
+			return true
+		}
+	}
+	return false
+}
+
 // FastLookup routes a lookup from server src to the server covering y using
 // the Fast Lookup of §2.2.1 and returns the path of distinct servers
 // visited (src first). The walk target z is the midpoint of src's segment;
 // t is the minimal depth at which the walk w(σ(z)_t, y) enters src's
 // segment, chosen in advance as the paper requires.
 func (nw *Network) FastLookup(src int, y interval.Point) []int {
-	ring := nw.G.Ring
+	snap := nw.G.Ring.Snapshot()
 	delta := nw.G.Delta
-	seg := ring.Segment(src)
+	src = clampSrc(snap, src)
+	seg := snap.Segment(src)
 	z := seg.Mid()
 
 	var t uint
@@ -119,16 +237,16 @@ func (nw *Network) FastLookup(src int, y interval.Point) []int {
 		}
 	}
 
-	path := nw.visit(nil, src)
+	path := nw.visit(snap, nil, src)
 	h := interval.DeltaWalkPrefix(z, y, delta, t)
 	for step := t; step > 0; step-- {
 		h = interval.DeltaBack(h, delta)
-		path = nw.visit(path, ring.Cover(h))
+		path = nw.visit(snap, path, snap.Cover(h))
 	}
 	// The walk endpoint equals y truncated to its top bits; deliver to the
 	// exact cover of y (at most one extra ring hop, guarding the fixed-point
 	// truncation).
-	return nw.visit(path, ring.Cover(y))
+	return nw.visit(snap, path, snap.Cover(y))
 }
 
 // DHLookup routes a lookup from server src to the server covering y using
@@ -153,22 +271,23 @@ type Trace struct {
 
 // DHLookupTrace is DHLookup returning the full trace.
 func (nw *Network) DHLookupTrace(src int, y interval.Point, rng *rand.Rand) ([]int, Trace) {
-	ring := nw.G.Ring
+	snap := nw.G.Ring.Snapshot()
 	delta := nw.G.Delta
 	var tr Trace
 
-	p := ring.Point(src) // the paper's header carries x_i
+	src = clampSrc(snap, src)
+	p := snap.Point(src) // the paper's header carries x_i
 	q := y
 	stack := []interval.Point{y} // q_0 .. q_t
 	cur := src
-	path := nw.visit(nil, src)
+	path := nw.visit(snap, nil, src)
 
 	maxT := nw.maxWalkSteps()
 	for t := uint(0); ; t++ {
-		cq := ring.Cover(q)
-		if cq == cur || nw.G.IsNeighbor(cur, cq) {
+		cq := snap.Cover(q)
+		if cq == cur || nw.snapNeighbor(snap, cur, cq) {
 			// Phase I ends: move to the server covering w(τ_t, y).
-			path = nw.visit(path, cq)
+			path = nw.visit(snap, path, cq)
 			cur = cq
 			break
 		}
@@ -181,8 +300,8 @@ func (nw *Network) DHLookupTrace(src int, y interval.Point, rng *rand.Rand) ([]i
 		p = interval.DeltaStep(p, delta, d)
 		q = interval.DeltaStep(q, delta, d)
 		stack = append(stack, q)
-		next := ring.Cover(p)
-		path = nw.visit(path, next)
+		next := snap.Cover(p)
+		path = nw.visit(snap, path, next)
 		cur = next
 	}
 	tr.PhaseIEnd = len(path)
@@ -191,7 +310,7 @@ func (nw *Network) DHLookupTrace(src int, y interval.Point, rng *rand.Rand) ([]i
 	// (each hop is a backward edge of the continuous graph).
 	for j := len(stack) - 1; j >= 0; j-- {
 		tr.TargetWalk = append(tr.TargetWalk, stack[j])
-		path = nw.visit(path, ring.Cover(stack[j]))
+		path = nw.visit(snap, path, snap.Cover(stack[j]))
 	}
 	return path, tr
 }
@@ -209,21 +328,22 @@ func (nw *Network) DHLookupTrace(src int, y interval.Point, rng *rand.Rand) ([]i
 func (nw *Network) DHLookupStoppable(src int, y interval.Point, rng *rand.Rand,
 	stop func(digits []uint64, depth int, q interval.Point) bool) ([]int, int) {
 
-	ring := nw.G.Ring
+	snap := nw.G.Ring.Snapshot()
 	delta := nw.G.Delta
 
-	p := ring.Point(src)
+	src = clampSrc(snap, src)
+	p := snap.Point(src)
 	q := y
 	stack := []interval.Point{y}
 	var digits []uint64
 	cur := src
-	path := nw.visit(nil, src)
+	path := nw.visit(snap, nil, src)
 
 	maxT := nw.maxWalkSteps()
 	for t := uint(0); ; t++ {
-		cq := ring.Cover(q)
-		if cq == cur || nw.G.IsNeighbor(cur, cq) {
-			path = nw.visit(path, cq)
+		cq := snap.Cover(q)
+		if cq == cur || nw.snapNeighbor(snap, cur, cq) {
+			path = nw.visit(snap, path, cq)
 			cur = cq
 			break
 		}
@@ -235,13 +355,13 @@ func (nw *Network) DHLookupStoppable(src int, y interval.Point, rng *rand.Rand,
 		p = interval.DeltaStep(p, delta, d)
 		q = interval.DeltaStep(q, delta, d)
 		stack = append(stack, q)
-		next := ring.Cover(p)
-		path = nw.visit(path, next)
+		next := snap.Cover(p)
+		path = nw.visit(snap, path, next)
 		cur = next
 	}
 
 	for j := len(stack) - 1; j >= 0; j-- {
-		path = nw.visit(path, ring.Cover(stack[j]))
+		path = nw.visit(snap, path, snap.Cover(stack[j]))
 		if stop != nil && stop(digits, j, stack[j]) {
 			return path, j
 		}

@@ -218,7 +218,7 @@ func TestLoadAccountingConsistency(t *testing.T) {
 		total += len(path)
 	}
 	var sum int64
-	for _, l := range nw.Load {
+	for _, l := range nw.LoadMap() {
 		sum += l
 	}
 	if sum != int64(total) {
