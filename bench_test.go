@@ -21,6 +21,7 @@ import (
 	"condisc/internal/interval"
 	"condisc/internal/route"
 	"condisc/internal/store"
+	"condisc/internal/telemetry"
 )
 
 // benchCfg trades problem size for bench-loop friendliness.
@@ -139,6 +140,10 @@ func BenchmarkStoreEngines(b *testing.B) { run(b, experiments.StoreEngines) }
 func BenchmarkStalenessVsStabilization(b *testing.B) {
 	run(b, experiments.StalenessVsStabilization)
 }
+
+// BenchmarkZipfLoadSkew regenerates E32 (per-node load skew under a Zipf
+// workload on a live cluster, measured entirely from scraped /statusz).
+func BenchmarkZipfLoadSkew(b *testing.B) { run(b, experiments.ZipfLoadSkew) }
 
 // ---- churn benchmarks: incremental join/leave vs the full rebuild ----
 //
@@ -336,12 +341,21 @@ func readUnderChurnLoop(b *testing.B, width int) {
 }
 
 // BenchmarkReadUnderChurn sweeps the in-flight wave width; "quiescent" is
-// the no-churn baseline the gate compares against.
+// the no-churn baseline the gate compares against. The "notel-width=16"
+// arm reruns the width-16 sweep point with the global telemetry kill
+// switch off: it is the overhead baseline for the observability gate,
+// which requires the instrumented read path to hold >= 0.9x of it.
 func BenchmarkReadUnderChurn(b *testing.B) {
 	b.Run("quiescent", func(b *testing.B) { readUnderChurnLoop(b, 0) })
 	for _, width := range []int{16, 64} {
 		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) { readUnderChurnLoop(b, width) })
 	}
+	b.Run("notel-width=16", func(b *testing.B) {
+		prev := telemetry.Enabled()
+		telemetry.SetEnabled(false)
+		defer telemetry.SetEnabled(prev)
+		readUnderChurnLoop(b, 16)
+	})
 }
 
 // fullRebuild reproduces the seed's per-churn work: rebuild the discrete

@@ -1,4 +1,4 @@
-// Command condisc-vet runs this repository's six project-specific
+// Command condisc-vet runs this repository's seven project-specific
 // invariant analyzers (see README "Static analysis & invariants"):
 //
 //	segarith   — no raw arithmetic on interval lengths outside the
@@ -11,6 +11,9 @@
 //	detpath    — no wall clock / global rand / map-order leaks in the
 //	             churntest determinism-contract packages
 //	handlekey  — no churn-unstable ring indices in long-lived keys
+//	telemetryhot — //condisc:hot telemetry record functions may not
+//	             allocate, lock, or touch maps (read-path overhead
+//	             contract), and the record entry points must be marked
 //
 // Two invocation modes:
 //
@@ -46,6 +49,7 @@ import (
 	"condisc/internal/analysis/handlekey"
 	"condisc/internal/analysis/load"
 	"condisc/internal/analysis/segarith"
+	"condisc/internal/analysis/telemetryhot"
 )
 
 func analyzers() []*analysis.Analyzer {
@@ -56,6 +60,7 @@ func analyzers() []*analysis.Analyzer {
 		fsyncack.Analyzer,
 		detpath.Analyzer,
 		handlekey.Analyzer,
+		telemetryhot.Analyzer,
 	}
 }
 

@@ -5,18 +5,36 @@
 //	dhctl -node 127.0.0.1:7001 -seed 42 put KEY VALUE
 //	dhctl -node 127.0.0.1:7001 -seed 42 get KEY
 //	dhctl -node 127.0.0.1:7001 -seed 42 lookup KEY
+//	dhctl -node 127.0.0.1:7001 -seed 42 trace KEY
+//	dhctl -node 127.0.0.1:7001 top
 //
 // -seed must match the network's seed (it derives the item-hash function).
+//
+// trace routes a lookup with per-hop tracing on and prints the actual
+// path the request took: each node's address and point, the stale-route
+// repairs it saw, and the per-hop latency (derived from nested local
+// durations, so no cross-node clock agreement is needed).
+//
+// top walks the ring from -node, scrapes every member's /statusz (nodes
+// started without -admin are listed but not scraped), and renders a
+// cluster table: items, routed messages, owner-served ops, and lookup-hop
+// stats per node, plus the load-skew summary the congestion theorems
+// bound.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand/v2"
+	"net/http"
 	"os"
+	"time"
 
 	"condisc/internal/hashing"
+	"condisc/internal/interval"
 	"condisc/internal/p2p"
+	"condisc/internal/telemetry"
 )
 
 func main() {
@@ -24,7 +42,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "cluster seed")
 	flag.Parse()
 	args := flag.Args()
-	if len(args) < 2 {
+	if len(args) < 1 {
 		usage()
 	}
 	h := hashing.NewKWise(8, rand.New(rand.NewPCG(*seed, *seed^0x9e3779b97f4a7c15)))
@@ -39,17 +57,128 @@ func main() {
 		exitOn(err)
 		fmt.Printf("ok (%d hops)\n", hops)
 	case "get":
+		if len(args) != 2 {
+			usage()
+		}
 		val, hops, err := client.Get(args[1], h.Point)
 		exitOn(err)
 		fmt.Printf("%s (%d hops)\n", val, hops)
 	case "lookup":
+		if len(args) != 2 {
+			usage()
+		}
 		owner, hops, err := client.Lookup(h.Point(args[1]))
 		exitOn(err)
 		fmt.Printf("key %q -> point %v -> owner %s (%d hops)\n",
 			args[1], h.Point(args[1]), owner, hops)
+	case "trace":
+		if len(args) != 2 {
+			usage()
+		}
+		runTrace(client, h.Point, args[1])
+	case "top":
+		runTop(client)
 	default:
 		usage()
 	}
+}
+
+// runTrace prints a traced lookup's actual per-hop path. Each node on the
+// route reported the local duration of its whole subtree (itself plus
+// everything downstream), so the latency attributed to hop i is the
+// difference between node i's span and node i+1's — the RPC round trip
+// plus node i's own routing work.
+func runTrace(client *p2p.Client, hash func(string) interval.Point, key string) {
+	tr, err := client.Trace(hash(key))
+	exitOn(err)
+	fmt.Printf("key %q -> point %v\n", key, hash(key))
+	fmt.Printf("owner %s  hops %d  stale-repairs %d  ring-ver %d\n",
+		tr.Owner, tr.Hops, tr.Stale, tr.RingVer)
+	for i, hop := range tr.Path {
+		var latency time.Duration
+		if i+1 < len(tr.Path) {
+			latency = time.Duration(hop.SubtreeNanos - tr.Path[i+1].SubtreeNanos)
+		} else {
+			latency = time.Duration(hop.SubtreeNanos) // the owner's serve time
+		}
+		role := "hop"
+		switch {
+		case i == 0 && i == len(tr.Path)-1:
+			role = "entry+owner"
+		case i == 0:
+			role = "entry"
+		case i == len(tr.Path)-1:
+			role = "owner"
+		}
+		fmt.Printf("  %2d  %-11s %-21s point=%v stale-in=%d ring-ver=%d  %v\n",
+			i, role, hop.Addr, hop.Point, hop.StaleIn, hop.RingVer, latency.Round(time.Microsecond))
+	}
+}
+
+// statusDoc mirrors the admin plane's /statusz document.
+type statusDoc struct {
+	Node    p2p.NodeStatus     `json:"node"`
+	Metrics telemetry.Snapshot `json:"metrics"`
+}
+
+// runTop walks the ring and renders one row per member from its scraped
+// /statusz, then summarizes the load skew (max/mean routed messages —
+// the live counterpart of the paper's congestion bound).
+func runTop(client *p2p.Client) {
+	states, err := client.RingStates()
+	exitOn(err)
+	fmt.Printf("%-21s %-21s %-18s %7s %9s %8s %11s\n",
+		"ADDR", "ADMIN", "POINT", "ITEMS", "ROUTED", "SERVED", "HOPS(mean)")
+	var loads []float64
+	httpc := &http.Client{Timeout: 3 * time.Second}
+	for _, st := range states {
+		if st.AdminAddr == "" {
+			fmt.Printf("%-21s %-21s %-18d %7s %9s %8s %11s\n",
+				st.Addr, "(no -admin)", st.Point, "-", "-", "-", "-")
+			continue
+		}
+		doc, err := scrapeStatus(httpc, st.AdminAddr)
+		if err != nil {
+			fmt.Printf("%-21s %-21s %-18d scrape failed: %v\n", st.Addr, st.AdminAddr, st.Point, err)
+			continue
+		}
+		routed := doc.Metrics.Counters["condisc_p2p_msgs_routed_total"]
+		served := doc.Metrics.Counters["condisc_p2p_owner_served_total"]
+		hops := doc.Metrics.Histograms["condisc_p2p_lookup_hops"]
+		fmt.Printf("%-21s %-21s %-18d %7d %9d %8d %11.2f\n",
+			st.Addr, st.AdminAddr, st.Point, doc.Node.Items, routed, served, hops.Mean())
+		loads = append(loads, float64(routed))
+	}
+	if len(loads) > 0 {
+		var sum, max float64
+		for _, l := range loads {
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		mean := sum / float64(len(loads))
+		skew := 0.0
+		if mean > 0 {
+			skew = max / mean
+		}
+		fmt.Printf("\nload: %d scraped nodes, routed max %.0f mean %.1f skew %.2fx\n",
+			len(loads), max, mean, skew)
+	}
+}
+
+func scrapeStatus(c *http.Client, adminAddr string) (statusDoc, error) {
+	var doc statusDoc
+	resp, err := c.Get("http://" + adminAddr + "/statusz")
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return doc, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	return doc, err
 }
 
 func exitOn(err error) {
@@ -60,6 +189,6 @@ func exitOn(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dhctl -node ADDR -seed N {put KEY VALUE | get KEY | lookup KEY}")
+	fmt.Fprintln(os.Stderr, "usage: dhctl -node ADDR -seed N {put KEY VALUE | get KEY | lookup KEY | trace KEY | top}")
 	os.Exit(2)
 }

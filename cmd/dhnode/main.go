@@ -27,6 +27,14 @@
 // node killed mid-join and restarted with the same -listen address and
 // -data directory resumes the transfer from its staged prefix, or aborts
 // it cleanly and joins fresh.
+//
+// Pass -admin ADDR to expose the live introspection plane: /metrics
+// (Prometheus text), /statusz (ring pointers + neighbour table + metric
+// snapshot as JSON), /healthz, and /debug/pprof. The admin address is
+// advertised to the ring, so `dhctl top` can scrape the whole cluster
+// from any one member. On SIGINT/SIGTERM the node leaves gracefully
+// (handing its items to the predecessor) and dumps a final telemetry
+// snapshot to stderr; a second signal forces an immediate exit.
 package main
 
 import (
@@ -39,9 +47,11 @@ import (
 	"syscall"
 	"time"
 
+	"condisc/internal/admin"
 	"condisc/internal/interval"
 	"condisc/internal/p2p"
 	"condisc/internal/store"
+	"condisc/internal/telemetry"
 )
 
 func main() {
@@ -52,6 +62,7 @@ func main() {
 	entropy := flag.Bool("entropy", false, "mix wall-clock entropy into ID selection (placement no longer reproducible from -seed)")
 	engine := flag.String("store", "mem", "item-store engine: mem (in-memory ordered) or log (disk-backed WAL)")
 	data := flag.String("data", "", "data directory for -store=log")
+	adminAddr := flag.String("admin", "", "admin HTTP address for /metrics, /statusz, /healthz, /debug/pprof (empty = disabled)")
 	flag.Parse()
 
 	st, err := store.Open(*engine, *data)
@@ -63,6 +74,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dhnode:", err)
 		os.Exit(1)
+	}
+	if *adminAddr != "" {
+		srv, err := admin.Serve(*adminAddr, admin.Handler(node.Telemetry(),
+			func() any { return node.Status() }))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dhnode: admin:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		node.SetAdminAddr(srv.Addr)
+		fmt.Printf("dhnode: admin plane at http://%s\n", srv.Addr)
 	}
 	if *engine == "log" && node.NumItems() > 0 {
 		fmt.Printf("dhnode: recovered %d items from %s\n", node.NumItems(), *data)
@@ -90,7 +112,7 @@ func main() {
 		fmt.Printf("dhnode: joined via %s at %s (point %v)\n", *join, node.Addr(), node.Point())
 	}
 
-	stop := make(chan os.Signal, 1)
+	stop := make(chan os.Signal, 2)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(*stabilize)
 	defer ticker.Stop()
@@ -101,12 +123,36 @@ func main() {
 				fmt.Fprintln(os.Stderr, "dhnode: stabilize:", err)
 			}
 		case <-stop:
-			fmt.Println("dhnode: leaving gracefully")
+			fmt.Println("dhnode: leaving gracefully (second signal forces exit)")
+			go func() {
+				// A second signal aborts the graceful leave: the handoff to
+				// the predecessor may be mid-stream, which is exactly what
+				// the crash-recovery path exists for.
+				<-stop
+				fmt.Fprintln(os.Stderr, "dhnode: forced exit before leave completed")
+				flushTelemetry(node.Telemetry())
+				os.Exit(1)
+			}()
 			if err := node.Leave(); err != nil {
 				fmt.Fprintln(os.Stderr, "dhnode: leave:", err)
 				node.Close()
 			}
+			flushTelemetry(node.Telemetry())
 			return
 		}
+	}
+}
+
+// flushTelemetry dumps the final metric state and event ring to stderr on
+// shutdown, so a scraperless deployment still gets a terminal snapshot.
+func flushTelemetry(reg *telemetry.Registry) {
+	fmt.Fprintln(os.Stderr, "dhnode: final telemetry snapshot:")
+	_ = reg.WritePrometheus(os.Stderr)
+	for _, e := range reg.Events() {
+		fmt.Fprintf(os.Stderr, "dhnode: event %s %s %s\n",
+			e.At.Format(time.RFC3339Nano), e.Kind, e.Detail)
+	}
+	if d := reg.EventsDropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "dhnode: (%d earlier events dropped by the bounded ring)\n", d)
 	}
 }

@@ -43,6 +43,7 @@ import (
 	"condisc/internal/partition"
 	"condisc/internal/route"
 	"condisc/internal/store"
+	"condisc/internal/telemetry"
 )
 
 // Point is a point of the unit interval I = [0,1) in 64-bit fixed point.
@@ -84,6 +85,44 @@ type Options struct {
 	// DataDir is the root directory for StorageLog stores; required when
 	// Storage == StorageLog.
 	DataDir string
+	// Telemetry receives the instance's runtime metrics; nil selects the
+	// process-wide telemetry.Default. Metrics are pure observers — no code
+	// path reads one back into a decision — so two instances differing only
+	// in Telemetry (or with recording disabled) behave identically.
+	Telemetry *telemetry.Registry
+}
+
+// dhtMetrics holds the DHT's pre-resolved telemetry handles: resolved
+// once in New so every hot-path record is a plain sharded-atomic write.
+type dhtMetrics struct {
+	reads       *telemetry.Counter   // Get calls
+	puts        *telemetry.Counter   // Put calls
+	readRetries *telemetry.Counter   // epoch flips absorbed by Get/Put retry loops
+	fenceWaits  *telemetry.Counter   // writes that waited on the moving-range fence
+	waves       *telemetry.Counter   // published churn waves
+	waveNanos   *telemetry.Histogram // wall time per wave, fence to fence-lift
+	epoch       *telemetry.Gauge     // published epoch, stamped at publish time
+}
+
+func newDHTMetrics(reg *telemetry.Registry) dhtMetrics {
+	m := dhtMetrics{
+		reads:       reg.Counter("condisc_reads_total"),
+		puts:        reg.Counter("condisc_puts_total"),
+		readRetries: reg.Counter("condisc_read_retries_total"),
+		fenceWaits:  reg.Counter("condisc_fence_waits_total"),
+		waves:       reg.Counter("condisc_waves_total"),
+		waveNanos:   reg.Histogram("condisc_wave_duration_nanos"),
+		epoch:       reg.Gauge("condisc_epoch"),
+	}
+	// Snapshot age is derived at scrape time from the epoch gauge's stamp
+	// (how long ago the last wave published — 0 forever on a churn-free
+	// instance). Re-registering after a second New replaces the closure,
+	// which is the right answer for the shared Default registry: the
+	// newest instance is the one being observed.
+	reg.RegisterCollector("condisc_snapshot_age_seconds", func() float64 {
+		return m.epoch.Age().Seconds()
+	})
+	return m
 }
 
 // DHT is a simulated Distance Halving network: n servers holding segments
@@ -102,6 +141,7 @@ type DHT struct {
 	stores   map[ServerID]store.Store
 	newStore func() store.Store
 	storeSeq int
+	met      dhtMetrics
 
 	// storesMu guards the stores MAP (insertion at join admit, deletion at
 	// wave cleanup); the stores themselves are internally synchronized.
@@ -152,6 +192,12 @@ func New(n int, opts Options) *DHT {
 	d.hash = hashing.NewKWise(16, d.rng)
 	d.ring = partition.Grow(partition.New(), n, partition.MultipleChooser(2), d.rng)
 	d.net = route.NewNetwork(dhgraph.Build(d.ring, d.opts.Delta))
+	if opts.Telemetry == nil {
+		opts.Telemetry = telemetry.Default
+	}
+	d.opts.Telemetry = opts.Telemetry
+	d.met = newDHTMetrics(opts.Telemetry)
+	d.net.SetTelemetry(opts.Telemetry)
 	d.leases = partition.NewLeases()
 	if d.opts.Delta == 2 && d.opts.CacheThreshold >= 0 {
 		d.cache = cache.NewSystem(d.net, d.hash, d.autoThreshold())
@@ -251,6 +297,9 @@ func (d *DHT) pointMoving(p Point) bool {
 // of a silent hang.
 func (d *DHT) waitNotMoving(p Point) {
 	for i := 0; d.pointMoving(p); i++ {
+		if i == 0 {
+			d.met.fenceWaits.Inc() // one wait episode, however many spins
+		}
 		if i > 1<<26 {
 			panic("condisc: put stalled on an unfinished churn wave")
 		}
@@ -308,9 +357,13 @@ const readRetryLimit = 8
 // flipped and moved the point's segment mid-write, the write is undone
 // and retried against the new owner (bounded by readRetryLimit).
 func (d *DHT) Put(src int, key string, value []byte) int {
+	d.met.puts.Inc()
 	p := d.hash.Point(key)
 	path := d.Lookup(src, key)
 	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			d.met.readRetries.Inc()
+		}
 		d.waitNotMoving(p)
 		snap := d.ring.Snapshot()
 		owner := snap.CoverHandle(p)
@@ -357,6 +410,7 @@ func (d *DHT) Put(src int, key string, value []byte) int {
 // bounded by readRetryLimit. A miss with a stable epoch is a genuine
 // miss.
 func (d *DHT) Get(src int, key string) (value []byte, hops int, ok bool) {
+	d.met.reads.Inc()
 	p := d.hash.Point(key)
 	snap := d.ring.Snapshot()
 	var v []byte
@@ -375,6 +429,7 @@ func (d *DHT) Get(src int, key string) (value []byte, hops int, ok bool) {
 		// when a churn wave republished mid-call. Re-resolve and retry.
 		fresh := d.ring.Snapshot()
 		if fresh.Epoch() != snap.Epoch() && attempt < readRetryLimit {
+			d.met.readRetries.Inc()
 			snap = fresh
 			continue
 		}

@@ -42,6 +42,7 @@ import (
 	"condisc/internal/interval"
 	"condisc/internal/partition"
 	"condisc/internal/store"
+	"condisc/internal/telemetry"
 )
 
 // batchEvent is one admitted churn event awaiting its apply phase.
@@ -321,6 +322,7 @@ func (d *DHT) runWave(wave []*batchEvent) {
 	for i, ev := range wave {
 		segs[i] = ev.invSeg
 	}
+	sw := telemetry.StartTimer() // telemetry owns the clock; detpath stays clean
 	d.setMoving(segs)
 	if len(wave) == 1 {
 		d.applyEvent(wave[0], 0)
@@ -341,8 +343,14 @@ func (d *DHT) runWave(wave []*batchEvent) {
 		}
 	}
 	d.ring.Publish()
+	// The sanctioned publish point: stamp the new epoch (SetStamped feeds
+	// the snapshot-age collector) and account the wave. Observers only —
+	// nothing downstream reads these values back.
+	d.met.epoch.SetStamped(int64(d.ring.Snapshot().Epoch()))
+	d.met.waves.Inc()
 	d.cleanupWave(wave)
 	d.clearMoving()
+	d.met.waveNanos.Observe(sw.Nanos())
 	for _, ev := range wave {
 		if ev.lease != nil {
 			d.leases.Release(ev.lease)

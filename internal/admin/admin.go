@@ -1,0 +1,84 @@
+// Package admin is the live introspection plane: a small HTTP server
+// exposing a telemetry registry and a node status callback.
+//
+// Endpoints:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/statusz      JSON: node status + metric snapshot + event ring
+//	/healthz      "ok" (liveness)
+//	/debug/pprof  the standard runtime profiles
+//
+// The package is deliberately dumb: it owns no state of its own — every
+// response is computed at scrape time from the registry and the status
+// callback, so there is no cache to go stale and no write path to
+// perturb the node.
+package admin
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"condisc/internal/telemetry"
+)
+
+// Handler builds the admin mux. status, when non-nil, supplies the
+// node-specific half of /statusz (ring pointers, neighbour table,
+// items); it is called at scrape time.
+func Handler(reg *telemetry.Registry, status func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		var node any
+		if status != nil {
+			node = status()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Node    any                `json:"node,omitempty"`
+			Metrics telemetry.Snapshot `json:"metrics"`
+		}{Node: node, Metrics: reg.Snapshot()})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	// net/http/pprof only self-registers on http.DefaultServeMux; wire
+	// its handlers onto this mux explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is one running admin endpoint.
+type Server struct {
+	Addr string // bound address (resolved when Serve got ":0")
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Serve binds addr and serves h in the background. With a ":0" port the
+// returned Server.Addr carries the kernel-chosen one.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the server immediately (scrapes in flight are abandoned;
+// the admin plane has no state to flush).
+func (s *Server) Close() error { return s.srv.Close() }

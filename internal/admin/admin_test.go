@@ -1,0 +1,79 @@
+package admin
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"condisc/internal/telemetry"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("demo_total").Add(7)
+	reg.Histogram("demo_hops").Observe(3)
+	reg.Emitf("join", "node joined at 0.25")
+	status := func() any { return map[string]any{"addr": "127.0.0.1:7001", "items": 42} }
+
+	srv, err := Serve("127.0.0.1:0", Handler(reg, status))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	if code, body := get(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{"demo_total 7", "# TYPE demo_hops histogram", `demo_hops_bucket{le="3"} 1`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var doc struct {
+		Node    map[string]any     `json:"node"`
+		Metrics telemetry.Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	if doc.Node["items"] != float64(42) {
+		t.Fatalf("/statusz node = %+v", doc.Node)
+	}
+	if doc.Metrics.Counters["demo_total"] != 7 {
+		t.Fatalf("/statusz metrics = %+v", doc.Metrics)
+	}
+	if len(doc.Metrics.Events) != 1 || doc.Metrics.Events[0].Kind != "join" {
+		t.Fatalf("/statusz events = %+v", doc.Metrics.Events)
+	}
+
+	if code, body := get(t, base+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline = %d %q", code, body)
+	}
+}

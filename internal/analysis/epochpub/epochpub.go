@@ -135,7 +135,7 @@ func checkWrite(pass *analysis.Pass, fd *ast.FuncDecl, lhs ast.Expr, inPartition
 	if !ok || tv.Type == nil {
 		return
 	}
-	if !inPartition && namedIs(tv.Type, "Snapshot") {
+	if !inPartition && namedIs(tv.Type, "Snapshot") && snapshotPkg(tv.Type) {
 		pass.Reportf(lhs.Pos(),
 			"%s writes field %s of a Snapshot: published snapshots are immutable; "+
 				"copy-on-write belongs in partition.Ring before the epoch flip (PR 7 contract)",
@@ -154,12 +154,28 @@ func checkWrite(pass *analysis.Pass, fd *ast.FuncDecl, lhs ast.Expr, inPartition
 // namedIs reports whether t (after stripping one pointer and aliases)
 // is a named type with the given name, regardless of package — the
 // contract types (partition.Ring, partition.Snapshot, p2p.Node) are
-// unique in the tree, and staying package-agnostic lets the testdata
-// exemplar model them locally.
+// effectively unique in the tree, and staying package-agnostic lets the
+// testdata exemplar model them locally.
 func namedIs(t types.Type, name string) bool {
 	if ptr, ok := t.(*types.Pointer); ok {
 		t = ptr.Elem()
 	}
 	named, ok := types.Unalias(t).(*types.Named)
 	return ok && named.Obj().Name() == name
+}
+
+// snapshotPkg narrows the Snapshot rule to the epoch-snapshot type: the
+// one partition defines, or a testdata exemplar's local model. Other
+// packages may name an unrelated type Snapshot (telemetry's metric dump
+// does) without inheriting partition's immutability contract.
+func snapshotPkg(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	name := named.Obj().Pkg().Name()
+	return name == "partition" || strings.HasSuffix(name, "data")
 }

@@ -1,0 +1,15 @@
+package telemetryhot_test
+
+import (
+	"testing"
+
+	"condisc/internal/analysis/analysistest"
+	"condisc/internal/analysis/telemetryhot"
+)
+
+// The import path places the exemplar under internal/telemetry, the one
+// package the hot-path contract binds.
+func TestTelemetryhot(t *testing.T) {
+	analysistest.Run(t, "testdata/src/telemetryhotdata",
+		"condisc/internal/telemetry/telemetryhotdata", telemetryhot.Analyzer)
+}

@@ -44,6 +44,7 @@ import (
 	"condisc/internal/interval"
 	"condisc/internal/partition"
 	"condisc/internal/route"
+	"condisc/internal/telemetry"
 )
 
 // nodeState is the per-active-node bookkeeping.
@@ -173,6 +174,9 @@ type System struct {
 	// keyed by the server's stable handle, so churn never moves or
 	// re-buckets a surviving server's count.
 	Supplied map[partition.Handle]int64
+	// supplied is the aggregate telemetry counter over every supply event
+	// (the scrapeable sum of the per-handle map above).
+	supplied *telemetry.Counter
 }
 
 // NewSystem creates a caching system over the network with threshold c.
@@ -186,6 +190,7 @@ func NewSystem(net *route.Network, h *hashing.Func, c int) *System {
 		C:        c,
 		trees:    make(map[string]*activeTree),
 		Supplied: make(map[partition.Handle]int64, net.G.N()),
+		supplied: telemetry.Default.Counter("condisc_cache_supplied_total"),
 	}
 }
 
@@ -205,6 +210,7 @@ func (s *System) tree(item string) *activeTree {
 // the given ring snapshot. The caller must hold mu.
 func (s *System) supplyAt(snap *partition.Snapshot, p interval.Point) {
 	s.Supplied[snap.CoverHandle(p)]++
+	s.supplied.Inc()
 }
 
 // SuppliedOf returns the supply count of the server with stable handle h.
@@ -247,6 +253,7 @@ func (s *System) Request(src int, item string, rng *rand.Rand) ([]int, int) {
 		path := s.Net.DHLookup(src, y, rng)
 		s.mu.Lock()
 		s.Supplied[snap.HandleAt(path[len(path)-1])]++
+		s.supplied.Inc()
 		s.mu.Unlock()
 		return path, 0
 	}

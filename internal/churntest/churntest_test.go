@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"condisc"
+	"condisc/internal/telemetry"
 )
 
 // mustRun applies the trace and fails the test on any runner error.
@@ -179,6 +180,29 @@ func TestInterleavedReadsUnderChurnWaves(t *testing.T) {
 		}
 		diffFatal(t, fmt.Sprintf("interleaved width=%d", w), serial, conc)
 	}
+}
+
+// TestTelemetryDigestInvariance pins the observability contract: telemetry
+// is write-only observation, so running the full width-16 concurrent trace
+// with instrumentation recording must leave a WriteState dump byte-identical
+// to the same trace with the global telemetry kill switch off. Any metric
+// that leaked back into a decision — a counter steering routing, a clock
+// read perturbing RNG consumption, an allocation changing a map's iteration
+// — would shift the dump and fail here. Run it with -race: the recording
+// paths execute inside the same churn waves the differential oracle covers.
+func TestTelemetryDigestInvariance(t *testing.T) {
+	tr := Generate(1, GenOptions{
+		Initial: 256, Events: 1000,
+		JoinFrac: 0.40, LeaveFrac: 0.30, PutFrac: 0.15,
+	})
+	prev := telemetry.Enabled()
+	defer telemetry.SetEnabled(prev)
+
+	telemetry.SetEnabled(false)
+	off := mustRun(t, tr, Config{Width: 16, SchedSeed: 2})
+	telemetry.SetEnabled(true)
+	on := mustRun(t, tr, Config{Width: 16, SchedSeed: 2})
+	diffFatal(t, "telemetry on vs off (width=16)", off, on)
 }
 
 // TestCountersSurviveConcurrentChurn is the no-lost-updates property:

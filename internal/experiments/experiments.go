@@ -89,5 +89,6 @@ func All(cfg Config) []Result {
 		ChurnLocality(cfg),
 		StoreEngines(cfg),
 		StalenessVsStabilization(cfg),
+		ZipfLoadSkew(cfg),
 	}
 }

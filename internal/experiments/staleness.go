@@ -7,6 +7,7 @@ import (
 	"condisc/internal/interval"
 	"condisc/internal/metrics"
 	"condisc/internal/p2p"
+	"condisc/internal/telemetry"
 )
 
 // StalenessVsStabilization (E31) measures the routing-table staleness a
@@ -59,6 +60,12 @@ func StalenessVsStabilization(cfg Config) Result {
 // stalenessRun drives one sweep point: a live loopback cluster churning
 // (alternating join/leave) with a stabilization pass every S events,
 // probed by lookups between events.
+//
+// The tallying is the client telemetry itself: every probe goes through a
+// Client pointed at a registry private to this sweep point, and the rates
+// are read off one snapshot at the end — the same counters /metrics
+// exposes, so the experiment measures exactly what an operator would see,
+// with no parallel hand-rolled accounting to drift out of sync.
 func stalenessRun(cfg Config, S int, patches bool) (staleRate, avgHops float64, maxHops int) {
 	const (
 		nodes           = 10
@@ -79,8 +86,8 @@ func stalenessRun(cfg Config, S int, patches bool) (staleRate, avgHops float64, 
 	}
 	defer c.Stop()
 	rng := cfg.rng(seed)
+	reg := telemetry.NewRegistry()
 
-	stale, hops, count := 0, 0, 0
 	for e := 0; e < events; e++ {
 		if e%2 == 0 {
 			if _, err := c.Join(); err != nil {
@@ -93,22 +100,11 @@ func stalenessRun(cfg Config, S int, patches bool) (staleRate, avgHops float64, 
 		}
 		for k := 0; k < lookupsPerEvent; k++ {
 			cl := c.Client(rng.IntN(len(c.Nodes)))
-			_, h, s, err := cl.LookupStats(interval.Point(rng.Uint64()))
-			if err != nil {
-				// A transient refusal mid-churn counts as a stale route:
-				// without repair the lookup went nowhere useful.
-				stale++
-				count++
-				continue
-			}
-			if s > 0 {
-				stale++
-			}
-			hops += h
-			if h > maxHops {
-				maxHops = h
-			}
-			count++
+			cl.Tel = reg
+			// A transient refusal mid-churn lands in the error counter; the
+			// rate below folds it into the stale side — without the ring
+			// fallback the lookup went nowhere useful.
+			_, _, _, _ = cl.LookupStats(interval.Point(rng.Uint64()))
 		}
 		if (e+1)%S == 0 {
 			if err := c.StabilizeAll(1); err != nil {
@@ -116,5 +112,11 @@ func stalenessRun(cfg Config, S int, patches bool) (staleRate, avgHops float64, 
 			}
 		}
 	}
-	return float64(stale) / float64(count), float64(hops) / float64(count), maxHops
+
+	snap := reg.Snapshot()
+	count := snap.Counters["condisc_client_lookups_total"]
+	stale := snap.Counters["condisc_client_stale_lookups_total"] +
+		snap.Counters["condisc_client_lookup_errors_total"]
+	hops := snap.Histograms["condisc_client_lookup_hops"]
+	return float64(stale) / float64(count), float64(hops.Sum) / float64(count), int(hops.Max)
 }

@@ -27,7 +27,13 @@ import (
 	"os"
 	"slices"
 	"time"
+
+	"condisc/internal/telemetry"
 )
+
+// commitRecords counts durable commit-log appends process-wide (no
+// per-log plumbing: the write is fsync-dominated, one atomic is noise).
+var commitRecords = telemetry.Default.Counter("condisc_commitlog_records_total")
 
 const commitRecSize = 20
 
@@ -151,6 +157,7 @@ func (c *CommitLog) Record(id uint64) error {
 		return fmt.Errorf("handoff: sync commit log: %w", err)
 	}
 	c.ids[id] = at
+	commitRecords.Inc()
 	return nil
 }
 

@@ -44,7 +44,15 @@ func StartCluster(n int, seed uint64, opts ...NodeOption) (*Cluster, error) {
 // Join adds one node through the cluster's first node and appends it to
 // Nodes — the churn half the E31 staleness sweep exercises live.
 func (c *Cluster) Join() (*Node, error) {
-	node, err := NewNode("127.0.0.1:0", c.seed, c.opts...)
+	return c.JoinWith()
+}
+
+// JoinWith is Join with per-node options appended after the cluster-wide
+// ones — E32 uses it to give each member its own telemetry registry so
+// per-node load can be read apart.
+func (c *Cluster) JoinWith(extra ...NodeOption) (*Node, error) {
+	opts := append(append([]NodeOption{}, c.opts...), extra...)
+	node, err := NewNode("127.0.0.1:0", c.seed, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -235,6 +235,7 @@ func (n *Node) resumeJoin(rec *handoff.Receiver) (joined bool, err error) {
 // completeJoin runs stream → promote → commit → adopt for a prepared
 // session (fresh or recovered).
 func (n *Node) completeJoin(rec *handoff.Receiver) error {
+	t0 := time.Now()
 	if err := n.pullStream(rec); err != nil {
 		var re *handoff.RemoteError
 		if errors.As(err, &re) {
@@ -278,6 +279,8 @@ func (n *Node) completeJoin(rec *handoff.Receiver) error {
 	if err := rec.Finish(); err != nil {
 		return err
 	}
+	n.tel.Emitf("join.commit", "session %x: adopted [%v,+%d) from %s in %s",
+		rec.ID, rec.Seg.Start, rec.Seg.Len, rec.Sender, time.Since(t0).Round(time.Millisecond))
 	n.serve()
 	n.afterJoin()
 	return nil
@@ -355,7 +358,7 @@ func (n *Node) pullOnce(rec *handoff.Receiver) error {
 		return fmt.Errorf("p2p: encode stream request: %w", err)
 	}
 	chunk := 0
-	_, err = handoff.ReadStream(bufio.NewReaderSize(conn, 64<<10), func(items []store.Item) error {
+	count, err := handoff.ReadStream(bufio.NewReaderSize(conn, 64<<10), func(items []store.Item) error {
 		if n.handoffChunkHook != nil {
 			if herr := n.handoffChunkHook(chunk); herr != nil {
 				return fmt.Errorf("%w: %v", errHookKill, herr)
@@ -366,6 +369,7 @@ func (n *Node) pullOnce(rec *handoff.Receiver) error {
 	}, func() {
 		conn.SetReadDeadline(time.Now().Add(rpcTimeout)) // a live stream never times out between frames
 	})
+	n.met.handItemsIn.Add(int64(count))
 	return err
 }
 
@@ -493,6 +497,9 @@ func (n *Node) handleHandPrepare(req request) response {
 	if _, err := n.sessions.Prepare(req.Session, upper, req.NewAddr, meta); err != nil {
 		return response{Err: err.Error()}
 	}
+	n.met.handPrepares.Inc()
+	n.tel.Emitf("handoff.prepare", "session %x: fenced [%v,+%d) for joiner %s",
+		req.Session, upper.Start, upper.Len, req.NewAddr)
 	return response{
 		OK: true,
 		ID: n.id, Point: uint64(n.x), Addr: n.addr,
@@ -520,7 +527,8 @@ func (n *Node) handleStream(req request, conn net.Conn) {
 	w := deadlineWriter{conn: conn}
 	// A failed write just drops the connection: the receiver reconnects
 	// and resumes; the session stays alive until commit or TTL expiry.
-	_, _, _ = handoff.Stream(w, cur, n.chunkBytes, func() { n.sessions.Touch(sess) })
+	_, sum, _ := handoff.Stream(w, cur, n.chunkBytes, func() { n.sessions.Touch(sess) })
+	n.met.handBytesOut.Add(int64(sum))
 }
 
 type deadlineWriter struct{ conn net.Conn }
@@ -612,6 +620,9 @@ func (n *Node) handleHandCommit(req request) response {
 	// its blocked Leave() call wakes on the session's done channel.
 	resp := response{OK: true, ID: n.id, Point: uint64(n.x), Addr: n.addr, End: uint64(sess.Seg.End())}
 	n.mu.Unlock()
+	n.met.handCommits.Inc()
+	n.tel.Emitf("handoff.commit", "session %x (%s): released [%v,+%d)",
+		req.Session, meta.kind, sess.Seg.Start, sess.Seg.Len)
 
 	// The durable range delete runs outside the node mutex: on a WAL
 	// store it can trigger compaction, and serving lookups meanwhile is
@@ -670,6 +681,8 @@ func (n *Node) handleHandAbort(req request) response {
 		return response{OK: true, State: handoff.StateCommitted.String()}
 	}
 	n.sessions.Abort(req.Session)
+	n.met.handAborts.Inc()
+	n.tel.Emitf("handoff.abort", "session %x: aborted by receiver probe", req.Session)
 	return response{OK: true, State: handoff.StateUnknown.String()}
 }
 
@@ -728,6 +741,8 @@ func (n *Node) Leave() error {
 	}
 	n.leaving = true // refuse item ops: the store must match the stream
 	n.mu.Unlock()
+	n.tel.Emitf("leave.offer", "session %x: offering [%v,+%d) to predecessor %s",
+		sessID, seg.Start, seg.Len, pred.Addr)
 	// Tell the covers of our forward images to drop us from their backward
 	// tables before the segment moves (with ack + bounded retry; routing
 	// falls back to ring hops for any entry a truly lost patch leaves
@@ -757,8 +772,10 @@ func (n *Node) Leave() error {
 		n.mu.Lock()
 		n.leaving = false
 		n.mu.Unlock()
+		n.tel.Emitf("leave.fail", "session %x: predecessor never committed; resuming service", sessID)
 		return fmt.Errorf("p2p: leave handoff did not commit (predecessor failed mid-transfer); resuming service")
 	}
+	n.tel.Emitf("leave.commit", "session %x: segment absorbed by %s; departing", sessID, pred.Addr)
 	// Committed: the predecessor owns segment and items, and the commit
 	// handler already cleared the local store (durably, on a WAL store).
 	// Everything further is best-effort cleanup and must not surface as a
@@ -872,8 +889,11 @@ func (n *Node) absorbLeave(req request) {
 	switch {
 	case committed:
 		rec.Finish()
+		n.tel.Emitf("absorb.commit", "session %x: absorbed leaver %s's [%v,+%d)",
+			req.Session, req.SrcAddr, seg.Start, seg.Len)
 	case definitive:
 		rec.Abort(n.data)
+		n.tel.Emitf("absorb.abort", "session %x: leaver %s kept its range", req.Session, req.SrcAddr)
 	default:
 		// The leaver is unreachable and the commit's fate unknown. If it
 		// landed, the leaver durably cleared its store before going away

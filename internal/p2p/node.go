@@ -13,6 +13,7 @@ import (
 	"condisc/internal/hashing"
 	"condisc/internal/interval"
 	"condisc/internal/store"
+	"condisc/internal/telemetry"
 )
 
 // NodeInfo is a routing-table entry: a node's stable identifier, segment
@@ -106,6 +107,16 @@ type Node struct {
 	// E31 staleness-vs-stabilization experiment.
 	noPatches bool
 
+	// tel is the node's telemetry registry (telemetry.Default unless
+	// WithTelemetry gave this node its own — in-process clusters do, so
+	// per-node load skew stays observable). met holds the pre-resolved
+	// metric pointers the request path records into.
+	tel *telemetry.Registry
+	met nodeMetrics
+	// adminAddr is the node's admin HTTP endpoint, advertised in opState
+	// responses so one ring member is enough to discover every /statusz.
+	adminAddr string
+
 	// failPatches injects opPatchBack failures for the retry tests: while
 	// positive, incoming patches are refused (and the counter decremented).
 	failPatches atomic.Int32
@@ -157,6 +168,54 @@ func WithoutPatches() NodeOption {
 	return func(n *Node) { n.noPatches = true }
 }
 
+// WithTelemetry gives the node its own telemetry registry instead of the
+// process-wide telemetry.Default. In-process clusters use one registry
+// per node so /statusz and the E32 skew experiment see per-node load;
+// dhnode (one node per process) keeps Default so store-level metrics
+// land in the same scrape.
+func WithTelemetry(reg *telemetry.Registry) NodeOption {
+	return func(n *Node) { n.tel = reg }
+}
+
+// nodeMetrics holds the node's pre-resolved metric pointers: request
+// handlers record through these, never through registry lookups.
+type nodeMetrics struct {
+	rpc      map[string]*telemetry.Counter // per-op request counter
+	rpcOther *telemetry.Counter
+	// routed counts every lookup/get/put request this node handled — the
+	// paper's Definition 3 "active in a routing" load, live.
+	routed       *telemetry.Counter
+	ownerServed  *telemetry.Counter
+	hops         *telemetry.Histogram // completed-lookup hop counts, recorded at the entry node
+	staleRepairs *telemetry.Counter   // ring-hop fallbacks this node performed
+	handPrepares *telemetry.Counter
+	handCommits  *telemetry.Counter
+	handAborts   *telemetry.Counter
+	handBytesOut *telemetry.Counter
+	handItemsIn  *telemetry.Counter
+}
+
+func newNodeMetrics(reg *telemetry.Registry) nodeMetrics {
+	m := nodeMetrics{
+		rpc:          map[string]*telemetry.Counter{},
+		rpcOther:     reg.Counter(`condisc_p2p_rpc_total{op="other"}`),
+		routed:       reg.Counter("condisc_p2p_msgs_routed_total"),
+		ownerServed:  reg.Counter("condisc_p2p_owner_served_total"),
+		hops:         reg.Histogram("condisc_p2p_lookup_hops"),
+		staleRepairs: reg.Counter("condisc_p2p_stale_repairs_total"),
+		handPrepares: reg.Counter("condisc_p2p_handoff_prepares_total"),
+		handCommits:  reg.Counter("condisc_p2p_handoff_commits_total"),
+		handAborts:   reg.Counter("condisc_p2p_handoff_aborts_total"),
+		handBytesOut: reg.Counter("condisc_p2p_handoff_stream_bytes_total"),
+		handItemsIn:  reg.Counter("condisc_p2p_handoff_items_in_total"),
+	}
+	for _, op := range []string{opState, opLookup, opGet, opPut, opSetPred, opPatchBack,
+		opLeave, opHandPrepare, opHandStream, opHandCommit, opHandStatus, opHandAbort} {
+		m.rpc[op] = reg.Counter(fmt.Sprintf("condisc_p2p_rpc_total{op=%q}", op))
+	}
+	return m
+}
+
 // NewNode creates a node listening on addr ("127.0.0.1:0" for an ephemeral
 // port). seed derives the shared item-hash function: all nodes of a cluster
 // must use the same seed. The node's stable ID is derived from the seed and
@@ -177,6 +236,10 @@ func NewNode(addr string, seed uint64, opts ...NodeOption) (*Node, error) {
 	for _, opt := range opts {
 		opt(n)
 	}
+	if n.tel == nil {
+		n.tel = telemetry.Default
+	}
+	n.met = newNodeMetrics(n.tel)
 	if n.data == nil {
 		n.data = store.NewMem()
 	}
@@ -218,6 +281,51 @@ func nodeID(seed uint64, addr string) uint64 {
 
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.addr }
+
+// Telemetry returns the node's metric registry.
+func (n *Node) Telemetry() *telemetry.Registry { return n.tel }
+
+// SetAdminAddr records the node's admin HTTP endpoint; it is advertised
+// in opState responses so a single ring member bootstraps discovery of
+// every node's /statusz (dhctl top).
+func (n *Node) SetAdminAddr(addr string) {
+	n.mu.Lock()
+	n.adminAddr = addr
+	n.mu.Unlock()
+}
+
+// NodeStatus is the node half of /statusz: ring position, pointers,
+// neighbour table, and store size, read in one consistent snapshot.
+type NodeStatus struct {
+	ID        uint64     `json:"id"`
+	Addr      string     `json:"addr"`
+	AdminAddr string     `json:"admin_addr,omitempty"`
+	Point     uint64     `json:"point"`
+	End       uint64     `json:"end"`
+	RingVer   uint64     `json:"ring_ver"`
+	Pred      NodeInfo   `json:"pred"`
+	Succ      NodeInfo   `json:"succ"`
+	Back      []NodeInfo `json:"back"`
+	Items     int        `json:"items"`
+	Ready     bool       `json:"ready"`
+	Leaving   bool       `json:"leaving"`
+	Absorbing int        `json:"absorbing"`
+}
+
+// Status assembles the node's introspection snapshot.
+func (n *Node) Status() NodeStatus {
+	n.mu.Lock()
+	st := NodeStatus{
+		ID: n.id, Addr: n.addr, AdminAddr: n.adminAddr,
+		Point: uint64(n.x), End: uint64(n.end), RingVer: n.ringVer,
+		Pred: n.pred, Succ: n.succ,
+		Back:  append([]NodeInfo(nil), n.backSorted...),
+		Ready: n.ready, Leaving: n.leaving, Absorbing: n.absorbing,
+	}
+	n.mu.Unlock()
+	st.Items = n.data.Len()
+	return st
+}
 
 // ID returns the node's stable identifier.
 func (n *Node) ID() uint64 { return n.id }
@@ -360,6 +468,11 @@ func (n *Node) Close() {
 
 // handle dispatches one request.
 func (n *Node) handle(req request) response {
+	if c := n.met.rpc[req.Op]; c != nil {
+		c.Inc()
+	} else {
+		n.met.rpcOther.Inc()
+	}
 	n.mu.Lock()
 	ready := n.ready
 	n.mu.Unlock()
@@ -375,7 +488,8 @@ func (n *Node) handle(req request) response {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		return response{OK: true, ID: n.id, Point: uint64(n.x), End: uint64(n.end),
-			Addr: n.addr, SuccID: n.succ.ID, SuccAddr: n.succ.Addr, PredAddr: n.pred.Addr}
+			Addr: n.addr, SuccID: n.succ.ID, SuccAddr: n.succ.Addr, PredAddr: n.pred.Addr,
+			AdminAddr: n.adminAddr}
 	case opSetPred:
 		n.mu.Lock()
 		n.pred = NodeInfo{ID: req.NewID, Point: req.NewPoint, Addr: req.NewAddr}
@@ -400,7 +514,7 @@ func (n *Node) handle(req request) response {
 	case opLeave:
 		return n.handleLeave(req)
 	case opLookup, opGet, opPut:
-		return n.route(req)
+		return n.routeObserved(req)
 	default:
 		return response{Err: "unknown op: " + req.Op}
 	}

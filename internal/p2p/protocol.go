@@ -84,6 +84,31 @@ type request struct {
 	FromPoint uint64
 	FromKey   string
 	HasFrom   bool
+	// TraceOn asks every node on the route to append a Hop record to the
+	// response on the way back — the per-hop lookup trace dhctl renders.
+	TraceOn bool
+}
+
+// Hop is one node's per-hop trace record, appended as a traced response
+// unwinds through the recursive route. The first element of a response's
+// Trace is therefore the owner, the last the entry node; clients reverse
+// it for display.
+type Hop struct {
+	ID    uint64
+	Addr  string
+	Point uint64
+	// SubtreeNanos is the time from this node receiving the request to
+	// its response being ready — it includes every downstream hop, so
+	// successive differences give per-hop latency without any cross-node
+	// clock agreement (each node only ever reports its own local
+	// monotonic duration).
+	SubtreeNanos int64
+	// StaleIn is the stale-repair count the request carried when it
+	// arrived here (repairs performed upstream of this node).
+	StaleIn int
+	// RingVer is this node's ring-pointer version when it handled the
+	// request.
+	RingVer uint64
 }
 
 // response is the single wire response type.
@@ -105,8 +130,17 @@ type response struct {
 	SuccID   uint64
 	SuccAddr string
 	PredAddr string
+	// AdminAddr is the node's admin HTTP endpoint ("" when disabled),
+	// reported in opState so dhctl top can scrape a whole ring having
+	// been told only one member.
+	AdminAddr string
 	// State reports a handoff session's fate to an opHandStatus probe.
 	State string
+	// Trace accumulates per-hop records when the request had TraceOn
+	// (owner first; see Hop). RingVer is the owner's ring-pointer
+	// version at serve time — the terminal epoch of the lookup.
+	Trace   []Hop
+	RingVer uint64
 }
 
 const rpcTimeout = 5 * time.Second

@@ -1,9 +1,12 @@
 package p2p
 
 import (
+	"fmt"
 	"sort"
+	"time"
 
 	"condisc/internal/interval"
+	"condisc/internal/telemetry"
 )
 
 // This file implements Fast Lookup (§2.2.1) over the wire, plus the
@@ -12,6 +15,32 @@ import (
 // maxFastSteps caps the Fast Lookup walk (64 backward hops shrink any
 // distance below one fixed-point ulp).
 const maxFastSteps = 66
+
+// routeObserved wraps route with the node's observability: the routed-
+// message load counter, the entry-node hop histogram, and — for traced
+// requests — this node's Hop record, appended as the response unwinds so
+// the owner ends up first and the entry node last. Every metric write is
+// a pre-resolved atomic; the trace adds work only when TraceOn rode in.
+func (n *Node) routeObserved(req request) response {
+	entry := !req.Started
+	var t0 time.Time
+	if req.TraceOn {
+		t0 = time.Now()
+	}
+	n.met.routed.Inc()
+	resp := n.route(req)
+	if entry && resp.OK {
+		n.met.hops.Observe(int64(resp.Hops))
+	}
+	if req.TraceOn && resp.OK {
+		n.mu.Lock()
+		hop := Hop{ID: n.id, Addr: n.addr, Point: uint64(n.x), RingVer: n.ringVer,
+			StaleIn: req.Stale, SubtreeNanos: time.Since(t0).Nanoseconds()}
+		n.mu.Unlock()
+		resp.Trace = append(resp.Trace, hop)
+	}
+	return resp
+}
 
 // route handles lookup/get/put: if this node covers the target (or the
 // walk has finished), it serves locally; otherwise it advances the Fast
@@ -67,6 +96,7 @@ func (n *Node) route(req request) response {
 				// counter records the repair — the staleness observable
 				// E31 sweeps against the stabilization interval.
 				req.Stale++
+				n.met.staleRepairs.Inc()
 				resp, _ = tryForward(ring, req)
 			}
 			return resp
@@ -98,9 +128,11 @@ func (n *Node) serveLocal(req request) response {
 		// the range is ours until commit.)
 		return response{Err: "range is mid-handoff; retry", Hops: req.Hops}
 	}
+	n.met.ownerServed.Inc()
 	resp := response{OK: true, Hops: req.Hops, Stale: req.Stale,
 		ID: n.id, Point: uint64(n.x), End: uint64(n.end), Addr: n.addr,
-		SuccID: n.succ.ID, SuccAddr: n.succ.Addr, PredAddr: n.pred.Addr}
+		SuccID: n.succ.ID, SuccAddr: n.succ.Addr, PredAddr: n.pred.Addr,
+		RingVer: n.ringVer}
 	switch req.Op {
 	case opGet:
 		v, ok, err := n.data.Get(interval.Point(req.Target), req.Key)
@@ -264,11 +296,39 @@ func lookupVia(addr string, p interval.Point) (response, error) {
 // Client talks to a cluster through a bootstrap node.
 type Client struct {
 	Bootstrap string
+	// Tel, when non-nil, receives client-side lookup metrics (hops,
+	// staleness, errors); nil means telemetry.Default. E31 points it at a
+	// fresh registry per sweep configuration so each run's tallies are
+	// isolated without any manual counting.
+	Tel *telemetry.Registry
+}
+
+func (c *Client) reg() *telemetry.Registry {
+	if c.Tel != nil {
+		return c.Tel
+	}
+	return telemetry.Default
+}
+
+// recordLookup tallies one client-observed operation outcome.
+func (c *Client) recordLookup(resp response, err error) {
+	r := c.reg()
+	r.Counter("condisc_client_lookups_total").Inc()
+	if err != nil {
+		r.Counter("condisc_client_lookup_errors_total").Inc()
+		return
+	}
+	r.Histogram("condisc_client_lookup_hops").Observe(int64(resp.Hops))
+	if resp.Stale > 0 {
+		r.Counter("condisc_client_stale_lookups_total").Inc()
+		r.Counter("condisc_client_stale_repairs_total").Add(int64(resp.Stale))
+	}
 }
 
 // Lookup returns the owner of a key's hash point along with the hop count.
 func (c *Client) Lookup(p interval.Point) (owner string, hops int, err error) {
 	resp, err := lookupVia(c.Bootstrap, p)
+	c.recordLookup(resp, err)
 	if err != nil {
 		return "", 0, err
 	}
@@ -280,6 +340,7 @@ func (c *Client) Lookup(p interval.Point) (owner string, hops int, err error) {
 // by a ring-hop fallback) — the E31 staleness probe.
 func (c *Client) LookupStats(p interval.Point) (owner string, hops, stale int, err error) {
 	resp, err := lookupVia(c.Bootstrap, p)
+	c.recordLookup(resp, err)
 	if err != nil {
 		return "", 0, 0, err
 	}
@@ -289,6 +350,7 @@ func (c *Client) LookupStats(p interval.Point) (owner string, hops, stale int, e
 // Put stores a value under key.
 func (c *Client) Put(key string, val []byte, h func(string) interval.Point) (int, error) {
 	resp, err := call(c.Bootstrap, request{Op: opPut, Key: key, Val: val, Target: uint64(h(key))})
+	c.recordLookup(resp, err)
 	if err != nil {
 		return 0, err
 	}
@@ -298,10 +360,79 @@ func (c *Client) Put(key string, val []byte, h func(string) interval.Point) (int
 // Get retrieves the value under key.
 func (c *Client) Get(key string, h func(string) interval.Point) ([]byte, int, error) {
 	resp, err := call(c.Bootstrap, request{Op: opGet, Key: key, Target: uint64(h(key))})
+	c.recordLookup(resp, err)
 	if err != nil {
 		return nil, 0, err
 	}
 	return resp.Val, resp.Hops, nil
+}
+
+// TraceResult is a resolved per-hop lookup trace, origin-first.
+type TraceResult struct {
+	Owner   string // owner's address
+	Hops    int    // network hops taken
+	Stale   int    // stale-route repairs along the way
+	RingVer uint64 // owner's ring version at serve time (terminal epoch)
+	Path    []Hop  // entry node first, owner last
+}
+
+// Trace resolves p's owner with per-hop tracing on: every node on the
+// route appends its Hop record as the response unwinds (owner-first), and
+// Trace reverses it so Path reads in travel order. Per-hop latency is the
+// difference of successive SubtreeNanos — each node's span contains its
+// downstream's, so no cross-node clock agreement is needed.
+func (c *Client) Trace(p interval.Point) (TraceResult, error) {
+	resp, err := call(c.Bootstrap, request{Op: opLookup, Target: uint64(p), TraceOn: true})
+	c.recordLookup(resp, err)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	path := make([]Hop, len(resp.Trace))
+	for i, h := range resp.Trace {
+		path[len(path)-1-i] = h
+	}
+	return TraceResult{Owner: resp.Addr, Hops: resp.Hops, Stale: resp.Stale,
+		RingVer: resp.RingVer, Path: path}, nil
+}
+
+// NodeState is one ring member as seen by RingStates.
+type NodeState struct {
+	ID        uint64
+	Point     uint64
+	End       uint64
+	Addr      string
+	SuccAddr  string
+	PredAddr  string
+	AdminAddr string
+}
+
+// RingStates walks successor pointers from the bootstrap node and returns
+// every ring member's state, in ring order starting at the bootstrap.
+// This is how dhctl top discovers a whole cluster's admin endpoints from
+// a single address.
+func (c *Client) RingStates() ([]NodeState, error) {
+	first, err := call(c.Bootstrap, request{Op: opState})
+	if err != nil {
+		return nil, err
+	}
+	toState := func(r response) NodeState {
+		return NodeState{ID: r.ID, Point: r.Point, End: r.End, Addr: r.Addr,
+			SuccAddr: r.SuccAddr, PredAddr: r.PredAddr, AdminAddr: r.AdminAddr}
+	}
+	states := []NodeState{toState(first)}
+	cur := first
+	for i := 0; i < 4096; i++ {
+		if cur.SuccAddr == "" || cur.SuccAddr == first.Addr {
+			return states, nil
+		}
+		st, err := call(cur.SuccAddr, request{Op: opState})
+		if err != nil {
+			return nil, fmt.Errorf("p2p: ring walk at %s: %w", cur.SuccAddr, err)
+		}
+		states = append(states, toState(st))
+		cur = st
+	}
+	return nil, fmt.Errorf("p2p: ring walk did not close after %d nodes", 4096)
 }
 
 // HashFunc returns the node's item-hash (shared across a cluster seed).

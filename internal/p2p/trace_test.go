@@ -1,0 +1,121 @@
+package p2p
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"condisc/internal/interval"
+	"condisc/internal/telemetry"
+)
+
+// checkTrace asserts the structural invariants every per-hop trace must
+// satisfy, torn or not:
+//
+//   - the path ends at the owner (the trace unwinds owner-first and the
+//     client reverses it);
+//   - SubtreeNanos is non-increasing in travel order — each node's span
+//     physically contains its downstream's, so a violation means hops from
+//     different lookups got mixed into one response;
+//   - StaleIn is non-decreasing in travel order — repairs only accumulate.
+func checkTrace(t *testing.T, tr TraceResult) {
+	t.Helper()
+	if len(tr.Path) == 0 {
+		t.Fatalf("trace has empty path (owner %s)", tr.Owner)
+	}
+	last := tr.Path[len(tr.Path)-1]
+	if last.Addr != tr.Owner {
+		t.Fatalf("trace path ends at %s, owner is %s", last.Addr, tr.Owner)
+	}
+	if last.RingVer != tr.RingVer {
+		t.Fatalf("owner hop ring version %d != terminal epoch %d", last.RingVer, tr.RingVer)
+	}
+	for i := 1; i < len(tr.Path); i++ {
+		if tr.Path[i].SubtreeNanos > tr.Path[i-1].SubtreeNanos {
+			t.Fatalf("subtree span grew along the path at hop %d: %d > %d (torn trace?)",
+				i, tr.Path[i].SubtreeNanos, tr.Path[i-1].SubtreeNanos)
+		}
+		if tr.Path[i].StaleIn < tr.Path[i-1].StaleIn {
+			t.Fatalf("stale-repair count shrank along the path at hop %d", i)
+		}
+	}
+}
+
+func TestTraceQuiescent(t *testing.T) {
+	c, err := StartCluster(10, 41, WithTelemetry(telemetry.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl := c.Client(0)
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 50; i++ {
+		tr, err := cl.Trace(interval.Point(rng.Uint64()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTrace(t, tr)
+		// Quiescent ring: every hop of one lookup sees the same epoch.
+		for _, h := range tr.Path {
+			if h.StaleIn != 0 {
+				t.Fatalf("stale repair on a quiescent ring: %+v", tr.Path)
+			}
+		}
+	}
+}
+
+// TestTracePropagationUnderChurn runs traced lookups concurrently with
+// join/leave churn and asserts no trace ever tears: whatever mix of ring
+// versions a route crosses, each response's hop list must still nest its
+// spans and end at the node that answered.
+func TestTracePropagationUnderChurn(t *testing.T) {
+	c, err := StartCluster(8, 42, WithTelemetry(telemetry.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	var stop atomic.Bool
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; !stop.Load(); i++ {
+			if i%2 == 0 {
+				if _, err := c.JoinWith(WithTelemetry(telemetry.NewRegistry())); err != nil {
+					continue // contested prepare under churn: fine, keep churning
+				}
+			} else if len(c.Nodes) > 4 {
+				_ = c.LeaveAt(1 + i%(len(c.Nodes)-1))
+			}
+			_ = c.StabilizeAll(1)
+		}
+	}()
+
+	const tracers, traces = 4, 30
+	var ok atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < tracers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), uint64(g)*2654435761+1))
+			cl := c.Client(0)
+			for i := 0; i < traces; i++ {
+				tr, err := cl.Trace(interval.Point(rng.Uint64()))
+				if err != nil {
+					continue // transient refusal mid-churn (leaving/fenced node)
+				}
+				checkTrace(t, tr)
+				ok.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	stop.Store(true)
+	<-churnDone
+
+	if ok.Load() < tracers*traces/2 {
+		t.Fatalf("only %d/%d traces succeeded under churn", ok.Load(), tracers*traces)
+	}
+}

@@ -110,6 +110,9 @@ func (nw *Network) ParallelRandomLookups(count int, useFast bool, seed uint64) B
 
 // shadowNetwork shares the immutable graph but owns a private dense load
 // vector (indices are stable because the batch never mutates the ring).
+// The parent's telemetry handles are shared: the counters commute, so the
+// parallel and serial forms report identical totals.
 func shadowNetwork(nw *Network) *Network {
-	return &Network{G: nw.G, loadIdx: make([]int64, nw.G.N())}
+	return &Network{G: nw.G, loadIdx: make([]int64, nw.G.N()),
+		lookups: nw.lookups, hops: nw.hops}
 }

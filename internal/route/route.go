@@ -35,6 +35,7 @@ import (
 	"condisc/internal/dhgraph"
 	"condisc/internal/interval"
 	"condisc/internal/partition"
+	"condisc/internal/telemetry"
 )
 
 // loadCounter is a concurrent per-handle message counter: a sync.Map of
@@ -112,11 +113,34 @@ type Network struct {
 	// indices are stable for the whole batch, so the per-hop handle
 	// resolution can be deferred to one index→handle pass at merge time.
 	loadIdx []int64
+
+	// lookups/hops are pre-resolved telemetry handles (see SetTelemetry);
+	// recording is a pure atomic write, so lookups stay wait-free. They
+	// observe only — no decision ever reads them back, which keeps every
+	// differential digest identical with telemetry on or off.
+	lookups *telemetry.Counter
+	hops    *telemetry.Histogram
 }
 
-// NewNetwork creates a metered network over g.
+// NewNetwork creates a metered network over g, reporting to the default
+// telemetry registry.
 func NewNetwork(g *dhgraph.Graph) *Network {
-	return &Network{G: g}
+	nw := &Network{G: g}
+	nw.SetTelemetry(telemetry.Default)
+	return nw
+}
+
+// SetTelemetry redirects the network's lookup metrics to reg (per-node
+// registries in tests and E32).
+func (nw *Network) SetTelemetry(reg *telemetry.Registry) {
+	nw.lookups = reg.Counter("condisc_route_lookups_total")
+	nw.hops = reg.Histogram("condisc_route_lookup_hops")
+}
+
+// record tallies one finished lookup path.
+func (nw *Network) record(path []int) {
+	nw.lookups.Inc()
+	nw.hops.Observe(int64(len(path) - 1))
 }
 
 // Forget drops the departed server's counter (all other entries are
@@ -246,7 +270,9 @@ func (nw *Network) FastLookup(src int, y interval.Point) []int {
 	// The walk endpoint equals y truncated to its top bits; deliver to the
 	// exact cover of y (at most one extra ring hop, guarding the fixed-point
 	// truncation).
-	return nw.visit(snap, path, snap.Cover(y))
+	path = nw.visit(snap, path, snap.Cover(y))
+	nw.record(path)
+	return path
 }
 
 // DHLookup routes a lookup from server src to the server covering y using
@@ -312,6 +338,7 @@ func (nw *Network) DHLookupTrace(src int, y interval.Point, rng *rand.Rand) ([]i
 		tr.TargetWalk = append(tr.TargetWalk, stack[j])
 		path = nw.visit(snap, path, snap.Cover(stack[j]))
 	}
+	nw.record(path)
 	return path, tr
 }
 
@@ -363,9 +390,11 @@ func (nw *Network) DHLookupStoppable(src int, y interval.Point, rng *rand.Rand,
 	for j := len(stack) - 1; j >= 0; j-- {
 		path = nw.visit(snap, path, snap.Cover(stack[j]))
 		if stop != nil && stop(digits, j, stack[j]) {
+			nw.record(path)
 			return path, j
 		}
 	}
+	nw.record(path)
 	return path, 0
 }
 

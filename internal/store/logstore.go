@@ -14,6 +14,17 @@ import (
 	"sync"
 
 	"condisc/internal/interval"
+	"condisc/internal/telemetry"
+)
+
+// WAL lifecycle telemetry, recorded against the process-wide registry:
+// the store layer has no per-instance registry plumbing (dhnode and the
+// simulator both want one aggregate view), and the counters are pure
+// observers — nothing reads them back, so determinism is untouched.
+var (
+	walRotations   = telemetry.Default.Counter("condisc_store_wal_rotations_total")
+	walCompactions = telemetry.Default.Counter("condisc_store_wal_compactions_total")
+	walCompactedBy = telemetry.Default.Counter("condisc_store_wal_compacted_bytes_total")
 )
 
 // Log is the disk-backed engine: every mutation is one CRC-framed record
@@ -337,7 +348,12 @@ func (s *Log) appendRecord(body []byte) (seg uint32, off int64, err error) {
 
 // rotate closes the active segment for writing and starts the next one.
 func (s *Log) rotate() error {
-	return s.openActive(s.activeID + 1)
+	if err := s.openActive(s.activeID + 1); err != nil {
+		return err
+	}
+	walRotations.Inc()
+	telemetry.Default.Emitf("wal.rotate", "%s: segment %d opened", s.dir, s.activeID)
+	return nil
 }
 
 func putBody(p interval.Point, key string, value []byte) []byte {
@@ -689,6 +705,7 @@ func (s *Log) maybeCompact() error {
 	if s.opts.CompactAt < 0 || s.deadBytes < s.opts.CompactAt || s.deadBytes < s.liveBytes {
 		return nil
 	}
+	reclaiming := s.deadBytes
 	firstNew := s.activeID + 1
 	if err := s.openActive(firstNew); err != nil {
 		return err
@@ -735,6 +752,10 @@ func (s *Log) maybeCompact() error {
 		}
 	}
 	s.deadBytes = 0
+	walCompactions.Inc()
+	walCompactedBy.Add(reclaiming)
+	telemetry.Default.Emitf("wal.compact", "%s: reclaimed %d dead bytes into segment %d+",
+		s.dir, reclaiming, firstNew)
 	return nil
 }
 
