@@ -7,6 +7,8 @@
 //	dhctl -node 127.0.0.1:7001 -seed 42 lookup KEY
 //	dhctl -node 127.0.0.1:7001 -seed 42 trace KEY
 //	dhctl -node 127.0.0.1:7001 top
+//	dhctl -node 127.0.0.1:7001 journal
+//	dhctl -node 127.0.0.1:7001 doctor
 //
 // -seed must match the network's seed (it derives the item-hash function).
 //
@@ -16,10 +18,22 @@
 // durations, so no cross-node clock agreement is needed).
 //
 // top walks the ring from -node, scrapes every member's /statusz (nodes
-// started without -admin are listed but not scraped), and renders a
-// cluster table: items, routed messages, owner-served ops, and lookup-hop
-// stats per node, plus the load-skew summary the congestion theorems
-// bound.
+// started without -admin are listed but not scraped; a dead admin
+// endpoint is skipped with a warning after -scrape-timeout), and renders
+// a cluster table: items, routed messages, owner-served ops, and
+// lookup-hop stats per node, plus the load-skew summary the congestion
+// theorems bound.
+//
+// journal scrapes every member's /journalz flight-recorder ring and
+// merges the streams into one cluster-wide causal timeline, ordered by
+// (ring version, epoch, node, sequence) — no clock agreement needed.
+//
+// doctor scrapes every member's /doctorz verdicts, then recomputes the
+// cluster-wide invariants (smoothness from the ring decomposition,
+// lookup-hop p99 from the merged histograms, routed-load skew from the
+// per-node counters) and renders both. Exit status 1 if any invariant is
+// breached anywhere — scriptable continuous verification of the paper's
+// bounds.
 package main
 
 import (
@@ -29,10 +43,13 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
+	"condisc/internal/doctor"
 	"condisc/internal/hashing"
 	"condisc/internal/interval"
+	"condisc/internal/journal"
 	"condisc/internal/p2p"
 	"condisc/internal/telemetry"
 )
@@ -40,6 +57,7 @@ import (
 func main() {
 	node := flag.String("node", "127.0.0.1:7001", "any node of the network")
 	seed := flag.Uint64("seed", 42, "cluster seed")
+	scrapeTimeout := flag.Duration("scrape-timeout", 3*time.Second, "per-node admin scrape timeout for top/journal/doctor")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -77,7 +95,11 @@ func main() {
 		}
 		runTrace(client, h.Point, args[1])
 	case "top":
-		runTop(client)
+		runTop(client, *scrapeTimeout)
+	case "journal":
+		runJournal(client, *scrapeTimeout)
+	case "doctor":
+		runDoctor(client, *scrapeTimeout)
 	default:
 		usage()
 	}
@@ -123,14 +145,16 @@ type statusDoc struct {
 
 // runTop walks the ring and renders one row per member from its scraped
 // /statusz, then summarizes the load skew (max/mean routed messages —
-// the live counterpart of the paper's congestion bound).
-func runTop(client *p2p.Client) {
+// the live counterpart of the paper's congestion bound). A member whose
+// admin endpoint is dead is skipped with a warning on stderr after the
+// scrape timeout; the rest of the cluster still renders.
+func runTop(client *p2p.Client, timeout time.Duration) {
 	states, err := client.RingStates()
 	exitOn(err)
 	fmt.Printf("%-21s %-21s %-18s %7s %9s %8s %11s\n",
 		"ADDR", "ADMIN", "POINT", "ITEMS", "ROUTED", "SERVED", "HOPS(mean)")
 	var loads []float64
-	httpc := &http.Client{Timeout: 3 * time.Second}
+	httpc := &http.Client{Timeout: timeout}
 	for _, st := range states {
 		if st.AdminAddr == "" {
 			fmt.Printf("%-21s %-21s %-18d %7s %9s %8s %11s\n",
@@ -139,7 +163,10 @@ func runTop(client *p2p.Client) {
 		}
 		doc, err := scrapeStatus(httpc, st.AdminAddr)
 		if err != nil {
-			fmt.Printf("%-21s %-21s %-18d scrape failed: %v\n", st.Addr, st.AdminAddr, st.Point, err)
+			fmt.Fprintf(os.Stderr, "dhctl: warning: skipping %s: admin %s unreachable: %v\n",
+				st.Addr, st.AdminAddr, err)
+			fmt.Printf("%-21s %-21s %-18d %7s %9s %8s %11s\n",
+				st.Addr, "(unreachable)", st.Point, "-", "-", "-", "-")
 			continue
 		}
 		routed := doc.Metrics.Counters["condisc_p2p_msgs_routed_total"]
@@ -169,16 +196,132 @@ func runTop(client *p2p.Client) {
 
 func scrapeStatus(c *http.Client, adminAddr string) (statusDoc, error) {
 	var doc statusDoc
-	resp, err := c.Get("http://" + adminAddr + "/statusz")
+	err := scrapeJSON(c, adminAddr, "/statusz", &doc)
+	return doc, err
+}
+
+func scrapeJSON(c *http.Client, adminAddr, path string, into any) error {
+	resp, err := c.Get("http://" + adminAddr + path)
 	if err != nil {
-		return doc, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return doc, fmt.Errorf("status %d", resp.StatusCode)
+		return fmt.Errorf("%s: status %d", path, resp.StatusCode)
 	}
-	err = json.NewDecoder(resp.Body).Decode(&doc)
-	return doc, err
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// runJournal merges every member's flight-recorder dump into one causal
+// cluster timeline: ring-version order first (every ownership mutation
+// bumps it), then epoch, node, and local sequence — deterministic
+// without any cross-node clock.
+func runJournal(client *p2p.Client, timeout time.Duration) {
+	states, err := client.RingStates()
+	exitOn(err)
+	httpc := &http.Client{Timeout: timeout}
+	var streams []journal.Stream
+	for _, st := range states {
+		if st.AdminAddr == "" {
+			fmt.Fprintf(os.Stderr, "dhctl: warning: %s has no -admin; its records are absent from the timeline\n", st.Addr)
+			continue
+		}
+		var stream journal.Stream
+		if err := scrapeJSON(httpc, st.AdminAddr, "/journalz", &stream); err != nil {
+			fmt.Fprintf(os.Stderr, "dhctl: warning: skipping %s: admin %s unreachable: %v\n",
+				st.Addr, st.AdminAddr, err)
+			continue
+		}
+		if stream.Addr == "" {
+			stream.Addr = st.Addr
+		}
+		if stream.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "dhctl: note: %s overwrote %d older records (bounded ring)\n",
+				st.Addr, stream.Dropped)
+		}
+		streams = append(streams, stream)
+	}
+	timeline := journal.Merge(streams)
+	fmt.Printf("%8s %6s %-21s %-14s %20s %20s %8s\n",
+		"RINGVER", "EPOCH", "NODE", "KIND", "A", "B", "C")
+	for _, rec := range timeline {
+		fmt.Printf("%8d %6d %-21s %-14s %20d %20d %8d\n",
+			rec.RingVer, rec.Epoch, rec.Addr, rec.Kind, rec.A, rec.B, rec.C)
+	}
+	fmt.Printf("\n%d records from %d nodes\n", len(timeline), len(streams))
+}
+
+// runDoctor renders every member's local /doctorz verdicts, then
+// recomputes the cluster-wide invariants this client can see globally:
+// smoothness from the full ring decomposition, lookup-hop p99 from the
+// merged per-node histograms, and routed-load skew from the per-node
+// counters (Theorem 2.7). Exits 1 if anything is breached.
+func runDoctor(client *p2p.Client, timeout time.Duration) {
+	states, err := client.RingStates()
+	exitOn(err)
+	httpc := &http.Client{Timeout: timeout}
+	breached := false
+
+	fmt.Printf("%-21s %s\n", "NODE", "LOCAL VERDICT")
+	var hops telemetry.HistogramSnapshot
+	cs := doctor.ClusterStats{N: len(states), Delta: 2}
+	for _, st := range states {
+		if st.AdminAddr == "" {
+			fmt.Printf("%-21s (no -admin)\n", st.Addr)
+			continue
+		}
+		var rep doctor.Report
+		if err := scrapeJSON(httpc, st.AdminAddr, "/doctorz", &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "dhctl: warning: skipping %s: admin %s unreachable: %v\n",
+				st.Addr, st.AdminAddr, err)
+			fmt.Printf("%-21s (unreachable)\n", st.Addr)
+			continue
+		}
+		if rep.Healthy {
+			fmt.Printf("%-21s healthy\n", st.Addr)
+		} else {
+			breached = true
+			fmt.Printf("%-21s BREACH: %s\n", st.Addr, strings.Join(rep.Breached(), ", "))
+			for _, v := range rep.Verdicts {
+				if !v.OK {
+					fmt.Printf("%-21s   %s: value %.2f over limit %.2f (%s)\n",
+						"", v.Invariant, v.Value, v.Limit, v.Bound)
+				}
+			}
+		}
+		doc, err := scrapeStatus(httpc, st.AdminAddr)
+		if err != nil {
+			continue
+		}
+		cs.Loads = append(cs.Loads, float64(doc.Metrics.Counters["condisc_p2p_msgs_routed_total"]))
+		if deg := len(doc.Node.Back) + 2; deg > cs.MaxDeg {
+			cs.MaxDeg = deg
+		}
+		hops = hops.Merge(doc.Metrics.Histograms["condisc_p2p_lookup_hops"])
+	}
+
+	// The decomposition's segment lengths fall out of the ring walk:
+	// RingStates returns members in ring order, so each segment is the
+	// gap to the next point (uint64 wraparound covers the last one).
+	if len(states) > 1 {
+		for i, st := range states {
+			next := states[(i+1)%len(states)].Point
+			cs.SegLens = append(cs.SegLens, next-st.Point)
+		}
+	}
+	cs.HopP99 = hops.Quantile(0.99)
+
+	rep := doctor.Diagnose(cs)
+	fmt.Println("\ncluster invariants:")
+	fmt.Print(doctor.Table(rep))
+	if !rep.Healthy {
+		breached = true
+	}
+	if breached {
+		fmt.Println("\nverdict: DEGRADED")
+		os.Exit(1)
+	}
+	fmt.Println("\nverdict: healthy — all paper bounds hold")
 }
 
 func exitOn(err error) {
@@ -189,6 +332,6 @@ func exitOn(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dhctl -node ADDR -seed N {put KEY VALUE | get KEY | lookup KEY | trace KEY | top}")
+	fmt.Fprintln(os.Stderr, "usage: dhctl -node ADDR -seed N {put KEY VALUE | get KEY | lookup KEY | trace KEY | top | journal | doctor}")
 	os.Exit(2)
 }

@@ -30,9 +30,13 @@
 //
 // Pass -admin ADDR to expose the live introspection plane: /metrics
 // (Prometheus text), /statusz (ring pointers + neighbour table + metric
-// snapshot as JSON), /healthz, and /debug/pprof. The admin address is
-// advertised to the ring, so `dhctl top` can scrape the whole cluster
-// from any one member. On SIGINT/SIGTERM the node leaves gracefully
+// snapshot as JSON), /healthz (degrades to 503 while a paper invariant
+// is breached), /journalz (the bounded flight-recorder ring of churn,
+// handoff, epoch, and repair records; capacity set by -journal), /doctorz
+// (live invariant verdicts with margins), and /debug/pprof. The admin
+// address is advertised to the ring, so `dhctl top`, `dhctl journal`,
+// and `dhctl doctor` can scrape the whole cluster from any one member.
+// On SIGINT/SIGTERM the node leaves gracefully
 // (handing its items to the predecessor) and dumps a final telemetry
 // snapshot to stderr; a second signal forces an immediate exit.
 package main
@@ -49,6 +53,7 @@ import (
 
 	"condisc/internal/admin"
 	"condisc/internal/interval"
+	"condisc/internal/journal"
 	"condisc/internal/p2p"
 	"condisc/internal/store"
 	"condisc/internal/telemetry"
@@ -62,7 +67,8 @@ func main() {
 	entropy := flag.Bool("entropy", false, "mix wall-clock entropy into ID selection (placement no longer reproducible from -seed)")
 	engine := flag.String("store", "mem", "item-store engine: mem (in-memory ordered) or log (disk-backed WAL)")
 	data := flag.String("data", "", "data directory for -store=log")
-	adminAddr := flag.String("admin", "", "admin HTTP address for /metrics, /statusz, /healthz, /debug/pprof (empty = disabled)")
+	adminAddr := flag.String("admin", "", "admin HTTP address for /metrics, /statusz, /healthz, /journalz, /doctorz, /debug/pprof (empty = disabled)")
+	journalCap := flag.Int("journal", journal.DefaultCapacity, "flight-recorder ring capacity in records (0 = disabled)")
 	flag.Parse()
 
 	st, err := store.Open(*engine, *data)
@@ -70,14 +76,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dhnode:", err)
 		os.Exit(1)
 	}
-	node, err := p2p.NewNode(*listen, *seed, p2p.WithStore(st))
+	var jrn *journal.Journal
+	if *journalCap > 0 {
+		jrn = journal.New(*journalCap)
+	}
+	node, err := p2p.NewNode(*listen, *seed, p2p.WithStore(st), p2p.WithJournal(jrn))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dhnode:", err)
 		os.Exit(1)
 	}
 	if *adminAddr != "" {
 		srv, err := admin.Serve(*adminAddr, admin.Handler(node.Telemetry(),
-			func() any { return node.Status() }))
+			func() any { return node.Status() },
+			admin.WithJournal(node.ID(), node.Addr(), jrn),
+			admin.WithDoctor(node.Doctor)))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dhnode: admin:", err)
 			os.Exit(1)

@@ -38,8 +38,10 @@ import (
 
 	"condisc/internal/cache"
 	"condisc/internal/dhgraph"
+	"condisc/internal/doctor"
 	"condisc/internal/hashing"
 	"condisc/internal/interval"
+	"condisc/internal/journal"
 	"condisc/internal/partition"
 	"condisc/internal/route"
 	"condisc/internal/store"
@@ -90,6 +92,11 @@ type Options struct {
 	// path reads one back into a decision — so two instances differing only
 	// in Telemetry (or with recording disabled) behave identically.
 	Telemetry *telemetry.Registry
+	// Journal, when non-nil, receives one flight-recorder record per
+	// churn admit/apply/retire and epoch publish (internal/journal).
+	// Like Telemetry it is a pure observer: attaching one changes no
+	// externally visible state (the churntest digest arm enforces it).
+	Journal *journal.Journal
 }
 
 // dhtMetrics holds the DHT's pre-resolved telemetry handles: resolved
@@ -142,6 +149,7 @@ type DHT struct {
 	newStore func() store.Store
 	storeSeq int
 	met      dhtMetrics
+	jrn      *journal.Journal // nil when no flight recorder is attached
 
 	// storesMu guards the stores MAP (insertion at join admit, deletion at
 	// wave cleanup); the stores themselves are internally synchronized.
@@ -198,6 +206,8 @@ func New(n int, opts Options) *DHT {
 	d.opts.Telemetry = opts.Telemetry
 	d.met = newDHTMetrics(opts.Telemetry)
 	d.net.SetTelemetry(opts.Telemetry)
+	d.jrn = opts.Journal
+	d.ring.SetJournal(d.jrn)
 	d.leases = partition.NewLeases()
 	if d.opts.Delta == 2 && d.opts.CacheThreshold >= 0 {
 		d.cache = cache.NewSystem(d.net, d.hash, d.autoThreshold())
@@ -323,6 +333,33 @@ func (d *DHT) Smoothness() float64 { return d.ring.Smoothness() }
 
 // MaxDegree returns the maximum routing-table size.
 func (d *DHT) MaxDegree() int { return d.net.G.MaxDegree() }
+
+// Doctor recomputes the paper's cluster-wide bounds — smoothness,
+// degree, lookup dilation, routed-load skew — from the live
+// decomposition, graph index, and load counters, and returns one
+// verdict per invariant (internal/doctor). It serializes against churn,
+// so the verdicts describe one quiescent instant; a breach shows up on
+// the first Doctor call after the wave that caused it.
+func (d *DHT) Doctor() doctor.Report {
+	d.churnMu.Lock()
+	defer d.churnMu.Unlock()
+	segs := d.ring.Segments()
+	cs := doctor.ClusterStats{
+		N:      d.ring.N(),
+		Delta:  d.opts.Delta,
+		MaxDeg: d.net.G.MaxDegree(),
+		HopP99: d.opts.Telemetry.Histogram("condisc_route_lookup_hops").Quantile(0.99),
+	}
+	cs.SegLens = make([]uint64, len(segs))
+	for i, s := range segs {
+		cs.SegLens[i] = s.Len
+	}
+	cs.Loads = make([]float64, 0, cs.N)
+	for i := 0; i < cs.N; i++ {
+		cs.Loads = append(cs.Loads, float64(d.net.LoadOf(d.ring.HandleAt(i))))
+	}
+	return doctor.Diagnose(cs)
+}
 
 // KeyPoint returns the hash point of a key.
 func (d *DHT) KeyPoint(key string) Point { return d.hash.Point(key) }

@@ -40,6 +40,7 @@ import (
 	"condisc/internal/dhgraph"
 	"condisc/internal/handoff"
 	"condisc/internal/interval"
+	"condisc/internal/journal"
 	"condisc/internal/partition"
 	"condisc/internal/store"
 	"condisc/internal/telemetry"
@@ -256,6 +257,11 @@ func (d *DHT) admitJoin(pj *pendingJoin) (*batchEvent, bool) {
 		d.storesMu.Lock()
 		d.stores[id] = dst
 		d.storesMu.Unlock()
+		// Flight recorder: the serial admit point. The stamp is the
+		// pre-wave epoch — the decomposition this admission was decided
+		// against.
+		d.jrn.Record(journal.KindChurnAdmit, d.ring.Epoch(), d.ring.Epoch(),
+			uint64(id), uint64(seg.Start), 1)
 		return &batchEvent{
 			join: true, id: id, ipatch: ipatch,
 			src: src, dst: dst, moveSeg: seg, invSeg: seg, lease: lease,
@@ -294,6 +300,8 @@ func (d *DHT) admitLeave(id ServerID) (*batchEvent, bool) {
 	if d.cache != nil {
 		d.cache.Forget(id)
 	}
+	d.jrn.Record(journal.KindChurnAdmit, d.ring.Epoch(), d.ring.Epoch(),
+		uint64(id), uint64(seg.Start), 0)
 	return ev, false
 }
 
@@ -340,6 +348,8 @@ func (d *DHT) runWave(wave []*batchEvent) {
 	for _, ev := range wave {
 		if ev.rpatch != nil {
 			d.net.G.RemoveRetire(ev.rpatch)
+			d.jrn.Record(journal.KindChurnRetire, d.ring.Epoch(), d.ring.Epoch(),
+				uint64(ev.id), 0, 0)
 		}
 	}
 	d.ring.Publish()
@@ -416,6 +426,14 @@ func (d *DHT) applyEvent(ev *batchEvent, i int) {
 	if hook != nil {
 		hook(i, "done")
 	}
+	// Flight recorder: this event's apply finished (graph patched, items
+	// copied). Epoch is still the pre-wave one — Publish has not run.
+	isJoin := uint64(0)
+	if ev.join {
+		isJoin = 1
+	}
+	d.jrn.Record(journal.KindChurnApply, d.ring.Epoch(), d.ring.Epoch(),
+		uint64(ev.id), 0, isJoin)
 }
 
 // settleCache re-derives the caching threshold for the post-batch size

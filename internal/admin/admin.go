@@ -5,13 +5,15 @@
 //
 //	/metrics      Prometheus text exposition of the registry
 //	/statusz      JSON: node status + metric snapshot + event ring
-//	/healthz      "ok" (liveness)
+//	/healthz      "ok" (liveness); 503 "degraded: ..." on invariant breach
+//	/journalz     JSON flight-recorder dump (journal.Stream)
+//	/doctorz      JSON invariant verdicts (doctor.Report)
 //	/debug/pprof  the standard runtime profiles
 //
 // The package is deliberately dumb: it owns no state of its own — every
-// response is computed at scrape time from the registry and the status
-// callback, so there is no cache to go stale and no write path to
-// perturb the node.
+// response is computed at scrape time from the registry, the status
+// callback, the journal ring, and the doctor callback, so there is no
+// cache to go stale and no write path to perturb the node.
 package admin
 
 import (
@@ -19,15 +21,48 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
+	"condisc/internal/doctor"
+	"condisc/internal/journal"
 	"condisc/internal/telemetry"
 )
+
+// Option configures optional handler features (journal dump, doctor).
+type Option func(*handlerOpts)
+
+type handlerOpts struct {
+	journalID   uint64
+	journalAddr string
+	jrn         *journal.Journal
+	doctorFn    func() doctor.Report
+}
+
+// WithJournal exposes the node's flight recorder at /journalz, tagged
+// with the node's identity so dhctl can merge streams across the
+// cluster.
+func WithJournal(nodeID uint64, addr string, j *journal.Journal) Option {
+	return func(o *handlerOpts) {
+		o.journalID, o.journalAddr, o.jrn = nodeID, addr, j
+	}
+}
+
+// WithDoctor exposes the invariant checker at /doctorz and degrades
+// /healthz to 503 while any invariant is breached. fn is called at
+// scrape time; it must be safe for concurrent use.
+func WithDoctor(fn func() doctor.Report) Option {
+	return func(o *handlerOpts) { o.doctorFn = fn }
+}
 
 // Handler builds the admin mux. status, when non-nil, supplies the
 // node-specific half of /statusz (ring pointers, neighbour table,
 // items); it is called at scrape time.
-func Handler(reg *telemetry.Registry, status func() any) http.Handler {
+func Handler(reg *telemetry.Registry, status func() any, opts ...Option) http.Handler {
+	var ho handlerOpts
+	for _, o := range opts {
+		o(&ho)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -48,7 +83,39 @@ func Handler(reg *telemetry.Registry, status func() any) http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ho.doctorFn != nil {
+			if r := ho.doctorFn(); !r.Healthy {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_, _ = w.Write([]byte("degraded: " + strings.Join(r.Breached(), ", ") + "\n"))
+				return
+			}
+		}
 		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/journalz", func(w http.ResponseWriter, _ *http.Request) {
+		if ho.jrn == nil {
+			http.Error(w, "no journal attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(journal.Stream{
+			Node:    ho.journalID,
+			Addr:    ho.journalAddr,
+			Dropped: ho.jrn.Dropped(),
+			Records: ho.jrn.Records(),
+		})
+	})
+	mux.HandleFunc("/doctorz", func(w http.ResponseWriter, _ *http.Request) {
+		if ho.doctorFn == nil {
+			http.Error(w, "no doctor attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ho.doctorFn())
 	})
 	// net/http/pprof only self-registers on http.DefaultServeMux; wire
 	// its handlers onto this mux explicitly.

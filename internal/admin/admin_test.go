@@ -5,8 +5,12 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 
+	"condisc"
+	"condisc/internal/doctor"
+	"condisc/internal/journal"
 	"condisc/internal/telemetry"
 )
 
@@ -75,5 +79,166 @@ func TestAdminEndpoints(t *testing.T) {
 
 	if code, body := get(t, base+"/debug/pprof/cmdline"); code != 200 || body == "" {
 		t.Fatalf("/debug/pprof/cmdline = %d %q", code, body)
+	}
+
+	// Without WithJournal/WithDoctor the observability endpoints answer
+	// 404, not an empty document a scraper could mistake for health.
+	if code, _ := get(t, base+"/journalz"); code != 404 {
+		t.Fatalf("/journalz without journal = %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/doctorz"); code != 404 {
+		t.Fatalf("/doctorz without doctor = %d, want 404", code)
+	}
+}
+
+func TestJournalAndDoctorEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	jrn := journal.New(64)
+	jrn.Record(journal.KindChurnAdmit, 3, 1, 42, 0, 1)
+	jrn.Record(journal.KindEpochPublish, 4, 2, 7, 0, 0)
+
+	report := doctor.Report{Healthy: true, Verdicts: []doctor.Verdict{
+		{Invariant: doctor.InvSmoothness, OK: true, Value: 2, Limit: 64, Margin: 0.96875},
+	}}
+	var mu sync.Mutex
+	doctorFn := func() doctor.Report {
+		mu.Lock()
+		defer mu.Unlock()
+		return report
+	}
+
+	srv, err := Serve("127.0.0.1:0", Handler(reg, nil,
+		WithJournal(9, "127.0.0.1:7009", jrn), WithDoctor(doctorFn)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	code, body := get(t, base+"/journalz")
+	if code != 200 {
+		t.Fatalf("/journalz = %d", code)
+	}
+	var stream journal.Stream
+	if err := json.Unmarshal([]byte(body), &stream); err != nil {
+		t.Fatalf("/journalz not JSON: %v\n%s", err, body)
+	}
+	if stream.Node != 9 || stream.Addr != "127.0.0.1:7009" {
+		t.Fatalf("/journalz identity = %d %q", stream.Node, stream.Addr)
+	}
+	if len(stream.Records) != 2 || stream.Records[0].Kind != journal.KindChurnAdmit ||
+		stream.Records[1].Kind != journal.KindEpochPublish {
+		t.Fatalf("/journalz records = %+v", stream.Records)
+	}
+
+	code, body = get(t, base+"/doctorz")
+	if code != 200 {
+		t.Fatalf("/doctorz = %d", code)
+	}
+	var rep doctor.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/doctorz not JSON: %v\n%s", err, body)
+	}
+	if !rep.Healthy || len(rep.Verdicts) != 1 || rep.Verdicts[0].Invariant != doctor.InvSmoothness {
+		t.Fatalf("/doctorz report = %+v", rep)
+	}
+
+	if code, body := get(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthy /healthz = %d %q", code, body)
+	}
+
+	// Flip the report unhealthy: /healthz must degrade to 503 and name
+	// the breached invariants.
+	mu.Lock()
+	report = doctor.Report{Healthy: false, Verdicts: []doctor.Verdict{
+		{Invariant: doctor.InvSmoothness, OK: false, Value: 9000, Limit: 64, Margin: -139.6},
+		{Invariant: doctor.InvDegree, OK: true, Value: 6, Limit: 64, Margin: 0.90625},
+	}}
+	mu.Unlock()
+	code, body = get(t, base+"/healthz")
+	if code != 503 || body != "degraded: "+doctor.InvSmoothness+"\n" {
+		t.Fatalf("degraded /healthz = %d %q", code, body)
+	}
+}
+
+// TestScrapeUnderChurn runs width-16 churn waves on a live DHT while
+// hammering /statusz, /journalz, and /doctorz: the observability plane
+// must stay consistent (and race-free under -race) while the state it
+// reports is being rewritten underneath it.
+func TestScrapeUnderChurn(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	jrn := journal.New(1 << 14)
+	d := condisc.New(64, condisc.Options{Seed: 7, Telemetry: reg, Journal: jrn})
+	defer d.Close()
+
+	// The status callback must use churn-safe reads: Doctor serializes
+	// with churn on the DHT's own mutex (the bare d.N() would race).
+	status := func() any { return map[string]any{"healthy": d.Doctor().Healthy} }
+	srv, err := Serve("127.0.0.1:0", Handler(reg, status,
+		WithJournal(1, "test", jrn), WithDoctor(d.Doctor)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for wave := 0; wave < 8; wave++ {
+			ids := d.JoinBatch(16)
+			if err := d.LeaveBatch(ids); err != nil {
+				t.Errorf("wave %d leave: %v", wave, err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, ep := range []string{"/statusz", "/journalz", "/doctorz"} {
+					code, body := get(t, base+ep)
+					if code != 200 {
+						t.Errorf("%s = %d under churn", ep, code)
+						return
+					}
+					if !json.Valid([]byte(body)) {
+						t.Errorf("%s returned invalid JSON under churn", ep)
+						return
+					}
+				}
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+
+	// The journal must have captured the churn: every wave emits admits,
+	// applies, retires, and a publish.
+	var admits, applies, retires, publishes int
+	for _, r := range jrn.Records() {
+		switch r.Kind {
+		case journal.KindChurnAdmit:
+			admits++
+		case journal.KindChurnApply:
+			applies++
+		case journal.KindChurnRetire:
+			retires++
+		case journal.KindEpochPublish:
+			publishes++
+		}
+	}
+	if admits < 256 || applies < 256 || retires < 128 || publishes < 16 {
+		t.Fatalf("journal undercounts churn: admits=%d applies=%d retires=%d publishes=%d",
+			admits, applies, retires, publishes)
 	}
 }

@@ -16,8 +16,9 @@
 //     call: sync.Mutex.Lock is just a non-atomic call), map access,
 //     channel operations, defer, go, and select are all flagged.
 //  2. The known record entry points — Counter.Add, Counter.Inc,
-//     Gauge.Set, Gauge.Add, Histogram.Observe — must carry the marker,
-//     so the restriction cannot be shed by deleting the comment.
+//     Gauge.Set, Gauge.Add, Histogram.Observe, and the flight
+//     recorder's Journal.Record — must carry the marker, so the
+//     restriction cannot be shed by deleting the comment.
 //
 // The opt-out is //condisc:allow telemetryhot <why> with a mandatory
 // justification, for a future hot function that provably does not
@@ -40,12 +41,22 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// scopePath is the package the contract binds; testdata exemplars sit
-// under it (condisc/internal/telemetry/telemetryhotdata).
-const scopePath = "condisc/internal/telemetry"
+// scopePaths are the packages the contract binds: the telemetry metric
+// primitives (testdata exemplars sit under
+// condisc/internal/telemetry/telemetryhotdata) and the flight-recorder
+// ring, whose Record sits on the same instrumented mutation paths.
+var scopePaths = []string{
+	"condisc/internal/telemetry",
+	"condisc/internal/journal",
+}
 
 func inScope(path string) bool {
-	return path == scopePath || strings.HasPrefix(path, scopePath+"/")
+	for _, sp := range scopePaths {
+		if path == sp || strings.HasPrefix(path, sp+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 // requiredHot maps receiver type name -> method names that must carry
@@ -54,6 +65,7 @@ var requiredHot = map[string][]string{
 	"Counter":   {"Add", "Inc"},
 	"Gauge":     {"Set", "Add"},
 	"Histogram": {"Observe"},
+	"Journal":   {"Record"},
 }
 
 func run(pass *analysis.Pass) error {

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"condisc"
+	"condisc/internal/journal"
 )
 
 // EventKind enumerates trace events.
@@ -155,11 +156,17 @@ type Config struct {
 	// Storage / DataDir select the item-store engine (default StorageMem).
 	Storage condisc.StorageEngine
 	DataDir string
+	// Journal, when non-nil, attaches a flight recorder to the DHT. Like
+	// telemetry it must be a pure observer: the digest-invariance arm
+	// runs the same trace with and without one and requires byte-equal
+	// dumps.
+	Journal *journal.Journal
 }
 
 func (c Config) newDHT(tr Trace) *condisc.DHT {
 	return condisc.New(tr.Initial, condisc.Options{
 		Seed: tr.Seed, Storage: c.Storage, DataDir: c.DataDir,
+		Journal: c.Journal,
 	})
 }
 
@@ -258,7 +265,7 @@ func Run(tr Trace, cfg Config) ([]byte, error) {
 func RunInterleaved(tr Trace, cfg Config, readers int) ([]byte, error) {
 	d := condisc.New(tr.Initial, condisc.Options{
 		Seed: tr.Seed, Storage: cfg.Storage, DataDir: cfg.DataDir,
-		CacheThreshold: -1,
+		CacheThreshold: -1, Journal: cfg.Journal,
 	})
 	defer d.Close()
 	if cfg.SchedSeed != 0 {

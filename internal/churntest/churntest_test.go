@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"condisc"
+	"condisc/internal/journal"
 	"condisc/internal/telemetry"
 )
 
@@ -203,6 +204,36 @@ func TestTelemetryDigestInvariance(t *testing.T) {
 	telemetry.SetEnabled(true)
 	on := mustRun(t, tr, Config{Width: 16, SchedSeed: 2})
 	diffFatal(t, "telemetry on vs off (width=16)", off, on)
+}
+
+// TestJournalDigestInvariance is the flight recorder's counterpart of the
+// telemetry arm: the journal is write-only observation, so attaching one
+// to the full width-16 concurrent trace must leave the final WriteState
+// dump byte-identical to the same trace with no journal at all. A journal
+// record that leaked back into a decision — or an emit that perturbed RNG
+// consumption or scheduling-visible state — would shift the dump here.
+// The run must also actually have recorded the churn: an accidentally
+// dead emit path would pass the diff trivially.
+func TestJournalDigestInvariance(t *testing.T) {
+	tr := Generate(1, GenOptions{
+		Initial: 256, Events: 1000,
+		JoinFrac: 0.40, LeaveFrac: 0.30, PutFrac: 0.15,
+	})
+	off := mustRun(t, tr, Config{Width: 16, SchedSeed: 2})
+	jrn := journal.New(1 << 16)
+	on := mustRun(t, tr, Config{Width: 16, SchedSeed: 2, Journal: jrn})
+	diffFatal(t, "journal on vs off (width=16)", off, on)
+
+	var churn int
+	for _, r := range jrn.Records() {
+		switch r.Kind {
+		case journal.KindChurnAdmit, journal.KindChurnApply, journal.KindChurnRetire:
+			churn++
+		}
+	}
+	if churn == 0 {
+		t.Fatal("journal recorded no churn events over a 1000-event trace")
+	}
 }
 
 // TestCountersSurviveConcurrentChurn is the no-lost-updates property:

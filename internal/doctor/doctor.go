@@ -1,0 +1,318 @@
+// Package doctor is the live invariant checker: it recomputes the
+// paper's load-bearing bounds from running state and renders a verdict
+// per invariant, with the margin left before (or the overshoot past)
+// the bound. The /doctorz admin endpoint serves a per-node Report,
+// /healthz degrades when any verdict is breached, and `dhctl doctor`
+// aggregates a cluster-wide Report from every node's scraped state.
+//
+// The bounds checked, and the paper results they concretise:
+//
+//   - smoothness — Definition 1's ratio max|s| / min|s| over the
+//     segment decomposition. The Multiple Choice join rule keeps it
+//     within a [1/2^O(1), 2^O(1)] band of 1/n; SmoothnessLimit is that
+//     band made concrete. Predecessor-absorb Leave (§2.1) can breach it
+//     under adversarial traces — exactly the drift E33 demonstrates and
+//     the ROADMAP's smoothness-preserving-Leave item will fix.
+//   - degree — Theorem 2.2: in/out-degree O(ρ·∆). With Multiple Choice
+//     smoothness ρ = O(1), so node degree is O(∆); DegreeLimit(∆) is
+//     the concrete ceiling. A smoothness breach drags this bound down
+//     with it: a segment spanning k fair shares images onto ~k·∆
+//     segments.
+//   - hop p99 — Theorem 2.8 / Corollary 2.5: lookup dilation O(log n)
+//     (log_∆ n + O(1) on the fast path). HopLimit(∆, n) allows the
+//     additive constant.
+//   - load skew — Theorem 2.7: with n servers and n lookups between
+//     random pairs, the busiest server routes O(log n) messages while
+//     the mean is Θ(1), so max/mean routed load stays O(log n);
+//     SkewLimit(n) is that ratio made concrete.
+//
+// All checks are pure functions of explicitly passed state (segment
+// lengths, degree views, hop/load samples) so the simulator, a live
+// p2p node, and the dhctl aggregator share one implementation, and
+// tests can drive them with synthetic inputs. Sample statistics reuse
+// internal/metrics.
+package doctor
+
+import (
+	"fmt"
+	"math"
+
+	"condisc/internal/metrics"
+)
+
+// Invariant names, shared by /doctorz JSON, dhctl output, and tests.
+const (
+	InvSmoothness   = "smoothness"
+	InvDegree       = "degree"
+	InvHopP99       = "hop_p99"
+	InvLoadSkew     = "load_skew"
+	InvLocalBalance = "local_balance"
+)
+
+// Verdict is the outcome of one invariant check. Margin is the
+// fraction of headroom left under the limit: (Limit-Value)/Limit,
+// negative when breached. Skipped verdicts (no data yet) are OK with a
+// Detail explaining why.
+type Verdict struct {
+	Invariant string  `json:"invariant"`
+	Bound     string  `json:"bound"`
+	Value     float64 `json:"value"`
+	Limit     float64 `json:"limit"`
+	Margin    float64 `json:"margin"`
+	OK        bool    `json:"ok"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// Report is a set of verdicts; Healthy is the conjunction.
+type Report struct {
+	Verdicts []Verdict `json:"verdicts"`
+	Healthy  bool      `json:"healthy"`
+}
+
+// Breached lists the names of the breached invariants.
+func (r Report) Breached() []string {
+	var out []string
+	for _, v := range r.Verdicts {
+		if !v.OK {
+			out = append(out, v.Invariant)
+		}
+	}
+	return out
+}
+
+// Find returns the verdict for an invariant name, if present.
+func (r Report) Find(name string) (Verdict, bool) {
+	for _, v := range r.Verdicts {
+		if v.Invariant == name {
+			return v, true
+		}
+	}
+	return Verdict{}, false
+}
+
+func verdict(name, bound string, value, limit float64, detail string) Verdict {
+	m := 0.0
+	if limit > 0 {
+		m = (limit - value) / limit
+	}
+	return Verdict{
+		Invariant: name, Bound: bound, Value: value, Limit: limit,
+		Margin: m, OK: value <= limit, Detail: detail,
+	}
+}
+
+func skipped(name, bound, why string) Verdict {
+	return Verdict{Invariant: name, Bound: bound, OK: true, Detail: "skipped: " + why}
+}
+
+func finish(verdicts []Verdict) Report {
+	r := Report{Verdicts: verdicts, Healthy: true}
+	for _, v := range verdicts {
+		if !v.OK {
+			r.Healthy = false
+		}
+	}
+	return r
+}
+
+// log2 of n, floored at 1 so tiny rings don't produce degenerate limits.
+func log2(n float64) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Log2(n)
+}
+
+// SmoothnessLimit is the concrete 2^O(1) band for the max/min segment
+// ratio: 64 (= 2^6) once the ring is large enough for the Multiple
+// Choice concentration to bite, with a laxer small-ring grace of 1024 —
+// below ~16 servers the decomposition is a handful of near-random
+// splits and the asymptotic constant story does not apply.
+func SmoothnessLimit(n int) float64 {
+	if n < 16 {
+		return 1024
+	}
+	return 64
+}
+
+// DegreeLimit is the concrete Theorem 2.2 ceiling O(ρ·∆) with the
+// Multiple Choice ρ = O(1): 32 edges per unit of ∆.
+func DegreeLimit(delta uint64) float64 {
+	if delta < 1 {
+		delta = 1
+	}
+	return 32 * float64(delta)
+}
+
+// HopLimit is the concrete Theorem 2.8 dilation bound: 4·log_∆ n plus an
+// additive constant of 8. One factor of 2 is the descent+ascent
+// structure of the DH route (the observed mean is ≈ 2·log₂ n, e.g. 11.9
+// at n=256); the other covers the telemetry histogram's power-of-two
+// bucket rounding — a p99 is reported as its bucket's upper bound 2^k−1,
+// up to twice the true value. The +8 covers the end-game hops
+// (Corollary 2.5's O(1) tail). Still O(log n) — a breach means routing
+// genuinely degenerated, not that a bucket boundary was grazed.
+func HopLimit(delta uint64, n float64) float64 {
+	if delta < 2 {
+		delta = 2
+	}
+	return 4*log2(n)/math.Log2(float64(delta)) + 8
+}
+
+// SkewLimit is the concrete Theorem 2.7 congestion bound on max/mean
+// routed load: 2·log2(n) + 2, floored at 4 for tiny rings where a
+// single routed message already skews a 3-sample mean.
+func SkewLimit(n float64) float64 {
+	return math.Max(4, 2*log2(n)+2)
+}
+
+// LocalBalanceLimit bounds the per-node own-vs-predecessor segment
+// ratio. It is deliberately loose (2^12): with only two local samples
+// the global smoothness constant does not transfer, so this check only
+// fires on the astronomic imbalance a predecessor-absorb pile-up
+// leaves behind, never on an honest random split.
+func LocalBalanceLimit() float64 { return 4096 }
+
+// ClusterStats is the input to the cluster-wide Diagnose: the full
+// segment decomposition plus whole-ring degree, hop, and load views.
+// Zero-valued / empty fields mark data that is not available; the
+// corresponding check is skipped rather than guessed.
+type ClusterStats struct {
+	N       int       // servers in the ring
+	Delta   uint64    // the graph degree parameter ∆
+	SegLens []uint64  // every segment length (fixed-point units)
+	MaxDeg  int       // max routing-table degree over all nodes (0 = unknown)
+	HopP99  float64   // p99 observed lookup hops (<0 = no data)
+	Loads   []float64 // per-node routed-message loads (empty = no data)
+}
+
+// Diagnose recomputes every cluster-wide bound from the stats.
+func Diagnose(cs ClusterStats) Report {
+	var out []Verdict
+
+	// Smoothness (Definition 1) from the full decomposition.
+	smoothBound := "Def. 1 + §4: max|s|/min|s| within 2^O(1)"
+	if len(cs.SegLens) < 2 {
+		out = append(out, skipped(InvSmoothness, smoothBound, "fewer than 2 segments"))
+	} else {
+		lo, hi := cs.SegLens[0], cs.SegLens[0]
+		for _, l := range cs.SegLens[1:] {
+			if l < lo {
+				lo = l
+			}
+			if l > hi {
+				hi = l
+			}
+		}
+		if lo == 0 {
+			out = append(out, verdict(InvSmoothness, smoothBound, math.Inf(1),
+				SmoothnessLimit(cs.N), "a segment has zero length"))
+		} else {
+			out = append(out, verdict(InvSmoothness, smoothBound,
+				float64(hi)/float64(lo), SmoothnessLimit(cs.N), ""))
+		}
+	}
+
+	// Degree (Theorem 2.2).
+	degBound := "Thm 2.2: degree O(ρ·∆)"
+	if cs.MaxDeg <= 0 {
+		out = append(out, skipped(InvDegree, degBound, "no degree view"))
+	} else {
+		out = append(out, verdict(InvDegree, degBound, float64(cs.MaxDeg), DegreeLimit(cs.Delta), ""))
+	}
+
+	// Lookup dilation (Theorem 2.8 / Corollary 2.5).
+	hopBound := "Thm 2.8: lookup dilation O(log n)"
+	if cs.HopP99 < 0 {
+		out = append(out, skipped(InvHopP99, hopBound, "no lookups observed"))
+	} else {
+		out = append(out, verdict(InvHopP99, hopBound, cs.HopP99,
+			HopLimit(cs.Delta, float64(cs.N)), ""))
+	}
+
+	// Routed-load skew (Theorem 2.7).
+	skewBound := "Thm 2.7: max/mean routed load O(log n)"
+	var h metrics.Histogram
+	for _, l := range cs.Loads {
+		h.Add(l)
+	}
+	if h.N() == 0 || h.Mean() == 0 {
+		out = append(out, skipped(InvLoadSkew, skewBound, "no routed load observed"))
+	} else {
+		out = append(out, verdict(InvLoadSkew, skewBound, h.Max()/h.Mean(),
+			SkewLimit(float64(cs.N)), fmt.Sprintf("max %.0f over mean %.1f", h.Max(), h.Mean())))
+	}
+
+	return finish(out)
+}
+
+// NodeStats is the input to the per-node DiagnoseNode: what one p2p
+// node can see of itself without any cluster-wide view.
+type NodeStats struct {
+	SegLen  uint64  // own segment length (0 = owns the full circle)
+	PredLen uint64  // predecessor's segment length (0 = unknown)
+	Degree  int     // routing-table size incl. ring pointers
+	Delta   uint64  // the graph degree parameter ∆
+	HopP99  float64 // p99 hops of lookups this node initiated (<0 = none)
+}
+
+// EstimateN is the paper's §3 network-size estimator: a segment of
+// length ℓ in a ρ-smooth decomposition implies n ≈ 1/ℓ within a
+// constant factor (here in 2^64 fixed-point units). SegLen 0 means the
+// full circle: a singleton ring.
+func EstimateN(segLen uint64) float64 {
+	if segLen == 0 {
+		return 1
+	}
+	return math.Exp2(64) / float64(segLen)
+}
+
+// DiagnoseNode checks the bounds one node can verify locally. The
+// network size is the §3 segment-length estimate, so the hop limit
+// self-scales without any global view.
+func DiagnoseNode(ns NodeStats) Report {
+	var out []Verdict
+	nEst := EstimateN(ns.SegLen)
+
+	degBound := "Thm 2.2: degree O(ρ·∆)"
+	if ns.Degree <= 0 {
+		out = append(out, skipped(InvDegree, degBound, "no routing table yet"))
+	} else {
+		out = append(out, verdict(InvDegree, degBound, float64(ns.Degree), DegreeLimit(ns.Delta), ""))
+	}
+
+	hopBound := "Thm 2.8: lookup dilation O(log n̂)"
+	if ns.HopP99 < 0 {
+		out = append(out, skipped(InvHopP99, hopBound, "no lookups observed"))
+	} else {
+		out = append(out, verdict(InvHopP99, hopBound, ns.HopP99,
+			HopLimit(ns.Delta, nEst), fmt.Sprintf("n̂ ≈ %.0f from own segment", nEst)))
+	}
+
+	balBound := "Def. 1 (local proxy): own vs predecessor segment"
+	if ns.SegLen == 0 || ns.PredLen == 0 {
+		out = append(out, skipped(InvLocalBalance, balBound, "no two-segment neighbourhood"))
+	} else {
+		a, b := float64(ns.SegLen), float64(ns.PredLen)
+		ratio := a / b
+		if b > a {
+			ratio = b / a
+		}
+		out = append(out, verdict(InvLocalBalance, balBound, ratio, LocalBalanceLimit(), ""))
+	}
+
+	return finish(out)
+}
+
+// Table renders a report as an aligned text table (dhctl doctor, E33).
+func Table(r Report) string {
+	t := metrics.NewTable("invariant", "value", "limit", "margin", "ok", "detail")
+	for _, v := range r.Verdicts {
+		ok := "pass"
+		if !v.OK {
+			ok = "BREACH"
+		}
+		t.AddRow(v.Invariant, v.Value, v.Limit, v.Margin, ok, v.Detail)
+	}
+	return t.String()
+}

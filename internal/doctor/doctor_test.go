@@ -1,0 +1,156 @@
+package doctor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiagnoseHealthy(t *testing.T) {
+	// A near-uniform 64-segment decomposition with sane degree, hops,
+	// and loads must pass every invariant.
+	cs := ClusterStats{N: 64, Delta: 2, MaxDeg: 9, HopP99: 8}
+	unit := uint64(1) << 58 // 64 segments of 2^58 = full circle
+	for i := 0; i < 64; i++ {
+		l := unit
+		if i%2 == 0 {
+			l += unit / 4 // mild non-uniformity, ratio 1.25
+		} else {
+			l -= unit / 4
+		}
+		cs.SegLens = append(cs.SegLens, l)
+		cs.Loads = append(cs.Loads, float64(5+i%3))
+	}
+	r := Diagnose(cs)
+	if !r.Healthy {
+		t.Fatalf("healthy cluster diagnosed sick: %+v", r.Breached())
+	}
+	if len(r.Verdicts) != 4 {
+		t.Fatalf("got %d verdicts, want 4", len(r.Verdicts))
+	}
+	for _, v := range r.Verdicts {
+		if v.Margin < 0 {
+			t.Fatalf("%s: negative margin %f on a passing verdict", v.Invariant, v.Margin)
+		}
+	}
+}
+
+func TestDiagnoseSmoothnessBreach(t *testing.T) {
+	// One segment spanning 1000 fair shares next to a tiny one: the
+	// adversarial predecessor-absorb shape.
+	cs := ClusterStats{N: 100, Delta: 2, MaxDeg: 9, HopP99: 8}
+	cs.SegLens = []uint64{1 << 20, 1 << 40} // ratio 2^20
+	r := Diagnose(cs)
+	if r.Healthy {
+		t.Fatal("smoothness breach not flagged")
+	}
+	v, ok := r.Find(InvSmoothness)
+	if !ok || v.OK {
+		t.Fatalf("smoothness verdict = %+v, want breach", v)
+	}
+	if v.Margin >= 0 {
+		t.Fatalf("breached verdict has non-negative margin %f", v.Margin)
+	}
+	// Other invariants unaffected.
+	if d, _ := r.Find(InvDegree); !d.OK {
+		t.Fatal("degree flagged spuriously")
+	}
+}
+
+func TestDiagnoseZeroSegment(t *testing.T) {
+	cs := ClusterStats{N: 3, Delta: 2, SegLens: []uint64{0, 1 << 60}, HopP99: -1}
+	r := Diagnose(cs)
+	v, _ := r.Find(InvSmoothness)
+	if v.OK || !math.IsInf(v.Value, 1) {
+		t.Fatalf("zero-length segment not flagged: %+v", v)
+	}
+}
+
+func TestDiagnoseSkips(t *testing.T) {
+	r := Diagnose(ClusterStats{N: 1, Delta: 2, HopP99: -1})
+	if !r.Healthy {
+		t.Fatalf("all-skip report should be healthy: %+v", r.Breached())
+	}
+	for _, name := range []string{InvSmoothness, InvDegree, InvHopP99, InvLoadSkew} {
+		v, ok := r.Find(name)
+		if !ok {
+			t.Fatalf("verdict %s missing", name)
+		}
+		if !v.OK || v.Detail == "" {
+			t.Fatalf("skipped verdict %s should be OK with detail: %+v", name, v)
+		}
+	}
+}
+
+func TestDiagnoseLoadSkewBreach(t *testing.T) {
+	cs := ClusterStats{N: 64, Delta: 2, HopP99: -1}
+	unit := uint64(1) << 58
+	for i := 0; i < 64; i++ {
+		cs.SegLens = append(cs.SegLens, unit)
+		cs.Loads = append(cs.Loads, 1)
+	}
+	cs.Loads[0] = 10000 // one server soaks the traffic
+	r := Diagnose(cs)
+	v, _ := r.Find(InvLoadSkew)
+	if v.OK {
+		t.Fatalf("load skew %f under limit %f not flagged", v.Value, v.Limit)
+	}
+}
+
+func TestDiagnoseNode(t *testing.T) {
+	// Healthy node: segment ≈ 1/64 of the circle, balanced predecessor.
+	seg := uint64(1) << 58
+	r := DiagnoseNode(NodeStats{SegLen: seg, PredLen: seg + seg/4, Degree: 7, Delta: 2, HopP99: 5})
+	if !r.Healthy {
+		t.Fatalf("healthy node diagnosed sick: %+v", r.Breached())
+	}
+	hop, _ := r.Find(InvHopP99)
+	// n̂ = 2^64 / 2^58 = 64 → limit 4·log2(64)+8 = 32.
+	if hop.Limit != 32 {
+		t.Fatalf("hop limit = %f, want 32 (n̂ = 64)", hop.Limit)
+	}
+
+	// Absorb pile-up: own segment 2^16 times the predecessor's.
+	r = DiagnoseNode(NodeStats{SegLen: 1 << 50, PredLen: 1 << 34, Degree: 7, Delta: 2, HopP99: -1})
+	if r.Healthy {
+		t.Fatal("local balance breach not flagged")
+	}
+	v, _ := r.Find(InvLocalBalance)
+	if v.OK || v.Value != float64(uint64(1)<<16) {
+		t.Fatalf("local balance verdict = %+v", v)
+	}
+
+	// Singleton: everything skips, report healthy.
+	r = DiagnoseNode(NodeStats{SegLen: 0, Degree: 2, Delta: 2, HopP99: -1})
+	if !r.Healthy {
+		t.Fatalf("singleton node diagnosed sick: %+v", r.Breached())
+	}
+}
+
+func TestEstimateN(t *testing.T) {
+	if n := EstimateN(0); n != 1 {
+		t.Fatalf("EstimateN(0) = %f, want 1 (full circle)", n)
+	}
+	if n := EstimateN(1 << 54); n != 1024 {
+		t.Fatalf("EstimateN(2^54) = %f, want 1024", n)
+	}
+}
+
+func TestTableRenders(t *testing.T) {
+	r := Diagnose(ClusterStats{N: 4, Delta: 2, SegLens: []uint64{1, 1 << 40}, HopP99: -1})
+	s := Table(r)
+	if len(s) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, want := range []string{"invariant", "smoothness", "BREACH"} {
+		found := false
+		for i := 0; i+len(want) <= len(s); i++ {
+			if s[i:i+len(want)] == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+}

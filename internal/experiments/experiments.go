@@ -90,5 +90,6 @@ func All(cfg Config) []Result {
 		StoreEngines(cfg),
 		StalenessVsStabilization(cfg),
 		ZipfLoadSkew(cfg),
+		DoctorAdversarialLeave(cfg),
 	}
 }

@@ -42,6 +42,29 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestDoctorFlagsAdversarialLeaves is the E33 acceptance check: the
+// healthy Multiple-Choice decomposition passes every invariant, and the
+// adversarial leave schedule drives smoothness out of bounds in a way the
+// doctor flags within the single sweep after the run.
+func TestDoctorFlagsAdversarialLeaves(t *testing.T) {
+	r := DoctorAdversarialLeave(smokeCfg)
+	out := r.Table.String()
+	if !strings.Contains(out, "BREACH") && !strings.Contains(out, "smoothness") {
+		t.Fatalf("E33 table shows no smoothness breach:\n%s", out)
+	}
+	rows := r.Table.CSV()
+	lines := strings.Split(strings.TrimSpace(rows), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("E33 expects header + 2 phases, got:\n%s", rows)
+	}
+	if !strings.Contains(lines[1], "true") {
+		t.Fatalf("E33 healthy phase not healthy: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "false") || !strings.Contains(lines[2], "smoothness") {
+		t.Fatalf("E33 adversarial phase not flagged for smoothness: %s", lines[2])
+	}
+}
+
 // TestFiguresRender checks the ASCII figures contain their key structures.
 func TestFiguresRender(t *testing.T) {
 	out := Figures(smokeCfg)

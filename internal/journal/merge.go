@@ -1,0 +1,53 @@
+package journal
+
+import "sort"
+
+// Stream is one node's journal dump, tagged with the node's identity —
+// the shape /journalz serves and `dhctl journal` consumes.
+type Stream struct {
+	Node    uint64   `json:"node_id"`
+	Addr    string   `json:"addr,omitempty"`
+	Dropped uint64   `json:"dropped"`
+	Records []Record `json:"records"`
+}
+
+// Tagged is one merged timeline entry: a record plus its origin.
+type Tagged struct {
+	Node uint64 `json:"node_id"`
+	Addr string `json:"addr,omitempty"`
+	Record
+}
+
+// Merge folds per-node journal dumps into one cluster-wide timeline.
+// The order is causal without clock sync: primary key is the record's
+// ring version (every ownership mutation bumps it, so records about the
+// same boundary move order correctly), then epoch, then node id and the
+// node-local sequence number as deterministic tie-breaks. Two calls
+// over the same dumps — in any input order — produce the identical
+// timeline, and each input record appears exactly once.
+func Merge(streams []Stream) []Tagged {
+	n := 0
+	for _, s := range streams {
+		n += len(s.Records)
+	}
+	out := make([]Tagged, 0, n)
+	for _, s := range streams {
+		for _, r := range s.Records {
+			out = append(out, Tagged{Node: s.Node, Addr: s.Addr, Record: r})
+		}
+	}
+	sort.Slice(out, func(i, k int) bool {
+		a, b := out[i], out[k]
+		if a.RingVer != b.RingVer {
+			return a.RingVer < b.RingVer
+		}
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}

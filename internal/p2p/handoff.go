@@ -49,6 +49,7 @@ import (
 
 	"condisc/internal/handoff"
 	"condisc/internal/interval"
+	"condisc/internal/journal"
 	"condisc/internal/store"
 )
 
@@ -493,11 +494,13 @@ func (n *Node) handleHandPrepare(req request) response {
 		}
 	}
 	joiner := NodeInfo{ID: req.NewID, Point: req.NewPoint, Addr: req.NewAddr}
-	meta := sessMeta{kind: handoff.RoleJoin, joiner: joiner, ringVer: n.ringVer}
+	meta := sessMeta{kind: handoff.RoleJoin, joiner: joiner, ringVer: n.ringVer.Load()}
 	if _, err := n.sessions.Prepare(req.Session, upper, req.NewAddr, meta); err != nil {
 		return response{Err: err.Error()}
 	}
 	n.met.handPrepares.Inc()
+	n.jrn.Record(journal.KindHandPrepare, meta.ringVer, 0,
+		req.Session, uint64(upper.Start), upper.Len)
 	n.tel.Emitf("handoff.prepare", "session %x: fenced [%v,+%d) for joiner %s",
 		req.Session, upper.Start, upper.Len, req.NewAddr)
 	return response{
@@ -527,8 +530,10 @@ func (n *Node) handleStream(req request, conn net.Conn) {
 	w := deadlineWriter{conn: conn}
 	// A failed write just drops the connection: the receiver reconnects
 	// and resumes; the session stays alive until commit or TTL expiry.
-	_, sum, _ := handoff.Stream(w, cur, n.chunkBytes, func() { n.sessions.Touch(sess) })
+	count, sum, _ := handoff.Stream(w, cur, n.chunkBytes, func() { n.sessions.Touch(sess) })
 	n.met.handBytesOut.Add(int64(sum))
+	n.jrn.Record(journal.KindHandStream, n.ringVer.Load(), 0,
+		req.Session, count, sum)
 }
 
 type deadlineWriter struct{ conn net.Conn }
@@ -569,7 +574,7 @@ func (n *Node) handleHandCommit(req request) response {
 	}
 	meta, _ := sess.Meta.(sessMeta)
 	if meta.kind == handoff.RoleJoin && sess.Seg.End() != n.end {
-		if meta.ringVer != n.ringVer && !n.tailSessionLocked() {
+		if meta.ringVer != n.ringVer.Load() && !n.tailSessionLocked() {
 			// The boundary moved since this session was prepared (a leave
 			// absorption extended the segment past the session's end) and
 			// no active session ends at the new boundary — no chain of
@@ -618,6 +623,12 @@ func (n *Node) handleHandCommit(req request) response {
 	}
 	// RoleLeave: nothing to repoint here — the leaver is departing and
 	// its blocked Leave() call wakes on the session's done channel.
+	isJoin := uint64(0)
+	if meta.kind == handoff.RoleJoin {
+		isJoin = 1
+	}
+	n.jrn.Record(journal.KindHandCommit, n.ringVer.Load(), 0,
+		req.Session, uint64(sess.Seg.Start), isJoin)
 	resp := response{OK: true, ID: n.id, Point: uint64(n.x), Addr: n.addr, End: uint64(sess.Seg.End())}
 	n.mu.Unlock()
 	n.met.handCommits.Inc()
@@ -682,6 +693,7 @@ func (n *Node) handleHandAbort(req request) response {
 	}
 	n.sessions.Abort(req.Session)
 	n.met.handAborts.Inc()
+	n.jrn.Record(journal.KindHandAbort, n.ringVer.Load(), 0, req.Session, 0, 0)
 	n.tel.Emitf("handoff.abort", "session %x: aborted by receiver probe", req.Session)
 	return response{OK: true, State: handoff.StateUnknown.String()}
 }

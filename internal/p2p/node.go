@@ -9,9 +9,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"condisc/internal/doctor"
 	"condisc/internal/handoff"
 	"condisc/internal/hashing"
 	"condisc/internal/interval"
+	"condisc/internal/journal"
 	"condisc/internal/store"
 	"condisc/internal/telemetry"
 )
@@ -40,13 +42,16 @@ type Node struct {
 	pred NodeInfo
 	succ NodeInfo
 	// ringVer counts the (end, succ) updates this node has performed — a
-	// version stamp, bumped only by setEndSuccLocked. Handoff sessions
-	// record it at prepare time so commit can tell a session prepared
-	// against the CURRENT segment tail from one whose boundary was moved
-	// out from under it by an interleaved leave absorption: the two kinds
-	// of transfer no longer exclude each other wholesale, they serialize
-	// only at this version-stamped pointer update.
-	ringVer uint64
+	// version stamp, bumped only by setEndSuccLocked (which still runs
+	// under mu). Handoff sessions record it at prepare time so commit can
+	// tell a session prepared against the CURRENT segment tail from one
+	// whose boundary was moved out from under it by an interleaved leave
+	// absorption: the two kinds of transfer no longer exclude each other
+	// wholesale, they serialize only at this version-stamped pointer
+	// update. It is atomic so lock-free observers — the flight recorder's
+	// causal stamps on paths that run outside mu, like stale-route
+	// repair — can read it without racing the bump.
+	ringVer atomic.Uint64
 	// back holds the covers of the backward image b(s) — the neighbours
 	// Fast Lookup hops through — keyed by stable node ID. Entries are
 	// patched incrementally by opPatchBack messages when a neighbour joins
@@ -113,6 +118,11 @@ type Node struct {
 	// metric pointers the request path records into.
 	tel *telemetry.Registry
 	met nodeMetrics
+	// jrn is the node's flight recorder (nil unless WithJournal attached
+	// one): end/succ flips, handoff phases, and stale-route repairs are
+	// recorded with the node's ring version as the causal stamp, then
+	// served by /journalz and merged cluster-wide by dhctl journal.
+	jrn *journal.Journal
 	// adminAddr is the node's admin HTTP endpoint, advertised in opState
 	// responses so one ring member is enough to discover every /statusz.
 	adminAddr string
@@ -175,6 +185,14 @@ func WithoutPatches() NodeOption {
 // land in the same scrape.
 func WithTelemetry(reg *telemetry.Registry) NodeOption {
 	return func(n *Node) { n.tel = reg }
+}
+
+// WithJournal attaches a flight recorder: the node records end/succ
+// flips, handoff prepare/stream/commit/abort, and stale-route repairs
+// into j (internal/journal). Like telemetry, the journal is a pure
+// observer — it changes no protocol behaviour.
+func WithJournal(j *journal.Journal) NodeOption {
+	return func(n *Node) { n.jrn = j }
 }
 
 // nodeMetrics holds the node's pre-resolved metric pointers: request
@@ -285,6 +303,33 @@ func (n *Node) Addr() string { return n.addr }
 // Telemetry returns the node's metric registry.
 func (n *Node) Telemetry() *telemetry.Registry { return n.tel }
 
+// Journal returns the node's flight recorder (nil if none attached).
+func (n *Node) Journal() *journal.Journal { return n.jrn }
+
+// Doctor recomputes the paper's bounds this node can verify from local
+// state alone (internal/doctor): routing-table degree vs Theorem 2.2,
+// own-lookup hop p99 vs the Theorem 2.8 dilation bound at the §3
+// segment-length size estimate, and the own-vs-predecessor segment
+// balance proxy for Definition 1 smoothness. /doctorz serves the
+// report; /healthz degrades while any verdict is breached.
+func (n *Node) Doctor() doctor.Report {
+	n.mu.Lock()
+	seg := n.segmentLocked()
+	var predLen uint64
+	if n.pred.Addr != "" && n.pred.ID != n.id {
+		predLen = uint64(n.x - interval.Point(n.pred.Point))
+	}
+	deg := len(n.backSorted) + 2 // back table + pred/succ ring pointers
+	n.mu.Unlock()
+	return doctor.DiagnoseNode(doctor.NodeStats{
+		SegLen:  seg.Len,
+		PredLen: predLen,
+		Degree:  deg,
+		Delta:   2,
+		HopP99:  n.met.hops.Quantile(0.99),
+	})
+}
+
 // SetAdminAddr records the node's admin HTTP endpoint; it is advertised
 // in opState responses so a single ring member bootstraps discovery of
 // every node's /statusz (dhctl top).
@@ -317,7 +362,7 @@ func (n *Node) Status() NodeStatus {
 	n.mu.Lock()
 	st := NodeStatus{
 		ID: n.id, Addr: n.addr, AdminAddr: n.adminAddr,
-		Point: uint64(n.x), End: uint64(n.end), RingVer: n.ringVer,
+		Point: uint64(n.x), End: uint64(n.end), RingVer: n.ringVer.Load(),
 		Pred: n.pred, Succ: n.succ,
 		Back:  append([]NodeInfo(nil), n.backSorted...),
 		Ready: n.ready, Leaving: n.leaving, Absorbing: n.absorbing,
@@ -377,7 +422,8 @@ func (n *Node) Point() interval.Point {
 func (n *Node) setEndSuccLocked(end interval.Point, succ NodeInfo) {
 	n.end = end
 	n.succ = succ
-	n.ringVer++
+	v := n.ringVer.Add(1)
+	n.jrn.Record(journal.KindEndSuccFlip, v, 0, uint64(end), succ.ID, 0)
 }
 
 // segment returns the node's current segment (callers hold mu).

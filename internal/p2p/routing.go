@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"condisc/internal/interval"
+	"condisc/internal/journal"
 	"condisc/internal/telemetry"
 )
 
@@ -34,7 +35,7 @@ func (n *Node) routeObserved(req request) response {
 	}
 	if req.TraceOn && resp.OK {
 		n.mu.Lock()
-		hop := Hop{ID: n.id, Addr: n.addr, Point: uint64(n.x), RingVer: n.ringVer,
+		hop := Hop{ID: n.id, Addr: n.addr, Point: uint64(n.x), RingVer: n.ringVer.Load(),
 			StaleIn: req.Stale, SubtreeNanos: time.Since(t0).Nanoseconds()}
 		n.mu.Unlock()
 		resp.Trace = append(resp.Trace, hop)
@@ -97,6 +98,8 @@ func (n *Node) route(req request) response {
 				// E31 sweeps against the stabilization interval.
 				req.Stale++
 				n.met.staleRepairs.Inc()
+				n.jrn.Record(journal.KindStaleRepair, n.ringVer.Load(), 0,
+					req.Target, uint64(req.Hops), 0)
 				resp, _ = tryForward(ring, req)
 			}
 			return resp
@@ -132,7 +135,7 @@ func (n *Node) serveLocal(req request) response {
 	resp := response{OK: true, Hops: req.Hops, Stale: req.Stale,
 		ID: n.id, Point: uint64(n.x), End: uint64(n.end), Addr: n.addr,
 		SuccID: n.succ.ID, SuccAddr: n.succ.Addr, PredAddr: n.pred.Addr,
-		RingVer: n.ringVer}
+		RingVer: n.ringVer.Load()}
 	switch req.Op {
 	case opGet:
 		v, ok, err := n.data.Get(interval.Point(req.Target), req.Key)

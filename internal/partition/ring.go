@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"condisc/internal/interval"
+	"condisc/internal/journal"
 )
 
 // Handle is a stable server identifier, assigned at insertion and never
@@ -53,10 +54,19 @@ type Ring struct {
 	// snap is read concurrently by any number of readers.
 	epoch uint64
 	snap  atomic.Pointer[Snapshot]
+
+	// jrn, when attached, receives one flight-recorder record per
+	// Publish — the sanctioned epoch-visibility point. A nil journal
+	// records nothing; the journal is a pure observer either way.
+	jrn *journal.Journal
 }
 
 // New returns an empty ring.
 func New() *Ring { return &Ring{} }
+
+// SetJournal attaches a flight recorder (owner-side, like mutation; set
+// it before concurrent publishing starts). Nil detaches.
+func (r *Ring) SetJournal(j *journal.Journal) { r.jrn = j }
 
 // FromPoints builds a ring from the given points (duplicates are dropped).
 // Handles are assigned in sorted point order.

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"condisc/internal/interval"
+	"condisc/internal/journal"
 )
 
 // Snapshot is an immutable, epoch-stamped view of the ring. Readers that
@@ -30,6 +31,7 @@ func (r *Ring) Publish() *Snapshot {
 	r.epoch++
 	s := &Snapshot{ol: r.ol.publishCopy(), epoch: r.epoch}
 	r.snap.Store(s)
+	r.jrn.Record(journal.KindEpochPublish, r.epoch, r.epoch, uint64(s.N()), 0, 0)
 	return s
 }
 

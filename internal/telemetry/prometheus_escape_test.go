@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEscapeSeries drives the text-0.0.4 label-value escaper with
+// hostile values: raw newlines, raw and pre-escaped backslashes and
+// quotes, trailing backslashes, and multi-label sets.
+func TestEscapeSeries(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"no labels", "plain_total", "plain_total"},
+		{"clean label", `x_total{op="get"}`, `x_total{op="get"}`},
+		{"two clean labels", `x_total{op="get",eng="mem"}`, `x_total{op="get",eng="mem"}`},
+		{"raw newline in value", "x_total{path=\"a\nb\"}", `x_total{path="a\nb"}`},
+		{"escaped newline round-trips", `x_total{path="a\nb"}`, `x_total{path="a\nb"}`},
+		{"escaped quote round-trips", `x_total{q="say \"hi\""}`, `x_total{q="say \"hi\""}`},
+		{"escaped backslash round-trips", `x_total{p="c:\\tmp"}`, `x_total{p="c:\\tmp"}`},
+		{"raw backslash before plain char", `x_total{p="a\tb"}`, `x_total{p="a\\tb"}`},
+		// `p="a\"}` is ambiguous: the backslash reads as an escaped
+		// quote, the value never closes, and the name passes through
+		// untouched rather than being mangled.
+		{"trailing backslash reads as escape", "x_total{p=\"a\\\"}", "x_total{p=\"a\\\"}"},
+		{"hostile mix across labels", "x_total{a=\"x\ny\",b=\"z\"}", `x_total{a="x\ny",b="z"}`},
+		{"malformed: no closing quote", `x_total{op="get}`, `x_total{op="get}`},
+		{"malformed: no equals", `x_total{op}`, `x_total{op}`},
+		{"malformed: unquoted value", `x_total{op=get}`, `x_total{op=get}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := escapeSeries(tc.in); got != tc.want {
+				t.Fatalf("escapeSeries(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestWritePrometheusHostileLabels registers metrics whose label values
+// carry raw newlines, quotes-by-escape, and backslashes, and asserts
+// the rendered exposition has one series per line with no raw newline
+// or unescaped quote inside any value.
+func TestWritePrometheusHostileLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total{path=\"a\nb\"}").Add(3)
+	r.Gauge(`h_gauge{msg="say \"hi\""}`).Set(7)
+	r.Histogram(`h_hist{dir="c:\\tmp"}`).Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Every sample line is `series value`: the value after the last
+		// space must parse-shape as a number, which fails if a raw
+		// newline split a series in half.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 || sp == len(line)-1 {
+			t.Fatalf("malformed exposition line %q in:\n%s", line, out)
+		}
+	}
+	for _, want := range []string{
+		"h_total{path=\"a\\nb\"} 3\n",
+		`h_gauge{msg="say \"hi\""} 7` + "\n",
+		`h_hist_sum{dir="c:\\tmp"} 5` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_hist")
+	for i := 0; i < 99; i++ {
+		h.Observe(3) // bucket le=3
+	}
+	h.Observe(100) // bucket le=127
+	snap := h.snapshot()
+	if q := snap.Quantile(0.5); q != 3 {
+		t.Fatalf("p50 = %g, want 3", q)
+	}
+	if q := snap.Quantile(0.99); q != 3 {
+		t.Fatalf("p99 = %g, want 3 (99 of 100 samples <= 3)", q)
+	}
+	if q := snap.Quantile(1.0); q != 127 {
+		t.Fatalf("p100 = %g, want 127", q)
+	}
+	if q := h.Quantile(0.5); q != 3 {
+		t.Fatalf("Histogram.Quantile p50 = %g, want 3", q)
+	}
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.99); q != -1 {
+		t.Fatalf("empty quantile = %g, want -1", q)
+	}
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("m_a")
+	b := r.Histogram("m_b")
+	a.Observe(1)
+	a.Observe(5)
+	b.Observe(5)
+	b.Observe(1000)
+	m := a.snapshot().Merge(b.snapshot())
+	if m.Count != 4 || m.Sum != 1011 || m.Max != 1000 {
+		t.Fatalf("merged count/sum/max = %d/%d/%d", m.Count, m.Sum, m.Max)
+	}
+	var n int64
+	for _, bk := range m.Buckets {
+		n += bk.N
+	}
+	if n != 4 {
+		t.Fatalf("merged buckets hold %d samples, want 4", n)
+	}
+	if q := m.Quantile(0.5); q != 7 {
+		t.Fatalf("merged p50 = %g, want 7 (le bucket of 5)", q)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -110,6 +111,55 @@ func (h HistogramSnapshot) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// Quantile returns the q-quantile (0 <= q <= 1) as the inclusive upper
+// bound of the power-of-two bucket holding that rank — an upper
+// estimate no finer than the bucket width — or -1 for an empty
+// snapshot. The doctor compares hop p99 against the paper's O(log n)
+// dilation bound with it.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return -1
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.N
+		if cum >= rank {
+			return float64(b.Le)
+		}
+	}
+	return float64(h.Max)
+}
+
+// Merge folds another snapshot into a copy of this one: buckets sum by
+// bound, Count/Sum add, Max takes the max. dhctl doctor merges per-node
+// hop histograms into the cluster view with it.
+func (h HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: h.Count + o.Count, Sum: h.Sum + o.Sum, Max: h.Max}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	i, j := 0, 0
+	for i < len(h.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(h.Buckets) && h.Buckets[i].Le < o.Buckets[j].Le):
+			out.Buckets = append(out.Buckets, h.Buckets[i])
+			i++
+		case i >= len(h.Buckets) || o.Buckets[j].Le < h.Buckets[i].Le:
+			out.Buckets = append(out.Buckets, o.Buckets[j])
+			j++
+		default:
+			out.Buckets = append(out.Buckets, Bucket{Le: h.Buckets[i].Le, N: h.Buckets[i].N + o.Buckets[j].N})
+			i++
+			j++
+		}
+	}
+	return out
+}
+
 // Snapshot is a point-in-time read of a whole registry, shaped for JSON
 // (/statusz) and for experiment post-processing.
 type Snapshot struct {
@@ -137,6 +187,11 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	}
 	return s
 }
+
+// Quantile returns the q-quantile of the observed values as the upper
+// bound of its power-of-two bucket, or -1 if nothing was observed.
+// Cold path: reads every bucket.
+func (h *Histogram) Quantile(q float64) float64 { return h.snapshot().Quantile(q) }
 
 // Snapshot reads every metric and the event ring.
 func (r *Registry) Snapshot() Snapshot {
@@ -206,11 +261,93 @@ func labeled(name, extra string) string {
 	return fam + "{" + labels[1:len(labels)-1] + "," + extra + "}"
 }
 
+// escapeSeries re-encodes the label values of a series name so the
+// emitted line is valid text-0.0.4: backslash, double-quote, and
+// newline inside a label value are written as \\, \", and \n. Values
+// escaped at registration round-trip unchanged (\\, \", \n decode and
+// re-encode to themselves); raw hostile bytes — a literal newline or a
+// trailing backslash smuggled into a label value — are escaped on the
+// way out instead of corrupting the exposition framing. A name with no
+// label block, or one too malformed to parse, is returned untouched.
+func escapeSeries(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name
+	}
+	inner := name[i+1 : len(name)-1]
+	var b strings.Builder
+	b.Grow(len(name) + 8)
+	b.WriteString(name[:i+1])
+	pos := 0
+	for pos < len(inner) {
+		eq := strings.IndexByte(inner[pos:], '=')
+		if eq < 0 {
+			return name
+		}
+		b.WriteString(inner[pos : pos+eq+1])
+		pos += eq + 1
+		if pos >= len(inner) || inner[pos] != '"' {
+			return name
+		}
+		pos++
+		b.WriteByte('"')
+		closed := false
+		for pos < len(inner) {
+			c := inner[pos]
+			if c == '\\' && pos+1 < len(inner) {
+				d := inner[pos+1]
+				pos += 2
+				switch d {
+				case '\\':
+					b.WriteString(`\\`)
+				case '"':
+					b.WriteString(`\"`)
+				case 'n':
+					b.WriteString(`\n`)
+				default:
+					// Unknown escape: the backslash was a raw byte.
+					b.WriteString(`\\`)
+					b.WriteByte(d)
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				pos++
+				b.WriteByte('"')
+				break
+			}
+			switch c {
+			case '\\': // lone trailing backslash
+				b.WriteString(`\\`)
+			case '\n':
+				b.WriteString(`\n`)
+			default:
+				b.WriteByte(c)
+			}
+			pos++
+		}
+		if !closed {
+			return name
+		}
+		if pos < len(inner) {
+			if inner[pos] != ',' {
+				return name
+			}
+			b.WriteByte(',')
+			pos++
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // WritePrometheus renders every metric in the Prometheus text exposition
 // format (one # TYPE line per family, histograms as cumulative _bucket
 // series plus _sum/_count and an exact _max gauge). Output is sorted by
 // family name; series of one family (label variants, buckets) stay in
-// their natural order.
+// their natural order. Label values are re-escaped per text-0.0.4 on
+// the way out (escapeSeries).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
 	type famBlock struct {
@@ -228,25 +365,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(snap.Counters) {
 		fam, _ := family(name)
-		add(fam, "counter", fmt.Sprintf("%s %d\n", name, snap.Counters[name]))
+		add(fam, "counter", fmt.Sprintf("%s %d\n", escapeSeries(name), snap.Counters[name]))
 	}
 	for _, name := range sortedKeys(snap.Gauges) {
 		fam, _ := family(name)
-		add(fam, "gauge", fmt.Sprintf("%s %g\n", name, snap.Gauges[name]))
+		add(fam, "gauge", fmt.Sprintf("%s %g\n", escapeSeries(name), snap.Gauges[name]))
 	}
 	for _, name := range sortedKeys(snap.Histograms) {
 		h := snap.Histograms[name]
-		fam, _ := family(name)
+		// The _bucket/_sum/_count/_max suffix goes on the family name,
+		// before any label block the series carries.
+		fam, labels := family(name)
 		var cum int64
 		for _, b := range h.Buckets {
 			cum += b.N
 			add(fam, "histogram", fmt.Sprintf("%s %d\n",
-				labeled(name+"_bucket", fmt.Sprintf("le=%q", fmt.Sprint(b.Le))), cum))
+				escapeSeries(labeled(fam+"_bucket"+labels, fmt.Sprintf("le=%q", fmt.Sprint(b.Le)))), cum))
 		}
-		add(fam, "histogram", fmt.Sprintf("%s %d\n", labeled(name+"_bucket", `le="+Inf"`), h.Count))
-		add(fam, "histogram", fmt.Sprintf("%s_sum %d\n", name, h.Sum))
-		add(fam, "histogram", fmt.Sprintf("%s_count %d\n", name, h.Count))
-		add(fam+"_max", "gauge", fmt.Sprintf("%s_max %d\n", name, h.Max))
+		add(fam, "histogram", fmt.Sprintf("%s %d\n", escapeSeries(labeled(fam+"_bucket"+labels, `le="+Inf"`)), h.Count))
+		add(fam, "histogram", fmt.Sprintf("%s %d\n", escapeSeries(fam+"_sum"+labels), h.Sum))
+		add(fam, "histogram", fmt.Sprintf("%s %d\n", escapeSeries(fam+"_count"+labels), h.Count))
+		add(fam+"_max", "gauge", fmt.Sprintf("%s %d\n", escapeSeries(fam+"_max"+labels), h.Max))
 	}
 	famNames := make([]string, 0, len(fams))
 	for f := range fams {

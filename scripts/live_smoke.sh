@@ -2,8 +2,11 @@
 # live_smoke.sh — end-to-end smoke test of the observability plane on a
 # real three-node dhnode cluster: start the nodes with -admin, drive
 # traffic through dhctl (put/get/trace/top), scrape every admin endpoint
-# (/metrics, /statusz, /healthz, /debug/pprof), and assert the scraped
-# content is sane. Exits non-zero on the first failed assertion.
+# (/metrics, /statusz, /healthz, /journalz, /doctorz, /debug/pprof),
+# assert the scraped content is sane, check `dhctl doctor` passes every
+# paper invariant on the healthy cluster, and check `dhctl journal`
+# merges the same deterministic timeline from any bootstrap node. Exits
+# non-zero on the first failed assertion.
 #
 # Usage: scripts/live_smoke.sh   (from the repository root; needs ports
 # 17101-17103 and 18101-18103 free on 127.0.0.1)
@@ -116,6 +119,62 @@ assert mets["counters"].get('condisc_p2p_rpc_total{op="state"}', 0) > 0, \
 print("  " + addr + ": point=" + str(node["point"]) + " items=" + str(node["items"]) + " ok")
 PY
 done
+
+echo "== /journalz (flight recorder)"
+i=0
+for a in $ADMIN1 $ADMIN2 $ADMIN3; do
+  i=$((i+1))
+  curl -fsS "http://$a/journalz" >"$workdir/journal$i.json"
+  python3 - "$workdir/journal$i.json" <<'PY' || fail "$a/journalz failed validation"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert "node_id" in doc and "records" in doc, "journal stream shape"
+kinds = {r["kind"] for r in doc["records"]}
+assert kinds, "journal is empty after churn + traffic"
+print("  node " + str(doc["node_id"]) + ": " + str(len(doc["records"]))
+      + " records, kinds " + str(sorted(kinds)))
+PY
+done
+# Across the cluster the recorders must have caught the full join handoff
+# lifecycle (both joins were fenced, streamed, committed somewhere) and
+# the end/succ flips on every node.
+python3 - "$workdir"/journal{1,2,3}.json <<'PY' || fail "cluster journals miss the join handoff lifecycle"
+import json, sys
+kinds = set()
+for path in sys.argv[1:]:
+    kinds |= {r["kind"] for r in json.load(open(path))["records"]}
+for want in ("hand_prepare", "hand_stream", "hand_commit", "end_succ_flip"):
+    assert want in kinds, "missing " + want + " in " + str(sorted(kinds))
+PY
+
+echo "== /doctorz (live invariant verdicts)"
+for a in $ADMIN1 $ADMIN2 $ADMIN3; do
+  curl -fsS "http://$a/doctorz" >"$workdir/doctor.json"
+  python3 - "$workdir/doctor.json" <<'PY' || fail "$a/doctorz failed validation"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["healthy"], "unhealthy: " + str([v for v in doc["verdicts"] if not v["ok"]])
+names = {v["invariant"] for v in doc["verdicts"]}
+assert {"degree", "hop_p99", "local_balance"} <= names, "verdicts missing: " + str(names)
+print("  healthy, invariants: " + str(sorted(names)))
+PY
+done
+
+echo "== dhctl doctor exits 0 on the healthy cluster"
+doctor_out=$("$workdir/dhctl" -node $NODE1 doctor) || fail "dhctl doctor exited non-zero on a healthy cluster"
+echo "$doctor_out"
+echo "$doctor_out" | grep -q "verdict: healthy" || fail "dhctl doctor verdict not healthy"
+[ "$(echo "$doctor_out" | grep -c "healthy$")" -ge 3 ] || fail "dhctl doctor did not report all 3 nodes healthy"
+
+echo "== dhctl journal merges a deterministic cluster timeline"
+"$workdir/dhctl" -node $NODE1 journal >"$workdir/timeline1.txt" || fail "dhctl journal (run 1)"
+"$workdir/dhctl" -node $NODE2 journal >"$workdir/timeline2.txt" || fail "dhctl journal (run 2, different bootstrap)"
+grep -Eq "records from 3 nodes" "$workdir/timeline1.txt" || fail "dhctl journal did not merge 3 streams"
+grep -q "hand_commit" "$workdir/timeline1.txt" || fail "merged timeline misses handoff commits"
+# Same cluster, different bootstrap node => identical merged timeline
+# (ring-version total order with deterministic tie-breaks, no clocks).
+diff "$workdir/timeline1.txt" "$workdir/timeline2.txt" >/dev/null \
+  || fail "merged timeline differs across bootstrap nodes"
 
 echo "== /debug/pprof"
 curl -fsS "http://$ADMIN1/debug/pprof/cmdline" >/dev/null || fail "pprof cmdline"
