@@ -145,6 +145,26 @@ func BenchmarkStalenessVsStabilization(b *testing.B) {
 // workload on a live cluster, measured entirely from scraped /statusz).
 func BenchmarkZipfLoadSkew(b *testing.B) { run(b, experiments.ZipfLoadSkew) }
 
+// BenchmarkCrashFaultTolerance regenerates the k=3 arm of E34 (mass
+// ungraceful crash on the live TCP cluster) and reports the availability
+// and loss numbers as custom metrics, so bench2json tracks the
+// fault-tolerance plane release over release. Zero lost acked writes is
+// a hard gate, not a trend.
+func BenchmarkCrashFaultTolerance(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		avail, lost, acked := experiments.CrashAvailabilityK3(benchCfg)
+		if acked == 0 {
+			b.Fatal("E34: no writes were acknowledged")
+		}
+		if lost > 0 {
+			b.Fatalf("E34: %d of %d acked writes lost after crash repair", lost, acked)
+		}
+		b.ReportMetric(avail, "availability")
+		b.ReportMetric(float64(lost), "lost-writes")
+	}
+}
+
 // ---- churn benchmarks: incremental join/leave vs the full rebuild ----
 //
 // The incremental engine patches only the O(ρ·∆) servers around the changed

@@ -12,6 +12,10 @@
 //
 // -seed must match the network's seed (it derives the item-hash function).
 //
+// get distinguishes its failures for scripts: exit 3 means the key is
+// genuinely absent, exit 4 means the key's owner is unreachable (the key
+// may exist — retry after the ring heals).
+//
 // trace routes a lookup with per-hop tracing on and prints the actual
 // path the request took: each node's address and point, the stale-route
 // repairs it saw, and the per-hop latency (derived from nested local
@@ -38,6 +42,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -79,6 +84,17 @@ func main() {
 			usage()
 		}
 		val, hops, err := client.Get(args[1], h.Point)
+		// A genuine miss and an unreachable owner are different failures:
+		// scripts get distinct exit codes (3 = key not found, 4 = owner
+		// unreachable — the key MAY exist but its owner is dead/partitioned).
+		if errors.Is(err, p2p.ErrNotFound) {
+			fmt.Fprintln(os.Stderr, "dhctl:", err)
+			os.Exit(3)
+		}
+		if errors.Is(err, p2p.ErrOwnerUnreachable) {
+			fmt.Fprintln(os.Stderr, "dhctl:", err)
+			os.Exit(4)
+		}
 		exitOn(err)
 		fmt.Printf("%s (%d hops)\n", val, hops)
 	case "lookup":

@@ -28,6 +28,18 @@
 // -data directory resumes the transfer from its staged prefix, or aborts
 // it cleanly and joins fresh.
 //
+// Pass -replicas K (matching across all nodes) to survive ungraceful
+// death: every value lives on its owner plus K−1 ring successors, a Put
+// is acknowledged only after a write quorum (-quorum, default majority),
+// reads fall back to replicas while an owner is dead, and each node's
+// failure detector (-fd-threshold consecutive failed successor probes)
+// absorbs a crashed successor's range without a handoff session and
+// re-materializes it from the replicas. Values larger than
+// -shard-threshold bytes are spread as Reed-Solomon shards instead of
+// full copies when K >= 4. Replica payloads are held in memory on every
+// engine — they are a crash-repair source, re-spread by the repair loop,
+// not durable state.
+//
 // Pass -admin ADDR to expose the live introspection plane: /metrics
 // (Prometheus text), /statusz (ring pointers + neighbour table + metric
 // snapshot as JSON), /healthz (degrades to 503 while a paper invariant
@@ -55,6 +67,7 @@ import (
 	"condisc/internal/interval"
 	"condisc/internal/journal"
 	"condisc/internal/p2p"
+	"condisc/internal/replicate"
 	"condisc/internal/store"
 	"condisc/internal/telemetry"
 )
@@ -69,6 +82,11 @@ func main() {
 	data := flag.String("data", "", "data directory for -store=log")
 	adminAddr := flag.String("admin", "", "admin HTTP address for /metrics, /statusz, /healthz, /journalz, /doctorz, /debug/pprof (empty = disabled)")
 	journalCap := flag.Int("journal", journal.DefaultCapacity, "flight-recorder ring capacity in records (0 = disabled)")
+	replicas := flag.Int("replicas", 1, "replication factor k: each value lives on its owner plus k-1 ring successors (1 = replication off; must match across all nodes)")
+	quorum := flag.Int("quorum", 0, "write acks required before a Put is acknowledged (0 = majority of -replicas)")
+	shardThreshold := flag.Int("shard-threshold", 0, "value size in bytes above which replicas are Reed-Solomon shards instead of full copies (0 = always full copies; needs -replicas >= 4)")
+	rpcTimeout := flag.Duration("rpc-timeout", 0, "per-RPC deadline for dial/read/write; streaming transfers allow 10x this per frame (0 = built-in default)")
+	fdThreshold := flag.Int("fd-threshold", 0, "consecutive failed successor probes before declaring it crashed and absorbing its range (0 = default: 3 with replication, disarmed without)")
 	flag.Parse()
 
 	st, err := store.Open(*engine, *data)
@@ -80,7 +98,19 @@ func main() {
 	if *journalCap > 0 {
 		jrn = journal.New(*journalCap)
 	}
-	node, err := p2p.NewNode(*listen, *seed, p2p.WithStore(st), p2p.WithJournal(jrn))
+	nodeOpts := []p2p.NodeOption{p2p.WithStore(st), p2p.WithJournal(jrn)}
+	if *replicas > 1 {
+		nodeOpts = append(nodeOpts, p2p.WithReplication(replicate.Policy{
+			K: *replicas, Quorum: *quorum, ShardThreshold: *shardThreshold,
+		}))
+	}
+	if *rpcTimeout > 0 {
+		nodeOpts = append(nodeOpts, p2p.WithRPCTimeout(*rpcTimeout))
+	}
+	if *fdThreshold > 0 {
+		nodeOpts = append(nodeOpts, p2p.WithFDThreshold(*fdThreshold))
+	}
+	node, err := p2p.NewNode(*listen, *seed, nodeOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dhnode:", err)
 		os.Exit(1)

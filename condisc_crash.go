@@ -1,0 +1,205 @@
+package condisc
+
+// Crash tolerance for the simulated DHT: k-successor replication of every
+// settled write, a replica fallback on genuine primary misses, and
+// Crash — the ungraceful counterpart of Leave, which drops the dead
+// server's items on the floor (as a real crash would) and re-materializes
+// the lost range from the surviving replicas.
+//
+// Replica placement mirrors internal/p2p: an item owned by the server at
+// index i lives as a copy on the servers at indices i+1 … i+K−1 (ring
+// order). The replica stores are pure observers of the primary state —
+// WriteState never hashes them, and nothing reads them except the miss
+// fallback and crash repair — so the churntest digest-invariance arms
+// hold with replication on or off, and placement consumes no RNG.
+
+import (
+	"fmt"
+
+	"condisc/internal/interval"
+	"condisc/internal/journal"
+	"condisc/internal/partition"
+	"condisc/internal/store"
+)
+
+// replicaFactor clamps the configured replication factor to the ring size
+// (a 2-server ring can hold at most 2 copies of anything).
+func (d *DHT) replicaFactor(n int) int {
+	k := d.opts.Replication
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// replicatePut places value on the K−1 ring successors of p's owner,
+// resolved against the same settled snapshot the primary write was
+// validated by. No-op when replication is off. Placement is pure map and
+// store writes — no RNG, no load counters — so enabling replication
+// changes nothing the digest arms observe.
+func (d *DHT) replicatePut(snap *partition.Snapshot, p Point, key string, value []byte) {
+	if d.rstores == nil {
+		return
+	}
+	n := snap.N()
+	k := d.replicaFactor(n)
+	idx := snap.Cover(p)
+	d.storesMu.RLock()
+	defer d.storesMu.RUnlock()
+	for s := 1; s < k; s++ {
+		rs, ok := d.rstores[snap.HandleAt((idx+s)%n)]
+		if !ok {
+			// The successor joined after this DHT's rstores map was built
+			// mid-wave; its replica store lands with the wave's publish and
+			// the next overwrite (or crash repair) re-covers the item.
+			continue
+		}
+		if err := rs.Put(p, key, value); err != nil {
+			panic(fmt.Sprintf("condisc: replica put: %v", err))
+		}
+	}
+}
+
+// replicaGet serves a genuine primary miss from the surviving replicas,
+// scanning the ring in deterministic index order starting at p's owner.
+// It only ever fires in the window between a crash and its repair (a
+// healthy ring's primary store holds everything its replicas do), so it
+// is invisible to the digest arms.
+func (d *DHT) replicaGet(p Point, key string) ([]byte, bool) {
+	if d.rstores == nil {
+		return nil, false
+	}
+	snap := d.ring.Snapshot()
+	n := snap.N()
+	start := snap.Cover(p)
+	d.storesMu.RLock()
+	defer d.storesMu.RUnlock()
+	for s := 0; s < n; s++ {
+		rs, ok := d.rstores[snap.HandleAt((start+s)%n)]
+		if !ok {
+			continue
+		}
+		if v, found, err := rs.Get(p, key); err == nil && found {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Crash simulates the ungraceful death of the server named by id. Unlike
+// Leave, nothing is handed off: the server's primary store is destroyed
+// with it (its replica store too — a corpse serves no reads), the ring
+// absorbs the orphaned segment, and the lost range is re-materialized
+// into its new owner from the surviving replicas, which are then
+// re-spread so every item is back on Replication servers. Returns the
+// number of items repaired into primary stores. Requires
+// Options.Replication >= 2; any write the replicas never saw (none, on a
+// settled ring) is lost, exactly as a real crash would lose it.
+func (d *DHT) Crash(id ServerID) (repaired int, err error) {
+	if d.rstores == nil {
+		return 0, fmt.Errorf("condisc: Crash requires Options.Replication >= 2")
+	}
+	d.churnMu.Lock()
+	idx, ok := d.ring.IndexOfHandle(id)
+	if !ok {
+		d.churnMu.Unlock()
+		return 0, fmt.Errorf("condisc: crash of unknown server %v", id)
+	}
+	seg := d.ring.Segment(idx)
+	epoch := d.ring.Epoch()
+	// The crash itself: the dead server's stores vanish. Swapping an empty
+	// primary in (rather than deleting the map entry) keeps the
+	// ring→store invariant intact for the absorption that follows — the
+	// departing "server" simply has nothing left to migrate.
+	d.storesMu.Lock()
+	dead := d.stores[id]
+	d.stores[id] = store.NewMem()
+	deadReplicas := d.rstores[id]
+	delete(d.rstores, id)
+	d.storesMu.Unlock()
+	d.churnMu.Unlock()
+	if d.jrn != nil {
+		d.jrn.Record(journal.KindCrashAbsorb, epoch, epoch, uint64(id), uint64(seg.Start), seg.Len)
+	}
+	if err := store.Destroy(dead); err != nil {
+		return 0, fmt.Errorf("condisc: destroying crashed store: %w", err)
+	}
+	if deadReplicas != nil {
+		_ = deadReplicas.Close()
+	}
+	// Ring absorption reuses the Leave machinery — with an empty store the
+	// "handoff" moves zero items, leaving only the pointer surgery.
+	if err := d.Leave(id); err != nil {
+		return 0, err
+	}
+	return d.repairSegment(seg)
+}
+
+// repairSegment re-materializes the crashed range into its new owner from
+// the surviving replica payloads, then re-spreads the affected items so
+// the replication factor is restored. Iteration is in deterministic ring
+// index order; fresher primary writes win over stale replicas
+// (store.PutIfAbsent — a write that raced the repair is already the
+// newest copy).
+func (d *DHT) repairSegment(seg interval.Segment) (int, error) {
+	snap := d.ring.Snapshot()
+	n := snap.N()
+	// Collect the surviving replica payloads of the dead range.
+	d.storesMu.RLock()
+	holders := make([]store.Store, 0, n)
+	for i := 0; i < n; i++ {
+		if rs, ok := d.rstores[snap.HandleAt(i)]; ok {
+			holders = append(holders, rs)
+		}
+	}
+	d.storesMu.RUnlock()
+	repaired := 0
+	for _, rs := range holders {
+		var items []store.Item
+		if err := rs.Ascend(seg, func(it store.Item) bool {
+			items = append(items, it)
+			return true
+		}); err != nil {
+			return repaired, fmt.Errorf("condisc: reading replicas: %w", err)
+		}
+		for _, it := range items {
+			st, ok := d.storeOf(snap.CoverHandle(it.Point))
+			if !ok {
+				continue
+			}
+			added, err := store.PutIfAbsent(st, it.Point, it.Key, it.Value)
+			if err != nil {
+				return repaired, fmt.Errorf("condisc: repairing %q: %w", it.Key, err)
+			}
+			if added {
+				repaired++
+			}
+			// Re-spread onto the new owner's successor chain: the crash
+			// removed one replica holder of this item.
+			d.replicatePut(snap, it.Point, it.Key, it.Value)
+		}
+	}
+	// The dead server was also a replica HOLDER for its K−1 ring
+	// predecessors' items; walk those primaries and re-spread them so
+	// every item is back on Replication servers.
+	k := d.replicaFactor(n)
+	start := snap.Cover(seg.Start)
+	for s := 1; s < k; s++ {
+		i := ((start-s)%n + n) % n
+		st, ok := d.storeOf(snap.HandleAt(i))
+		if !ok {
+			continue
+		}
+		var items []store.Item
+		if err := st.Ascend(snap.Segment(i), func(it store.Item) bool {
+			items = append(items, it)
+			return true
+		}); err != nil {
+			return repaired, fmt.Errorf("condisc: re-replicating: %w", err)
+		}
+		for _, it := range items {
+			d.replicatePut(snap, it.Point, it.Key, it.Value)
+		}
+	}
+	return repaired, nil
+}

@@ -1,0 +1,133 @@
+package condisc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"condisc/internal/journal"
+)
+
+func TestCrashRequiresReplication(t *testing.T) {
+	d := New(8, Options{Seed: 31})
+	defer d.Close()
+	if _, err := d.Crash(d.IDAt(0)); err == nil {
+		t.Fatal("Crash without replication succeeded")
+	}
+}
+
+func TestCrashLosesNothingAcked(t *testing.T) {
+	// The simulator's crash story: every settled write survives the
+	// ungraceful death of any single server — the replicas re-materialize
+	// the dead range, the journal records the crash, and the unknown-id
+	// path stays an error.
+	const keys = 300
+	jrn := journal.New(1 << 12)
+	d := New(16, Options{Seed: 33, Replication: 3, Journal: jrn})
+	defer d.Close()
+	for i := 0; i < keys; i++ {
+		d.Put(i%d.N(), fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	victim := d.IDAt(5)
+	lost := d.ItemsOf(victim)
+	repaired, err := d.Crash(victim)
+	if err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if repaired < lost {
+		t.Fatalf("crash destroyed %d items but repaired only %d", lost, repaired)
+	}
+	if d.N() != 15 {
+		t.Fatalf("ring has %d servers after the crash, want 15", d.N())
+	}
+	for i := 0; i < keys; i++ {
+		v, _, ok := d.Get(i%d.N(), fmt.Sprintf("key-%d", i))
+		if !ok || !bytes.Equal(v, []byte(fmt.Sprintf("val-%d", i))) {
+			t.Fatalf("key-%d lost by the crash: ok=%v v=%q", i, ok, v)
+		}
+	}
+	absorbs := 0
+	for _, rec := range jrn.Records() {
+		if rec.Kind == journal.KindCrashAbsorb {
+			absorbs++
+		}
+	}
+	if absorbs != 1 {
+		t.Fatalf("journal holds %d crash_absorb records, want 1", absorbs)
+	}
+	if _, err := d.Crash(victim); err == nil {
+		t.Fatal("crashing an already-dead id succeeded")
+	}
+}
+
+func TestSequentialCrashesWithRepairBetween(t *testing.T) {
+	// Repair restores the replication factor, so a SECOND crash — of a
+	// server that may well have been a replica holder for the first
+	// victim's range — still loses nothing.
+	const keys = 200
+	d := New(12, Options{Seed: 35, Replication: 3})
+	defer d.Close()
+	for i := 0; i < keys; i++ {
+		d.Put(i%d.N(), fmt.Sprintf("key-%d", i), []byte("v"))
+	}
+	for round := 0; round < 3; round++ {
+		if _, err := d.Crash(d.IDAt(round * 2)); err != nil {
+			t.Fatalf("crash %d: %v", round, err)
+		}
+		for i := 0; i < keys; i++ {
+			if _, _, ok := d.Get(i%d.N(), fmt.Sprintf("key-%d", i)); !ok {
+				t.Fatalf("key-%d lost after crash %d", i, round)
+			}
+		}
+	}
+	if d.N() != 9 {
+		t.Fatalf("ring has %d servers after 3 crashes, want 9", d.N())
+	}
+}
+
+func TestReplicaFallbackIsInvisibleOnHealthyRing(t *testing.T) {
+	// A genuine miss on a healthy ring must stay a miss: the replicas
+	// never hold anything the primaries don't, so the fallback cannot
+	// invent values — and misses keep returning (nil, 0, false).
+	d := New(8, Options{Seed: 37, Replication: 3})
+	defer d.Close()
+	d.Put(0, "present", []byte("v"))
+	if _, _, ok := d.Get(1, "absent"); ok {
+		t.Fatal("healthy-ring miss served a value")
+	}
+	if v, _, ok := d.Get(1, "present"); !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("healthy-ring hit: ok=%v v=%q", ok, v)
+	}
+}
+
+func TestReplicationSurvivesChurnThenCrash(t *testing.T) {
+	// Joins and leaves interleaved with writes, then a crash: the replica
+	// plane must have tracked ownership moves well enough that the crash
+	// still loses nothing (overwrites re-place copies; crash repair
+	// re-spreads them).
+	const keys = 150
+	d := New(10, Options{Seed: 39, Replication: 3})
+	defer d.Close()
+	for i := 0; i < keys; i++ {
+		d.Put(i%d.N(), fmt.Sprintf("key-%d", i), []byte("v1"))
+	}
+	d.Join()
+	d.Join()
+	if err := d.Leave(d.IDAt(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite everything post-churn: placement is re-resolved against
+	// the new decomposition, restoring full replication for every key.
+	for i := 0; i < keys; i++ {
+		d.Put(i%d.N(), fmt.Sprintf("key-%d", i), []byte("v2"))
+	}
+	if _, err := d.Crash(d.IDAt(7)); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	for i := 0; i < keys; i++ {
+		v, _, ok := d.Get(i%d.N(), fmt.Sprintf("key-%d", i))
+		if !ok || !bytes.Equal(v, []byte("v2")) {
+			t.Fatalf("key-%d after churn+crash: ok=%v v=%q", i, ok, v)
+		}
+	}
+}

@@ -236,6 +236,25 @@ func TestJournalDigestInvariance(t *testing.T) {
 	}
 }
 
+// TestReplicationDigestInvariance is the replication layer's invariance
+// arm: replica stores are observers of the primary state (WriteState
+// never hashes them) and replica placement consumes no RNG, so the full
+// width-16 concurrent trace with Replication=3 must produce a dump
+// byte-identical to the same trace without replication — AND to its own
+// serial (width-1) run. A replica write that leaked into primary state,
+// consumed RNG, or perturbed wave ordering would shift the dump here.
+func TestReplicationDigestInvariance(t *testing.T) {
+	tr := Generate(1, GenOptions{
+		Initial: 256, Events: 1000,
+		JoinFrac: 0.40, LeaveFrac: 0.30, PutFrac: 0.15,
+	})
+	off := mustRun(t, tr, Config{Width: 16, SchedSeed: 2})
+	on := mustRun(t, tr, Config{Width: 16, SchedSeed: 2, Replication: 3})
+	diffFatal(t, "replication on vs off (width=16)", off, on)
+	serialOn := mustRun(t, tr, Config{Width: 1, Replication: 3})
+	diffFatal(t, "replication on, width=16 vs serial", serialOn, on)
+}
+
 // TestCountersSurviveConcurrentChurn is the no-lost-updates property:
 // accumulate load and cache-supply counters with traffic, run a
 // concurrent churn storm, and require every surviving server's counters

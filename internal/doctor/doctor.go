@@ -47,6 +47,7 @@ const (
 	InvHopP99       = "hop_p99"
 	InvLoadSkew     = "load_skew"
 	InvLocalBalance = "local_balance"
+	InvReplication  = "replication"
 )
 
 // Verdict is the outcome of one invariant check. Margin is the
@@ -254,6 +255,16 @@ type NodeStats struct {
 	Degree  int     // routing-table size incl. ring pointers
 	Delta   uint64  // the graph degree parameter ∆
 	HopP99  float64 // p99 hops of lookups this node initiated (<0 = none)
+	// Replication-factor view (all zero when replication is off):
+	// ReplDesired is the successor-chain length the policy wants (K−1,
+	// capped by the ring size), ReplLive the entries currently believed
+	// alive by the failure detector, ReplPending the outstanding crash
+	// repairs. The invariant holds iff Desired − Live + Pending == 0 —
+	// i.e. every replica target is reachable and no absorbed range is
+	// still waiting for its items to be re-materialized.
+	ReplDesired int
+	ReplLive    int
+	ReplPending int
 }
 
 // EstimateN is the paper's §3 network-size estimator: a segment of
@@ -299,6 +310,16 @@ func DiagnoseNode(ns NodeStats) Report {
 			ratio = b / a
 		}
 		out = append(out, verdict(InvLocalBalance, balBound, ratio, LocalBalanceLimit(), ""))
+	}
+
+	replBound := "replication factor: every value on K live nodes"
+	if ns.ReplDesired <= 0 {
+		out = append(out, skipped(InvReplication, replBound, "replication disabled"))
+	} else {
+		missing := float64(ns.ReplDesired-ns.ReplLive) + float64(ns.ReplPending)
+		detail := fmt.Sprintf("%d of %d replica targets live, %d repairs pending",
+			ns.ReplLive, ns.ReplDesired, ns.ReplPending)
+		out = append(out, verdict(InvReplication, replBound, missing, 0, detail))
 	}
 
 	return finish(out)

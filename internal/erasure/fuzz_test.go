@@ -1,0 +1,67 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRSReconstruct drives Encode/Decode through randomized shard loss
+// and single-byte bit-flip corruption. The property under test is
+// reconstruct-or-error: Decode may fail (too few shards, corrupted
+// frame), but whenever it succeeds the bytes must be exactly the
+// original payload — never a silent wrong reconstruction. Erasure-only
+// cases additionally must succeed whenever >= K shards survive.
+func FuzzRSReconstruct(f *testing.F) {
+	f.Add(uint8(4), uint8(8), []byte("the quick brown fox"), uint16(0x00f0), uint8(0), uint16(0), uint8(0))
+	f.Add(uint8(1), uint8(1), []byte(""), uint16(0), uint8(0), uint16(0), uint8(1))
+	f.Add(uint8(3), uint8(5), []byte("abc"), uint16(0x3), uint8(2), uint16(1), uint8(0x80))
+	f.Add(uint8(4), uint8(12), bytes.Repeat([]byte{0xAB}, 300), uint16(0xAAA), uint8(7), uint16(150), uint8(0x01))
+	f.Fuzz(func(t *testing.T, k, m uint8, data []byte, lossMask uint16, corruptShard uint8, corruptPos uint16, flip uint8) {
+		if k < 1 || m < k || m > 16 {
+			return // out-of-range codes are NewCode's error path, not ours
+		}
+		if len(data) > 1<<12 {
+			data = data[:1<<12]
+		}
+		c, err := NewCode(int(k), int(m))
+		if err != nil {
+			t.Fatalf("NewCode(%d, %d): %v", k, m, err)
+		}
+		shards := c.Encode(data)
+
+		// Drop the shards selected by lossMask.
+		alive := 0
+		for i := range shards {
+			if lossMask&(1<<uint(i)) != 0 {
+				shards[i] = nil
+			} else {
+				alive++
+			}
+		}
+
+		// Optionally corrupt one surviving shard in place (flip == 0
+		// keeps the run erasure-only).
+		corrupted := false
+		if flip != 0 {
+			idx := int(corruptShard) % len(shards)
+			if s := shards[idx]; s != nil && len(s) > 0 {
+				s[int(corruptPos)%len(s)] ^= flip
+				corrupted = true
+			}
+		}
+
+		got, err := c.Decode(shards)
+		if err != nil {
+			// Errors are always acceptable: too few shards, or a
+			// corruption the checksum caught.
+			if alive >= int(k) && !corrupted {
+				t.Fatalf("k=%d m=%d alive=%d: erasure-only decode failed: %v", k, m, alive, err)
+			}
+			return
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("k=%d m=%d alive=%d corrupted=%v: Decode returned wrong bytes: got %d want %d",
+				k, m, alive, corrupted, len(got), len(data))
+		}
+	})
+}

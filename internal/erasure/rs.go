@@ -1,6 +1,9 @@
 package erasure
 
-import "fmt"
+import (
+	"fmt"
+	"hash/crc32"
+)
 
 // Code is a systematic Reed–Solomon erasure code: K data shards, M total
 // shards (M-K parity), any K of which reconstruct the data. Requires
@@ -122,19 +125,35 @@ func (c *Code) ReconstructShards(shards [][]byte) ([][]byte, error) {
 	return data, nil
 }
 
-// Encode produces the M shards of a length-framed payload (the original
-// length is prepended so Decode can strip the padding).
+// frameHeader is the length + checksum prefix Encode prepends: 4 bytes
+// big-endian payload length, 4 bytes big-endian IEEE CRC32 of the
+// payload. Erasures alone never need the checksum (any K intact shards
+// reconstruct exactly), but a *corrupted* shard among exactly K present
+// ones reconstructs silently wrong bytes — the CRC turns that into a
+// detected error, which is what lets Decode promise reconstruct-or-error.
+const frameHeader = 8
+
+// Encode produces the M shards of a framed payload: the original length
+// and a CRC32 of the data are prepended so Decode can strip the padding
+// and refuse a reconstruction built from corrupted shards.
 func (c *Code) Encode(data []byte) [][]byte {
-	framed := make([]byte, 4+len(data))
+	framed := make([]byte, frameHeader+len(data))
 	framed[0] = byte(len(data) >> 24)
 	framed[1] = byte(len(data) >> 16)
 	framed[2] = byte(len(data) >> 8)
 	framed[3] = byte(len(data))
-	copy(framed[4:], data)
+	sum := crc32.ChecksumIEEE(data)
+	framed[4] = byte(sum >> 24)
+	framed[5] = byte(sum >> 16)
+	framed[6] = byte(sum >> 8)
+	framed[7] = byte(sum)
+	copy(framed[frameHeader:], data)
 	return c.EncodeShards(framed)
 }
 
 // Decode reconstructs the original payload from any K of the M shards.
+// It returns an error — never wrong bytes — when the surviving shards
+// are inconsistent with the encoded frame (bad length or CRC mismatch).
 func (c *Code) Decode(shards [][]byte) ([]byte, error) {
 	dataShards, err := c.ReconstructShards(shards)
 	if err != nil {
@@ -144,12 +163,17 @@ func (c *Code) Decode(shards [][]byte) ([]byte, error) {
 	for _, s := range dataShards {
 		framed = append(framed, s...)
 	}
-	if len(framed) < 4 {
+	if len(framed) < frameHeader {
 		return nil, fmt.Errorf("erasure: reconstructed payload too short")
 	}
 	n := int(framed[0])<<24 | int(framed[1])<<16 | int(framed[2])<<8 | int(framed[3])
-	if n < 0 || n > len(framed)-4 {
-		return nil, fmt.Errorf("erasure: corrupt length frame (%d of %d)", n, len(framed)-4)
+	if n < 0 || n > len(framed)-frameHeader {
+		return nil, fmt.Errorf("erasure: corrupt length frame (%d of %d)", n, len(framed)-frameHeader)
 	}
-	return framed[4 : 4+n], nil
+	sum := uint32(framed[4])<<24 | uint32(framed[5])<<16 | uint32(framed[6])<<8 | uint32(framed[7])
+	data := framed[frameHeader : frameHeader+n]
+	if got := crc32.ChecksumIEEE(data); got != sum {
+		return nil, fmt.Errorf("erasure: checksum mismatch (corrupted shard among the %d used)", c.K)
+	}
+	return data, nil
 }

@@ -91,5 +91,6 @@ func All(cfg Config) []Result {
 		StalenessVsStabilization(cfg),
 		ZipfLoadSkew(cfg),
 		DoctorAdversarialLeave(cfg),
+		CrashFaultTolerance(cfg),
 	}
 }

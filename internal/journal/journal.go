@@ -68,6 +68,13 @@ const (
 	// sanctioned p2p ownership mutation. RingVer = the new version,
 	// A = new segment end, B = new successor id.
 	KindEndSuccFlip
+	// KindCrashAbsorb: the failure detector declared the successor dead
+	// and the node absorbed its segment without a handoff session (the
+	// items are gone until repair re-materializes them from replicas).
+	// RingVer = the new version, A = the dead successor's id, B = the
+	// new segment end, C = the number of opState misses that tripped
+	// the detector.
+	KindCrashAbsorb
 
 	kindCount // one past the last valid kind
 )
@@ -84,6 +91,7 @@ var kindNames = [kindCount]string{
 	KindHandAbort:    "hand_abort",
 	KindStaleRepair:  "stale_repair",
 	KindEndSuccFlip:  "end_succ_flip",
+	KindCrashAbsorb:  "crash_absorb",
 }
 
 // String returns the snake_case name used in dumps and timelines.

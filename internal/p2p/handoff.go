@@ -162,7 +162,7 @@ func (n *Node) StartJoin(bootstrap string, rng *rand.Rand) error {
 			}
 		}
 		sess = rng.Uint64() | 1
-		prep, err = call(owner.Addr, request{Op: opHandPrepare, Session: sess,
+		prep, err = n.rpc(owner.Addr, request{Op: opHandPrepare, Session: sess,
 			NewPoint: uint64(p), NewAddr: n.addr, NewID: n.id})
 		if err == nil {
 			joinPt, ownerAddr = p, owner.Addr
@@ -198,7 +198,7 @@ func (n *Node) StartJoin(bootstrap string, rng *rand.Rand) error {
 // of the ring; (false, nil) means the session was aborted cleanly and the
 // caller should join fresh.
 func (n *Node) resumeJoin(rec *handoff.Receiver) (joined bool, err error) {
-	st, serr := call(rec.Sender, request{Op: opHandStatus, Session: rec.ID})
+	st, serr := n.rpc(rec.Sender, request{Op: opHandStatus, Session: rec.ID})
 	if serr != nil {
 		// The sender is unreachable, so "who owns the range" cannot be
 		// decided: aborting could demote items we own, resuming could
@@ -299,6 +299,10 @@ func (n *Node) adoptFromReceiver(rec *handoff.Receiver) {
 	n.setEndSuccLocked(rec.Seg.End(), succ)
 	n.setBackLocked([]NodeInfo{pred})
 	n.ready = true
+	// The adopted range arrived with no replica payloads anywhere (the
+	// sender's replicas cover its OLD segment, not ours): mark it for
+	// re-replication so the first stabilization round pushes it out.
+	n.replDirty = n.repl.Enabled()
 	n.mu.Unlock()
 }
 
@@ -349,12 +353,12 @@ func (n *Node) pullOnce(rec *handoff.Receiver) error {
 	} else if ok {
 		req.FromPoint, req.FromKey, req.HasFrom = uint64(p), key, true
 	}
-	conn, err := net.DialTimeout("tcp", rec.Sender, rpcTimeout)
+	conn, err := net.DialTimeout("tcp", rec.Sender, n.rpcTimeout)
 	if err != nil {
 		return fmt.Errorf("p2p: dial %s: %w", rec.Sender, err)
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(rpcTimeout))
+	conn.SetDeadline(time.Now().Add(n.rpcTimeout))
 	if err := gob.NewEncoder(conn).Encode(req); err != nil {
 		return fmt.Errorf("p2p: encode stream request: %w", err)
 	}
@@ -368,11 +372,25 @@ func (n *Node) pullOnce(rec *handoff.Receiver) error {
 		chunk++
 		return rec.Apply(items)
 	}, func() {
-		conn.SetReadDeadline(time.Now().Add(rpcTimeout)) // a live stream never times out between frames
+		// Per-frame idle deadline, extended before every frame read: a
+		// live stream can take arbitrarily long in total, but a sender
+		// that goes silent mid-stream (crash, partition) must not pin
+		// this receiver — and its staged range — forever. Generous (10×
+		// the RPC deadline) so a sender merely slow under load is never
+		// falsely abandoned; on expiry the read errors, the connection
+		// drops, and pullStream retries or rolls the session back.
+		conn.SetReadDeadline(time.Now().Add(streamIdleTimeout(n.rpcTimeout)))
 	})
 	n.met.handItemsIn.Add(int64(count))
 	return err
 }
+
+// streamIdleTimeout is the receiver's bound on sender silence BETWEEN
+// stream frames — deliberately much larger than the per-RPC deadline
+// (which covers dial + one request/response), because a frame's arrival
+// time depends on the sender's store and load, but still finite so a
+// dead sender cannot leak the receiver's staging session.
+func streamIdleTimeout(rpc time.Duration) time.Duration { return 10 * rpc }
 
 // Commit-ambiguity resolution: when a commit RPC fails in transport, the
 // commit may have been applied with its response lost — or may still be
@@ -408,7 +426,7 @@ const (
 // commit can land afterwards).
 func (n *Node) resolveCommit(sender string, id uint64) (committed, definitive bool) {
 	for attempt := 0; attempt < commitWaitAttempts; attempt++ {
-		resp, err := call(sender, request{Op: opHandCommit, Session: id})
+		resp, err := n.rpc(sender, request{Op: opHandCommit, Session: id})
 		if err == nil {
 			return true, true
 		}
@@ -431,7 +449,7 @@ func (n *Node) resolveCommit(sender string, id uint64) (committed, definitive bo
 func (n *Node) resolveByAbort(sender string, id uint64) (committed, definitive bool) {
 	for attempt := 0; attempt < commitProbeAttempts; attempt++ {
 		time.Sleep(commitProbeDelay)
-		st, serr := call(sender, request{Op: opHandAbort, Session: id})
+		st, serr := n.rpc(sender, request{Op: opHandAbort, Session: id})
 		if serr == nil {
 			return st.State == handoff.StateCommitted.String(), true
 		}
@@ -515,7 +533,7 @@ func (n *Node) handleHandPrepare(req request) response {
 // the receiver's last staged position) in O(chunk) memory, extending the
 // write deadline and the session TTL per frame.
 func (n *Node) handleStream(req request, conn net.Conn) {
-	writeDeadline := func() { conn.SetWriteDeadline(time.Now().Add(rpcTimeout)) }
+	writeDeadline := func() { conn.SetWriteDeadline(time.Now().Add(n.rpcTimeout)) }
 	sess, ok := n.sessions.Get(req.Session)
 	if !ok {
 		writeDeadline()
@@ -527,7 +545,7 @@ func (n *Node) handleStream(req request, conn net.Conn) {
 	if req.HasFrom {
 		cur.Seek(interval.Point(req.FromPoint), req.FromKey)
 	}
-	w := deadlineWriter{conn: conn}
+	w := deadlineWriter{conn: conn, timeout: n.rpcTimeout}
 	// A failed write just drops the connection: the receiver reconnects
 	// and resumes; the session stays alive until commit or TTL expiry.
 	count, sum, _ := handoff.Stream(w, cur, n.chunkBytes, func() { n.sessions.Touch(sess) })
@@ -536,10 +554,15 @@ func (n *Node) handleStream(req request, conn net.Conn) {
 		req.Session, count, sum)
 }
 
-type deadlineWriter struct{ conn net.Conn }
+// deadlineWriter extends the connection's write deadline before every
+// write, so a stream is bounded per frame rather than in total.
+type deadlineWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+}
 
 func (w deadlineWriter) Write(p []byte) (int, error) {
-	w.conn.SetWriteDeadline(time.Now().Add(rpcTimeout))
+	w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
 	return w.conn.Write(p)
 }
 
@@ -763,7 +786,7 @@ func (n *Node) Leave() error {
 	offer := request{Op: opLeave, Session: sessID, SrcAddr: n.addr,
 		SegStart: uint64(seg.Start), SegLen: seg.Len,
 		Target: uint64(end), NewAddr: succ.Addr, NewID: succ.ID, NewPoint: uint64(succ.Point)}
-	if _, err := call(pred.Addr, offer); err != nil {
+	if _, err := n.rpc(pred.Addr, offer); err != nil {
 		n.sessions.Abort(sessID)
 		n.mu.Lock()
 		n.leaving = false
@@ -879,7 +902,7 @@ func (n *Node) absorbLeave(req request) {
 		// resumes serving — its next attempt goes to its new predecessor,
 		// the joiner) and roll the promotion back.
 		n.mu.Unlock()
-		_, _ = call(req.SrcAddr, request{Op: opHandAbort, Session: req.Session})
+		_, _ = n.rpc(req.SrcAddr, request{Op: opHandAbort, Session: req.Session})
 		rec.Abort(n.data)
 		return
 	}
@@ -901,6 +924,11 @@ func (n *Node) absorbLeave(req request) {
 	switch {
 	case committed:
 		rec.Finish()
+		// The absorbed range's replicas were placed by the DEPARTED node
+		// for its own successor chain; re-replicate for ours.
+		n.mu.Lock()
+		n.replDirty = n.repl.Enabled()
+		n.mu.Unlock()
 		n.tel.Emitf("absorb.commit", "session %x: absorbed leaver %s's [%v,+%d)",
 			req.Session, req.SrcAddr, seg.Start, seg.Len)
 	case definitive:

@@ -14,6 +14,7 @@ import (
 	"condisc/internal/hashing"
 	"condisc/internal/interval"
 	"condisc/internal/journal"
+	"condisc/internal/replicate"
 	"condisc/internal/store"
 	"condisc/internal/telemetry"
 )
@@ -112,6 +113,35 @@ type Node struct {
 	// E31 staleness-vs-stabilization experiment.
 	noPatches bool
 
+	// rpcTimeout is this node's request/response deadline (default the
+	// package rpcTimeout). The failure detector needs tighter bounds than
+	// bulk handoff, so it is per-node instead of a package constant.
+	rpcTimeout time.Duration
+	// repl is the node's replication policy (disabled unless
+	// WithReplication turned it on); rdata is the replica-payload store —
+	// items this node holds FOR ITS PREDECESSORS, strictly separate from
+	// the owned store so handoffs, doctor item counts, and digests never
+	// mix the two planes.
+	repl  replicate.Policy
+	rdata store.Store
+	// succs caches the K−1-deep ring successor chain (refreshed by
+	// Stabilize; entry 0 is n.succ). It is both the replica placement
+	// target list and — after the successor dies — the replica-holder
+	// list crash repair pulls from (guarded by mu).
+	succs []NodeInfo
+	// Failure-detector state (guarded by mu): fdMisses counts consecutive
+	// failed successor opState probes; at fdThreshold the successor is
+	// declared dead and crashAbsorb runs. repairSegs queues absorbed
+	// ranges whose items exist only as replicas until runRepairs
+	// re-materializes them (repairPending spans that window); replDirty
+	// asks the next Stabilize to re-replicate the owned range (set after
+	// any membership change around this node).
+	fdMisses      int
+	fdThreshold   int
+	repairPending bool
+	repairSegs    []interval.Segment
+	replDirty     bool
+
 	// tel is the node's telemetry registry (telemetry.Default unless
 	// WithTelemetry gave this node its own — in-process clusters do, so
 	// per-node load skew stays observable). met holds the pre-resolved
@@ -195,6 +225,47 @@ func WithJournal(j *journal.Journal) NodeOption {
 	return func(n *Node) { n.jrn = j }
 }
 
+// WithRPCTimeout sets the node's request/response deadline (default the
+// package rpcTimeout, 5s). Every deadline the node arms scales from it:
+// control RPCs and the failure-detector probe use it directly, streamed
+// handoff frames get the 10× idle allowance.
+func WithRPCTimeout(d time.Duration) NodeOption {
+	return func(n *Node) {
+		if d > 0 {
+			n.rpcTimeout = d
+		}
+	}
+}
+
+// WithReplication enables k-successor replication under pol: every Put
+// this node owns is also placed on its K−1 ring successors (acked at
+// pol's quorum), owner misses fall back to replicas, and the node
+// repairs replication after membership changes. It also arms the
+// failure detector: a successor silent for fdThreshold consecutive
+// stabilization probes is declared dead and its segment crash-absorbed.
+func WithReplication(pol replicate.Policy) NodeOption {
+	return func(n *Node) { n.repl = pol }
+}
+
+// WithReplicaStore backs the node's replica-payload plane with s (for
+// example a second WAL store beside the primary) instead of the default
+// in-memory store. The node takes ownership: Close closes the store.
+func WithReplicaStore(s store.Store) NodeOption {
+	return func(n *Node) { n.rdata = s }
+}
+
+// WithFDThreshold sets how many consecutive failed successor probes
+// declare the successor dead (default 3). It also arms the failure
+// detector even without replication — the ring then heals around a
+// crashed node whose items are lost until an operator restores them.
+func WithFDThreshold(k int) NodeOption {
+	return func(n *Node) {
+		if k > 0 {
+			n.fdThreshold = k
+		}
+	}
+}
+
 // nodeMetrics holds the node's pre-resolved metric pointers: request
 // handlers record through these, never through registry lookups.
 type nodeMetrics struct {
@@ -211,6 +282,19 @@ type nodeMetrics struct {
 	handAborts   *telemetry.Counter
 	handBytesOut *telemetry.Counter
 	handItemsIn  *telemetry.Counter
+	// Replication plane: replica writes pushed out, quorum failures
+	// surfaced to writers, replica-fallback reads attempted/served, crash
+	// absorbs performed, and repair-loop volume. fdSuspicion is the
+	// failure detector's live miss count against the current successor.
+	replPuts       *telemetry.Counter
+	replQuorumFail *telemetry.Counter
+	replFallbacks  *telemetry.Counter
+	replFallbackOK *telemetry.Counter
+	crashAbsorbs   *telemetry.Counter
+	repairRuns     *telemetry.Counter
+	repairItems    *telemetry.Counter
+	repairBytes    *telemetry.Counter
+	fdSuspicion    *telemetry.Gauge
 }
 
 func newNodeMetrics(reg *telemetry.Registry) nodeMetrics {
@@ -226,9 +310,20 @@ func newNodeMetrics(reg *telemetry.Registry) nodeMetrics {
 		handAborts:   reg.Counter("condisc_p2p_handoff_aborts_total"),
 		handBytesOut: reg.Counter("condisc_p2p_handoff_stream_bytes_total"),
 		handItemsIn:  reg.Counter("condisc_p2p_handoff_items_in_total"),
+
+		replPuts:       reg.Counter("condisc_p2p_repl_puts_total"),
+		replQuorumFail: reg.Counter("condisc_p2p_repl_quorum_fail_total"),
+		replFallbacks:  reg.Counter("condisc_p2p_repl_fallback_total"),
+		replFallbackOK: reg.Counter("condisc_p2p_repl_fallback_hits_total"),
+		crashAbsorbs:   reg.Counter("condisc_p2p_crash_absorbs_total"),
+		repairRuns:     reg.Counter("condisc_p2p_repair_runs_total"),
+		repairItems:    reg.Counter("condisc_p2p_repair_items_total"),
+		repairBytes:    reg.Counter("condisc_p2p_repair_bytes_total"),
+		fdSuspicion:    reg.Gauge("condisc_p2p_fd_suspicion"),
 	}
 	for _, op := range []string{opState, opLookup, opGet, opPut, opSetPred, opPatchBack,
-		opLeave, opHandPrepare, opHandStream, opHandCommit, opHandStatus, opHandAbort} {
+		opLeave, opHandPrepare, opHandStream, opHandCommit, opHandStatus, opHandAbort,
+		opReplPut, opReplGet, opReplStream} {
 		m.rpc[op] = reg.Counter(fmt.Sprintf("condisc_p2p_rpc_total{op=%q}", op))
 	}
 	return m
@@ -260,6 +355,21 @@ func NewNode(addr string, seed uint64, opts ...NodeOption) (*Node, error) {
 	n.met = newNodeMetrics(n.tel)
 	if n.data == nil {
 		n.data = store.NewMem()
+	}
+	if n.rpcTimeout <= 0 {
+		n.rpcTimeout = rpcTimeout
+	}
+	if err := n.repl.Validate(); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	// The failure detector arms with replication (crash repair needs it)
+	// or with an explicit WithFDThreshold; fdThreshold == 0 keeps it off.
+	if n.repl.Enabled() && n.fdThreshold == 0 {
+		n.fdThreshold = 3
+	}
+	if n.repl.Enabled() && n.rdata == nil {
+		n.rdata = store.NewMem()
 	}
 	if n.handoffTTL <= 0 {
 		n.handoffTTL = handoff.DefaultTTL
@@ -320,14 +430,31 @@ func (n *Node) Doctor() doctor.Report {
 		predLen = uint64(n.x - interval.Point(n.pred.Point))
 	}
 	deg := len(n.backSorted) + 2 // back table + pred/succ ring pointers
-	n.mu.Unlock()
-	return doctor.DiagnoseNode(doctor.NodeStats{
+	stats := doctor.NodeStats{
 		SegLen:  seg.Len,
 		PredLen: predLen,
 		Degree:  deg,
 		Delta:   2,
-		HopP99:  n.met.hops.Quantile(0.99),
-	})
+	}
+	if n.repl.Enabled() {
+		// Desired = the successor chain the last healthy walk found
+		// (capped below K−1 only when the ring itself is smaller). Live
+		// subtracts a currently-suspected successor, and an unfinished
+		// crash repair counts as one missing unit — so the verdict
+		// degrades the moment the detector suspects and recovers only
+		// after absorb + repair both completed.
+		stats.ReplDesired = len(n.succs)
+		stats.ReplLive = len(n.succs)
+		if n.fdMisses > 0 && stats.ReplLive > 0 {
+			stats.ReplLive--
+		}
+		if n.repairPending {
+			stats.ReplPending = 1
+		}
+	}
+	n.mu.Unlock()
+	stats.HopP99 = n.met.hops.Quantile(0.99)
+	return doctor.DiagnoseNode(stats)
 }
 
 // SetAdminAddr records the node's admin HTTP endpoint; it is advertised
@@ -355,6 +482,14 @@ type NodeStatus struct {
 	Ready     bool       `json:"ready"`
 	Leaving   bool       `json:"leaving"`
 	Absorbing int        `json:"absorbing"`
+	// Replication plane (zero values when replication is off): the
+	// policy's K, the cached successor chain replicas go to, the replica
+	// payloads held for predecessors, and whether a crash repair is
+	// still outstanding.
+	ReplK         int        `json:"repl_k,omitempty"`
+	Succs         []NodeInfo `json:"succs,omitempty"`
+	ReplItems     int        `json:"repl_items,omitempty"`
+	RepairPending bool       `json:"repair_pending,omitempty"`
 }
 
 // Status assembles the node's introspection snapshot.
@@ -366,9 +501,14 @@ func (n *Node) Status() NodeStatus {
 		Pred: n.pred, Succ: n.succ,
 		Back:  append([]NodeInfo(nil), n.backSorted...),
 		Ready: n.ready, Leaving: n.leaving, Absorbing: n.absorbing,
+		ReplK: n.repl.K, Succs: append([]NodeInfo(nil), n.succs...),
+		RepairPending: n.repairPending,
 	}
 	n.mu.Unlock()
 	st.Items = n.data.Len()
+	if n.rdata != nil {
+		st.ReplItems = n.rdata.Len()
+	}
 	return st
 }
 
@@ -479,18 +619,28 @@ func (n *Node) serve() {
 			go func() {
 				defer n.wg.Done()
 				defer conn.Close()
+				// Bound the initial request read: a peer that dialed and
+				// then died (or never speaks) must not pin this goroutine
+				// forever. Generous — 10× the RPC deadline — because the
+				// same accept path serves multi-frame streams whose senders
+				// legitimately pause between chunks.
+				conn.SetReadDeadline(time.Now().Add(10 * n.rpcTimeout))
 				var req request
 				if err := gob.NewDecoder(conn).Decode(&req); err != nil {
 					return
 				}
-				if req.Op == opHandStream {
+				conn.SetReadDeadline(time.Time{})
+				switch req.Op {
+				case opHandStream:
 					// The response is a framed chunk stream on the same
 					// connection, not a gob message.
 					n.handleStream(req, conn)
-					return
+				case opReplStream:
+					n.handleReplStream(req, conn)
+				default:
+					resp := n.handle(req)
+					_ = gob.NewEncoder(conn).Encode(resp)
 				}
-				resp := n.handle(req)
-				_ = gob.NewEncoder(conn).Encode(resp)
 			}()
 		}
 	}()
@@ -507,6 +657,9 @@ func (n *Node) Close() {
 	n.ln.Close()
 	n.wg.Wait()
 	_ = n.data.Close()
+	if n.rdata != nil {
+		_ = n.rdata.Close()
+	}
 	if n.commits != nil {
 		_ = n.commits.Close()
 	}
@@ -557,6 +710,10 @@ func (n *Node) handle(req request) response {
 		return n.handleHandStatus(req)
 	case opHandAbort:
 		return n.handleHandAbort(req)
+	case opReplPut:
+		return n.handleReplPut(req)
+	case opReplGet:
+		return n.handleReplGet(req)
 	case opLeave:
 		return n.handleLeave(req)
 	case opLookup, opGet, opPut:

@@ -44,6 +44,14 @@ const (
 	opHandCommit  = "hcommit"  // flip ownership: sender deletes the range and repoints (idempotent)
 	opHandStatus  = "hstatus"  // receiver probe after a crash: streaming/committed/unknown
 	opHandAbort   = "habort"   // receiver resolves an ambiguous commit: abort unless already committed
+
+	// Replication ops (k-successor replica plane, internal/replicate).
+	// These address a node directly — they are never routed — and move
+	// opaque replica payloads, not live items, so the no-bulk-payload rule
+	// below still holds for the routed request types.
+	opReplPut    = "replput"    // owner pushes one replica payload to a successor
+	opReplGet    = "replget"    // read one replica payload (replica-fallback Get, repair gather)
+	opReplStream = "replstream" // pull a segment's replica payloads as a framed chunk stream
 )
 
 // request is the single wire request type. There is deliberately no bulk
@@ -136,6 +144,15 @@ type response struct {
 	AdminAddr string
 	// State reports a handoff session's fate to an opHandStatus probe.
 	State string
+	// NotFound marks a Get refusal as a genuine miss: the owner was
+	// reached and the key is not there. Unreachable marks the opposite
+	// failure: some hop could not reach the next node (connection
+	// refused/timeout), so the key's presence is UNKNOWN — a dead owner
+	// and an absent key must not look alike, because only the former is
+	// the replica-fallback trigger. Both flags survive the recursive
+	// unwind: every relaying hop copies them outward.
+	NotFound    bool
+	Unreachable bool
 	// Trace accumulates per-hop records when the request had TraceOn
 	// (owner first; see Hop). RingVer is the owner's ring-pointer
 	// version at serve time — the terminal epoch of the lookup.
@@ -143,16 +160,26 @@ type response struct {
 	RingVer uint64
 }
 
+// rpcTimeout is the package default request/response deadline. Nodes can
+// be built with a different one (WithRPCTimeout) — the failure detector
+// wants tighter bounds than bulk handoff — so node-context calls go
+// through Node.rpc, and only package-level helpers without a node (the
+// Client, sendPatch) use this default.
 const rpcTimeout = 5 * time.Second
 
-// call performs one RPC.
+// call performs one RPC with the default timeout.
 func call(addr string, req request) (response, error) {
-	conn, err := net.DialTimeout("tcp", addr, rpcTimeout)
+	return callT(addr, req, rpcTimeout)
+}
+
+// callT performs one RPC with an explicit dial + I/O deadline.
+func callT(addr string, req request, timeout time.Duration) (response, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return response{}, fmt.Errorf("p2p: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(rpcTimeout)); err != nil {
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return response{}, err
 	}
 	if err := gob.NewEncoder(conn).Encode(req); err != nil {

@@ -1,0 +1,500 @@
+package p2p
+
+// This file is the crash-fault-tolerance plane: k-successor replication
+// (internal/replicate), the failure detector that declares a silent
+// successor dead, the sessionless crash absorb that heals the ring
+// around it, and the repair loop that re-materializes the absorbed
+// range from replicas and restores the replication factor after any
+// membership change.
+//
+// Placement invariant: the owner of a key holds the authoritative copy
+// in n.data; its K−1 ring successors hold replica payloads (full copies
+// or RS shards, see replicate.Payloads) in n.rdata, keyed by the same
+// (point, key). The two stores never mix: handoffs move n.data only,
+// and replica payloads are re-derived by repair instead of being handed
+// off — a deliberately simple ownership story.
+//
+// Crash protocol (this node = the dead node's ring predecessor):
+//
+//	Stabilize probe fails ×fdThreshold       (failure detection)
+//	  → crashAbsorb: end/succ := succ's succ (ring heals, no session)
+//	    journal KindCrashAbsorb, segment queued for repair
+//	  → next Stabilize: successor chain refreshed past the dead node
+//	  → runRepairs: pull the absorbed range's replica payloads from the
+//	    new successors (opReplStream), reconstruct, PutIfAbsent into
+//	    n.data (never clobbering a write that landed after the absorb),
+//	    then re-replicate the owned range to the current chain.
+//
+// In the window between death and repair, reads are still served: a Get
+// that hits the dead node returns Unreachable, and any node on the
+// route falls back to querying its successor chain's replica payloads
+// directly (replicaFallback).
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"condisc/internal/handoff"
+	"condisc/internal/interval"
+	"condisc/internal/journal"
+	"condisc/internal/replicate"
+	"condisc/internal/store"
+)
+
+// Repair pacing: reconstruction and re-replication run in batches of
+// repairBatch items with repairPause between batches, so a repair after
+// a large crash never monopolizes the node's CPU or the ring's RPC
+// capacity.
+const (
+	repairBatch = 128
+	repairPause = 2 * time.Millisecond
+)
+
+// rpc performs one control RPC with this node's deadline (satellite of
+// the package-level call, which keeps the default for node-less
+// callers).
+func (n *Node) rpc(addr string, req request) (response, error) {
+	return callT(addr, req, n.rpcTimeout)
+}
+
+// --- replica plane handlers ---
+
+// handleReplPut stores one replica payload pushed by a predecessor. It
+// is a direct (never routed) write into the replica store; the payload
+// is opaque here — only replicate.Reconstruct interprets it.
+func (n *Node) handleReplPut(req request) response {
+	if n.rdata == nil {
+		return response{Err: "replication disabled"}
+	}
+	if err := n.rdata.Put(interval.Point(req.Target), req.Key, req.Val); err != nil {
+		return response{Err: "replica put: " + err.Error()}
+	}
+	return response{OK: true}
+}
+
+// handleReplGet reads one replica payload (replica-fallback Get, repair
+// gather). A miss is a genuine NotFound — the caller tries other
+// holders.
+func (n *Node) handleReplGet(req request) response {
+	if n.rdata == nil {
+		return response{Err: "replication disabled", NotFound: true}
+	}
+	v, ok, err := n.rdata.Get(interval.Point(req.Target), req.Key)
+	if err != nil {
+		return response{Err: "replica get: " + err.Error()}
+	}
+	if !ok {
+		return response{Err: "replica not held: " + req.Key, NotFound: true}
+	}
+	return response{OK: true, Val: v}
+}
+
+// handleReplStream serves a segment's replica payloads as a framed
+// chunk stream on the raw connection — the sessionless cousin of
+// handleStream, used by crash repair to gather an absorbed range in one
+// pass instead of per-key RPCs. Nothing is fenced or deleted: the
+// stream is a read.
+func (n *Node) handleReplStream(req request, conn net.Conn) {
+	w := deadlineWriter{conn: conn, timeout: n.rpcTimeout}
+	if n.rdata == nil {
+		w.Write(handoff.EncodeError("replication disabled"))
+		return
+	}
+	seg := interval.Segment{Start: interval.Point(req.SegStart), Len: req.SegLen}
+	cur := n.rdata.Cursor(seg)
+	defer cur.Close()
+	_, _, _ = handoff.Stream(w, cur, n.chunkBytes, func() {})
+}
+
+// pullReplStream collects a segment's replica payloads from one holder.
+func (n *Node) pullReplStream(addr string, seg interval.Segment) ([]store.Item, error) {
+	conn, err := net.DialTimeout("tcp", addr, n.rpcTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(n.rpcTimeout))
+	req := request{Op: opReplStream, SegStart: uint64(seg.Start), SegLen: seg.Len}
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return nil, err
+	}
+	var items []store.Item
+	_, err = handoff.ReadStream(bufio.NewReaderSize(conn, 64<<10), func(chunk []store.Item) error {
+		items = append(items, chunk...)
+		return nil
+	}, func() {
+		conn.SetReadDeadline(time.Now().Add(streamIdleTimeout(n.rpcTimeout)))
+	})
+	return items, err
+}
+
+// --- quorum writes ---
+
+// replicatePut pushes an owned Put's replica payloads to the successor
+// chain and enforces the write quorum. It runs OUTSIDE the node mutex
+// (the local write already landed under it); on a missed quorum the
+// response is rewritten into an error, so the writer knows the value is
+// not yet crash-safe — the local copy stays, and repair converges the
+// replicas once the successors are reachable again.
+func (n *Node) replicatePut(req request, resp *response, succs []NodeInfo) {
+	payloads := replicate.Payloads(n.repl, req.Val)
+	acks := 1 // the owner's own durable write
+	for i, s := range succs {
+		if i >= len(payloads) {
+			break
+		}
+		if s.Addr == n.addr {
+			continue
+		}
+		r := request{Op: opReplPut, Key: req.Key, Val: payloads[i], Target: req.Target}
+		if _, err := n.rpc(s.Addr, r); err == nil {
+			acks++
+			n.met.replPuts.Inc()
+		}
+	}
+	if need := n.repl.NeedAcks(); acks < need {
+		n.met.replQuorumFail.Inc()
+		*resp = response{Err: fmt.Sprintf("write quorum not reached (%d of %d acks)", acks, need),
+			Hops: resp.Hops, Stale: resp.Stale}
+	}
+}
+
+// --- replica-fallback reads ---
+
+// replicaFallback tries to serve a failed Get from replica payloads:
+// its own replica store first (in small rings every node holds replicas
+// for every other), then the cached successor chain via opReplGet. At
+// the dead node's predecessor the chain is exactly the dead owner's
+// replica-holder list, so a read that failed with Unreachable resolves
+// here without waiting for repair. Returns base unchanged when the
+// value cannot be reconstructed.
+func (n *Node) replicaFallback(req request, base response) response {
+	n.met.replFallbacks.Inc()
+	n.mu.Lock()
+	succs := append([]NodeInfo(nil), n.succs...)
+	n.mu.Unlock()
+	var payloads [][]byte
+	p := interval.Point(req.Target)
+	if n.rdata != nil {
+		if v, ok, _ := n.rdata.Get(p, req.Key); ok {
+			payloads = append(payloads, v)
+		}
+	}
+	if val, ok := replicate.Reconstruct(payloads); ok {
+		return n.fallbackHit(req, base, val)
+	}
+	for _, s := range succs {
+		if s.Addr == n.addr {
+			continue
+		}
+		r, err := n.rpc(s.Addr, request{Op: opReplGet, Key: req.Key, Target: req.Target})
+		if err != nil || !r.OK {
+			continue
+		}
+		payloads = append(payloads, r.Val)
+		if val, ok := replicate.Reconstruct(payloads); ok {
+			return n.fallbackHit(req, base, val)
+		}
+	}
+	return base
+}
+
+func (n *Node) fallbackHit(req request, base response, val []byte) response {
+	n.met.replFallbackOK.Inc()
+	n.tel.Emitf("repl.fallback", "served %q from replicas (owner unreachable or repairing)", req.Key)
+	return response{OK: true, Val: val, Hops: base.Hops, Stale: base.Stale,
+		ID: n.id, Addr: n.addr, RingVer: n.ringVer.Load()}
+}
+
+// fallbackWanted reports whether a failed Get response should attempt
+// the replica fallback: the owner (or some hop toward it) was
+// unreachable, or this node owns the key's range but its crash repair
+// has not finished re-materializing it.
+func (n *Node) fallbackWanted(resp response) bool {
+	if !n.repl.Enabled() {
+		return false
+	}
+	if resp.Unreachable {
+		return true
+	}
+	if !resp.NotFound {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.repairPending
+}
+
+// --- failure detection + crash absorb ---
+
+// noteSuccMiss records one failed successor probe; trip reports that
+// the detector's threshold was reached and the successor should be
+// declared dead. Accrual is per-successor: any successful probe, or a
+// successor change, resets the count.
+func (n *Node) noteSuccMiss(probed NodeInfo) (trip bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.fdThreshold <= 0 || n.succ.ID != probed.ID || n.succ.Addr != probed.Addr {
+		return false
+	}
+	if n.succ.Addr == n.addr {
+		return false // singleton ring: nothing to detect
+	}
+	n.fdMisses++
+	n.met.fdSuspicion.Set(int64(n.fdMisses))
+	return n.fdMisses >= n.fdThreshold && !n.leaving && n.absorbing == 0
+}
+
+// noteSuccHit clears the detector after a successful probe.
+func (n *Node) noteSuccHit() {
+	n.mu.Lock()
+	if n.fdMisses != 0 {
+		n.fdMisses = 0
+		n.met.fdSuspicion.Set(0)
+	}
+	n.mu.Unlock()
+}
+
+// crashAbsorb declares the successor dead and absorbs its segment
+// WITHOUT a handoff session — there is no one left to stream from. The
+// ring pointer extension is the same single sanctioned mutation a leave
+// absorption publishes (setEndSuccLocked), but the absorbed range's
+// items exist only as replica payloads on the new successor chain until
+// runRepairs re-materializes them; the segment is queued for exactly
+// that.
+func (n *Node) crashAbsorb(dead NodeInfo) error {
+	n.mu.Lock()
+	if n.succ.ID != dead.ID || n.succ.Addr != dead.Addr || n.leaving || n.absorbing > 0 {
+		n.fdMisses = 0
+		n.met.fdSuspicion.Set(0)
+		n.mu.Unlock()
+		return nil
+	}
+	self := NodeInfo{ID: n.id, Point: uint64(n.x), Addr: n.addr}
+	next := self
+	if len(n.succs) > 1 && n.succs[1].Addr != dead.Addr && n.succs[1].ID != n.id {
+		next = n.succs[1]
+	}
+	var deadSeg interval.Segment
+	if next.ID == n.id {
+		// Two-node ring: the survivor owns the full circle again.
+		deadSeg = interval.Segment{Start: n.end, Len: uint64(n.x - n.end)}
+	} else {
+		deadSeg = interval.Segment{Start: n.end, Len: uint64(interval.Point(next.Point) - n.end)}
+	}
+	misses := n.fdMisses
+	n.fdMisses = 0
+	n.setEndSuccLocked(interval.Point(next.Point), next)
+	if next.ID == n.id {
+		n.pred = self
+	}
+	n.patchBackLocked(NodeInfo{ID: dead.ID}, true)
+	if n.repl.Enabled() {
+		n.repairPending = true
+		n.repairSegs = append(n.repairSegs, deadSeg)
+		n.replDirty = true
+	}
+	n.jrn.Record(journal.KindCrashAbsorb, n.ringVer.Load(), 0,
+		dead.ID, uint64(next.Point), uint64(misses))
+	n.mu.Unlock()
+	n.met.crashAbsorbs.Inc()
+	n.met.fdSuspicion.Set(0)
+	n.tel.Emitf("crash.absorb", "successor %s silent for %d probes; absorbed [%v,+%d), new successor %s",
+		dead.Addr, misses, deadSeg.Start, deadSeg.Len, next.Addr)
+	if next.ID != n.id {
+		sendPatch(next.Addr, request{Op: opSetPred, NewPoint: uint64(self.Point), NewAddr: n.addr, NewID: n.id})
+	}
+	n.notifyImageCovers(false)
+	return nil
+}
+
+// refreshSuccs rebuilds the cached successor chain from the successor's
+// fresh opState response (one extra RPC per additional hop). The chain
+// is the replica placement target list; a change — a join, leave, or
+// crash anywhere in the next K−1 ring positions — marks the owned range
+// for re-replication.
+func (n *Node) refreshSuccs(st response) {
+	want := n.repl.K - 1
+	if want < 2 {
+		// Even fd-only nodes track two hops: the crash absorb needs the
+		// successor's successor to heal the ring around a dead node.
+		want = 2
+	}
+	chain := []NodeInfo{{ID: st.ID, Point: st.Point, Addr: st.Addr}}
+	next := NodeInfo{ID: st.SuccID, Point: st.End, Addr: st.SuccAddr}
+	for len(chain) < want {
+		if next.Addr == "" || next.ID == n.id || next.Addr == n.addr {
+			break // wrapped around the ring
+		}
+		dup := false
+		for _, c := range chain {
+			if c.ID == next.ID {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			break
+		}
+		chain = append(chain, next)
+		if len(chain) >= want {
+			break
+		}
+		r, err := n.rpc(next.Addr, request{Op: opState})
+		if err != nil {
+			break // a dead node mid-chain: keep the prefix, fd handles the rest
+		}
+		next = NodeInfo{ID: r.SuccID, Point: r.End, Addr: r.SuccAddr}
+	}
+	n.mu.Lock()
+	changed := len(chain) != len(n.succs)
+	if !changed {
+		for i := range chain {
+			if chain[i].ID != n.succs[i].ID {
+				changed = true
+				break
+			}
+		}
+	}
+	n.succs = chain
+	if changed && n.repl.Enabled() {
+		n.replDirty = true
+	}
+	n.mu.Unlock()
+}
+
+// --- repair ---
+
+// runRepairs is the re-replication/repair pass at the end of a
+// stabilization round: first re-materialize any crash-absorbed ranges
+// from their replica holders, then push the owned range's replica
+// payloads to the (possibly changed) successor chain. Both halves are
+// rate-limited (repairBatch/repairPause) and idempotent — PutIfAbsent
+// on the pull side, overwriting payload pushes on the push side.
+func (n *Node) runRepairs() {
+	if !n.repl.Enabled() {
+		return
+	}
+	n.mu.Lock()
+	segs := n.repairSegs
+	n.repairSegs = nil
+	dirty := n.replDirty
+	n.replDirty = false
+	pending := n.repairPending
+	succs := append([]NodeInfo(nil), n.succs...)
+	seg := n.segmentLocked()
+	n.mu.Unlock()
+	if len(segs) == 0 && !dirty && !pending {
+		return
+	}
+	n.met.repairRuns.Inc()
+	for _, s := range segs {
+		n.repairAbsorbed(s, succs)
+	}
+	n.repairOwned(seg, succs)
+	n.mu.Lock()
+	if len(n.repairSegs) == 0 {
+		n.repairPending = false
+	}
+	n.mu.Unlock()
+}
+
+// repairAbsorbed re-materializes one crash-absorbed segment: gather its
+// replica payloads from the successor chain (each holder streams its
+// slice in one pass) plus the local replica store, reconstruct every
+// key, and insert whatever is not already present — a write that landed
+// at this node after the absorb is fresher than any replica and must
+// win, which is exactly store.PutIfAbsent's contract.
+func (n *Node) repairAbsorbed(seg interval.Segment, succs []NodeInfo) {
+	type ik struct {
+		p   interval.Point
+		key string
+	}
+	gathered := make(map[ik][][]byte)
+	add := func(it store.Item) {
+		k := ik{it.Point, it.Key}
+		gathered[k] = append(gathered[k], it.Value)
+	}
+	if n.rdata != nil {
+		_ = n.rdata.Ascend(seg, func(it store.Item) bool { add(it); return true })
+	}
+	for _, s := range succs {
+		if s.Addr == n.addr {
+			continue
+		}
+		items, err := n.pullReplStream(s.Addr, seg)
+		if err != nil {
+			continue // a still-dead holder; the others suffice at quorum
+		}
+		for _, it := range items {
+			add(it)
+		}
+	}
+	var repaired, volume int
+	for k, payloads := range gathered {
+		val, ok := replicate.Reconstruct(payloads)
+		if !ok {
+			continue // below the code's threshold; lost at this replication factor
+		}
+		wrote, err := store.PutIfAbsent(n.data, k.p, k.key, val)
+		if err == nil && wrote {
+			repaired++
+			volume += len(val)
+			if repaired%repairBatch == 0 {
+				time.Sleep(repairPause)
+			}
+		}
+	}
+	n.met.repairItems.Add(int64(repaired))
+	n.met.repairBytes.Add(int64(volume))
+	n.tel.Emitf("repair.absorbed", "re-materialized %d items (%d bytes) of [%v,+%d) from %d replica sources",
+		repaired, volume, seg.Start, seg.Len, len(gathered))
+}
+
+// repairOwned re-replicates the owned range to the current successor
+// chain. It walks the live store with a cursor (so concurrent writes
+// interleave freely) in rate-limited batches; pushes are plain replica
+// puts, so repeating them is idempotent.
+func (n *Node) repairOwned(seg interval.Segment, succs []NodeInfo) {
+	targets := 0
+	for _, s := range succs {
+		if s.Addr != n.addr {
+			targets++
+		}
+	}
+	if targets == 0 {
+		return
+	}
+	cur := n.data.Cursor(seg)
+	defer cur.Close()
+	pushed := 0
+	for {
+		items, err := cur.Next(repairBatch)
+		if err != nil || len(items) == 0 {
+			break
+		}
+		for _, it := range items {
+			payloads := replicate.Payloads(n.repl, it.Value)
+			for i, s := range succs {
+				if i >= len(payloads) {
+					break
+				}
+				if s.Addr == n.addr {
+					continue
+				}
+				r := request{Op: opReplPut, Key: it.Key, Val: payloads[i], Target: uint64(it.Point)}
+				if _, err := n.rpc(s.Addr, r); err == nil {
+					n.met.replPuts.Inc()
+				}
+			}
+			pushed++
+		}
+		time.Sleep(repairPause)
+	}
+	if pushed > 0 {
+		n.tel.Emitf("repair.owned", "re-replicated %d owned items to %d successors", pushed, targets)
+	}
+}

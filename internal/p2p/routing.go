@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -30,6 +31,11 @@ func (n *Node) routeObserved(req request) response {
 	}
 	n.met.routed.Inc()
 	resp := n.route(req)
+	if req.Op == opGet && !resp.OK && n.fallbackWanted(resp) {
+		// The owner is dead (or this node is mid-crash-repair): try to
+		// reconstruct the value from replica payloads before giving up.
+		resp = n.replicaFallback(req, resp)
+	}
 	if entry && resp.OK {
 		n.met.hops.Observe(int64(resp.Hops))
 	}
@@ -69,9 +75,7 @@ func (n *Node) route(req request) response {
 	if req.StepsLeft == 0 {
 		// Walk done: we should cover the target; otherwise ring-forward.
 		if seg.Contains(target) {
-			resp := n.serveLocal(req)
-			n.mu.Unlock()
-			return resp
+			return n.serveLocalUnlock(req)
 		}
 		next := n.ringStepLocked(target)
 		n.mu.Unlock()
@@ -107,13 +111,33 @@ func (n *Node) route(req request) response {
 	}
 	// Walk ended inside our own segment.
 	if seg.Contains(target) {
-		resp := n.serveLocal(req)
-		n.mu.Unlock()
-		return resp
+		return n.serveLocalUnlock(req)
 	}
 	next := n.ringStepLocked(target)
 	n.mu.Unlock()
 	return forward(next, req)
+}
+
+// serveLocalUnlock serves the data operation under mu, releases it, and
+// then — for an owned Put with replication on — pushes the replica
+// payloads to the successor chain and enforces the write quorum. The
+// replication RPCs deliberately run outside the mutex: a quorum write
+// blocks on the network, and the node must keep routing (and being
+// stabilized against) meanwhile.
+func (n *Node) serveLocalUnlock(req request) response {
+	resp := n.serveLocal(req)
+	replicate := req.Op == opPut && resp.OK && n.repl.Enabled()
+	var succs []NodeInfo
+	if replicate {
+		succs = append([]NodeInfo(nil), n.succs...)
+	}
+	n.mu.Unlock()
+	if replicate {
+		// An empty chain (a node that has not stabilized yet) still goes
+		// through the quorum check: one local ack must not satisfy K>1.
+		n.replicatePut(req, &resp, succs)
+	}
+	return resp
 }
 
 // serveLocal executes the data operation at the owner (mu held).
@@ -143,7 +167,9 @@ func (n *Node) serveLocal(req request) response {
 			return response{Err: "store get: " + err.Error(), Hops: req.Hops}
 		}
 		if !ok {
-			return response{Err: "key not found: " + req.Key, Hops: req.Hops}
+			// The owner was reached and the key is absent: a genuine miss,
+			// distinct from an unreachable owner (see response.NotFound).
+			return response{Err: "key not found: " + req.Key, Hops: req.Hops, NotFound: true}
 		}
 		resp.Val = v
 	case opPut:
@@ -194,19 +220,30 @@ func tryForward(next NodeInfo, req request) (response, bool) {
 	}
 	resp, err := call(next.Addr, req)
 	if err != nil && resp.Err == "" {
-		// Transport failure (dial/encode/decode), not a remote refusal.
-		return response{Err: err.Error(), Hops: req.Hops}, false
+		// Transport failure (dial/encode/decode), not a remote refusal:
+		// the key's presence is unknown, which is what Unreachable means.
+		return response{Err: err.Error(), Hops: req.Hops, Unreachable: true}, false
 	}
 	if err != nil {
-		return response{Err: resp.Err, Hops: req.Hops}, true
+		// Remote application error: relay the miss/unreachable flags
+		// outward so the entry node (and every hop on the unwind) can
+		// distinguish them — the replica fallback triggers on Unreachable.
+		return response{Err: resp.Err, Hops: req.Hops,
+			NotFound: resp.NotFound, Unreachable: resp.Unreachable}, true
 	}
 	return resp, true
 }
 
 // Stabilize refreshes the node's view: re-reads the successor's state
-// (adopting a new successor if one joined in between) and re-enumerates
+// (adopting a new successor if one joined in between), re-enumerates
 // the covers of the backward image b(s) by walking the ring from the
-// owner of the arc start.
+// owner of the arc start, and — with replication on — refreshes the
+// successor chain and runs the repair pass.
+//
+// The successor probe doubles as the failure detector's heartbeat: no
+// extra message class exists, liveness piggybacks on the opState traffic
+// stabilization already generates. fdThreshold consecutive probe
+// failures declare the successor dead and trigger crashAbsorb.
 func (n *Node) Stabilize() error {
 	n.mu.Lock()
 	succ := n.succ
@@ -215,13 +252,19 @@ func (n *Node) Stabilize() error {
 	// Successor refresh: if succ's pred is between us and succ, adopt it.
 	// All RPCs happen without holding mu (a node may be stabilized against
 	// while stabilizing).
-	st, err := call(succ.Addr, request{Op: opState})
+	st, err := n.rpc(succ.Addr, request{Op: opState})
 	if err != nil {
+		if n.noteSuccMiss(succ) {
+			// The detector tripped: declare the successor dead, absorb its
+			// segment, and let the next rounds refresh the chain + repair.
+			return n.crashAbsorb(succ)
+		}
 		return err
 	}
+	n.noteSuccHit()
 	var candidate *response
 	if st.PredAddr != "" && st.PredAddr != n.addr {
-		if ps, err2 := call(st.PredAddr, request{Op: opState}); err2 == nil {
+		if ps, err2 := n.rpc(st.PredAddr, request{Op: opState}); err2 == nil {
 			candidate = &ps
 		}
 	}
@@ -237,6 +280,20 @@ func (n *Node) Stabilize() error {
 	}
 	seg := n.segmentLocked()
 	n.mu.Unlock()
+
+	// Successor-chain refresh for the replica plane (and the crash
+	// absorb's two-hop lookahead). The probe response already names the
+	// successor's successor, so K=3 costs no extra RPCs here.
+	if n.repl.Enabled() || n.fdThreshold > 0 {
+		n.refreshSuccs(st)
+	}
+
+	// Re-replication/repair pass: runs synchronously (and BEFORE the
+	// backward-table refresh, which can still fail while other nodes'
+	// tables reference a crashed member) so a fixed number of
+	// stabilization sweeps deterministically converges the replication
+	// factor after a crash — E34 and the smoke test rely on that.
+	n.runRepairs()
 
 	// Re-enumerate backward neighbours: covers of b(s). This wholesale
 	// refresh is the repair loop; between passes the ID-keyed table is
@@ -271,7 +328,7 @@ func (n *Node) coversOfArc(arc interval.Segment) ([]NodeInfo, error) {
 		if cur.SuccAddr == "" || cur.SuccAddr == first.Addr {
 			break
 		}
-		st, err := call(cur.SuccAddr, request{Op: opState})
+		st, err := n.rpc(cur.SuccAddr, request{Op: opState})
 		if err != nil {
 			return nil, err
 		}
@@ -295,6 +352,32 @@ func lookupVia(addr string, p interval.Point) (response, error) {
 }
 
 // --- client API ---
+
+// Client-visible Get failure classes. A genuine miss (the owner was
+// reached and the key is absent) and an unreachable owner (connection
+// refused or timed out somewhere on the route, so the key's presence is
+// unknown) are different failures with different remedies: the former
+// is final, the latter is the replica-fallback/repair trigger and is
+// worth retrying once the ring heals. Test with errors.Is.
+var (
+	ErrNotFound         = errors.New("p2p: key not found")
+	ErrOwnerUnreachable = errors.New("p2p: key owner unreachable")
+)
+
+// classifyGet wraps a failed Get's error with the sentinel matching the
+// response's miss/unreachable flags.
+func classifyGet(resp response, err error) error {
+	if err == nil {
+		return nil
+	}
+	switch {
+	case resp.Unreachable:
+		return fmt.Errorf("%w: %s", ErrOwnerUnreachable, err)
+	case resp.NotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, err)
+	}
+	return err
+}
 
 // Client talks to a cluster through a bootstrap node.
 type Client struct {
@@ -360,12 +443,14 @@ func (c *Client) Put(key string, val []byte, h func(string) interval.Point) (int
 	return resp.Hops, nil
 }
 
-// Get retrieves the value under key.
+// Get retrieves the value under key. Failures are classified: a genuine
+// miss matches ErrNotFound, a dead or partitioned owner matches
+// ErrOwnerUnreachable (see the sentinels above).
 func (c *Client) Get(key string, h func(string) interval.Point) ([]byte, int, error) {
 	resp, err := call(c.Bootstrap, request{Op: opGet, Key: key, Target: uint64(h(key))})
 	c.recordLookup(resp, err)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, classifyGet(resp, err)
 	}
 	return resp.Val, resp.Hops, nil
 }

@@ -1,0 +1,177 @@
+// Package replicate defines the k-successor replication policy and the
+// self-describing replica payload format shared by the TCP node and the
+// simulator.
+//
+// Placement follows the ring: a key's owner keeps the authoritative full
+// copy and pushes one replica payload to each of its k−1 ring successors.
+// The successors are exactly the nodes that inherit the owner's segment
+// under the paper's §2.1 predecessor/successor absorb order, so after a
+// crash the absorber's own replica set already covers the lost range —
+// no placement metadata has to survive the crash.
+//
+// Payloads are self-describing: small values ship as full copies, values
+// at or above Policy.ShardThreshold ship as systematic Reed–Solomon
+// shards (internal/erasure) when k is large enough to make coding
+// meaningful. Reconstruct never needs the policy back — every payload
+// carries its own code parameters — so readers keep working across a
+// rolling policy change.
+package replicate
+
+import (
+	"fmt"
+
+	"condisc/internal/erasure"
+)
+
+// Policy selects the replication factor and write semantics.
+type Policy struct {
+	// K is the total number of copies including the owner's; K <= 1
+	// disables replication entirely.
+	K int
+	// Quorum is the number of acks (the owner's local write counts as
+	// one) a Put needs before it is acknowledged. <= 0 means majority:
+	// K/2 + 1. Values are clamped to [1, K].
+	Quorum int
+	// ShardThreshold is the value size in bytes at which replicas switch
+	// from full copies to RS-coded shards. <= 0 keeps full copies at
+	// every size. Sharding additionally requires K >= 4 (below that the
+	// code degenerates to copies anyway).
+	ShardThreshold int
+}
+
+// Enabled reports whether the policy replicates at all.
+func (p Policy) Enabled() bool { return p.K > 1 }
+
+// NeedAcks returns the effective write quorum in [1, K].
+func (p Policy) NeedAcks() int {
+	if !p.Enabled() {
+		return 1
+	}
+	q := p.Quorum
+	if q <= 0 {
+		q = p.K/2 + 1
+	}
+	if q > p.K {
+		q = p.K
+	}
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+// shardParams returns the RS code used for a sharded value: K−2 data
+// shards out of K−1 total, one per successor. Any K−2 of the K−1
+// successors reconstruct, so a sharded value survives the owner plus one
+// successor dying — the same two-fault budget a K=3 full-copy scheme has,
+// at roughly 1/(K−3) of the replica bytes.
+func (p Policy) shardParams() (dataK, m int, ok bool) {
+	if p.K < 4 || p.ShardThreshold <= 0 {
+		return 0, 0, false
+	}
+	return p.K - 2, p.K - 1, true
+}
+
+// Payload type tags. A replica payload is one byte of tag followed by
+// tag-specific bytes; unknown tags are skipped by Reconstruct so the
+// format can grow.
+const (
+	payloadCopy  = 0x01 // tag ++ value bytes
+	payloadShard = 0x02 // tag ++ dataK ++ m ++ idx ++ shard bytes
+)
+
+// EncodeCopy wraps a full-value replica payload.
+func EncodeCopy(val []byte) []byte {
+	out := make([]byte, 1+len(val))
+	out[0] = payloadCopy
+	copy(out[1:], val)
+	return out
+}
+
+// Payloads builds the k−1 successor payloads for val: full copies below
+// the shard threshold (or when the policy cannot shard), one RS shard
+// per successor above it.
+func Payloads(p Policy, val []byte) [][]byte {
+	n := p.K - 1
+	if n < 1 {
+		return nil
+	}
+	out := make([][]byte, n)
+	if dataK, m, ok := p.shardParams(); ok && len(val) >= p.ShardThreshold {
+		code, err := erasure.NewCode(dataK, m)
+		if err == nil {
+			shards := code.Encode(val)
+			for i := 0; i < n; i++ {
+				s := shards[i]
+				b := make([]byte, 4+len(s))
+				b[0], b[1], b[2], b[3] = payloadShard, byte(dataK), byte(m), byte(i)
+				copy(b[4:], s)
+				out[i] = b
+			}
+			return out
+		}
+	}
+	full := EncodeCopy(val)
+	for i := range out {
+		out[i] = full
+	}
+	return out
+}
+
+// Reconstruct recovers the original value from whatever replica payloads
+// could be gathered (order and gaps do not matter). Any full copy wins
+// immediately; otherwise shards with consistent code parameters are
+// slotted and decoded — erasure.Decode's CRC frame guarantees a
+// corrupted gather errors out instead of returning wrong bytes.
+func Reconstruct(payloads [][]byte) ([]byte, bool) {
+	var shards [][]byte
+	dataK, m := 0, 0
+	for _, pl := range payloads {
+		if len(pl) < 1 {
+			continue
+		}
+		switch pl[0] {
+		case payloadCopy:
+			return pl[1:], true
+		case payloadShard:
+			if len(pl) < 4 {
+				continue
+			}
+			dk, mm, idx := int(pl[1]), int(pl[2]), int(pl[3])
+			if dk < 1 || mm < dk || idx >= mm {
+				continue
+			}
+			if shards == nil {
+				dataK, m = dk, mm
+				shards = make([][]byte, m)
+			}
+			if dk != dataK || mm != m || shards[idx] != nil {
+				continue // policy-skew or duplicate; first consistent set wins
+			}
+			shards[idx] = pl[4:]
+		}
+	}
+	if shards == nil {
+		return nil, false
+	}
+	code, err := erasure.NewCode(dataK, m)
+	if err != nil {
+		return nil, false
+	}
+	val, err := code.Decode(shards)
+	if err != nil {
+		return nil, false
+	}
+	return val, true
+}
+
+// Validate rejects nonsensical policies before a node starts with them.
+func (p Policy) Validate() error {
+	if p.K < 0 || p.K > 64 {
+		return fmt.Errorf("replicate: K=%d out of range [0, 64]", p.K)
+	}
+	if p.Quorum > p.K && p.K > 1 {
+		return fmt.Errorf("replicate: quorum %d exceeds replication factor %d", p.Quorum, p.K)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package replicate
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNeedAcks(t *testing.T) {
+	cases := []struct {
+		pol  Policy
+		want int
+	}{
+		{Policy{K: 0}, 1},
+		{Policy{K: 1}, 1},
+		{Policy{K: 3}, 2}, // majority of 3
+		{Policy{K: 4}, 3}, // majority of 4
+		{Policy{K: 3, Quorum: 1}, 1},
+		{Policy{K: 3, Quorum: 3}, 3},
+		{Policy{K: 3, Quorum: 9}, 3}, // clamped to K
+	}
+	for _, c := range cases {
+		if got := c.pol.NeedAcks(); got != c.want {
+			t.Errorf("NeedAcks(%+v) = %d, want %d", c.pol, got, c.want)
+		}
+	}
+}
+
+func TestCopyRoundTrip(t *testing.T) {
+	pol := Policy{K: 3}
+	val := []byte("hello replica")
+	pls := Payloads(pol, val)
+	if len(pls) != 2 {
+		t.Fatalf("got %d payloads, want 2", len(pls))
+	}
+	for i := range pls {
+		got, ok := Reconstruct([][]byte{pls[i]})
+		if !ok || !bytes.Equal(got, val) {
+			t.Fatalf("payload %d did not reconstruct alone", i)
+		}
+	}
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	pol := Policy{K: 5, ShardThreshold: 16} // RS(3, 4) over 4 successors
+	val := bytes.Repeat([]byte("0123456789abcdef"), 8)
+	pls := Payloads(pol, val)
+	if len(pls) != 4 {
+		t.Fatalf("got %d payloads, want 4", len(pls))
+	}
+	for i := range pls {
+		if pls[i][0] != payloadShard {
+			t.Fatalf("payload %d is not a shard", i)
+		}
+	}
+	// Any one successor may be missing alongside the owner.
+	for drop := 0; drop < 4; drop++ {
+		var have [][]byte
+		for i, pl := range pls {
+			if i != drop {
+				have = append(have, pl)
+			}
+		}
+		got, ok := Reconstruct(have)
+		if !ok || !bytes.Equal(got, val) {
+			t.Fatalf("reconstruct without shard %d failed", drop)
+		}
+	}
+	// Two missing successors exceed the code's budget.
+	if _, ok := Reconstruct(pls[:2]); ok {
+		t.Fatal("reconstructed from too few shards")
+	}
+}
+
+func TestSmallValueStaysCopy(t *testing.T) {
+	pol := Policy{K: 5, ShardThreshold: 1 << 20}
+	pls := Payloads(pol, []byte("small"))
+	for i, pl := range pls {
+		if pl[0] != payloadCopy {
+			t.Fatalf("payload %d sharded below the threshold", i)
+		}
+	}
+}
+
+func TestReconstructSkipsGarbage(t *testing.T) {
+	val := []byte("payload")
+	pls := [][]byte{nil, {0xFF, 1, 2}, EncodeCopy(val)}
+	got, ok := Reconstruct(pls)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatal("garbage payloads broke reconstruction")
+	}
+	if _, ok := Reconstruct([][]byte{nil, {0x7F}}); ok {
+		t.Fatal("reconstructed from garbage alone")
+	}
+}

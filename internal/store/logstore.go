@@ -384,6 +384,26 @@ func (s *Log) Put(p interval.Point, key string, value []byte) error {
 	return s.maybeCompact()
 }
 
+// putIfAbsent appends a put record only when (p, key) is unindexed; the
+// check and the append share one lock hold.
+func (s *Log) putIfAbsent(p interval.Point, key string, value []byte) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, errClosed
+	}
+	if _, ok := s.idx.get(p, key); ok {
+		return false, nil
+	}
+	seg, off, err := s.appendRecord(putBody(p, key, value))
+	if err != nil {
+		return false, err
+	}
+	loc := lloc{seg: seg, off: off + frameHeaderLen + putHeaderLen + int64(len(key)), vlen: uint32(len(value))}
+	s.indexPut(p, key, loc)
+	return true, s.maybeCompact()
+}
+
 // Get reads the value under (p, key) from its WAL segment.
 func (s *Log) Get(p interval.Point, key string) ([]byte, bool, error) {
 	s.mu.Lock()

@@ -26,6 +26,18 @@ func (m *Mem) Put(p interval.Point, key string, value []byte) error {
 	return nil
 }
 
+// putIfAbsent inserts a copy of value only when (p, key) is absent; the
+// check and the insert share one lock hold.
+func (m *Mem) putIfAbsent(p interval.Point, key string, value []byte) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.l.get(p, key); ok {
+		return false, nil
+	}
+	m.l.put(p, key, append([]byte(nil), value...))
+	return true, nil
+}
+
 // Get returns the value under (p, key); the slice must not be modified.
 func (m *Mem) Get(p interval.Point, key string) ([]byte, bool, error) {
 	m.mu.Lock()

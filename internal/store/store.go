@@ -113,6 +113,29 @@ type Cursor interface {
 	Close() error
 }
 
+// conditionalPutter is the engines' atomic insert-if-absent path: the
+// presence check and the write happen under one lock hold.
+type conditionalPutter interface {
+	putIfAbsent(p interval.Point, key string, value []byte) (bool, error)
+}
+
+// PutIfAbsent stores value under (p, key) only when the key is absent,
+// reporting whether it wrote. Crash repair re-materializes lost items
+// through this so a stale replica can never clobber a fresher write that
+// landed after the absorb. The built-in engines check-and-insert under
+// one lock; other stores fall back to get-then-put.
+func PutIfAbsent(s Store, p interval.Point, key string, value []byte) (bool, error) {
+	if cp, ok := s.(conditionalPutter); ok {
+		return cp.putIfAbsent(p, key, value)
+	}
+	if _, ok, err := s.Get(p, key); err != nil {
+		return false, err
+	} else if ok {
+		return false, nil
+	}
+	return true, s.Put(p, key, value)
+}
+
 // atomicDrainer is the engines' collect-and-remove fast path: both steps
 // happen under one lock hold, so no concurrent write lands in the gap.
 type atomicDrainer interface {

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # live_smoke.sh — end-to-end smoke test of the observability plane on a
-# real three-node dhnode cluster: start the nodes with -admin, drive
-# traffic through dhctl (put/get/trace/top), scrape every admin endpoint
-# (/metrics, /statusz, /healthz, /journalz, /doctorz, /debug/pprof),
-# assert the scraped content is sane, check `dhctl doctor` passes every
-# paper invariant on the healthy cluster, and check `dhctl journal`
-# merges the same deterministic timeline from any bootstrap node. Exits
-# non-zero on the first failed assertion.
+# real three-node dhnode cluster: start the nodes with -admin and
+# -replicas 3, drive traffic through dhctl (put/get/trace/top), scrape
+# every admin endpoint (/metrics, /statusz, /healthz, /journalz,
+# /doctorz, /debug/pprof), assert the scraped content is sane, check
+# `dhctl doctor` passes every paper invariant on the healthy cluster,
+# and check `dhctl journal` merges the same deterministic timeline from
+# any bootstrap node. Then the crash phase: kill -9 one node and assert
+# the survivors absorb its range, repair it from replicas, recover a
+# healthy doctor verdict, and keep serving every key. Exits non-zero on
+# the first failed assertion.
 #
 # Usage: scripts/live_smoke.sh   (from the repository root; needs ports
 # 17101-17103 and 18101-18103 free on 127.0.0.1)
@@ -41,14 +44,17 @@ echo "== build"
 go build -o "$workdir/dhnode" ./cmd/dhnode
 go build -o "$workdir/dhctl" ./cmd/dhctl
 
-echo "== start 3-node cluster"
+echo "== start 3-node cluster (replicas=3)"
 "$workdir/dhnode" -listen $NODE1 -seed $SEED -admin $ADMIN1 -stabilize 500ms \
+  -replicas 3 -rpc-timeout 1s \
   >"$workdir/node1.log" 2>&1 & pids+=($!)
 sleep 1
 "$workdir/dhnode" -listen $NODE2 -join $NODE1 -seed $SEED -admin $ADMIN2 -stabilize 500ms \
+  -replicas 3 -rpc-timeout 1s \
   >"$workdir/node2.log" 2>&1 & pids+=($!)
 sleep 1
 "$workdir/dhnode" -listen $NODE3 -join $NODE1 -seed $SEED -admin $ADMIN3 -stabilize 500ms \
+  -replicas 3 -rpc-timeout 1s \
   >"$workdir/node3.log" 2>&1 & pids+=($!)
 # Let the ring close and the tables stabilize at least once.
 sleep 2
@@ -180,6 +186,47 @@ echo "== /debug/pprof"
 curl -fsS "http://$ADMIN1/debug/pprof/cmdline" >/dev/null || fail "pprof cmdline"
 curl -fsS "http://$ADMIN1/debug/pprof/goroutine?debug=1" | grep -q goroutine \
   || fail "pprof goroutine dump"
+
+echo "== crash phase: kill -9 node2, survivors absorb + repair"
+kill -KILL "${pids[1]}"
+wait "${pids[1]}" 2>/dev/null || true
+# The survivors' failure detectors must trip (3 consecutive missed
+# probes at the 500ms stabilize cadence), absorb the corpse's range, and
+# re-materialize it from replicas. Poll until `dhctl doctor` is healthy
+# again AND every key is served — the dead node's keys included.
+deadline=$((SECONDS + 60))
+healed=0
+while [ $SECONDS -lt $deadline ]; do
+  if "$workdir/dhctl" -node $NODE1 doctor >"$workdir/doctor_crash.txt" 2>/dev/null; then
+    all_keys_ok=1
+    for i in $(seq 1 20); do
+      out=$("$workdir/dhctl" -node $NODE1 -seed $SEED get "key-$i" 2>/dev/null) || { all_keys_ok=0; break; }
+      case "$out" in
+        "val-$i"*) ;;
+        *) all_keys_ok=0; break ;;
+      esac
+    done
+    if [ "$all_keys_ok" = 1 ]; then healed=1; break; fi
+  fi
+  sleep 1
+done
+[ "$healed" = 1 ] || fail "cluster did not heal within 60s of kill -9 ($(cat "$workdir/doctor_crash.txt" 2>/dev/null))"
+grep -q "verdict: healthy" "$workdir/doctor_crash.txt" \
+  || fail "post-crash doctor verdict not healthy"
+echo "  all 20 keys served after losing node2 ungracefully"
+
+# The crash must be visible in the observability plane: a crash_absorb
+# journal record and a non-zero absorb counter on some survivor.
+absorbs=0
+for a in $ADMIN1 $ADMIN3; do
+  n=$(curl -fsS "http://$a/metrics" | sed -n 's/^condisc_p2p_crash_absorbs_total \([0-9]*\)/\1/p')
+  absorbs=$((absorbs + ${n:-0}))
+done
+[ "$absorbs" -ge 1 ] || fail "no survivor counted a crash absorb"
+"$workdir/dhctl" -node $NODE1 journal >"$workdir/timeline_crash.txt" || fail "dhctl journal after crash"
+grep -q "crash_absorb" "$workdir/timeline_crash.txt" \
+  || fail "merged timeline misses the crash_absorb record"
+echo "  crash_absorb journaled, $absorbs absorb(s) counted"
 
 echo "== graceful shutdown flushes telemetry"
 kill -TERM "${pids[2]}"
