@@ -127,8 +127,14 @@ type Node struct {
 	// succs caches the K−1-deep ring successor chain (refreshed by
 	// Stabilize; entry 0 is n.succ). It is both the replica placement
 	// target list and — after the successor dies — the replica-holder
-	// list crash repair pulls from (guarded by mu).
-	succs []NodeInfo
+	// list crash repair pulls from (guarded by mu). succsWrapped records
+	// whether the last chain walk affirmatively wrapped the ring (hit
+	// this node again) rather than breaking on an unreachable hop — only
+	// a wrapped chain proves the ring is smaller than the walk wanted,
+	// which gates both the two-node crash absorb and the doctor's
+	// desired-replica count.
+	succs        []NodeInfo
+	succsWrapped bool
 	// Failure-detector state (guarded by mu): fdMisses counts consecutive
 	// failed successor opState probes; at fdThreshold the successor is
 	// declared dead and crashAbsorb runs. repairSegs queues absorbed
@@ -436,18 +442,35 @@ func (n *Node) Doctor() doctor.Report {
 		Degree:  deg,
 		Delta:   2,
 	}
-	if n.repl.Enabled() {
-		// Desired = the successor chain the last healthy walk found
-		// (capped below K−1 only when the ring itself is smaller). Live
-		// subtracts a currently-suspected successor, and an unfinished
-		// crash repair counts as one missing unit — so the verdict
-		// degrades the moment the detector suspects and recovers only
-		// after absorb + repair both completed.
-		stats.ReplDesired = len(n.succs)
-		stats.ReplLive = len(n.succs)
-		if n.fdMisses > 0 && stats.ReplLive > 0 {
-			stats.ReplLive--
+	if n.repl.Enabled() && n.succs != nil {
+		// Desired comes from the POLICY — K−1 replica targets — capped by
+		// the ring size only when the last chain walk affirmatively
+		// wrapped (succsWrapped). A walk that broke early must not shrink
+		// desired, or the invariant would read healthy exactly when
+		// replica targets are missing. Live is the non-self chain entries,
+		// minus a currently-suspected successor; an unfinished crash
+		// repair counts as one missing unit — so the verdict degrades the
+		// moment the detector suspects and recovers only after absorb +
+		// repair both completed.
+		desired := n.repl.K - 1
+		chainLive := 0
+		for _, s := range n.succs {
+			if s.ID != n.id && s.Addr != n.addr {
+				chainLive++
+			}
 		}
+		if n.succsWrapped && chainLive < desired {
+			desired = chainLive // the whole ring is smaller than K
+		}
+		live := chainLive
+		if live > desired {
+			live = desired
+		}
+		if n.fdMisses > 0 && live > 0 {
+			live--
+		}
+		stats.ReplDesired = desired
+		stats.ReplLive = live
 		if n.repairPending {
 			stats.ReplPending = 1
 		}

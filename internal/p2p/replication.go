@@ -142,6 +142,7 @@ func (n *Node) pullReplStream(addr string, seg interval.Segment) ([]store.Item, 
 func (n *Node) replicatePut(req request, resp *response, succs []NodeInfo) {
 	payloads := replicate.Payloads(n.repl, req.Val)
 	acks := 1 // the owner's own durable write
+	failed := 0
 	for i, s := range succs {
 		if i >= len(payloads) {
 			break
@@ -153,9 +154,23 @@ func (n *Node) replicatePut(req request, resp *response, succs []NodeInfo) {
 		if _, err := n.rpc(s.Addr, r); err == nil {
 			acks++
 			n.met.replPuts.Inc()
+		} else {
+			failed++
 		}
 	}
-	if need := n.repl.NeedAcks(); acks < need {
+	if failed > 0 {
+		// A transient push failure leaves the value under-replicated even
+		// when the quorum was met; mark the owned range dirty so the next
+		// stabilization's repair pass re-replicates it — without this the
+		// value stays degraded until some unrelated membership change.
+		n.mu.Lock()
+		n.replDirty = true
+		n.mu.Unlock()
+	}
+	// NeedAcksFor, not NeedAcks: a sharded value needs dataK surviving
+	// shards to reconstruct, so the ack set must stay recoverable even if
+	// the owner crashes right after acking.
+	if need := n.repl.NeedAcksFor(len(req.Val)); acks < need {
 		n.met.replQuorumFail.Inc()
 		*resp = response{Err: fmt.Sprintf("write quorum not reached (%d of %d acks)", acks, need),
 			Hops: resp.Hops, Stale: resp.Stale}
@@ -274,9 +289,25 @@ func (n *Node) crashAbsorb(dead NodeInfo) error {
 		return nil
 	}
 	self := NodeInfo{ID: n.id, Point: uint64(n.x), Addr: n.addr}
-	next := self
-	if len(n.succs) > 1 && n.succs[1].Addr != dead.Addr && n.succs[1].ID != n.id {
+	var next NodeInfo
+	switch {
+	case len(n.succs) > 1 && n.succs[1].Addr != dead.Addr && n.succs[1].ID != n.id:
+		// The cached chain names the dead node's successor: heal past it.
 		next = n.succs[1]
+	case n.succsWrapped && len(n.succs) == 1 && n.succs[0].ID == dead.ID:
+		// The last healthy walk wrapped right after the successor: this
+		// was affirmatively a two-node ring, so the survivor owns the full
+		// circle again.
+		next = self
+	default:
+		// The successor's successor is unknown (the chain walk never got
+		// past the dead node, or the cache predates a successor change).
+		// Absorbing the whole circle here would split-brain a larger ring,
+		// so decline; the detector stays tripped and the absorb retries
+		// once a later probe or patch reveals a live next hop.
+		n.mu.Unlock()
+		n.tel.Emitf("crash.absorb", "successor %s suspected dead but its successor is unknown; declining absorb until the chain resolves", dead.Addr)
+		return nil
 	}
 	var deadSeg interval.Segment
 	if next.ID == n.id {
@@ -325,9 +356,18 @@ func (n *Node) refreshSuccs(st response) {
 	}
 	chain := []NodeInfo{{ID: st.ID, Point: st.Point, Addr: st.Addr}}
 	next := NodeInfo{ID: st.SuccID, Point: st.End, Addr: st.SuccAddr}
+	// wrapped means the walk came back to this node (or cycled): the
+	// chain affirmatively enumerates every other live ring member. A walk
+	// that broke on an unreachable hop leaves wrapped false — a short
+	// chain then means "unknown", never "small ring".
+	wrapped := false
 	for len(chain) < want {
-		if next.Addr == "" || next.ID == n.id || next.Addr == n.addr {
+		if next.ID == n.id || next.Addr == n.addr {
+			wrapped = true
 			break // wrapped around the ring
+		}
+		if next.Addr == "" {
+			break // successor reported no onward pointer: unknown, not a wrap
 		}
 		dup := false
 		for _, c := range chain {
@@ -337,6 +377,7 @@ func (n *Node) refreshSuccs(st response) {
 			}
 		}
 		if dup {
+			wrapped = true
 			break
 		}
 		chain = append(chain, next)
@@ -360,6 +401,7 @@ func (n *Node) refreshSuccs(st response) {
 		}
 	}
 	n.succs = chain
+	n.succsWrapped = wrapped
 	if changed && n.repl.Enabled() {
 		n.replDirty = true
 	}
@@ -391,11 +433,19 @@ func (n *Node) runRepairs() {
 		return
 	}
 	n.met.repairRuns.Inc()
+	var retry []interval.Segment
 	for _, s := range segs {
-		n.repairAbsorbed(s, succs)
+		if !n.repairAbsorbed(s, succs) {
+			retry = append(retry, s)
+		}
 	}
 	n.repairOwned(seg, succs)
 	n.mu.Lock()
+	// A segment whose gather missed the reconstruction quorum goes back
+	// on the queue (keeping repairPending, and with it the replica-read
+	// fallback) — dropping it after one failed pass would turn a
+	// transient partition into permanent NotFounds.
+	n.repairSegs = append(n.repairSegs, retry...)
 	if len(n.repairSegs) == 0 {
 		n.repairPending = false
 	}
@@ -408,7 +458,14 @@ func (n *Node) runRepairs() {
 // key, and insert whatever is not already present — a write that landed
 // at this node after the absorb is fresher than any replica and must
 // win, which is exactly store.PutIfAbsent's contract.
-func (n *Node) repairAbsorbed(seg interval.Segment, succs []NodeInfo) {
+//
+// The return value reports whether the gather contacted at least a
+// reconstruction quorum of remote holders (replicate.ReconstructQuorum,
+// capped by how many the chain names): only such a pass may retire the
+// segment — a gather that reached fewer holders (say, a partition right
+// after the absorb) may simply have missed payloads that still exist,
+// so the caller re-queues the segment instead.
+func (n *Node) repairAbsorbed(seg interval.Segment, succs []NodeInfo) bool {
 	type ik struct {
 		p   interval.Point
 		key string
@@ -421,14 +478,17 @@ func (n *Node) repairAbsorbed(seg interval.Segment, succs []NodeInfo) {
 	if n.rdata != nil {
 		_ = n.rdata.Ascend(seg, func(it store.Item) bool { add(it); return true })
 	}
+	remote, reached := 0, 0
 	for _, s := range succs {
 		if s.Addr == n.addr {
 			continue
 		}
+		remote++
 		items, err := n.pullReplStream(s.Addr, seg)
 		if err != nil {
 			continue // a still-dead holder; the others suffice at quorum
 		}
+		reached++
 		for _, it := range items {
 			add(it)
 		}
@@ -450,8 +510,22 @@ func (n *Node) repairAbsorbed(seg interval.Segment, succs []NodeInfo) {
 	}
 	n.met.repairItems.Add(int64(repaired))
 	n.met.repairBytes.Add(int64(volume))
+	need := n.repl.ReconstructQuorum()
+	if need > remote {
+		// The chain itself names fewer holders (tiny ring, or the sole
+		// survivor pulling only from its own replica store): reaching all
+		// of them is the best any pass can do.
+		need = remote
+	}
+	ok := reached >= need
+	if !ok {
+		n.tel.Emitf("repair.absorbed", "gather for [%v,+%d) reached %d of %d holders (quorum %d); re-queueing segment",
+			seg.Start, seg.Len, reached, remote, need)
+		return false
+	}
 	n.tel.Emitf("repair.absorbed", "re-materialized %d items (%d bytes) of [%v,+%d) from %d replica sources",
 		repaired, volume, seg.Start, seg.Len, len(gathered))
+	return true
 }
 
 // repairOwned re-replicates the owned range to the current successor

@@ -247,6 +247,151 @@ func TestCrashAbsorbAndRepair(t *testing.T) {
 	}
 }
 
+func TestCrashAbsorbDeclinesWithoutChain(t *testing.T) {
+	// A detector trip whose successor chain never resolved past the dead
+	// node must NOT fall back to absorbing the whole circle — on any ring
+	// larger than two nodes that is split-brain. The absorb declines and
+	// retries until the chain names a live next hop.
+	c, _ := replCluster(t, 5, 98, 3)
+	defer c.Stop()
+	pred := c.Nodes[0]
+	// The cluster shares telemetry.Default, so compare counter deltas.
+	base := pred.met.crashAbsorbs.Value()
+	vic := pred.succInfo()
+	var victim *Node
+	for _, n := range c.Nodes {
+		if n.Addr() == vic.Addr {
+			victim = n
+		}
+	}
+	// Simulate the walk having broken at the successor: one entry, not
+	// wrapped — the successor's successor is unknown.
+	pred.mu.Lock()
+	full := append([]NodeInfo(nil), pred.succs...)
+	pred.succs = full[:1:1]
+	pred.succsWrapped = false
+	pred.mu.Unlock()
+	victim.Close()
+	for i := 0; i < 6; i++ {
+		_ = pred.Stabilize()
+	}
+	if v := pred.met.crashAbsorbs.Value() - base; v != 0 {
+		t.Fatalf("absorbed %d times with an unknown successor chain, want decline", v)
+	}
+	x, end, p, _ := pred.State()
+	if x == end {
+		t.Fatal("predecessor claims the full circle on a 5-node ring")
+	}
+	if p.ID == pred.id {
+		t.Fatal("predecessor set pred=self on a 5-node ring")
+	}
+	// Once the chain names the dead node's successor the absorb proceeds
+	// (the detector is still tripped, so the next probe retries it).
+	pred.mu.Lock()
+	pred.succs = full
+	pred.mu.Unlock()
+	for i := 0; i < 4; i++ {
+		_ = pred.Stabilize()
+	}
+	if v := pred.met.crashAbsorbs.Value() - base; v != 1 {
+		t.Fatalf("absorbs after the chain resolved = %d, want 1", v)
+	}
+}
+
+func TestFailedReplicaPushMarksDirty(t *testing.T) {
+	// A Put that meets quorum but loses one replica push leaves the value
+	// under-replicated; the failed push must mark the owned range dirty
+	// so the next stabilization repairs it even on an otherwise stable
+	// ring.
+	c, _ := replCluster(t, 3, 99, 3)
+	defer c.Stop()
+	h := c.Hash()
+	owner := c.Nodes[0]
+	owner.mu.Lock()
+	if len(owner.succs) < 2 {
+		owner.mu.Unlock()
+		t.Fatal("successor chain not populated")
+	}
+	owner.succs[1].Addr = "127.0.0.1:1" // nothing listens here: one push fails
+	owner.replDirty = false
+	owner.mu.Unlock()
+	key := ""
+	for i := 0; key == ""; i++ {
+		if k := fmt.Sprintf("key-%d", i); ownedBy(owner, h(k)) {
+			key = k
+		}
+	}
+	// Quorum 2 of K=3 still holds: owner's local write + first successor.
+	if _, err := (&Client{Bootstrap: owner.Addr()}).Put(key, []byte("v"), h); err != nil {
+		t.Fatalf("quorum-met put with one failed push: %v", err)
+	}
+	owner.mu.Lock()
+	dirty := owner.replDirty
+	owner.mu.Unlock()
+	if !dirty {
+		t.Fatal("failed replica push did not mark the owned range dirty for repair")
+	}
+}
+
+func TestRepairRequeuesWhenHoldersUnreachable(t *testing.T) {
+	// A repair pass that reaches no replica holder must re-queue the
+	// segment and keep repairPending (and with it the replica-read
+	// fallback) — dropping it would turn a transient partition into
+	// permanent NotFounds.
+	c, _ := replCluster(t, 3, 100, 3)
+	defer c.Stop()
+	n := c.Nodes[0]
+	seg := interval.Segment{Start: 1, Len: 10}
+	n.mu.Lock()
+	real := append([]NodeInfo(nil), n.succs...)
+	n.repairPending = true
+	n.repairSegs = []interval.Segment{seg}
+	n.succs = []NodeInfo{{ID: 42, Addr: "127.0.0.1:1"}} // unreachable holder
+	n.mu.Unlock()
+	n.runRepairs()
+	n.mu.Lock()
+	segs, pending := len(n.repairSegs), n.repairPending
+	n.succs = real
+	n.mu.Unlock()
+	if segs != 1 || !pending {
+		t.Fatalf("unreachable holders: segs=%d pending=%v, want segment re-queued and pending kept", segs, pending)
+	}
+	// With the real (reachable) holders back, the retried pass retires
+	// the segment: the gather met the reconstruction quorum.
+	n.runRepairs()
+	n.mu.Lock()
+	segs, pending = len(n.repairSegs), n.repairPending
+	n.mu.Unlock()
+	if segs != 0 || pending {
+		t.Fatalf("after holders reachable: segs=%d pending=%v, want repair retired", segs, pending)
+	}
+}
+
+func TestDoctorReplDesiredFromPolicy(t *testing.T) {
+	// The doctor's desired-replica count comes from the policy, not from
+	// the cached chain: a degraded chain walk must breach the invariant,
+	// not shrink "desired" in lockstep with "live" and read healthy.
+	c, _ := replCluster(t, 4, 101, 3)
+	defer c.Stop()
+	n := c.Nodes[0]
+	rep := n.Doctor()
+	if v, ok := rep.Find(doctor.InvReplication); !ok || !v.OK {
+		t.Fatalf("healthy ring: replication verdict %+v (found=%v), want pass", v, ok)
+	}
+	n.mu.Lock()
+	full := n.succs
+	n.succs = full[:1:1] // walk broke after one hop, NOT a wrap
+	n.succsWrapped = false
+	n.mu.Unlock()
+	rep = n.Doctor()
+	if v, ok := rep.Find(doctor.InvReplication); !ok || v.OK {
+		t.Fatalf("degraded chain: replication verdict %+v (found=%v), want breach", v, ok)
+	}
+	n.mu.Lock()
+	n.succs = full
+	n.mu.Unlock()
+}
+
 func TestCrashRepairRestoresReplicationFactor(t *testing.T) {
 	// After repair, re-replication restores K copies of everything —
 	// including the absorbed range, whose payloads must now live on the

@@ -60,6 +60,40 @@ func (p Policy) NeedAcks() int {
 	return q
 }
 
+// NeedAcksFor returns the effective write quorum for a value of the
+// given size. Full-copy values use NeedAcks unchanged. Sharded values
+// need dataK surviving shards to reconstruct, so an ack set that could
+// lose the owner must still contain dataK shard placements — the
+// quorum is raised to at least dataK+1 (owner + dataK shards).
+// Without this, a majority-quorum ack (owner + quorum−1 shards) could
+// be unrecoverable after an owner crash, breaking the crash-safety
+// contract the ack implies.
+func (p Policy) NeedAcksFor(valLen int) int {
+	q := p.NeedAcks()
+	if dataK, _, ok := p.shardParams(); ok && valLen >= p.ShardThreshold {
+		if min := dataK + 1; q < min {
+			q = min
+		}
+	}
+	return q
+}
+
+// ReconstructQuorum returns the minimum number of replica holders a
+// repair gather must reach before its reconstruction pass can be
+// trusted as complete: dataK holders when the policy shards, one when
+// replicas are full copies, zero with replication off. A gather that
+// reached fewer holders may simply have missed the payloads and must
+// not be treated as authoritative.
+func (p Policy) ReconstructQuorum() int {
+	if dataK, _, ok := p.shardParams(); ok {
+		return dataK
+	}
+	if p.Enabled() {
+		return 1
+	}
+	return 0
+}
+
 // shardParams returns the RS code used for a sharded value: K−2 data
 // shards out of K−1 total, one per successor. Any K−2 of the K−1
 // successors reconstruct, so a sharded value survives the owner plus one

@@ -25,6 +25,49 @@ func TestNeedAcks(t *testing.T) {
 	}
 }
 
+func TestNeedAcksForSharded(t *testing.T) {
+	// A sharded value needs dataK = K−2 surviving shards to reconstruct,
+	// so its write quorum must rise to dataK+1 (owner + dataK shards) —
+	// otherwise a majority-acked write could be unrecoverable after an
+	// owner crash, despite the ack's crash-safety contract.
+	p := Policy{K: 5, ShardThreshold: 64}
+	if got := p.NeedAcks(); got != 3 {
+		t.Fatalf("NeedAcks = %d, want 3", got)
+	}
+	if got := p.NeedAcksFor(8); got != 3 {
+		t.Fatalf("NeedAcksFor(small) = %d, want 3 (copies keep the majority quorum)", got)
+	}
+	if got := p.NeedAcksFor(64); got != 4 {
+		t.Fatalf("NeedAcksFor(sharded) = %d, want 4 (owner + dataK shards)", got)
+	}
+	// A quorum already at or above dataK+1 is left alone.
+	if got := (Policy{K: 5, Quorum: 5, ShardThreshold: 64}).NeedAcksFor(64); got != 5 {
+		t.Fatalf("NeedAcksFor(quorum=5) = %d, want 5", got)
+	}
+	// Without sharding the value size never changes the quorum.
+	if got := (Policy{K: 3}).NeedAcksFor(1 << 20); got != 2 {
+		t.Fatalf("NeedAcksFor(unsharded) = %d, want 2", got)
+	}
+}
+
+func TestReconstructQuorum(t *testing.T) {
+	cases := []struct {
+		pol  Policy
+		want int
+	}{
+		{Policy{}, 0},                         // replication off
+		{Policy{K: 3}, 1},                     // full copies: one holder suffices
+		{Policy{K: 4, ShardThreshold: 1}, 2},  // dataK = 2
+		{Policy{K: 5, ShardThreshold: 64}, 3}, // dataK = 3
+		{Policy{K: 5, ShardThreshold: 0}, 1},  // sharding disabled: copies
+	}
+	for _, c := range cases {
+		if got := c.pol.ReconstructQuorum(); got != c.want {
+			t.Errorf("ReconstructQuorum(%+v) = %d, want %d", c.pol, got, c.want)
+		}
+	}
+}
+
 func TestCopyRoundTrip(t *testing.T) {
 	pol := Policy{K: 3}
 	val := []byte("hello replica")
